@@ -1,0 +1,114 @@
+// Package autobahn is a from-scratch Go implementation of Autobahn
+// ("Autobahn: Seamless high speed BFT", SOSP 2024): a Byzantine
+// fault-tolerant state machine replication protocol that combines a
+// highly parallel asynchronous data dissemination layer (lanes of cars
+// certified by proofs of availability) with a low-latency, partially
+// synchronous consensus layer that commits cuts of lane tips — matching
+// DAG-BFT throughput at roughly half its latency while recovering from
+// blips seamlessly, with commit complexity independent of backlog size.
+//
+// The package offers three deployment styles:
+//
+//   - SimCluster: a deterministic discrete-event simulation over a modeled
+//     WAN (the paper's 4-region GCP topology by default) — what the
+//     benchmark harness uses to regenerate the paper's figures.
+//   - LiveCluster: an in-process real-time cluster (goroutine per replica,
+//     channel transport) for quickstarts and integration testing.
+//   - Replica: a single replica speaking length-framed TCP to its peers,
+//     for real multi-process deployments (see cmd/autobahn-node).
+//
+// The protocol implementation lives in internal/ packages (lane,
+// consensus, fetch, order, core); the baselines the paper compares
+// against (HotStuff variants, Bullshark) are in internal/hotstuff and
+// internal/bullshark, driven by internal/harness.
+package autobahn
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/crypto"
+	"repro/internal/runtime"
+	"repro/internal/types"
+)
+
+// Options configures an Autobahn deployment. The zero value plus N yields
+// the paper's evaluation configuration (§6): fast path on, optimistic
+// tips on, 1s view timeout, 1000-tx / 500KB batches sealed within 100ms.
+type Options struct {
+	// N is the committee size (3f+1; required).
+	N int
+	// Seed drives deterministic key generation and simulation randomness.
+	Seed uint64
+	// VerifySignatures enables full ed25519 signing and verification.
+	// Real-time deployments should leave this on (default for Live/TCP);
+	// large simulations may disable it (the simulator charges crypto
+	// through its processing model instead).
+	VerifySignatures bool
+
+	// DisableFastPath turns off the single-round commit (§5.2.1).
+	DisableFastPath bool
+	// DisableOptimisticTips restricts cuts to certified tips (§5.5.2).
+	DisableOptimisticTips bool
+	// ViewTimeout is the consensus progress timer (default 1s).
+	ViewTimeout time.Duration
+	// MaxParallelSlots bounds concurrent consensus instances, k (§5.4,
+	// default 4).
+	MaxParallelSlots int
+	// Coverage is the lane-coverage threshold (§5.2.3, default n-f).
+	Coverage int
+
+	// MaxBatchTxs / MaxBatchBytes / MaxBatchDelay configure mempool
+	// batching (defaults 1000 / 500KB / 100ms, §6).
+	MaxBatchTxs   int
+	MaxBatchBytes uint64
+	MaxBatchDelay time.Duration
+}
+
+func (o Options) committee() types.Committee { return types.NewCommittee(o.N) }
+
+func (o Options) suite() crypto.Suite {
+	if o.VerifySignatures {
+		return crypto.NewEd25519Suite(o.N, o.seedOr(1))
+	}
+	return crypto.NewNopSuite(o.N)
+}
+
+func (o Options) seedOr(d uint64) uint64 {
+	if o.Seed == 0 {
+		return d
+	}
+	return o.Seed
+}
+
+// nodeConfig translates Options into the internal replica configuration.
+func (o Options) nodeConfig(self types.NodeID, suite crypto.Suite, sink runtime.CommitSink) core.Config {
+	return core.Config{
+		Committee:      o.committee(),
+		Self:           self,
+		Suite:          suite,
+		VerifySigs:     o.VerifySignatures,
+		FastPath:       !o.DisableFastPath,
+		OptimisticTips: !o.DisableOptimisticTips,
+		ViewTimeout:    o.ViewTimeout,
+		MaxParallel:    o.MaxParallelSlots,
+		Coverage:       o.Coverage,
+		Sink:           sink,
+	}
+}
+
+// Committed is one totally-ordered, execution-ready batch delivered by a
+// replica, in log order.
+type Committed struct {
+	// Replica is the replica reporting the commit.
+	Replica types.NodeID
+	// Lane and Position locate the batch in the data layer.
+	Lane     types.NodeID
+	Position types.Pos
+	// Slot is the consensus decision that committed it.
+	Slot types.Slot
+	// Batch holds the transactions.
+	Batch *types.Batch
+	// At is the replica-local commit time (since deployment epoch).
+	At time.Duration
+}

@@ -1,0 +1,67 @@
+package autobahn
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/types"
+)
+
+func TestLiveClusterCommitsTransactions(t *testing.T) {
+	lc, err := NewLiveCluster(Options{N: 4, MaxBatchDelay: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc.Start()
+	defer lc.Stop()
+
+	const txs = 400
+	want := make(map[string]bool, txs)
+	for i := 0; i < txs; i++ {
+		tx := []byte(fmt.Sprintf("tx-%04d-payload", i))
+		want[string(tx)] = true
+		if err := lc.Submit(types.NodeID(i%4), tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	deadline := time.After(15 * time.Second)
+	got := 0
+	for got < txs {
+		select {
+		case c := <-lc.Commits:
+			for _, tx := range c.Batch.Txs {
+				if want[string(tx)] {
+					delete(want, string(tx))
+					got++
+				}
+			}
+		case <-deadline:
+			t.Fatalf("timed out: committed %d of %d txs", got, txs)
+		}
+	}
+}
+
+func TestLiveClusterRejectsBadCommittee(t *testing.T) {
+	if _, err := NewLiveCluster(Options{N: 3}); err == nil {
+		t.Fatal("expected error for n=3 (tolerates no faults)")
+	}
+	if _, err := NewLiveCluster(Options{N: 0}); err == nil {
+		t.Fatal("expected error for n=0")
+	}
+}
+
+func TestSimClusterQuickstart(t *testing.T) {
+	sc := NewSimCluster(SimOptions{Options: Options{N: 4}})
+	sc.SubmitLoad(10_000, 512, 0, 5*time.Second)
+	sc.Run(8 * time.Second)
+	if total := sc.Recorder.Total(); total < 48_000 {
+		t.Fatalf("committed %d of ~50000", total)
+	}
+	lat := sc.Recorder.MeanLatency(1*time.Second, 4*time.Second)
+	if lat <= 0 || lat > time.Second {
+		t.Fatalf("implausible latency %v", lat)
+	}
+	t.Logf("sim quickstart: total=%d lat=%v", sc.Recorder.Total(), lat)
+}

@@ -1,0 +1,61 @@
+// Command autobahn-client is the open-loop load generator for TCP
+// deployments (cmd/autobahn-node): it streams newline-delimited random
+// transactions of a fixed size at a constant rate, matching the paper's
+// workload (512-byte no-op transactions, §6).
+package main
+
+import (
+	"bufio"
+	"crypto/rand"
+	"encoding/base64"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"time"
+)
+
+func main() {
+	to := flag.String("to", "127.0.0.1:8000", "replica client address")
+	rate := flag.Float64("rate", 1000, "transactions per second")
+	size := flag.Int("size", 512, "transaction payload bytes (pre-encoding)")
+	duration := flag.Duration("duration", 10*time.Second, "how long to stream")
+	flag.Parse()
+
+	conn, err := net.DialTimeout("tcp", *to, 5*time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn.Close()
+	w := bufio.NewWriterSize(conn, 1<<20)
+
+	// Newline framing requires payloads without newlines: base64-encode
+	// random bytes sized so the encoded form hits the target size.
+	raw := make([]byte, (*size*3)/4)
+	interval := time.Duration(float64(time.Second) / *rate)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	deadline := time.Now().Add(*duration)
+	sent := 0
+	next := time.Now()
+	for time.Now().Before(deadline) {
+		if _, err := rand.Read(raw); err != nil {
+			log.Fatal(err)
+		}
+		line := base64.StdEncoding.EncodeToString(raw)
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			log.Fatalf("send: %v", err)
+		}
+		sent++
+		next = next.Add(interval)
+		if d := time.Until(next); d > 0 {
+			w.Flush()
+			time.Sleep(d)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("sent %d transactions (%.0f tx/s) to %s", sent, float64(sent)/duration.Seconds(), *to)
+}

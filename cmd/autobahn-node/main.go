@@ -1,0 +1,133 @@
+// Command autobahn-node runs one Autobahn replica over TCP. Peers are
+// configured with a comma-separated address list ordered by replica ID;
+// clients submit newline-delimited transactions over a separate TCP port.
+// Committed batches are appended to a write-ahead log (the RocksDB
+// substitute) and summarized on stdout.
+//
+// Example 4-replica deployment on one machine:
+//
+//	for i in 0 1 2 3; do
+//	  autobahn-node -id $i \
+//	    -peers 127.0.0.1:9000,127.0.0.1:9001,127.0.0.1:9002,127.0.0.1:9003 \
+//	    -client 127.0.0.1:800$i -wal /tmp/autobahn-$i.wal &
+//	done
+//	autobahn-client -to 127.0.0.1:8000 -rate 1000 -duration 10s
+package main
+
+import (
+	"bufio"
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"strings"
+	"time"
+
+	autobahn "repro"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+func main() {
+	id := flag.Int("id", 0, "this replica's ID (0-based, ordered as in -peers)")
+	peers := flag.String("peers", "", "comma-separated replica addresses ordered by ID")
+	clientAddr := flag.String("client", "", "address for client transaction submissions (optional)")
+	walPath := flag.String("wal", "", "write-ahead log path for committed batches (optional)")
+	timeout := flag.Duration("view-timeout", time.Second, "consensus view timeout")
+	quiet := flag.Bool("quiet", false, "suppress per-commit output")
+	flag.Parse()
+
+	addrList := strings.Split(*peers, ",")
+	if len(addrList) < 4 || (len(addrList)-1)%3 != 0 {
+		log.Fatalf("need 3f+1 peer addresses, got %d", len(addrList))
+	}
+	if *id < 0 || *id >= len(addrList) {
+		log.Fatalf("id %d out of range for %d peers", *id, len(addrList))
+	}
+	addrs := make(map[types.NodeID]string, len(addrList))
+	for i, a := range addrList {
+		addrs[types.NodeID(i)] = strings.TrimSpace(a)
+	}
+
+	logger := log.New(os.Stderr, fmt.Sprintf("r%d ", *id), log.Ltime|log.Lmicroseconds)
+	replica, err := autobahn.NewReplica(types.NodeID(*id), addrs, autobahn.Options{
+		N:           len(addrList),
+		ViewTimeout: *timeout,
+	}, logger)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := replica.Start(); err != nil {
+		log.Fatal(err)
+	}
+	logger.Printf("replica %d listening on %s (committee of %d)", *id, addrs[types.NodeID(*id)], len(addrList))
+
+	var wal *storage.Store
+	if *walPath != "" {
+		wal, err = storage.Open(*walPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer wal.Close()
+	}
+
+	if *clientAddr != "" {
+		go serveClients(*clientAddr, replica, logger)
+	}
+
+	var committedTx, committedBatches uint64
+	lastReport := time.Now()
+	for c := range replica.Commits {
+		committedBatches++
+		committedTx += uint64(c.Batch.Count)
+		if wal != nil {
+			key := make([]byte, 18)
+			binary.LittleEndian.PutUint64(key, uint64(c.Slot))
+			binary.LittleEndian.PutUint16(key[8:], uint16(c.Lane))
+			binary.LittleEndian.PutUint64(key[10:], uint64(c.Position))
+			var val []byte
+			for _, tx := range c.Batch.Txs {
+				val = binary.LittleEndian.AppendUint32(val, uint32(len(tx)))
+				val = append(val, tx...)
+			}
+			if err := wal.Put(key, val); err != nil {
+				logger.Printf("wal: %v", err)
+			}
+		}
+		if !*quiet && time.Since(lastReport) >= time.Second {
+			lastReport = time.Now()
+			logger.Printf("committed %d txs in %d batches (slot %d)", committedTx, committedBatches, c.Slot)
+		}
+	}
+}
+
+// serveClients accepts newline-delimited transactions and feeds them into
+// this replica's mempool.
+func serveClients(addr string, r *autobahn.Replica, logger *log.Logger) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		logger.Fatalf("client listener: %v", err)
+	}
+	logger.Printf("accepting client transactions on %s", addr)
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			logger.Printf("client accept: %v", err)
+			continue
+		}
+		go func() {
+			defer conn.Close()
+			sc := bufio.NewScanner(conn)
+			sc.Buffer(make([]byte, 1<<20), 1<<20)
+			for sc.Scan() {
+				tx := make([]byte, len(sc.Bytes()))
+				copy(tx, sc.Bytes())
+				if len(tx) > 0 {
+					r.Submit(tx)
+				}
+			}
+		}()
+	}
+}

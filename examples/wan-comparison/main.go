@@ -1,0 +1,42 @@
+// WAN comparison: the paper's Fig. 5 headline claim in one table — on the
+// simulated 4-region GCP topology (Table 1 RTTs), Autobahn matches
+// Bullshark's throughput while roughly halving its latency, and beats
+// both HotStuff variants.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	fmt.Println("Simulated WAN (paper's Table 1 RTTs, one replica per region):")
+	harness.Table1(os.Stdout)
+	fmt.Println()
+
+	rows := []struct {
+		sys  harness.System
+		load float64
+	}{
+		{harness.Autobahn, 200e3},
+		{harness.Bullshark, 200e3},
+		{harness.BatchedHS, 150e3},
+		{harness.VanillaHS, 15e3},
+	}
+	fmt.Printf("%-11s %12s %14s %12s %10s\n", "system", "offered", "committed/s", "mean lat", "p99")
+	results := make(map[harness.System]harness.LoadPoint)
+	for _, r := range rows {
+		p := harness.MeasurePoint(r.sys, 4, r.load, 15*time.Second, 1)
+		results[r.sys] = p
+		fmt.Printf("%-11s %12.0f %14.0f %12s %10s\n",
+			r.sys, p.Load, p.Throughput,
+			p.MeanLat.Round(time.Millisecond), p.P99.Round(time.Millisecond))
+	}
+
+	a, b := results[harness.Autobahn], results[harness.Bullshark]
+	fmt.Printf("\nAutobahn vs Bullshark at 200k tx/s: %.2fx latency reduction (paper: 2.1x)\n",
+		float64(b.MeanLat)/float64(a.MeanLat))
+}

@@ -1,0 +1,190 @@
+package bullshark
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+
+	"repro/internal/types"
+)
+
+// Message types (range reserved in types.MsgBullsharkBase).
+const (
+	MsgHeader types.MsgType = types.MsgBullsharkBase + iota
+	MsgHeaderVote
+	MsgCert
+	MsgBatch
+	MsgBatchPull
+	MsgBatchPush
+	MsgCertPull
+	MsgCertPush
+)
+
+// Round is a DAG round.
+type Round uint64
+
+// BatchRef identifies a disseminated batch.
+type BatchRef struct {
+	Origin types.NodeID
+	Seq    uint64
+	Digest types.Digest
+}
+
+// CertRef references a certificate (and hence a header) by identity.
+type CertRef struct {
+	Author types.NodeID
+	Round  Round
+	Header types.Digest
+}
+
+// Header is one replica's per-round DAG vertex: its fresh batch digests
+// plus 2f+1 certificates of the previous round (the DAG edges).
+type Header struct {
+	Author  types.NodeID
+	Round   Round
+	Refs    []BatchRef
+	Parents []CertRef
+	Sig     []byte
+}
+
+// Digest hashes the header.
+func (h *Header) Digest() types.Digest {
+	hs := sha256.New()
+	var hdr [8 + 2 + 8]byte
+	copy(hdr[:8], "bshdr-v1")
+	binary.LittleEndian.PutUint16(hdr[8:], uint16(h.Author))
+	binary.LittleEndian.PutUint64(hdr[10:], uint64(h.Round))
+	hs.Write(hdr[:])
+	for _, r := range h.Refs {
+		hs.Write(r.Digest[:])
+	}
+	for _, p := range h.Parents {
+		var b [10]byte
+		binary.LittleEndian.PutUint16(b[:], uint16(p.Author))
+		binary.LittleEndian.PutUint64(b[2:], uint64(p.Round))
+		hs.Write(b[:])
+		hs.Write(p.Header[:])
+	}
+	var d types.Digest
+	hs.Sum(d[:0])
+	return d
+}
+
+// SigningBytes returns the author-signed content.
+func (h *Header) SigningBytes() []byte {
+	d := h.Digest()
+	return append([]byte("bssig-h\x00"), d[:]...)
+}
+
+// HeaderMsg broadcasts a header.
+type HeaderMsg struct {
+	Header *Header
+}
+
+func (m *HeaderMsg) Type() types.MsgType { return MsgHeader }
+func (m *HeaderMsg) WireSize() int {
+	return 1 + 2 + 8 + 66 +
+		len(m.Header.Refs)*(2+8+types.DigestSize) +
+		len(m.Header.Parents)*(2+8+types.DigestSize)
+}
+
+// HeaderVote acknowledges a header (first per author-round, data present).
+type HeaderVote struct {
+	Author types.NodeID
+	Round  Round
+	Header types.Digest
+	Voter  types.NodeID
+	Sig    []byte
+}
+
+func (m *HeaderVote) Type() types.MsgType { return MsgHeaderVote }
+func (m *HeaderVote) WireSize() int       { return 1 + 2 + 8 + types.DigestSize + 2 + 66 }
+
+// SigningBytes binds author, round and header digest.
+func (m *HeaderVote) SigningBytes() []byte {
+	out := make([]byte, 0, 20+types.DigestSize)
+	out = append(out, []byte("bsvote\x00\x00")...)
+	var b [10]byte
+	binary.LittleEndian.PutUint16(b[:], uint16(m.Author))
+	binary.LittleEndian.PutUint64(b[2:], uint64(m.Round))
+	out = append(out, b[:]...)
+	return append(out, m.Header[:]...)
+}
+
+// Cert is a Narwhal availability certificate: 2f+1 votes over a header.
+type Cert struct {
+	Author types.NodeID
+	Round  Round
+	Header types.Digest
+	Shares []types.SigShare
+}
+
+// Ref returns the cert's identity reference.
+func (c *Cert) Ref() CertRef { return CertRef{Author: c.Author, Round: c.Round, Header: c.Header} }
+
+func (c *Cert) Type() types.MsgType { return MsgCert }
+func (c *Cert) WireSize() int {
+	return 1 + 2 + 8 + types.DigestSize + 4 + len(c.Shares)*68
+}
+
+// BatchMsg streams a batch (single co-located worker, RB elided — §6).
+type BatchMsg struct {
+	Batch *types.Batch
+}
+
+func (m *BatchMsg) Type() types.MsgType { return MsgBatch }
+func (m *BatchMsg) WireSize() int       { return 1 + m.Batch.WireSize() }
+
+// BatchPull requests missing referenced batches from a header's author.
+type BatchPull struct {
+	Refs      []BatchRef
+	Requester types.NodeID
+}
+
+func (m *BatchPull) Type() types.MsgType { return MsgBatchPull }
+func (m *BatchPull) WireSize() int       { return 1 + 2 + 4 + len(m.Refs)*(2+8+types.DigestSize) }
+
+// BatchPush answers a BatchPull.
+type BatchPush struct {
+	Batches []*types.Batch
+}
+
+func (m *BatchPush) Type() types.MsgType { return MsgBatchPush }
+func (m *BatchPush) WireSize() int {
+	n := 1 + 4
+	for _, b := range m.Batches {
+		n += b.WireSize()
+	}
+	return n
+}
+
+// CertPull requests certificates (and their headers) the requester is
+// missing: either specific references (to validate a header's parents) or
+// a whole round range [FromRound, ToRound] (straggler catch-up after a
+// crash or partition — Narwhal's certificate synchronization).
+type CertPull struct {
+	Refs      []CertRef
+	FromRound Round
+	ToRound   Round
+	Requester types.NodeID
+}
+
+func (m *CertPull) Type() types.MsgType { return MsgCertPull }
+func (m *CertPull) WireSize() int       { return 1 + 2 + 8 + 8 + 4 + len(m.Refs)*(2+8+types.DigestSize) }
+
+// CertPush answers a CertPull with certs and their headers.
+type CertPush struct {
+	Certs   []*Cert
+	Headers []*Header
+}
+
+func (m *CertPush) Type() types.MsgType { return MsgCertPush }
+func (m *CertPush) WireSize() int {
+	n := 1 + 8
+	for _, c := range m.Certs {
+		n += c.WireSize()
+	}
+	for _, h := range m.Headers {
+		n += (&HeaderMsg{Header: h}).WireSize()
+	}
+	return n
+}

@@ -1,0 +1,839 @@
+// Package consensus implements Autobahn's consensus layer (§5.2–§5.4): a
+// slot-based, PBFT-style two-phase agreement protocol over lane cuts, with
+// a single-round fast path in gracious intervals, classical view changes
+// with timeout certificates, and parallel multi-slot agreement bounded by
+// k concurrent instances.
+//
+// The engine is a deterministic state machine: all network and timer
+// effects flow through the Env interface, and lane state is read through
+// the Provider interface, so the package is testable in isolation and
+// identical under simulation and real transport.
+package consensus
+
+import (
+	"time"
+
+	"repro/internal/types"
+)
+
+// TimerKind discriminates engine timers.
+type TimerKind uint8
+
+const (
+	// TimerView is the per-(slot, view) progress timer (§5.3).
+	TimerView TimerKind = iota + 1
+	// TimerFast is the leader's short wait for n votes beyond 2f+1 (§5.2.1).
+	TimerFast
+	// TimerCoverage relaxes the lane-coverage rule for a slot so tails
+	// flush under low load (§5.2.3 is best-effort; see DESIGN.md).
+	TimerCoverage
+)
+
+// Timer is a request by the engine for a one-shot timer.
+type Timer struct {
+	Kind  TimerKind
+	Slot  types.Slot
+	View  types.View
+	Delay time.Duration
+}
+
+// Env is the effect interface the engine drives.
+type Env interface {
+	// Send transmits m to a single replica.
+	Send(to types.NodeID, m types.Message)
+	// Broadcast transmits m to all other replicas.
+	Broadcast(m types.Message)
+	// SetTimer schedules OnTimer(t) after t.Delay; same (Kind, Slot, View)
+	// replaces any pending timer.
+	SetTimer(t Timer)
+	// Decide reports a committed slot. Decisions may arrive out of slot
+	// order; the ordering layer executes them in order.
+	Decide(s types.Slot, p *types.ConsensusProposal, qc *types.CommitQC)
+	// FetchTipData asks the node to retrieve the data proposals for
+	// uncertified tips from the (s, v) leader; the node must call
+	// TipDataArrived(s, v) once they are locally available (§5.5.2).
+	FetchTipData(leader types.NodeID, tips []types.TipRef, s types.Slot, v types.View)
+	// Now returns the current time.
+	Now() time.Duration
+}
+
+// Provider exposes the lane layer to consensus.
+type Provider interface {
+	// AssembleCut returns the replica's current cut (§5.2).
+	AssembleCut(optimistic bool) types.Cut
+	// HasTipData reports local possession of a tip's data proposal.
+	HasTipData(t types.TipRef) bool
+	// ValidateCut structurally validates a proposed cut, including PoA
+	// verification for certified tips.
+	ValidateCut(cut types.Cut, leader types.NodeID) error
+	// NewTipCount reports how many lanes have a proposable tip strictly
+	// beyond base (the lane-coverage measure).
+	NewTipCount(base []types.Pos) int
+}
+
+// Signer abstracts message signing (satisfied by crypto.Signer).
+type Signer interface {
+	Sign(msg []byte) []byte
+	ID() types.NodeID
+}
+
+// Verifier abstracts signature checks (satisfied by crypto.Verifier).
+type Verifier interface {
+	Verify(signer types.NodeID, msg, sig []byte) bool
+}
+
+// Config parameterizes the engine. Zero values take the documented
+// defaults (fill).
+type Config struct {
+	Committee types.Committee
+	Self      types.NodeID
+	Signer    Signer
+	Verifier  Verifier
+	// VerifySigs enables full cryptographic validation of QCs, TCs and
+	// leader signatures.
+	VerifySigs bool
+
+	// FastPath enables the single-round commit on n votes (§5.2.1).
+	FastPath bool
+	// FastPathWait is how long the leader waits beyond 2f+1 votes for the
+	// full n (default 20ms).
+	FastPathWait time.Duration
+	// OptimisticTips lets leaders propose uncertified tips (§5.5.2).
+	OptimisticTips bool
+	// WeakVotes enables the §5.5.2 voting refinement: a replica missing an
+	// optimistic tip's data casts a "weak" vote (agreement only) at once
+	// and a "strong" vote (agreement + availability) when the data lands.
+	// A PrepareQC then needs 2f+1 votes of which f+1 strong; the fast path
+	// still requires n strong votes. Requires OptimisticTips.
+	WeakVotes bool
+	// ViewTimeout is the base view timer (default 1s, the paper's §6
+	// setting); view v waits ViewTimeout * 2^v (doubling, capped).
+	ViewTimeout time.Duration
+	// MaxParallel is k, the bound on concurrent slot instances (§5.4;
+	// default 4).
+	MaxParallel int
+	// Coverage is the lane-coverage threshold (default n-f new tips).
+	Coverage int
+	// CoverageDelay relaxes coverage for a slot after this long so data
+	// tails commit under low load (default 50ms).
+	CoverageDelay time.Duration
+	// MinProposalGap paces consecutive proposals by the same leader
+	// (default 5ms).
+	MinProposalGap time.Duration
+	// Trace, when non-nil, receives verbose engine events (tests only).
+	Trace func(format string, args ...any)
+}
+
+func (e *Engine) trace(format string, args ...any) {
+	if e.cfg.Trace != nil {
+		e.cfg.Trace(format, args...)
+	}
+}
+
+func (c *Config) fill() {
+	if c.FastPathWait == 0 {
+		c.FastPathWait = 20 * time.Millisecond
+	}
+	if c.ViewTimeout == 0 {
+		c.ViewTimeout = time.Second
+	}
+	if c.MaxParallel == 0 {
+		c.MaxParallel = 4
+	}
+	if c.Coverage == 0 {
+		c.Coverage = c.Committee.Size() - c.Committee.F()
+	}
+	if c.CoverageDelay == 0 {
+		c.CoverageDelay = 50 * time.Millisecond
+	}
+	if c.MinProposalGap == 0 {
+		c.MinProposalGap = 5 * time.Millisecond
+	}
+}
+
+// slotState tracks one consensus slot instance.
+type slotState struct {
+	slot types.Slot
+	view types.View // current view
+
+	sawParentPrepare bool
+	parentCutPos     []types.Pos // tip positions of the first observed Prepare_{s-1}
+	coverageRelaxed  bool
+	coverageTimerSet bool
+	timerRunning     bool
+	proposed         bool // leader: proposed in current view
+
+	// Replica-side per-slot agreement state (the cheat-sheet's prop/conf).
+	highProp  *types.ConsensusProposal // highest-view proposal voted for
+	highQC    *types.PrepareQC         // highest-view PrepareQC stored
+	votedPrep map[types.View]bool      // cast a strong vote
+	votedWeak map[types.View]bool      // cast a weak vote (§5.5.2)
+	votedAck  map[types.View]bool
+	mutinied  map[types.View]bool // sent Timeout; ignore Prepare/Confirm in view
+	// Pending vote blocked on optimistic tip data.
+	pendingVote *types.Prepare
+
+	// Leader-side aggregation.
+	prepVotes  map[types.View]map[types.NodeID]prepVote
+	acks       map[types.View]map[types.NodeID]types.SigShare
+	myPrepare  map[types.View]*types.Prepare
+	sentConfrm map[types.View]bool
+	fastArmed  bool
+
+	// Timeout aggregation (per target view being complained about).
+	timeouts map[types.View]map[types.NodeID]*types.Timeout
+
+	// Outcome.
+	decided   bool
+	commitQC  *types.CommitQC
+	committed *types.ConsensusProposal
+
+	// Buffered higher-view Prepares awaiting view entry.
+	prepBuffer map[types.View]*types.Prepare
+}
+
+type prepVote struct {
+	share  types.SigShare
+	strong bool
+}
+
+// Engine is one replica's consensus state across all slots.
+type Engine struct {
+	cfg      Config
+	env      Env
+	provider Provider
+
+	slots      map[types.Slot]*slotState
+	frontier   types.Slot // highest slot we have begun tracking
+	lastDecide map[types.Slot]*types.CommitQC
+	// contiguous committed prefix (for ticket GC only; ordering is
+	// handled by the order package).
+	maxStarted  types.Slot
+	lastPropose time.Duration
+	// committed tip positions of the most recent decided slot, used as a
+	// coverage fallback base.
+	lastCommitPos []types.Pos
+}
+
+// NewEngine builds a consensus engine.
+func NewEngine(cfg Config, env Env, provider Provider) *Engine {
+	cfg.fill()
+	return &Engine{
+		cfg:           cfg,
+		env:           env,
+		provider:      provider,
+		slots:         make(map[types.Slot]*slotState),
+		lastDecide:    make(map[types.Slot]*types.CommitQC),
+		lastCommitPos: make([]types.Pos, cfg.Committee.Size()),
+		lastPropose:   -time.Hour,
+	}
+}
+
+// Init bootstraps slot 1 (its parent-prepare precondition is vacuous).
+func (e *Engine) Init() {
+	st := e.slot(1)
+	st.sawParentPrepare = true
+	e.evalStart(1)
+}
+
+func (e *Engine) slot(s types.Slot) *slotState {
+	st, ok := e.slots[s]
+	if !ok {
+		st = &slotState{
+			slot:       s,
+			votedPrep:  make(map[types.View]bool),
+			votedWeak:  make(map[types.View]bool),
+			votedAck:   make(map[types.View]bool),
+			mutinied:   make(map[types.View]bool),
+			prepVotes:  make(map[types.View]map[types.NodeID]prepVote),
+			acks:       make(map[types.View]map[types.NodeID]types.SigShare),
+			myPrepare:  make(map[types.View]*types.Prepare),
+			sentConfrm: make(map[types.View]bool),
+			timeouts:   make(map[types.View]map[types.NodeID]*types.Timeout),
+			prepBuffer: make(map[types.View]*types.Prepare),
+		}
+		e.slots[s] = st
+		if s > e.frontier {
+			e.frontier = s
+		}
+	}
+	return st
+}
+
+// Decided reports whether slot s has committed locally.
+func (e *Engine) Decided(s types.Slot) bool {
+	st, ok := e.slots[s]
+	return ok && st.decided
+}
+
+// CommitQCFor returns the commit certificate for a decided slot (nil if
+// not decided or already garbage collected).
+func (e *Engine) CommitQCFor(s types.Slot) *types.CommitQC { return e.lastDecide[s] }
+
+// CommittedProposal returns the committed proposal for a decided slot.
+func (e *Engine) CommittedProposal(s types.Slot) *types.ConsensusProposal {
+	if st, ok := e.slots[s]; ok {
+		return st.committed
+	}
+	return nil
+}
+
+// CurrentView returns the replica's current view for slot s.
+func (e *Engine) CurrentView(s types.Slot) types.View {
+	if st, ok := e.slots[s]; ok {
+		return st.view
+	}
+	return 0
+}
+
+// DebugSlot returns internal counters for tests: current view, timeout
+// counts per view, whether decided, and whether a timer is armed.
+func (e *Engine) DebugSlot(s types.Slot) (view types.View, timeouts map[types.View]int, decided, timerRunning bool, sawParent bool) {
+	st, ok := e.slots[s]
+	if !ok {
+		return 0, nil, false, false, false
+	}
+	timeouts = make(map[types.View]int)
+	for v, set := range st.timeouts {
+		timeouts[v] = len(set)
+	}
+	return st.view, timeouts, st.decided, st.timerRunning, st.sawParentPrepare
+}
+
+// Frontier returns the highest slot the engine tracks.
+func (e *Engine) Frontier() types.Slot { return e.frontier }
+
+// --- slot start & proposing (§5.2.3, §5.4) ---
+
+// ticketFor returns the ticket a view-0 leader must carry for slot s,
+// and whether the k-bound allows starting s at all.
+func (e *Engine) ticketFor(s types.Slot) (types.Ticket, bool) {
+	k := types.Slot(e.cfg.MaxParallel)
+	if s <= k {
+		return types.Ticket{Kind: types.TicketCommit}, true // genesis window
+	}
+	qc := e.lastDecide[s-k]
+	if qc == nil {
+		return types.Ticket{}, false
+	}
+	return types.Ticket{Kind: types.TicketCommit, Commit: qc}, true
+}
+
+// coverageBase returns the tip-position frontier coverage is measured
+// against: the cut of the first observed Prepare_{s-1}, else the latest
+// committed cut.
+func (e *Engine) coverageBase(st *slotState) []types.Pos {
+	if st.parentCutPos != nil {
+		return st.parentCutPos
+	}
+	return e.lastCommitPos
+}
+
+// evalStart checks whether slot s can begin: timer arming for everyone,
+// proposing for the view-0 leader.
+func (e *Engine) evalStart(s types.Slot) {
+	st := e.slot(s)
+	if st.decided || !st.sawParentPrepare {
+		return
+	}
+	_, ticketOK := e.ticketFor(s)
+	if e.cfg.Committee.Leader(s, 0) == e.cfg.Self && !st.proposed {
+		e.trace("t=%v %s evalStart s=%d ticket=%v covered=%v relaxed=%v", e.env.Now(), e.cfg.Self, s, ticketOK, e.coverageMet(st), st.coverageRelaxed)
+	}
+	if !ticketOK {
+		return
+	}
+	covered := e.coverageMet(st)
+	if !covered && !st.coverageTimerSet {
+		st.coverageTimerSet = true
+		e.env.SetTimer(Timer{Kind: TimerCoverage, Slot: s, Delay: e.cfg.CoverageDelay})
+	}
+	if !covered {
+		return
+	}
+	// Arm the view-0 progress timer (all replicas).
+	if !st.timerRunning && st.view == 0 {
+		st.timerRunning = true
+		e.env.SetTimer(Timer{Kind: TimerView, Slot: s, View: 0, Delay: e.viewTimeout(0)})
+	}
+	// Propose if we lead view 0.
+	if st.view == 0 && !st.proposed && e.cfg.Committee.Leader(s, 0) == e.cfg.Self {
+		e.propose(st)
+	}
+}
+
+func (e *Engine) coverageMet(st *slotState) bool {
+	base := e.coverageBase(st)
+	newTips := e.provider.NewTipCount(base)
+	if st.coverageRelaxed {
+		return newTips >= 1
+	}
+	return newTips >= e.cfg.Coverage
+}
+
+func (e *Engine) propose(st *slotState) {
+	now := e.env.Now()
+	if now < e.lastPropose+e.cfg.MinProposalGap {
+		// Pace proposals: retry when the gap elapses.
+		e.env.SetTimer(Timer{Kind: TimerCoverage, Slot: st.slot, Delay: e.lastPropose + e.cfg.MinProposalGap - now})
+		return
+	}
+	ticket, ok := e.ticketFor(st.slot)
+	if !ok {
+		return
+	}
+	cut := e.provider.AssembleCut(e.cfg.OptimisticTips)
+	prop := types.ConsensusProposal{Slot: st.slot, View: 0, Cut: cut}
+	prep := &types.Prepare{Leader: e.cfg.Self, Proposal: prop, Ticket: ticket}
+	prep.Sig = e.cfg.Signer.Sign(prep.SigningBytes())
+	st.proposed = true
+	st.myPrepare[0] = prep
+	e.trace("t=%v %s propose s=%d", e.env.Now(), e.cfg.Self, st.slot)
+	e.lastPropose = now
+	e.env.Broadcast(prep)
+	e.processPrepare(e.cfg.Self, prep) // leader self-processes (stores + votes)
+}
+
+// OnTipsAdvanced re-evaluates start conditions when the lane layer gains
+// new certified tips (called by the node on PoA/proposal arrival).
+func (e *Engine) OnTipsAdvanced() {
+	// Only the frontier slots can be waiting on coverage.
+	for s := e.frontier; s > 0 && s+types.Slot(e.cfg.MaxParallel) > e.frontier; s-- {
+		e.evalStart(s)
+	}
+}
+
+// viewTimeout doubles per view, capped to avoid overflow.
+func (e *Engine) viewTimeout(v types.View) time.Duration {
+	shift := uint(v)
+	if shift > 6 {
+		shift = 6
+	}
+	return e.cfg.ViewTimeout << shift
+}
+
+// --- Prepare phase (§5.2.1 P1) ---
+
+// OnPrepare handles a leader's Prepare message.
+func (e *Engine) OnPrepare(from types.NodeID, prep *types.Prepare) {
+	e.processPrepare(from, prep)
+}
+
+func (e *Engine) processPrepare(from types.NodeID, prep *types.Prepare) {
+	s, v := prep.Proposal.Slot, prep.Proposal.View
+	if !e.validPrepare(from, prep) {
+		return
+	}
+	st := e.slot(s)
+
+	// The first Prepare for s arms slot s+1 (§5.4).
+	e.observeParentPrepare(s, prep)
+
+	if st.decided {
+		return
+	}
+	if v > st.view {
+		// Not yet in view v: buffer and reprocess on entry (§5.3).
+		st.prepBuffer[v] = prep
+		return
+	}
+	if v < st.view || st.mutinied[v] {
+		return
+	}
+
+	// Store the proposal (highProp) for potential view changes.
+	if st.highProp == nil || prep.Proposal.View > st.highProp.View {
+		p := prep.Proposal
+		st.highProp = &p
+	}
+
+	e.tryPrepVote(st, prep)
+}
+
+// observeParentPrepare records the first Prepare for s and starts s+1.
+func (e *Engine) observeParentPrepare(s types.Slot, prep *types.Prepare) {
+	next := e.slot(s + 1)
+	if !next.sawParentPrepare {
+		next.sawParentPrepare = true
+		next.parentCutPos = cutPositions(prep.Proposal.Cut)
+		e.evalStart(s + 1)
+	}
+}
+
+func cutPositions(c types.Cut) []types.Pos {
+	out := make([]types.Pos, len(c.Tips))
+	for i, t := range c.Tips {
+		out[i] = t.Position
+	}
+	return out
+}
+
+// tryPrepVote votes for a Prepare if the availability rule allows it;
+// otherwise it records the pending vote and requests the missing tip data
+// from the leader (§5.5.2 — the only critical-path sync, constant size).
+func (e *Engine) tryPrepVote(st *slotState, prep *types.Prepare) {
+	s, v := prep.Proposal.Slot, prep.Proposal.View
+	if st.votedPrep[v] || st.mutinied[v] {
+		return
+	}
+	// Reproposals carrying a TC-selected winner are implicitly certified
+	// (f+1 replicas voted for them); vote without an availability check.
+	winnerReproposal := v > 0 && prep.Ticket.Kind == types.TicketTC &&
+		prep.Ticket.TC != nil && prep.Ticket.TC.WinningProposal(e.cfg.Committee) != nil
+
+	if !winnerReproposal {
+		var missing []types.TipRef
+		for _, t := range prep.Proposal.Cut.Tips {
+			if !t.Certified() && !t.Empty() && !e.provider.HasTipData(t) {
+				missing = append(missing, t)
+			}
+		}
+		if len(missing) > 0 {
+			st.pendingVote = prep
+			e.trace("t=%v %s vote-blocked s=%d v=%d missing=%d lane0=%v pos=%d", e.env.Now(), e.cfg.Self, s, v, len(missing), missing[0].Lane, missing[0].Position)
+			e.env.FetchTipData(prep.Leader, missing, s, v)
+			if e.cfg.WeakVotes && !st.votedWeak[v] {
+				// §5.5.2 refinement: assert agreement now, availability
+				// later. The strong vote follows once the data lands.
+				st.votedWeak[v] = true
+				e.sendPrepVote(st, prep, false)
+			}
+			return
+		}
+	}
+	st.pendingVote = nil
+	st.votedPrep[v] = true
+	e.trace("t=%v %s vote s=%d v=%d", e.env.Now(), e.cfg.Self, s, v)
+	e.sendPrepVote(st, prep, true)
+}
+
+// sendPrepVote signs and routes one PrepVote of the given strength.
+func (e *Engine) sendPrepVote(st *slotState, prep *types.Prepare, strong bool) {
+	vote := &types.PrepVote{
+		Slot:   prep.Proposal.Slot,
+		View:   prep.Proposal.View,
+		Digest: prep.Proposal.Digest(),
+		Voter:  e.cfg.Self,
+		Strong: strong,
+	}
+	vote.Sig = e.cfg.Signer.Sign(vote.SigningBytes())
+	if prep.Leader == e.cfg.Self {
+		e.collectPrepVote(st, vote)
+	} else {
+		e.env.Send(prep.Leader, vote)
+	}
+}
+
+// TipDataArrived retries a vote blocked on optimistic tip data.
+func (e *Engine) TipDataArrived(s types.Slot, v types.View) {
+	st, ok := e.slots[s]
+	if !ok || st.decided || st.pendingVote == nil {
+		return
+	}
+	pv := st.pendingVote
+	if pv.Proposal.View != v || v != st.view {
+		return
+	}
+	e.tryPrepVote(st, pv)
+}
+
+// RetryPendingVotes re-attempts every vote blocked on tip data. The node
+// calls this whenever lane data arrives through the live path (which can
+// race with — and cancel — the explicit tip fetch).
+func (e *Engine) RetryPendingVotes() {
+	for _, st := range e.slots {
+		if st.pendingVote != nil && !st.decided && st.pendingVote.Proposal.View == st.view {
+			e.tryPrepVote(st, st.pendingVote)
+		}
+	}
+}
+
+// HasPendingVote reports whether (s, v) is still blocked on tip data
+// (the node uses this to drop deferred tip fetches that became moot).
+func (e *Engine) HasPendingVote(s types.Slot, v types.View) bool {
+	st, ok := e.slots[s]
+	return ok && !st.decided && st.pendingVote != nil && st.pendingVote.Proposal.View == v && st.view == v
+}
+
+// OnPrepVote aggregates votes at the leader.
+func (e *Engine) OnPrepVote(from types.NodeID, vote *types.PrepVote) {
+	if from != vote.Voter || !e.cfg.Committee.Valid(from) {
+		return
+	}
+	if e.cfg.VerifySigs && !e.cfg.Verifier.Verify(vote.Voter, vote.SigningBytes(), vote.Sig) {
+		return
+	}
+	st := e.slot(vote.Slot)
+	e.collectPrepVote(st, vote)
+}
+
+func (e *Engine) collectPrepVote(st *slotState, vote *types.PrepVote) {
+	v := vote.View
+	my := st.myPrepare[v]
+	if my == nil || st.decided {
+		return // not leading this view (or already done)
+	}
+	if vote.Digest != my.Proposal.Digest() {
+		return
+	}
+	set := st.prepVotes[v]
+	if set == nil {
+		set = make(map[types.NodeID]prepVote)
+		st.prepVotes[v] = set
+	}
+	if prev, dup := set[vote.Voter]; dup {
+		if prev.strong || !vote.Strong {
+			return // only a weak→strong upgrade is new information
+		}
+	}
+	set[vote.Voter] = prepVote{
+		share:  types.SigShare{Signer: vote.Voter, Sig: vote.Sig},
+		strong: vote.Strong,
+	}
+	e.leaderCheckQuorum(st, v)
+}
+
+// leaderCheckQuorum drives the fast/slow path decision (§5.2.1).
+func (e *Engine) leaderCheckQuorum(st *slotState, v types.View) {
+	set := st.prepVotes[v]
+	n := e.cfg.Committee.FastQuorum()
+	q := e.cfg.Committee.Quorum()
+	strong := 0
+	for _, pv := range set {
+		if pv.strong {
+			strong++
+		}
+	}
+	if e.cfg.FastPath && strong >= n {
+		e.fastCommit(st, v)
+		return
+	}
+	// With the weak-vote refinement a PrepareQC requires f+1 strong votes
+	// among the 2f+1 (availability); without it every vote is strong.
+	if e.cfg.WeakVotes && strong < e.cfg.Committee.PoAQuorum() {
+		return
+	}
+	if len(set) >= q {
+		if e.cfg.FastPath && !st.fastArmed && !st.sentConfrm[v] {
+			// Wait a beat for the full n (§5.2.1 Fast Path).
+			st.fastArmed = true
+			e.env.SetTimer(Timer{Kind: TimerFast, Slot: st.slot, View: v, Delay: e.cfg.FastPathWait})
+			return
+		}
+		if !e.cfg.FastPath && !st.sentConfrm[v] {
+			e.sendConfirm(st, v)
+		}
+	}
+}
+
+func (e *Engine) buildPrepareQC(st *slotState, v types.View) *types.PrepareQC {
+	my := st.myPrepare[v]
+	set := st.prepVotes[v]
+	qc := &types.PrepareQC{Slot: st.slot, View: v, Digest: my.Proposal.Digest()}
+	for _, id := range e.cfg.Committee.Nodes() {
+		if pv, ok := set[id]; ok {
+			qc.Shares = append(qc.Shares, pv.share)
+			qc.StrongMask = append(qc.StrongMask, pv.strong)
+		}
+	}
+	return qc
+}
+
+func (e *Engine) fastCommit(st *slotState, v types.View) {
+	my := st.myPrepare[v]
+	set := st.prepVotes[v]
+	qc := &types.CommitQC{Slot: st.slot, View: v, Digest: my.Proposal.Digest(), Fast: true}
+	for _, id := range e.cfg.Committee.Nodes() {
+		if pv, ok := set[id]; ok && pv.strong {
+			qc.Shares = append(qc.Shares, pv.share)
+		}
+	}
+	e.deliverCommit(st, qc, &my.Proposal, true)
+}
+
+// OnTimer dispatches engine timers.
+func (e *Engine) OnTimer(t Timer) {
+	st, ok := e.slots[t.Slot]
+	switch t.Kind {
+	case TimerCoverage:
+		st2 := e.slot(t.Slot)
+		st2.coverageRelaxed = true
+		e.evalStart(t.Slot)
+	case TimerFast:
+		if !ok || st.decided || st.sentConfrm[t.View] || st.myPrepare[t.View] == nil {
+			return
+		}
+		if len(st.prepVotes[t.View]) >= e.cfg.Committee.Quorum() {
+			e.sendConfirm(st, t.View)
+		}
+	case TimerView:
+		if !ok || st.decided || t.View != st.view {
+			return
+		}
+		// First expiry starts the mutiny; subsequent expiries re-broadcast
+		// the Timeout so complaints survive partitions (a TC needs 2f+1
+		// replicas connected — complaints sent into a partition are lost
+		// and must be repeated once connectivity returns).
+		e.startMutiny(st, t.View)
+	}
+}
+
+// --- Confirm phase (§5.2.1 P2) ---
+
+func (e *Engine) sendConfirm(st *slotState, v types.View) {
+	st.sentConfrm[v] = true
+	qc := e.buildPrepareQC(st, v)
+	conf := &types.Confirm{Leader: e.cfg.Self, QC: *qc}
+	conf.Sig = e.cfg.Signer.Sign(conf.SigningBytes())
+	e.env.Broadcast(conf)
+	e.processConfirm(e.cfg.Self, conf)
+}
+
+// OnConfirm handles the leader's Confirm broadcast.
+func (e *Engine) OnConfirm(from types.NodeID, conf *types.Confirm) {
+	e.processConfirm(from, conf)
+}
+
+func (e *Engine) processConfirm(from types.NodeID, conf *types.Confirm) {
+	s, v := conf.QC.Slot, conf.QC.View
+	if from != conf.Leader || e.cfg.Committee.Leader(s, v) != conf.Leader {
+		return
+	}
+	if e.cfg.VerifySigs {
+		if !e.cfg.Verifier.Verify(conf.Leader, conf.SigningBytes(), conf.Sig) {
+			return
+		}
+		if err := verifyPrepareQC(e.cfg, &conf.QC); err != nil {
+			return
+		}
+	}
+	st := e.slot(s)
+	if st.decided || v < st.view || st.mutinied[v] {
+		return
+	}
+	// Buffer the QC for view changes (conf[s] in the cheat sheet).
+	if st.highQC == nil || conf.QC.View > st.highQC.View {
+		qc := conf.QC
+		st.highQC = &qc
+	}
+	if st.votedAck[v] {
+		return
+	}
+	st.votedAck[v] = true
+	ack := &types.ConfirmAck{Slot: s, View: v, Digest: conf.QC.Digest, Voter: e.cfg.Self}
+	ack.Sig = e.cfg.Signer.Sign(ack.SigningBytes())
+	if conf.Leader == e.cfg.Self {
+		e.collectAck(st, ack)
+	} else {
+		e.env.Send(conf.Leader, ack)
+	}
+}
+
+// OnConfirmAck aggregates acks at the leader into a CommitQC.
+func (e *Engine) OnConfirmAck(from types.NodeID, ack *types.ConfirmAck) {
+	if from != ack.Voter || !e.cfg.Committee.Valid(from) {
+		return
+	}
+	if e.cfg.VerifySigs && !e.cfg.Verifier.Verify(ack.Voter, ack.SigningBytes(), ack.Sig) {
+		return
+	}
+	st := e.slot(ack.Slot)
+	e.collectAck(st, ack)
+}
+
+func (e *Engine) collectAck(st *slotState, ack *types.ConfirmAck) {
+	v := ack.View
+	my := st.myPrepare[v]
+	if my == nil || st.decided || ack.Digest != my.Proposal.Digest() {
+		return
+	}
+	set := st.acks[v]
+	if set == nil {
+		set = make(map[types.NodeID]types.SigShare)
+		st.acks[v] = set
+	}
+	if _, dup := set[ack.Voter]; dup {
+		return
+	}
+	set[ack.Voter] = types.SigShare{Signer: ack.Voter, Sig: ack.Sig}
+	if len(set) < e.cfg.Committee.Quorum() {
+		return
+	}
+	qc := &types.CommitQC{Slot: st.slot, View: v, Digest: ack.Digest}
+	for _, id := range e.cfg.Committee.Nodes() {
+		if sh, ok := set[id]; ok {
+			qc.Shares = append(qc.Shares, sh)
+		}
+	}
+	e.deliverCommit(st, qc, &my.Proposal, true)
+}
+
+// --- commit ---
+
+// OnCommitNotice handles a broadcast commit certificate.
+func (e *Engine) OnCommitNotice(from types.NodeID, m *types.CommitNotice) {
+	if e.cfg.VerifySigs {
+		if err := verifyCommitQC(e.cfg, &m.QC); err != nil {
+			return
+		}
+	}
+	if m.Proposal.Slot != m.QC.Slot || m.Proposal.Digest() != m.QC.Digest {
+		// The notice must carry the proposal matching the certificate.
+		// (Reproposals keep slot+view in the digest, so this binds both.)
+		return
+	}
+	st := e.slot(m.QC.Slot)
+	qc := m.QC
+	prop := m.Proposal
+	e.deliverCommit(st, &qc, &prop, false)
+}
+
+// deliverCommit finalizes a slot locally and (if broadcast) announces it.
+func (e *Engine) deliverCommit(st *slotState, qc *types.CommitQC, prop *types.ConsensusProposal, announce bool) {
+	if st.decided {
+		return
+	}
+	st.decided = true
+	e.trace("t=%v %s decide s=%d v=%d fast=%v", e.env.Now(), e.cfg.Self, st.slot, qc.View, qc.Fast)
+	st.commitQC = qc
+	st.committed = prop
+	st.pendingVote = nil
+	e.lastDecide[st.slot] = qc
+	e.lastCommitPos = cutPositions(prop.Cut)
+	// Cancel interest in this slot's timers (they become no-ops).
+	st.timerRunning = false
+	if announce {
+		e.env.Broadcast(&types.CommitNotice{QC: *qc, Proposal: *prop})
+	}
+	e.env.Decide(st.slot, prop, qc)
+	// Committing s unlocks the ticket for s+k; the prepare for s (implied
+	// by commit) arms s+1 even if we never saw it directly.
+	next := e.slot(st.slot + 1)
+	if !next.sawParentPrepare {
+		next.sawParentPrepare = true
+		next.parentCutPos = cutPositions(prop.Cut)
+	}
+	e.gcSlots()
+	e.evalStart(st.slot + 1)
+	e.evalStart(st.slot + types.Slot(e.cfg.MaxParallel))
+}
+
+// gcSlots drops slot state far below the decided frontier. CommitQCs are
+// retained somewhat longer: commit of s transitively certifies s-k (§5.4).
+func (e *Engine) gcSlots() {
+	const keep = 256
+	if e.frontier <= keep {
+		return
+	}
+	cutoff := e.frontier - keep
+	for s := range e.slots {
+		if s < cutoff && e.slots[s].decided {
+			delete(e.slots, s)
+		}
+	}
+	for s := range e.lastDecide {
+		if s < cutoff {
+			delete(e.lastDecide, s)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package consensus
+
+import (
+	"testing"
+
+	"repro/internal/types"
+)
+
+// newWeakNet builds a 4-engine net with optimistic tips + weak votes and
+// an uncertified tip for lane 0 in every provider's cut.
+func newWeakNet(t *testing.T, dataAt func(types.NodeID) bool) *net {
+	t.Helper()
+	n := newNet(t, func(id types.NodeID, cfg *Config) {
+		cfg.OptimisticTips = true
+		cfg.WeakVotes = true
+	})
+	optimistic := types.NewEmptyCut(4)
+	optimistic.Tips[0] = types.TipRef{Lane: 0, Position: 2, Digest: types.Digest{2}}
+	for i, prov := range n.providers {
+		prov.cut = optimistic
+		prov.hasData = dataAt(types.NodeID(i))
+	}
+	return n
+}
+
+// TestWeakVoteCastImmediately (§5.5.2): a replica missing tip data casts a
+// weak vote at once, then a strong vote when the data arrives.
+func TestWeakVoteCastImmediately(t *testing.T) {
+	committee := types.NewCommittee(4)
+	leader := committee.Leader(1, 0)
+	voter := types.NodeID((int(leader) + 1) % 4)
+	n := newWeakNet(t, func(id types.NodeID) bool { return id != voter })
+
+	n.engines[leader].Init()
+	var prep *types.Prepare
+	for _, m := range n.envs[leader].bcast {
+		if p, ok := m.(*types.Prepare); ok {
+			prep = p
+		}
+	}
+	if prep == nil {
+		t.Fatal("no proposal")
+	}
+	n.engines[voter].OnPrepare(leader, prep)
+
+	var weak, strong int
+	for _, sm := range n.envs[voter].sent {
+		if v, ok := sm.msg.(*types.PrepVote); ok {
+			if v.Strong {
+				strong++
+			} else {
+				weak++
+			}
+		}
+	}
+	if weak != 1 || strong != 0 {
+		t.Fatalf("before data: weak=%d strong=%d, want 1/0", weak, strong)
+	}
+	// Data arrives: the strong vote follows.
+	n.providers[voter].hasData = true
+	n.engines[voter].TipDataArrived(1, 0)
+	weak, strong = 0, 0
+	for _, sm := range n.envs[voter].sent {
+		if v, ok := sm.msg.(*types.PrepVote); ok {
+			if v.Strong {
+				strong++
+			} else {
+				weak++
+			}
+		}
+	}
+	if weak != 1 || strong != 1 {
+		t.Fatalf("after data: weak=%d strong=%d, want 1/1", weak, strong)
+	}
+}
+
+// TestWeakVotesFormQCWithStrongThreshold: 2f+1 votes with f+1 strong make
+// a PrepareQC; with fewer strong votes the slot cannot commit on votes
+// alone.
+func TestWeakQuorumCommits(t *testing.T) {
+	committee := types.NewCommittee(4)
+	leader := committee.Leader(1, 0)
+	// Exactly f+1 = 2 replicas hold the data (the leader plus one); the
+	// other two cast weak votes. QC = 4 votes, 2 strong: commits.
+	withData := map[types.NodeID]bool{leader: true, (leader + 1) % 4: true}
+	n := newWeakNet(t, func(id types.NodeID) bool { return withData[id] })
+	initAll(n)
+	n.pump(t, nil)
+	n.fireFastTimers() // only 2 strong votes: fast path cannot fire
+	n.pump(t, nil)
+	committed := 0
+	for _, env := range n.envs {
+		if _, ok := env.decided[1]; ok {
+			committed++
+		}
+	}
+	if committed != 4 {
+		t.Fatalf("weak-vote quorum committed at %d/4 replicas", committed)
+	}
+	// And it must have been the slow path.
+	for i, env := range n.envs {
+		if p := env.decided[1]; p != nil && p.View != 0 {
+			t.Fatalf("r%d decided in view %d", i, p.View)
+		}
+	}
+}
+
+// TestWeakOnlyQuorumCannotCommit: with ZERO strong voters beyond the
+// leader, the f+1-strong threshold blocks the QC — availability is not
+// attested, so the value must not commit on the vote path.
+func TestWeakOnlyQuorumCannotCommit(t *testing.T) {
+	committee := types.NewCommittee(4)
+	leader := committee.Leader(1, 0)
+	n := newWeakNet(t, func(id types.NodeID) bool { return id == leader })
+	initAll(n)
+	n.pump(t, nil)
+	n.fireFastTimers()
+	n.pump(t, nil)
+	for i, env := range n.envs {
+		if _, ok := env.decided[1]; ok {
+			t.Fatalf("r%d decided with only one strong vote", i)
+		}
+	}
+}

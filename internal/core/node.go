@@ -1,0 +1,690 @@
+// Package core assembles the full Autobahn replica: the lane-based data
+// dissemination layer (internal/lane), the slot-based consensus engine
+// (internal/consensus), non-blocking data synchronization (internal/fetch)
+// and deterministic total ordering (internal/order), behind the
+// runtime.Protocol interface so one implementation runs under both the
+// discrete-event simulator and the real TCP transport.
+package core
+
+import (
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/crypto"
+	"repro/internal/fetch"
+	"repro/internal/lane"
+	"repro/internal/order"
+	"repro/internal/runtime"
+	"repro/internal/types"
+)
+
+// Timer tag kinds used by the node.
+const (
+	tagConsensusView uint8 = iota + 1
+	tagConsensusFast
+	tagConsensusCoverage
+	tagFetchTick
+	tagCarRetx
+)
+
+// carRetransmit is how often a still-uncertified own car is re-broadcast
+// (crash/partition recovery: lost proposals or votes must be repeated).
+const carRetransmit = 500 * time.Millisecond
+
+// tipFetchDefer is the grace period before an optimistic-tip fetch is
+// actually sent: the tip's live broadcast usually lands first (§5.5.2
+// notes at most one extra sync request in the worst case).
+const tipFetchDefer = 150 * time.Millisecond
+
+// Reputation bounds (§B.1): a lane at or below repOptimisticMin no longer
+// gets optimistic tips in this replica's cuts until commits restore it.
+const (
+	repMax           = 8
+	repOptimisticMin = 4
+	repPenalty       = 3 // per served critical-path tip sync
+	repRegainEvery   = 8 // committed cars per point regained
+)
+
+// Config holds every Autobahn deployment knob. Zero values take defaults
+// matching the paper's evaluation setup (§6).
+type Config struct {
+	Committee types.Committee
+	Self      types.NodeID
+	Suite     crypto.Suite
+	// VerifySigs enables full signature verification everywhere. Large
+	// simulations disable it and charge crypto through the network model.
+	VerifySigs bool
+
+	// FastPath enables the 1-round commit (§5.2.1); default set by caller.
+	FastPath bool
+	// OptimisticTips enables uncertified tip proposals (§5.5.2).
+	OptimisticTips bool
+	// WeakVotes enables the §5.5.2 weak/strong voting refinement: replicas
+	// missing optimistic tip data vote "weak" (agreement only) at once and
+	// "strong" when the data lands; PrepareQCs need f+1 strong votes among
+	// the quorum. Requires OptimisticTips.
+	WeakVotes bool
+	// Reputation enables the §B.1 lane-reputation mechanism: a replica
+	// that is forced (as leader) to serve critical-path tip syncs for a
+	// lane downgrades that lane and proposes only its certified tips until
+	// committed cars restore its standing. Requires OptimisticTips.
+	Reputation bool
+	// ViewTimeout is the consensus progress timer (default 1s).
+	ViewTimeout time.Duration
+	// FastPathWait is the leader's extra wait for n votes (default 20ms).
+	FastPathWait time.Duration
+	// MaxParallel bounds concurrent consensus slots, k (default 4).
+	MaxParallel int
+	// Coverage is the lane-coverage threshold (default n-f).
+	Coverage int
+	// CoverageDelay relaxes coverage after this long (default 50ms).
+	CoverageDelay time.Duration
+	// MinProposalGap paces consecutive proposals (default 5ms).
+	MinProposalGap time.Duration
+	// FetchTick is the sync retry granularity (default 100ms).
+	FetchTick time.Duration
+	// PipelineCars allows multiple un-certified own cars in flight
+	// (§5.5.1; default 1 = disabled, matching the paper's prototype).
+	PipelineCars int
+
+	// Sink receives the totally ordered, execution-ready batches.
+	Sink runtime.CommitSink
+	// ConsensusTrace, when non-nil, receives verbose consensus engine
+	// events (tests only).
+	ConsensusTrace func(format string, args ...any)
+}
+
+func (c *Config) fill() {
+	if c.FetchTick == 0 {
+		c.FetchTick = 100 * time.Millisecond
+	}
+	if c.Sink == nil {
+		c.Sink = runtime.NopSink
+	}
+}
+
+// Node is one Autobahn replica.
+type Node struct {
+	cfg      Config
+	signer   crypto.Signer
+	verifier crypto.Verifier
+
+	lanes   *lane.State
+	engine  *consensus.Engine
+	orderer *order.Orderer
+	fetcher *fetch.Manager
+
+	// recentNotices retains commit certificates to serve CommitRequests
+	// from lagging replicas (bounded window).
+	recentNotices map[types.Slot]*types.CommitNotice
+	maxNotice     types.Slot
+
+	// lastRetxPos tracks the outstanding car seen at the previous
+	// retransmit tick (rebroadcast only if still stuck a tick later).
+	lastRetxPos types.Pos
+
+	// reputation tracks per-lane standing for the §B.1 mechanism: serving
+	// a critical-path tip sync for a lane costs repPenalty points; every
+	// repRegainEvery committed cars of the lane restore one.
+	reputation []int
+	repCommits []int
+
+	// tipFetchQueue defers optimistic-tip fetches briefly: live broadcast
+	// almost always delivers the tip first, and eagerly fetching on every
+	// Prepare floods a congested replica with duplicate bulk data.
+	tipFetchQueue []deferredTipFetch
+
+	// Stats (exposed for tests and the harness).
+	stats Stats
+
+	ctx runtime.Context // valid during event processing
+}
+
+// Stats counts node-level protocol events.
+type deferredTipFetch struct {
+	leader types.NodeID
+	tip    types.TipRef
+	slot   types.Slot
+	view   types.View
+	due    time.Duration
+}
+
+type Stats struct {
+	BatchesProposed   uint64
+	ProposalsReceived uint64
+	VotesSent         uint64
+	SlotsDecided      uint64
+	EntriesOrdered    uint64
+	TxOrdered         uint64
+	SyncRequestsSent  uint64
+	SyncRepliesServed uint64
+	TimeoutsSent      uint64
+}
+
+var _ runtime.Protocol = (*Node)(nil)
+
+// NewNode builds an Autobahn replica.
+func NewNode(cfg Config) *Node {
+	cfg.fill()
+	n := &Node{
+		cfg:           cfg,
+		signer:        cfg.Suite.Signer(cfg.Self),
+		verifier:      cfg.Suite.Verifier(),
+		recentNotices: make(map[types.Slot]*types.CommitNotice),
+	}
+	n.reputation = make([]int, cfg.Committee.Size())
+	n.repCommits = make([]int, cfg.Committee.Size())
+	for i := range n.reputation {
+		n.reputation[i] = repMax
+	}
+	n.lanes = lane.NewState(lane.Config{
+		Committee:       cfg.Committee,
+		Self:            cfg.Self,
+		Signer:          n.signer,
+		Verifier:        n.verifier,
+		VerifyProposals: cfg.VerifySigs,
+		PipelineCars:    cfg.PipelineCars,
+	})
+	n.orderer = order.NewOrderer(cfg.Committee, n.lanes.Store())
+	n.fetcher = fetch.NewManager(fetch.Config{Self: cfg.Self})
+	n.engine = consensus.NewEngine(consensus.Config{
+		Committee:      cfg.Committee,
+		Self:           cfg.Self,
+		Signer:         n.signer,
+		Verifier:       n.verifier,
+		VerifySigs:     cfg.VerifySigs,
+		FastPath:       cfg.FastPath,
+		FastPathWait:   cfg.FastPathWait,
+		OptimisticTips: cfg.OptimisticTips,
+		WeakVotes:      cfg.WeakVotes,
+		ViewTimeout:    cfg.ViewTimeout,
+		MaxParallel:    cfg.MaxParallel,
+		Coverage:       cfg.Coverage,
+		CoverageDelay:  cfg.CoverageDelay,
+		MinProposalGap: cfg.MinProposalGap,
+		Trace:          cfg.ConsensusTrace,
+	}, (*consensusEnv)(n), (*cutProvider)(n))
+	return n
+}
+
+// Stats returns a snapshot of node counters.
+func (n *Node) Stats() Stats { return n.stats }
+
+// Lanes exposes lane state (tests and examples).
+func (n *Node) Lanes() *lane.State { return n.lanes }
+
+// Orderer exposes ordering state (tests and examples).
+func (n *Node) Orderer() *order.Orderer { return n.orderer }
+
+// Engine exposes the consensus engine (tests).
+func (n *Node) Engine() *consensus.Engine { return n.engine }
+
+// Reputation returns a lane's current §B.1 standing (tests).
+func (n *Node) Reputation(l types.NodeID) int { return n.reputation[l] }
+
+// --- runtime.Protocol ---
+
+// Init arms the recurring fetch-retry and car-retransmit timers and
+// bootstraps consensus.
+func (n *Node) Init(ctx runtime.Context) {
+	n.enter(ctx)
+	defer n.leave()
+	ctx.SetTimer(n.cfg.FetchTick, runtime.TimerTag{Kind: tagFetchTick})
+	ctx.SetTimer(carRetransmit, runtime.TimerTag{Kind: tagCarRetx})
+	n.engine.Init()
+}
+
+// OnClientBatch receives a sealed batch from this replica's mempool and
+// feeds it into the replica's own lane (§5.1 step 1).
+func (n *Node) OnClientBatch(ctx runtime.Context, b *types.Batch) {
+	n.enter(ctx)
+	defer n.leave()
+	if p := n.lanes.AddBatch(b); p != nil {
+		n.stats.BatchesProposed++
+		ctx.Broadcast(p)
+		n.engine.OnTipsAdvanced() // own leader tip advanced
+	}
+}
+
+// OnMessage dispatches a peer message.
+func (n *Node) OnMessage(ctx runtime.Context, from types.NodeID, m types.Message) {
+	n.enter(ctx)
+	defer n.leave()
+	switch msg := m.(type) {
+	case *types.Proposal:
+		n.handleProposal(ctx, from, msg, true)
+	case *types.Vote:
+		n.handleVote(ctx, msg)
+	case *types.PoA:
+		if err := n.lanes.OnPoA(msg); err == nil {
+			n.engine.OnTipsAdvanced()
+		}
+	case *types.Prepare:
+		n.stats.ProposalsReceived++
+		n.engine.OnPrepare(from, msg)
+	case *types.PrepVote:
+		n.engine.OnPrepVote(from, msg)
+	case *types.Confirm:
+		n.engine.OnConfirm(from, msg)
+	case *types.ConfirmAck:
+		n.engine.OnConfirmAck(from, msg)
+	case *types.CommitNotice:
+		n.handleCommitNotice(ctx, from, msg)
+	case *types.Timeout:
+		n.engine.OnTimeoutMsg(from, msg)
+	case *types.SyncRequest:
+		n.serveSync(ctx, msg)
+	case *types.SyncReply:
+		n.handleSyncReply(ctx, from, msg)
+	case *types.CommitRequest:
+		n.serveCommitRequest(ctx, msg)
+	case *types.CommitReply:
+		for i := range msg.Notices {
+			n.handleCommitNotice(ctx, from, &msg.Notices[i])
+		}
+	}
+}
+
+// OnTimer dispatches node timers.
+func (n *Node) OnTimer(ctx runtime.Context, tag runtime.TimerTag) {
+	n.enter(ctx)
+	defer n.leave()
+	switch tag.Kind {
+	case tagConsensusView:
+		n.engine.OnTimer(consensus.Timer{Kind: consensus.TimerView, Slot: types.Slot(tag.A), View: types.View(tag.B)})
+	case tagConsensusFast:
+		n.engine.OnTimer(consensus.Timer{Kind: consensus.TimerFast, Slot: types.Slot(tag.A), View: types.View(tag.B)})
+	case tagConsensusCoverage:
+		n.engine.OnTimer(consensus.Timer{Kind: consensus.TimerCoverage, Slot: types.Slot(tag.A)})
+	case tagFetchTick:
+		n.pumpTipFetches(ctx)
+		for _, em := range n.fetcher.Tick(ctx.Now()) {
+			n.stats.SyncRequestsSent++
+			ctx.Send(em.To, em.Msg)
+		}
+		// Re-drive stalled execution: abandoned fetches for data a
+		// pending slot still needs are re-created here.
+		if n.orderer.PendingSlot(n.orderer.NextExec()) {
+			n.drainExecution(ctx)
+		}
+		ctx.SetTimer(n.cfg.FetchTick, runtime.TimerTag{Kind: tagFetchTick})
+	case tagCarRetx:
+		// An own car that survived a whole tick without certifying has
+		// likely lost its broadcast or its votes: re-broadcast it.
+		if p := n.lanes.OldestOutstanding(); p != nil {
+			if p.Position == n.lastRetxPos {
+				ctx.Broadcast(p)
+			}
+			n.lastRetxPos = p.Position
+		} else {
+			n.lastRetxPos = 0
+		}
+		ctx.SetTimer(carRetransmit, runtime.TimerTag{Kind: tagCarRetx})
+	}
+}
+
+func (n *Node) enter(ctx runtime.Context) { n.ctx = ctx }
+func (n *Node) leave()                    { n.ctx = nil }
+
+// --- data layer handling ---
+
+// handleProposal processes a lane proposal (live broadcast or synced).
+func (n *Node) handleProposal(ctx runtime.Context, from types.NodeID, p *types.Proposal, live bool) {
+	votes, err := n.lanes.OnProposal(p)
+	for _, v := range votes {
+		n.stats.VotesSent++
+		ctx.Send(p.Lane, v)
+	}
+	if err == lane.ErrMissingParent && live {
+		n.scheduleGapFetch(ctx, p.Lane)
+	}
+	if err == nil || err == lane.ErrMissingParent {
+		// Data arrival can unblock pending consensus votes and execution,
+		// and new certified tips (carried as ParentPoA) advance coverage.
+		n.fetcher.Cancel(p.Lane, n.lanes.VotedPos(p.Lane))
+		n.engine.OnTipsAdvanced()
+		n.retryPendingVotes()
+		n.drainExecution(ctx)
+	}
+}
+
+func (n *Node) handleVote(ctx runtime.Context, v *types.Vote) {
+	props, poa, err := n.lanes.OnVote(v)
+	if err != nil {
+		return
+	}
+	for _, p := range props {
+		n.stats.BatchesProposed++
+		ctx.Broadcast(p)
+	}
+	if poa != nil {
+		ctx.Broadcast(poa)
+	}
+	if len(props) > 0 || poa != nil {
+		n.engine.OnTipsAdvanced()
+	}
+}
+
+// scheduleGapFetch starts a sync for a detected lane gap, targeting the
+// certifiers of the buffered proposal's parent (at least one is correct
+// and, by FIFO voting, holds the whole history). At most one bulk range
+// is in flight per lane (counting execution catch-up fetches): each
+// partial fill otherwise spawns an overlapping fetch while the previous
+// reply still streams, melting the ingest pipeline.
+func (n *Node) scheduleGapFetch(ctx runtime.Context, l types.NodeID) {
+	if n.fetcher.HasPending(l, fetch.PurposeGap) || n.fetcher.HasPending(l, fetch.PurposeExecute) {
+		return
+	}
+	from, to, anchor, ok := n.lanes.BufferedGap(l)
+	if !ok {
+		return
+	}
+	targets := []types.NodeID{l}
+	if anchor.Cert != nil {
+		targets = append(anchor.Cert.Signers(), l)
+	}
+	if em := n.fetcher.Start(ctx.Now(), l, from, to, anchor.Digest, targets, fetch.PurposeGap, 0, 0); em != nil {
+		n.stats.SyncRequestsSent++
+		ctx.Send(em.To, em.Msg)
+	}
+}
+
+// --- synchronization ---
+
+func (n *Node) serveSync(ctx runtime.Context, req *types.SyncRequest) {
+	if n.cfg.Reputation && req.From == req.To && req.Lane != n.cfg.Self {
+		// A point request for another lane's tip means a replica could
+		// not vote on an optimistic tip we (presumably, as leader)
+		// proposed: downgrade the lane's standing (§B.1).
+		n.reputation[req.Lane] -= repPenalty
+		if n.reputation[req.Lane] < 0 {
+			n.reputation[req.Lane] = 0
+		}
+	}
+	for _, rep := range fetch.Serve(n.lanes.Store(), req) {
+		n.stats.SyncRepliesServed++
+		ctx.Send(req.Requester, rep)
+	}
+}
+
+func (n *Node) handleSyncReply(ctx runtime.Context, from types.NodeID, rep *types.SyncReply) {
+	res, err := n.fetcher.OnReply(ctx.Now(), from, rep)
+	if err == fetch.ErrUnsolicited {
+		// Late reply to an abandoned request: the data is still valuable
+		// (ingestion is idempotent and execution may be waiting on it).
+		for _, p := range rep.Proposals {
+			n.handleProposal(ctx, from, p, false)
+		}
+		n.drainExecution(ctx)
+		return
+	}
+	if err != nil || res == nil {
+		return
+	}
+	if res.Remainder != nil {
+		// The lower sub-range usually already arrived as earlier chunks
+		// of the same FIFO stream; only chase it if truly absent.
+		rm := res.Remainder.Msg
+		if n.lanes.Store().Has(rm.Lane, rm.To, rm.TipDigest) {
+			n.fetcher.Cancel(rm.Lane, rm.To)
+		} else {
+			n.stats.SyncRequestsSent++
+			ctx.Send(res.Remainder.To, res.Remainder.Msg)
+		}
+	}
+	for _, p := range res.Proposals {
+		// Feed synced proposals through the normal lane path: the store
+		// absorbs them and FIFO voting resumes where possible.
+		n.handleProposal(ctx, from, p, false)
+	}
+	if res.Request.Purpose == fetch.PurposeTipVote {
+		n.engine.TipDataArrived(res.Request.Slot, res.Request.View)
+	}
+	n.drainExecution(ctx)
+}
+
+func (n *Node) retryPendingVotes() {
+	// Consensus votes blocked on tip data retry whenever data arrives;
+	// the engine ignores slots without pending votes.
+	n.engine.RetryPendingVotes()
+}
+
+// --- commit & execution ---
+
+func (n *Node) handleCommitNotice(ctx runtime.Context, from types.NodeID, m *types.CommitNotice) {
+	already := n.engine.Decided(m.QC.Slot)
+	n.engine.OnCommitNotice(from, m)
+	if !already && n.engine.Decided(m.QC.Slot) {
+		// Newly learned commit: if slots below are missing, catch up from
+		// the sender (it must have decided them or hold their notices).
+		if next := n.orderer.NextExec(); m.QC.Slot > next {
+			missing := false
+			for s := next; s < m.QC.Slot; s++ {
+				if !n.orderer.PendingSlot(s) && !n.engine.Decided(s) {
+					missing = true
+					break
+				}
+			}
+			if missing && from != n.cfg.Self {
+				ctx.Send(from, &types.CommitRequest{From: next, To: m.QC.Slot - 1, Requester: n.cfg.Self})
+			}
+		}
+	}
+}
+
+func (n *Node) serveCommitRequest(ctx runtime.Context, req *types.CommitRequest) {
+	if req.To < req.From || req.To-req.From > 4096 {
+		return
+	}
+	var rep types.CommitReply
+	for s := req.From; s <= req.To; s++ {
+		if notice, ok := n.recentNotices[s]; ok {
+			rep.Notices = append(rep.Notices, *notice)
+		}
+	}
+	if len(rep.Notices) > 0 {
+		ctx.Send(req.Requester, &rep)
+	}
+}
+
+// drainExecution advances the total order as far as data allows, emits
+// committed entries to the sink, and fetches whatever is missing —
+// coalesced across every decided slot, so an arbitrarily long backlog
+// costs one sync round trip per lane (timely sync, §5.2.2).
+func (n *Node) drainExecution(ctx runtime.Context) {
+	entries, missing, executed := n.orderer.TryExecute()
+	if len(missing) > 0 {
+		missing = n.orderer.CatchupRanges()
+	}
+	for _, e := range entries {
+		n.stats.EntriesOrdered++
+		n.stats.TxOrdered += uint64(e.Batch.Count)
+		n.cfg.Sink.OnCommit(n.cfg.Self, ctx.Now(), runtime.Committed{
+			Lane: e.Lane, Position: e.Position, Slot: e.Slot, Batch: e.Batch,
+		})
+	}
+	if len(executed) > 0 {
+		n.stats.SlotsDecided += uint64(len(executed))
+		if n.cfg.Reputation {
+			for _, e := range entries {
+				n.repCommits[e.Lane]++
+				if n.repCommits[e.Lane] >= repRegainEvery {
+					n.repCommits[e.Lane] = 0
+					if n.reputation[e.Lane] < repMax {
+						n.reputation[e.Lane]++
+					}
+				}
+			}
+		}
+		// Inform the lane layer of new committed frontiers (vote-frontier
+		// adoption + fork GC, §A.4).
+		for _, l := range n.cfg.Committee.Nodes() {
+			if pos := n.orderer.LastCommit(l); pos > 0 {
+				n.lanes.OnCommitted(l, pos, n.orderer.FrontierDigest(l))
+			}
+		}
+		n.engine.OnTipsAdvanced()
+	}
+	for _, m := range missing {
+		if n.fetcher.HasPending(m.Lane, fetch.PurposeExecute) || n.fetcher.HasPending(m.Lane, fetch.PurposeGap) {
+			continue // one bulk range per lane at a time
+		}
+		targets := []types.NodeID{m.Lane}
+		if m.Tip.Cert != nil {
+			targets = append(m.Tip.Cert.Signers(), m.Lane)
+		} else if qc := n.engine.CommitQCFor(m.Slot); qc != nil {
+			for _, sh := range qc.Shares {
+				targets = append(targets, sh.Signer)
+			}
+		}
+		if em := n.fetcher.Start(ctx.Now(), m.Lane, m.From, m.To, m.TipDigest, targets, fetch.PurposeExecute, m.Slot, 0); em != nil {
+			n.stats.SyncRequestsSent++
+			ctx.Send(em.To, em.Msg)
+		}
+	}
+}
+
+// --- consensus Env and Provider adapters ---
+
+// consensusEnv adapts Node to consensus.Env.
+type consensusEnv Node
+
+func (e *consensusEnv) node() *Node { return (*Node)(e) }
+
+func (e *consensusEnv) Send(to types.NodeID, m types.Message) {
+	nd := e.node()
+	if _, isTimeout := m.(*types.Timeout); isTimeout {
+		nd.stats.TimeoutsSent++
+	}
+	nd.ctx.Send(to, m)
+}
+
+func (e *consensusEnv) Broadcast(m types.Message) {
+	nd := e.node()
+	if _, isTimeout := m.(*types.Timeout); isTimeout {
+		nd.stats.TimeoutsSent++
+	}
+	nd.ctx.Broadcast(m)
+}
+
+func (e *consensusEnv) SetTimer(t consensus.Timer) {
+	nd := e.node()
+	var kind uint8
+	switch t.Kind {
+	case consensus.TimerView:
+		kind = tagConsensusView
+	case consensus.TimerFast:
+		kind = tagConsensusFast
+	case consensus.TimerCoverage:
+		kind = tagConsensusCoverage
+	}
+	nd.ctx.SetTimer(t.Delay, runtime.TimerTag{Kind: kind, A: uint64(t.Slot), B: uint64(t.View)})
+}
+
+func (e *consensusEnv) Now() time.Duration { return e.node().ctx.Now() }
+
+func (e *consensusEnv) Decide(s types.Slot, p *types.ConsensusProposal, qc *types.CommitQC) {
+	nd := e.node()
+	notice := &types.CommitNotice{QC: *qc, Proposal: *p}
+	nd.recentNotices[s] = notice
+	if s > nd.maxNotice {
+		nd.maxNotice = s
+	}
+	// Bounded retention window for straggler catch-up.
+	const retain = 2048
+	if nd.maxNotice > retain {
+		delete(nd.recentNotices, nd.maxNotice-retain)
+	}
+	_ = nd.orderer.AddDecision(s, p)
+	nd.drainExecution(nd.ctx)
+}
+
+func (e *consensusEnv) FetchTipData(leader types.NodeID, tips []types.TipRef, s types.Slot, v types.View) {
+	nd := e.node()
+	for _, t := range tips {
+		dup := false
+		for _, q := range nd.tipFetchQueue {
+			if q.slot == s && q.view == v && q.tip.Lane == t.Lane && q.tip.Position == t.Position {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			nd.tipFetchQueue = append(nd.tipFetchQueue, deferredTipFetch{
+				leader: leader, tip: t, slot: s, view: v,
+				due: nd.ctx.Now() + tipFetchDefer,
+			})
+		}
+	}
+}
+
+// pumpTipFetches issues deferred tip fetches whose grace period expired
+// and whose vote is still blocked (live data usually arrives first).
+func (n *Node) pumpTipFetches(ctx runtime.Context) {
+	kept := n.tipFetchQueue[:0]
+	for _, q := range n.tipFetchQueue {
+		if !n.engine.HasPendingVote(q.slot, q.view) || n.lanes.HasProposal(q.tip) {
+			continue // moot: decided, view moved on, or data arrived
+		}
+		if ctx.Now() < q.due {
+			kept = append(kept, q)
+			continue
+		}
+		if n.fetcher.HasPending(q.tip.Lane, fetch.PurposeGap) || n.fetcher.HasPending(q.tip.Lane, fetch.PurposeExecute) {
+			kept = append(kept, q) // a range fetch already covers this lane
+			continue
+		}
+		targets := []types.NodeID{q.leader, q.tip.Lane}
+		if em := n.fetcher.Start(ctx.Now(), q.tip.Lane, q.tip.Position, q.tip.Position, q.tip.Digest, targets, fetch.PurposeTipVote, q.slot, q.view); em != nil {
+			n.stats.SyncRequestsSent++
+			ctx.Send(em.To, em.Msg)
+		}
+	}
+	n.tipFetchQueue = kept
+}
+
+// cutProvider adapts Node to consensus.Provider.
+type cutProvider Node
+
+func (c *cutProvider) node() *Node { return (*Node)(c) }
+
+func (c *cutProvider) AssembleCut(optimistic bool) types.Cut {
+	nd := c.node()
+	if !optimistic {
+		return nd.lanes.AssembleCut(false)
+	}
+	if !nd.cfg.Reputation {
+		return nd.lanes.AssembleCut(true)
+	}
+	return nd.lanes.AssembleCutFunc(func(l types.NodeID) bool {
+		return nd.reputation[l] > repOptimisticMin
+	})
+}
+
+func (c *cutProvider) HasTipData(t types.TipRef) bool {
+	return c.node().lanes.HasProposal(t)
+}
+
+func (c *cutProvider) ValidateCut(cut types.Cut, leader types.NodeID) error {
+	nd := c.node()
+	if !nd.cfg.VerifySigs {
+		return nil
+	}
+	for _, t := range cut.Tips {
+		if t.Cert != nil {
+			if err := crypto.VerifyPoA(nd.verifier, nd.cfg.Committee, t.Cert); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (c *cutProvider) NewTipCount(base []types.Pos) int {
+	nd := c.node()
+	cut := nd.lanes.AssembleCut(nd.cfg.OptimisticTips)
+	return cut.NewTipsVersus(base)
+}
+
+// Fetcher exposes the sync manager (tests).
+func (n *Node) Fetcher() *fetch.Manager { return n.fetcher }

@@ -1,0 +1,97 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/crypto"
+	"repro/internal/runtime"
+	"repro/internal/sim"
+	"repro/internal/types"
+	"repro/internal/workload"
+)
+
+// muteLane wraps a node and suppresses its own lane proposal broadcasts
+// toward everyone except the given receiver — a Byzantine proposer that
+// forwards its batch "only to a correct leader, and no other replicas"
+// (§B.1), forcing critical-path tip synchronization.
+type muteLane struct {
+	*core.Node
+	self types.NodeID
+	only types.NodeID
+}
+
+type filteredCtx struct {
+	runtime.Context
+	self types.NodeID
+	only types.NodeID
+}
+
+func (f filteredCtx) Broadcast(m types.Message) {
+	if p, ok := m.(*types.Proposal); ok && p.Lane == f.self {
+		// Deliver the lane proposal only to the chosen replica.
+		f.Context.Send(f.only, m)
+		return
+	}
+	f.Context.Broadcast(m)
+}
+
+func (b *muteLane) OnClientBatch(ctx runtime.Context, batch *types.Batch) {
+	b.Node.OnClientBatch(filteredCtx{Context: ctx, self: b.self, only: b.only}, batch)
+}
+
+func (b *muteLane) OnTimer(ctx runtime.Context, tag runtime.TimerTag) {
+	b.Node.OnTimer(filteredCtx{Context: ctx, self: b.self, only: b.only}, tag)
+}
+
+// TestReputationDowngradesSyncHeavyLane (§B.1): a lane whose optimistic
+// tips repeatedly force critical-path syncs loses standing at the serving
+// replicas, whose cuts fall back to certified tips for it — while honest
+// lanes retain full reputation. The system keeps committing throughout.
+func TestReputationDowngradesSyncHeavyLane(t *testing.T) {
+	const n = 4
+	committee := types.NewCommittee(n)
+	suite := crypto.NewNopSuite(n)
+	eng := sim.NewEngine(sim.Config{
+		Net:  sim.NewNetwork(sim.DefaultNetConfig(sim.IntraUSTopology())),
+		Seed: 33,
+	})
+	var nodes []*core.Node
+	ids := make([]types.NodeID, n)
+	for i := 0; i < n; i++ {
+		ids[i] = types.NodeID(i)
+		nd := core.NewNode(core.Config{
+			Committee: committee, Self: types.NodeID(i), Suite: suite,
+			FastPath: true, OptimisticTips: true, Reputation: true,
+		})
+		nodes = append(nodes, nd)
+		if i == 3 {
+			// r3's lane reaches only r0 directly; everyone else must sync.
+			eng.AddNode(&muteLane{Node: nd, self: 3, only: 0})
+		} else {
+			eng.AddNode(nd)
+		}
+	}
+	workload.Install(eng, ids, workload.Config{TotalRate: 20000, Start: 0, End: 8 * time.Second})
+	eng.Run(12 * time.Second)
+
+	// The starved replicas served/issued tip syncs for lane 3; reputation
+	// dropped at the replicas that had to serve them (r0 receives r3's
+	// proposals and serves the others' fetches).
+	if rep := nodes[0].Reputation(3); rep > 4 {
+		t.Fatalf("serving replica still trusts lane 3: reputation %d", rep)
+	}
+	for l := types.NodeID(0); l < 3; l++ {
+		if rep := nodes[0].Reputation(l); rep <= 4 {
+			t.Fatalf("honest lane %s lost reputation: %d", l, rep)
+		}
+	}
+	// Consensus kept committing (honest lanes fully, lane 3 through
+	// certified tips once downgraded).
+	s := nodes[0].Stats()
+	if s.TxOrdered < 100_000 {
+		t.Fatalf("ordered only %d txs under a sync-heavy lane", s.TxOrdered)
+	}
+	t.Logf("rep(lane3)@r0=%d ordered=%d", nodes[0].Reputation(3), s.TxOrdered)
+}

@@ -1,0 +1,81 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/types"
+	"repro/internal/workload"
+)
+
+// TestSafetyAcrossRandomSchedules runs many seeds (different jitter, and
+// hence different message interleavings and timer races) and asserts the
+// prefix-agreement safety invariant in every execution, with a mid-run
+// leader crash thrown in.
+func TestSafetyAcrossRandomSchedules(t *testing.T) {
+	for seed := uint64(1); seed <= 12; seed++ {
+		faults := (&sim.FaultSchedule{}).AddDown(types.NodeID(seed%4), 3*time.Second, 4*time.Second)
+		c := newCluster(clusterOpts{
+			n: 4, fastPath: seed%2 == 0, optimisticTips: seed%3 != 0,
+			faults: faults, seed: seed,
+		})
+		workload.Install(c.engine, c.ids, workload.Config{
+			TotalRate: 30000, Start: 0, End: 8 * time.Second,
+		})
+		c.engine.Run(12 * time.Second)
+		checkPrefixAgreement(t, c.logs.logs)
+		if c.recorder.Total() < 200_000 {
+			t.Fatalf("seed %d: committed only %d of ~240000", seed, c.recorder.Total())
+		}
+	}
+}
+
+// TestMaxFaultsLiveness: n=7 tolerates f=2; with two replicas crashed for
+// the whole run, the remaining 5 (= quorum) keep committing.
+func TestMaxFaultsLiveness(t *testing.T) {
+	faults := (&sim.FaultSchedule{}).
+		AddDown(2, 0, time.Hour).
+		AddDown(5, 0, time.Hour)
+	c := newCluster(clusterOpts{n: 7, fastPath: true, optimisticTips: true, faults: faults})
+	workload.Install(c.engine, c.ids, workload.Config{
+		TotalRate: 20000, Start: 0, End: 10 * time.Second,
+	})
+	c.engine.Run(18 * time.Second)
+	checkPrefixAgreement(t, c.logs.logs)
+	// The crashed replicas' load redirects; everything submitted commits.
+	if c.recorder.Total() < 190_000 {
+		t.Fatalf("committed only %d of ~200000 with f crashed replicas", c.recorder.Total())
+	}
+	// The fast path is impossible (needs all n votes): latency must still
+	// be sane on the slow path.
+	lat := c.recorder.MeanLatency(2*time.Second, 9*time.Second)
+	if lat <= 0 || lat > 2*time.Second {
+		t.Fatalf("implausible latency with max faults: %v", lat)
+	}
+	t.Logf("total=%d lat=%v", c.recorder.Total(), lat)
+}
+
+// TestWeakVotesEndToEnd: the §5.5.2 refinement holds up in a full cluster
+// at load — commits flow and logs agree.
+func TestWeakVotesEndToEnd(t *testing.T) {
+	c := newClusterWith(t, func(o *clusterOpts) {
+		o.n = 4
+		o.fastPath = true
+		o.optimisticTips = true
+		o.weakVotes = true
+	})
+	workload.Install(c.engine, c.ids, workload.Config{
+		TotalRate: 50000, Start: 0, End: 8 * time.Second,
+	})
+	c.engine.Run(12 * time.Second)
+	checkPrefixAgreement(t, c.logs.logs)
+	if c.recorder.Total() < 390_000 {
+		t.Fatalf("committed only %d with weak votes", c.recorder.Total())
+	}
+	lat := c.recorder.MeanLatency(2*time.Second, 7*time.Second)
+	if lat <= 0 || lat > time.Second {
+		t.Fatalf("implausible weak-vote latency %v", lat)
+	}
+	t.Logf("weak votes: total=%d lat=%v", c.recorder.Total(), lat)
+}

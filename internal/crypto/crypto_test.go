@@ -1,0 +1,193 @@
+package crypto
+
+import (
+	"testing"
+
+	"repro/internal/types"
+)
+
+func suites(n int) map[string]Suite {
+	return map[string]Suite{
+		"ed25519": NewEd25519Suite(n, 42),
+		"nop":     NewNopSuite(n),
+	}
+}
+
+func TestSignVerifyRoundTrip(t *testing.T) {
+	for name, suite := range suites(4) {
+		t.Run(name, func(t *testing.T) {
+			msg := []byte("the quick brown fox")
+			for i := types.NodeID(0); i < 4; i++ {
+				sig := suite.Signer(i).Sign(msg)
+				if !suite.Verifier().Verify(i, msg, sig) {
+					t.Fatalf("r%d: own signature must verify", i)
+				}
+				if suite.Verifier().Verify((i+1)%4, msg, sig) {
+					t.Fatalf("r%d: signature must not verify for another signer", i)
+				}
+				if suite.Verifier().Verify(i, []byte("tampered"), sig) {
+					t.Fatalf("r%d: signature must not verify a different message", i)
+				}
+			}
+		})
+	}
+}
+
+func TestDeterministicKeyDerivation(t *testing.T) {
+	a := NewEd25519Suite(4, 7)
+	b := NewEd25519Suite(4, 7)
+	c := NewEd25519Suite(4, 8)
+	msg := []byte("m")
+	sigA := a.Signer(2).Sign(msg)
+	if !b.Verifier().Verify(2, msg, sigA) {
+		t.Fatal("same seed must derive identical keys")
+	}
+	if c.Verifier().Verify(2, msg, sigA) {
+		t.Fatal("different seeds must derive different keys")
+	}
+}
+
+func TestVerifyUnknownSigner(t *testing.T) {
+	s := NewEd25519Suite(4, 1)
+	if s.Verifier().Verify(9, []byte("m"), []byte("sig")) {
+		t.Fatal("out-of-committee signer must not verify")
+	}
+}
+
+func makePoA(t *testing.T, suite Suite, committee types.Committee, signers []types.NodeID) *types.PoA {
+	t.Helper()
+	poa := &types.PoA{Lane: 0, Position: 3, Digest: types.Digest{1, 2, 3}}
+	for _, id := range signers {
+		poa.Shares = append(poa.Shares, types.SigShare{
+			Signer: id,
+			Sig:    suite.Signer(id).Sign(poa.SigningBytes()),
+		})
+	}
+	return poa
+}
+
+func TestVerifyPoA(t *testing.T) {
+	committee := types.NewCommittee(4)
+	suite := NewEd25519Suite(4, 1)
+	v := suite.Verifier()
+
+	if err := VerifyPoA(v, committee, makePoA(t, suite, committee, []types.NodeID{0, 2})); err != nil {
+		t.Fatalf("valid f+1 PoA rejected: %v", err)
+	}
+	if err := VerifyPoA(v, committee, makePoA(t, suite, committee, []types.NodeID{0})); err == nil {
+		t.Fatal("sub-threshold PoA accepted")
+	}
+	if err := VerifyPoA(v, committee, makePoA(t, suite, committee, []types.NodeID{2, 2})); err == nil {
+		t.Fatal("duplicate-signer PoA accepted")
+	}
+	bad := makePoA(t, suite, committee, []types.NodeID{0, 2})
+	bad.Shares[1].Sig[0] ^= 0xff
+	if err := VerifyPoA(v, committee, bad); err == nil {
+		t.Fatal("corrupted share accepted")
+	}
+	forged := makePoA(t, suite, committee, []types.NodeID{0, 2})
+	forged.Digest = types.Digest{9} // shares signed a different digest
+	if err := VerifyPoA(v, committee, forged); err == nil {
+		t.Fatal("digest-swapped PoA accepted")
+	}
+	if err := VerifyPoA(v, committee, nil); err == nil {
+		t.Fatal("nil PoA accepted")
+	}
+}
+
+func makePrepareQC(suite Suite, slot types.Slot, view types.View, d types.Digest, voters []types.NodeID, strong []bool) *types.PrepareQC {
+	qc := &types.PrepareQC{Slot: slot, View: view, Digest: d}
+	for i, id := range voters {
+		isStrong := len(strong) == 0 || strong[i]
+		vote := types.PrepVote{Slot: slot, View: view, Digest: d, Strong: isStrong}
+		qc.Shares = append(qc.Shares, types.SigShare{Signer: id, Sig: suite.Signer(id).Sign(vote.SigningBytes())})
+		if len(strong) > 0 {
+			qc.StrongMask = append(qc.StrongMask, isStrong)
+		}
+	}
+	return qc
+}
+
+func TestVerifyPrepareQC(t *testing.T) {
+	committee := types.NewCommittee(4)
+	suite := NewEd25519Suite(4, 1)
+	v := suite.Verifier()
+	d := types.Digest{5}
+
+	ok := makePrepareQC(suite, 1, 0, d, []types.NodeID{0, 1, 2}, nil)
+	if err := VerifyPrepareQC(v, committee, ok, 0); err != nil {
+		t.Fatalf("valid QC rejected: %v", err)
+	}
+	small := makePrepareQC(suite, 1, 0, d, []types.NodeID{0, 1}, nil)
+	if err := VerifyPrepareQC(v, committee, small, 0); err == nil {
+		t.Fatal("2-share QC accepted (needs 2f+1=3)")
+	}
+	// Weak/strong accounting (§5.5.2): 2f+1 total with f+1 strong.
+	mixed := makePrepareQC(suite, 1, 0, d, []types.NodeID{0, 1, 2}, []bool{true, true, false})
+	if err := VerifyPrepareQC(v, committee, mixed, 2); err != nil {
+		t.Fatalf("2-strong QC rejected at threshold 2: %v", err)
+	}
+	weak := makePrepareQC(suite, 1, 0, d, []types.NodeID{0, 1, 2}, []bool{true, false, false})
+	if err := VerifyPrepareQC(v, committee, weak, 2); err == nil {
+		t.Fatal("1-strong QC accepted at threshold 2")
+	}
+}
+
+func TestVerifyCommitQC(t *testing.T) {
+	committee := types.NewCommittee(4)
+	suite := NewEd25519Suite(4, 1)
+	v := suite.Verifier()
+	d := types.Digest{6}
+
+	slow := &types.CommitQC{Slot: 2, View: 1, Digest: d}
+	for _, id := range []types.NodeID{0, 1, 3} {
+		ack := types.ConfirmAck{Slot: 2, View: 1, Digest: d}
+		slow.Shares = append(slow.Shares, types.SigShare{Signer: id, Sig: suite.Signer(id).Sign(ack.SigningBytes())})
+	}
+	if err := VerifyCommitQC(v, committee, slow); err != nil {
+		t.Fatalf("valid slow CommitQC rejected: %v", err)
+	}
+
+	fast := &types.CommitQC{Slot: 2, View: 0, Digest: d, Fast: true}
+	for _, id := range []types.NodeID{0, 1, 2, 3} {
+		vote := types.PrepVote{Slot: 2, View: 0, Digest: d, Strong: true}
+		fast.Shares = append(fast.Shares, types.SigShare{Signer: id, Sig: suite.Signer(id).Sign(vote.SigningBytes())})
+	}
+	if err := VerifyCommitQC(v, committee, fast); err != nil {
+		t.Fatalf("valid fast CommitQC rejected: %v", err)
+	}
+	fast.Shares = fast.Shares[:3] // fast path needs all n
+	if err := VerifyCommitQC(v, committee, fast); err == nil {
+		t.Fatal("n-1-share fast CommitQC accepted")
+	}
+}
+
+func TestVerifyTC(t *testing.T) {
+	committee := types.NewCommittee(4)
+	suite := NewEd25519Suite(4, 1)
+	v := suite.Verifier()
+
+	tc := &types.TC{Slot: 3, View: 1}
+	for _, id := range []types.NodeID{0, 2, 3} {
+		to := types.Timeout{Slot: 3, View: 1, Voter: id}
+		to.Sig = suite.Signer(id).Sign(to.SigningBytes())
+		tc.Timeouts = append(tc.Timeouts, to)
+	}
+	if err := VerifyTC(v, committee, tc); err != nil {
+		t.Fatalf("valid TC rejected: %v", err)
+	}
+	short := &types.TC{Slot: 3, View: 1, Timeouts: tc.Timeouts[:2]}
+	if err := VerifyTC(v, committee, short); err == nil {
+		t.Fatal("2-timeout TC accepted")
+	}
+	mismatch := &types.TC{Slot: 3, View: 2, Timeouts: tc.Timeouts}
+	if err := VerifyTC(v, committee, mismatch); err == nil {
+		t.Fatal("view-mismatched TC accepted")
+	}
+	tampered := &types.TC{Slot: 3, View: 1}
+	tampered.Timeouts = append(tampered.Timeouts, tc.Timeouts...)
+	tampered.Timeouts[1].Voter = 1 // signature belongs to r2
+	if err := VerifyTC(v, committee, tampered); err == nil {
+		t.Fatal("voter-swapped TC accepted")
+	}
+}

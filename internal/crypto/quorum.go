@@ -1,0 +1,149 @@
+package crypto
+
+import (
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// DistinctSigners verifies that shares come from pairwise-distinct,
+// committee-valid signers. Returns the signer set on success.
+func DistinctSigners(committee types.Committee, shares []types.SigShare) (map[types.NodeID]bool, error) {
+	seen := make(map[types.NodeID]bool, len(shares))
+	for _, s := range shares {
+		if !committee.Valid(s.Signer) {
+			return nil, fmt.Errorf("crypto: share from unknown replica %s", s.Signer)
+		}
+		if seen[s.Signer] {
+			return nil, fmt.Errorf("crypto: duplicate share from %s", s.Signer)
+		}
+		seen[s.Signer] = true
+	}
+	return seen, nil
+}
+
+// VerifyShares checks that every share is a valid signature over msg and
+// that the shares come from at least threshold distinct committee members.
+func VerifyShares(v Verifier, committee types.Committee, msg []byte, shares []types.SigShare, threshold int) error {
+	if len(shares) < threshold {
+		return fmt.Errorf("crypto: %d shares below threshold %d", len(shares), threshold)
+	}
+	if _, err := DistinctSigners(committee, shares); err != nil {
+		return err
+	}
+	for _, s := range shares {
+		if !v.Verify(s.Signer, msg, s.Sig) {
+			return fmt.Errorf("crypto: invalid share from %s", s.Signer)
+		}
+	}
+	return nil
+}
+
+// VerifyPoA validates a Proof of Availability: f+1 distinct valid votes
+// over the car's signing bytes (§5.1).
+func VerifyPoA(v Verifier, committee types.Committee, poa *types.PoA) error {
+	if poa == nil {
+		return fmt.Errorf("crypto: nil PoA")
+	}
+	return VerifyShares(v, committee, poa.SigningBytes(), poa.Shares, committee.PoAQuorum())
+}
+
+// VerifyPrepareQC validates a PrepareQC: 2f+1 distinct valid Prep-Votes.
+// If strongThreshold > 0, at least that many shares must be strong votes
+// (the §5.5.2 weak/strong refinement; pass 0 when optimistic tips are off,
+// in which case all votes are implicitly strong and unmarked).
+func VerifyPrepareQC(v Verifier, committee types.Committee, qc *types.PrepareQC, strongThreshold int) error {
+	if qc == nil {
+		return fmt.Errorf("crypto: nil PrepareQC")
+	}
+	if len(qc.StrongMask) != 0 && len(qc.StrongMask) != len(qc.Shares) {
+		return fmt.Errorf("crypto: strong mask length mismatch")
+	}
+	if _, err := DistinctSigners(committee, qc.Shares); err != nil {
+		return err
+	}
+	if len(qc.Shares) < committee.Quorum() {
+		return fmt.Errorf("crypto: PrepareQC has %d shares, need %d", len(qc.Shares), committee.Quorum())
+	}
+	strong := 0
+	for i, s := range qc.Shares {
+		isStrong := len(qc.StrongMask) == 0 || qc.StrongMask[i]
+		if isStrong {
+			strong++
+		}
+		vote := types.PrepVote{Slot: qc.Slot, View: qc.View, Digest: qc.Digest, Strong: isStrong}
+		if !v.Verify(s.Signer, vote.SigningBytes(), s.Sig) {
+			return fmt.Errorf("crypto: invalid PrepVote share from %s", s.Signer)
+		}
+	}
+	if strong < strongThreshold {
+		return fmt.Errorf("crypto: PrepareQC has %d strong votes, need %d", strong, strongThreshold)
+	}
+	return nil
+}
+
+// VerifyCommitQC validates a CommitQC. Fast QCs require n strong PrepVote
+// shares; slow QCs require 2f+1 ConfirmAck shares (§5.2.1).
+func VerifyCommitQC(v Verifier, committee types.Committee, qc *types.CommitQC) error {
+	if qc == nil {
+		return fmt.Errorf("crypto: nil CommitQC")
+	}
+	if _, err := DistinctSigners(committee, qc.Shares); err != nil {
+		return err
+	}
+	if qc.Fast {
+		if len(qc.Shares) < committee.FastQuorum() {
+			return fmt.Errorf("crypto: fast CommitQC has %d shares, need %d", len(qc.Shares), committee.FastQuorum())
+		}
+		for _, s := range qc.Shares {
+			vote := types.PrepVote{Slot: qc.Slot, View: qc.View, Digest: qc.Digest, Strong: true}
+			if !v.Verify(s.Signer, vote.SigningBytes(), s.Sig) {
+				return fmt.Errorf("crypto: invalid fast-commit share from %s", s.Signer)
+			}
+		}
+		return nil
+	}
+	if len(qc.Shares) < committee.Quorum() {
+		return fmt.Errorf("crypto: CommitQC has %d shares, need %d", len(qc.Shares), committee.Quorum())
+	}
+	for _, s := range qc.Shares {
+		ack := types.ConfirmAck{Slot: qc.Slot, View: qc.View, Digest: qc.Digest}
+		if !v.Verify(s.Signer, ack.SigningBytes(), s.Sig) {
+			return fmt.Errorf("crypto: invalid ConfirmAck share from %s", s.Signer)
+		}
+	}
+	return nil
+}
+
+// VerifyTC validates a Timeout Certificate: 2f+1 distinct valid Timeout
+// signatures for (slot, view), and recursively checks any piggybacked
+// HighQCs. HighProps are checked against their leader signatures only when
+// present in Prepare reproposals; the TC itself treats them as hints.
+func VerifyTC(v Verifier, committee types.Committee, tc *types.TC) error {
+	if tc == nil {
+		return fmt.Errorf("crypto: nil TC")
+	}
+	if len(tc.Timeouts) < committee.Quorum() {
+		return fmt.Errorf("crypto: TC has %d timeouts, need %d", len(tc.Timeouts), committee.Quorum())
+	}
+	seen := make(map[types.NodeID]bool, len(tc.Timeouts))
+	for i := range tc.Timeouts {
+		t := &tc.Timeouts[i]
+		if t.Slot != tc.Slot || t.View != tc.View {
+			return fmt.Errorf("crypto: TC timeout slot/view mismatch")
+		}
+		if !committee.Valid(t.Voter) || seen[t.Voter] {
+			return fmt.Errorf("crypto: TC voter %s invalid or duplicate", t.Voter)
+		}
+		seen[t.Voter] = true
+		if !v.Verify(t.Voter, t.SigningBytes(), t.Sig) {
+			return fmt.Errorf("crypto: invalid timeout signature from %s", t.Voter)
+		}
+		if t.HighQC != nil {
+			if err := VerifyPrepareQC(v, committee, t.HighQC, 0); err != nil {
+				return fmt.Errorf("crypto: TC highQC: %w", err)
+			}
+		}
+	}
+	return nil
+}

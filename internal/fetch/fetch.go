@@ -1,0 +1,369 @@
+// Package fetch implements Autobahn's data synchronization (§5.2.2):
+// replicas missing lane history request it — in a single round trip,
+// regardless of backlog length — from the replicas that certified the
+// tip (one of which must be correct and, by FIFO voting, hold the entire
+// history). Synchronization is non-blocking: it proceeds in parallel with
+// consensus voting and only gates execution.
+//
+// The manager is a pure state machine: the node sends the requests it
+// emits, feeds replies back, and pumps retries from a coarse tick timer.
+package fetch
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/types"
+)
+
+// Purpose tags why a range is being fetched, so the node can resume the
+// right work when data lands.
+type Purpose uint8
+
+const (
+	// PurposeGap fills a live-voting gap in a peer lane.
+	PurposeGap Purpose = iota + 1
+	// PurposeExecute fills data needed to execute a committed slot.
+	PurposeExecute
+	// PurposeTipVote fetches an optimistic tip before consensus voting
+	// (§5.5.2); Slot/View identify the pending vote.
+	PurposeTipVote
+)
+
+// Request is an outstanding fetch.
+type Request struct {
+	Lane      types.NodeID
+	From, To  types.Pos
+	TipDigest types.Digest
+	Purpose   Purpose
+	Slot      types.Slot
+	View      types.View
+
+	targets  []types.NodeID
+	attempt  int
+	lastSend time.Duration
+}
+
+type key struct {
+	lane types.NodeID
+	to   types.Pos
+	dig  types.Digest
+}
+
+// Config parameterizes the manager.
+type Config struct {
+	Self types.NodeID
+	// RetryAfter re-issues an unanswered request to the next target
+	// (default 300ms — beyond one intra-US RTT plus processing).
+	RetryAfter time.Duration
+	// MaxReplyProposals bounds accepted reply sizes (flooding guard).
+	MaxReplyProposals int
+	// MaxAttempts abandons a fetch after this many sends (default 10).
+	// Consumers that still need the data re-issue it (execution retries
+	// from the orderer's missing set, pending votes from the engine); a
+	// fetch nobody re-issues was stale — e.g. an optimistic-tip fetch for
+	// a slot that has since decided — and must not retry forever.
+	MaxAttempts int
+	// PerPositionDelay extends the retry deadline proportionally to the
+	// requested range (default 10ms per position): bulk backlog transfers
+	// take real time and must not be re-requested while streaming.
+	PerPositionDelay time.Duration
+	// MaxOutstandingPositions bounds the total in-flight requested range
+	// across all fetches (default 512 positions ≈ a few hundred MB of
+	// batches) — receive-side backpressure. Without it, retrying bulk
+	// fetches whose replies are queued behind a saturated ingest pipeline
+	// causes congestion collapse. Point requests (From == To) bypass the
+	// budget so consensus voting never starves.
+	MaxOutstandingPositions int
+}
+
+func (c *Config) fill() {
+	if c.RetryAfter == 0 {
+		c.RetryAfter = 300 * time.Millisecond
+	}
+	if c.MaxReplyProposals == 0 {
+		c.MaxReplyProposals = 1 << 16
+	}
+	if c.MaxAttempts == 0 {
+		c.MaxAttempts = 10
+	}
+	if c.PerPositionDelay == 0 {
+		c.PerPositionDelay = 10 * time.Millisecond
+	}
+	if c.MaxOutstandingPositions == 0 {
+		c.MaxOutstandingPositions = 512
+	}
+}
+
+// Manager tracks outstanding fetches.
+type Manager struct {
+	cfg     Config
+	pending map[key]*Request
+}
+
+// NewManager builds a fetch manager.
+func NewManager(cfg Config) *Manager {
+	cfg.fill()
+	return &Manager{cfg: cfg, pending: make(map[key]*Request)}
+}
+
+// Outstanding returns the number of pending fetches.
+func (m *Manager) Outstanding() int { return len(m.pending) }
+
+// budgetUsed sums the in-flight requested ranges.
+func (m *Manager) budgetUsed() int {
+	used := 0
+	for _, req := range m.pending {
+		used += int(req.To - req.From + 1)
+	}
+	return used
+}
+
+// Emit is a request to send plus its destination.
+type Emit struct {
+	To  types.NodeID
+	Msg *types.SyncRequest
+}
+
+// Start begins fetching [from, to] of lane, anchored at tipDigest, asking
+// the given candidate targets in order (certifier quorum first). It
+// returns the message to send now, or nil if an equivalent or broader
+// fetch is already outstanding.
+func (m *Manager) Start(now time.Duration, lane types.NodeID, from, to types.Pos, tipDigest types.Digest, targets []types.NodeID, p Purpose, slot types.Slot, view types.View) *Emit {
+	if to < from || to == 0 {
+		return nil
+	}
+	k := key{lane, to, tipDigest}
+	if req, ok := m.pending[k]; ok {
+		// Broaden an existing fetch downward if needed.
+		if from < req.From {
+			req.From = from
+		}
+		return nil
+	}
+	if to != from && m.budgetUsed()+int(to-from+1) > m.cfg.MaxOutstandingPositions {
+		return nil // over budget: callers re-trigger from their tick paths
+	}
+	// Filter self out of targets.
+	clean := make([]types.NodeID, 0, len(targets))
+	for _, t := range targets {
+		if t != m.cfg.Self {
+			clean = append(clean, t)
+		}
+	}
+	if len(clean) == 0 {
+		return nil
+	}
+	req := &Request{
+		Lane: lane, From: from, To: to, TipDigest: tipDigest,
+		Purpose: p, Slot: slot, View: view,
+		targets: clean, lastSend: now,
+	}
+	m.pending[k] = req
+	return m.emit(req)
+}
+
+func (m *Manager) emit(req *Request) *Emit {
+	target := req.targets[req.attempt%len(req.targets)]
+	return &Emit{
+		To: target,
+		Msg: &types.SyncRequest{
+			Lane: req.Lane, From: req.From, To: req.To,
+			TipDigest: req.TipDigest, Requester: m.cfg.Self,
+		},
+	}
+}
+
+// retryDeadline returns how long a request may wait before re-issue,
+// scaled by range size (large transfers stream for a while).
+func (m *Manager) retryDeadline(req *Request) time.Duration {
+	span := time.Duration(req.To-req.From+1) * m.cfg.PerPositionDelay
+	return m.cfg.RetryAfter + span
+}
+
+// Tick re-issues requests that have waited longer than their retry
+// deadline, rotating through targets; requests exceeding MaxAttempts are
+// dropped. The node calls this from a coarse timer.
+func (m *Manager) Tick(now time.Duration) []*Emit {
+	var out []*Emit
+	for k, req := range m.pending {
+		if now-req.lastSend >= m.retryDeadline(req) {
+			req.attempt++
+			if req.attempt >= m.cfg.MaxAttempts {
+				delete(m.pending, k)
+				continue
+			}
+			req.lastSend = now
+			out = append(out, m.emit(req))
+		}
+	}
+	return out
+}
+
+// Result is a validated reply: the proposals (ascending, hash-chained,
+// ending at the anchor digest) and the satisfied request.
+type Result struct {
+	Request   Request
+	Proposals []*types.Proposal
+	// Remainder is non-nil when the responder served only the top of the
+	// range: a follow-up fetch for the lower sub-range, already tracked.
+	Remainder *Emit
+}
+
+// OnReply validates a SyncReply against its outstanding request. Invalid
+// or unsolicited replies return (nil, error). Partial replies anchored at
+// the tip are accepted; the manager re-targets the remainder.
+func (m *Manager) OnReply(now time.Duration, from types.NodeID, rep *types.SyncReply) (*Result, error) {
+	if len(rep.Proposals) == 0 {
+		return nil, fmt.Errorf("fetch: empty reply from %s", from)
+	}
+	if len(rep.Proposals) > m.cfg.MaxReplyProposals {
+		return nil, fmt.Errorf("fetch: oversized reply from %s", from)
+	}
+	top := rep.Proposals[len(rep.Proposals)-1]
+	low0 := rep.Proposals[0]
+	k := key{rep.Lane, top.Position, top.Digest()}
+	req, ok := m.pending[k]
+	if !ok {
+		if err := ValidateChain(rep); err != nil {
+			return nil, err
+		}
+		// A windowed reply: the server bounded its stream, so the top is
+		// mid-chain rather than the requested tip. Advance the matching
+		// outstanding request past the window and immediately chase the
+		// next one (self-clocked streaming).
+		for wk, wreq := range m.pending {
+			if wk.lane == rep.Lane && wreq.From == low0.Position && top.Position < wreq.To {
+				wreq.From = top.Position + 1
+				wreq.attempt = 0
+				wreq.lastSend = now
+				return &Result{Request: *wreq, Proposals: rep.Proposals, Remainder: m.emit(wreq)}, nil
+			}
+			_ = wk
+		}
+		// Otherwise: late reply to an abandoned or superseded request —
+		// still useful (the caller ingests idempotently).
+		return nil, ErrUnsolicited
+	}
+	if err := ValidateChain(rep); err != nil {
+		return nil, err
+	}
+	if top.Digest() != req.TipDigest {
+		return nil, fmt.Errorf("fetch: reply not anchored at requested tip")
+	}
+	low := rep.Proposals[0]
+	delete(m.pending, k)
+
+	res := &Result{Request: *req, Proposals: rep.Proposals}
+	if low.Position > req.From {
+		// Lower sub-range still missing; chase it anchored at low.Parent.
+		res.Remainder = m.Start(now, req.Lane, req.From, low.Position-1, low.Parent,
+			req.targets, req.Purpose, req.Slot, req.View)
+	}
+	return res, nil
+}
+
+// ErrUnsolicited marks a chain-valid reply with no matching outstanding
+// request; callers should still ingest its proposals.
+var ErrUnsolicited = errors.New("fetch: unsolicited (but chain-valid) reply")
+
+// ValidateChain checks a reply's internal integrity: one lane, ascending
+// contiguous positions, hash-linked parents, structurally valid batches.
+func ValidateChain(rep *types.SyncReply) error {
+	for i := len(rep.Proposals) - 1; i >= 0; i-- {
+		p := rep.Proposals[i]
+		if p.Lane != rep.Lane {
+			return fmt.Errorf("fetch: reply crosses lanes")
+		}
+		if i < len(rep.Proposals)-1 {
+			next := rep.Proposals[i+1]
+			if p.Position+1 != next.Position || next.Parent != p.Digest() {
+				return fmt.Errorf("fetch: reply chain broken at pos %d", p.Position)
+			}
+		}
+		if err := p.Batch.Validate(); err != nil {
+			return fmt.Errorf("fetch: invalid batch in reply: %w", err)
+		}
+	}
+	return nil
+}
+
+// HasPending reports whether any fetch with the given purpose is
+// outstanding for the lane (used to avoid overlapping catch-up ranges).
+func (m *Manager) HasPending(lane types.NodeID, p Purpose) bool {
+	for _, req := range m.pending {
+		if req.Lane == lane && req.Purpose == p {
+			return true
+		}
+	}
+	return false
+}
+
+// Cancel drops outstanding fetches for a lane at or below pos (e.g. after
+// the data arrived through live dissemination instead).
+func (m *Manager) Cancel(lane types.NodeID, pos types.Pos) {
+	for k := range m.pending {
+		if k.lane == lane && k.to <= pos {
+			delete(m.pending, k)
+		}
+	}
+}
+
+// ServeChunkBytes bounds one reply message's payload; ServeWindowBytes
+// bounds the total served per request. Large histories are streamed as
+// chunked replies in FIFO (oldest-first) order (§A.3.2: history "can be
+// staggered, and sent in FIFO order at the bandwidth the network allows"
+// — the requester orders and executes position s before s+1 arrives).
+// The requester's manager advances the outstanding request past each
+// received window and immediately asks for the next, so a deep catch-up
+// self-clocks against the requester's ingest capacity: without the window
+// bound, one request would dump the entire backlog and every retry would
+// dump it again — congestion collapse at a recovering replica.
+const (
+	ServeChunkBytes  = 8 << 20
+	ServeWindowBytes = 32 << 20
+)
+
+// Serve answers a peer's SyncRequest from the local store with a FIFO
+// stream of chunked replies covering the oldest ServeWindowBytes of the
+// requested range. The chain is located by walking parent links back from
+// the requested tip, then emitted oldest-first.
+func Serve(store interface {
+	ChainSuffix(lane types.NodeID, from, to types.Pos, tipDigest types.Digest) ([]*types.Proposal, bool)
+}, req *types.SyncRequest) []*types.SyncReply {
+	props, complete := store.ChainSuffix(req.Lane, req.From, req.To, req.TipDigest)
+	if len(props) == 0 {
+		return nil
+	}
+	// Trim to the oldest window.
+	total := 0
+	for i, p := range props {
+		total += p.WireSize()
+		if total > ServeWindowBytes && i > 0 {
+			props = props[:i]
+			complete = false
+			break
+		}
+	}
+	var out []*types.SyncReply
+	start, size := 0, 0
+	for i, p := range props {
+		size += p.WireSize()
+		if size >= ServeChunkBytes && i+1 < len(props) {
+			out = append(out, &types.SyncReply{Lane: req.Lane, Proposals: props[start : i+1], Complete: false})
+			start, size = i+1, 0
+		}
+	}
+	out = append(out, &types.SyncReply{Lane: req.Lane, Proposals: props[start:], Complete: complete})
+	return out
+}
+
+// Pending returns snapshots of outstanding requests (tests).
+func (m *Manager) Pending() []Request {
+	out := make([]Request, 0, len(m.pending))
+	for _, r := range m.pending {
+		out = append(out, *r)
+	}
+	return out
+}

@@ -1,0 +1,298 @@
+package fetch
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/lane"
+	"repro/internal/types"
+)
+
+func chain(laneID types.NodeID, n int) (*lane.Store, []*types.Proposal) {
+	store := lane.NewStore()
+	props := make([]*types.Proposal, n)
+	var parent types.Digest
+	for pos := 1; pos <= n; pos++ {
+		p := &types.Proposal{
+			Lane:     laneID,
+			Position: types.Pos(pos),
+			Parent:   parent,
+			Batch:    types.NewSyntheticBatch(laneID, uint64(pos), 10, 5120, 0, 0),
+		}
+		store.Put(p)
+		parent = p.Digest()
+		props[pos-1] = p
+	}
+	return store, props
+}
+
+func TestStartDedupAndTargets(t *testing.T) {
+	m := NewManager(Config{Self: 0})
+	_, props := chain(1, 5)
+	tip := props[4]
+	em := m.Start(0, 1, 1, 5, tip.Digest(), []types.NodeID{0, 2, 3}, PurposeExecute, 7, 0)
+	if em == nil {
+		t.Fatal("first start must emit")
+	}
+	if em.To == 0 {
+		t.Fatal("self must be filtered from targets")
+	}
+	if em.Msg.From != 1 || em.Msg.To != 5 || em.Msg.TipDigest != tip.Digest() {
+		t.Fatalf("request = %+v", em.Msg)
+	}
+	if dup := m.Start(0, 1, 2, 5, tip.Digest(), []types.NodeID{2}, PurposeExecute, 7, 0); dup != nil {
+		t.Fatal("duplicate start must not emit")
+	}
+	// Broadening downward is absorbed into the pending request.
+	m.Start(0, 1, 1, 5, tip.Digest(), []types.NodeID{2}, PurposeExecute, 7, 0)
+	if m.Outstanding() != 1 {
+		t.Fatalf("outstanding = %d", m.Outstanding())
+	}
+}
+
+func TestStartRejectsSelfOnlyTargets(t *testing.T) {
+	m := NewManager(Config{Self: 0})
+	if em := m.Start(0, 1, 1, 3, types.Digest{1}, []types.NodeID{0, 0}, PurposeGap, 0, 0); em != nil {
+		t.Fatal("self-only targets must not emit")
+	}
+}
+
+func TestServeAndReplyRoundTrip(t *testing.T) {
+	store, props := chain(1, 6)
+	tip := props[5]
+	m := NewManager(Config{Self: 0})
+	em := m.Start(0, 1, 2, 6, tip.Digest(), []types.NodeID{2}, PurposeGap, 0, 0)
+	reps := Serve(store, em.Msg)
+	if len(reps) != 1 || len(reps[0].Proposals) != 5 || !reps[0].Complete {
+		t.Fatalf("serve = %+v", reps)
+	}
+	res, err := m.OnReply(0, 2, reps[0])
+	if err != nil || res == nil {
+		t.Fatalf("reply rejected: %v", err)
+	}
+	if res.Request.Purpose != PurposeGap || len(res.Proposals) != 5 {
+		t.Fatalf("result = %+v", res)
+	}
+	if m.Outstanding() != 0 {
+		t.Fatal("request must clear on satisfaction")
+	}
+}
+
+func TestServeChunksLargeHistoriesFIFO(t *testing.T) {
+	store, props := chain(1, 40)
+	// Make payloads big enough that ~each chunk holds a few proposals.
+	big, bigProps := lane.NewStore(), make([]*types.Proposal, 0, 40)
+	var parent types.Digest
+	for pos := 1; pos <= 40; pos++ {
+		p := &types.Proposal{
+			Lane: 1, Position: types.Pos(pos), Parent: parent,
+			Batch: types.NewSyntheticBatch(1, uint64(pos), 2000, 1<<20, 0, 0),
+		}
+		big.Put(p)
+		parent = p.Digest()
+		bigProps = append(bigProps, p)
+	}
+	_ = store
+	_ = props
+	tip := bigProps[39]
+	reps := Serve(big, &types.SyncRequest{Lane: 1, From: 1, To: 40, TipDigest: tip.Digest(), Requester: 0})
+	if len(reps) < 3 {
+		t.Fatalf("40 MiB history must chunk, got %d replies", len(reps))
+	}
+	// FIFO oldest-first: chunk k's first position follows chunk k-1's
+	// last; the served prefix is bounded by the per-request window, so the
+	// final chunk is not Complete (the requester chases the remainder).
+	next := types.Pos(1)
+	var served int
+	for i, rep := range reps {
+		for _, p := range rep.Proposals {
+			if p.Position != next {
+				t.Fatalf("chunk %d out of order: pos %d want %d", i, p.Position, next)
+			}
+			next++
+			served += p.WireSize()
+		}
+		if rep.Complete {
+			t.Fatalf("windowed stream chunk %d must not claim completeness", i)
+		}
+	}
+	if served > ServeWindowBytes+ServeChunkBytes {
+		t.Fatalf("served %d bytes, window is %d", served, ServeWindowBytes)
+	}
+	if next < 2 {
+		t.Fatal("window served nothing")
+	}
+	// A small history is served completely.
+	small, smallProps := chain(2, 5)
+	sr := Serve(small, &types.SyncRequest{Lane: 2, From: 1, To: 5, TipDigest: smallProps[4].Digest()})
+	if len(sr) != 1 || !sr[0].Complete {
+		t.Fatalf("small serve = %+v", sr)
+	}
+}
+
+// TestWindowedReplyAdvancesRequest: a reply covering only the oldest
+// window advances the outstanding request in place and immediately chases
+// the next window (self-clocked streaming).
+func TestWindowedReplyAdvancesRequest(t *testing.T) {
+	_, props := chain(1, 10)
+	tip := props[9]
+	m := NewManager(Config{Self: 0})
+	m.Start(0, 1, 1, 10, tip.Digest(), []types.NodeID{2}, PurposeExecute, 3, 0)
+	// Simulate a server window covering positions 1-4 only.
+	window := &types.SyncReply{Lane: 1, Proposals: props[:4]}
+	res, err := m.OnReply(time.Millisecond, 2, window)
+	if err != nil || res == nil {
+		t.Fatalf("windowed reply rejected: %v", err)
+	}
+	if res.Remainder == nil || res.Remainder.Msg.From != 5 || res.Remainder.Msg.To != 10 {
+		t.Fatalf("remainder = %+v", res.Remainder)
+	}
+	if m.Outstanding() != 1 {
+		t.Fatal("request must remain outstanding across windows")
+	}
+	// The final anchored stretch completes it.
+	rest := &types.SyncReply{Lane: 1, Proposals: props[4:], Complete: true}
+	res, err = m.OnReply(2*time.Millisecond, 2, rest)
+	if err != nil || res == nil || res.Remainder != nil {
+		t.Fatalf("final stretch: res=%+v err=%v", res, err)
+	}
+	if m.Outstanding() != 0 {
+		t.Fatal("request must complete")
+	}
+}
+
+func TestOnReplyValidatesChains(t *testing.T) {
+	store, props := chain(1, 4)
+	tip := props[3]
+	fresh := func() *Manager {
+		m := NewManager(Config{Self: 0})
+		m.Start(0, 1, 1, 4, tip.Digest(), []types.NodeID{2}, PurposeExecute, 0, 0)
+		return m
+	}
+	good := Serve(store, &types.SyncRequest{Lane: 1, From: 1, To: 4, TipDigest: tip.Digest()})[0]
+
+	// Broken link.
+	broken := &types.SyncReply{Lane: 1, Proposals: append([]*types.Proposal{}, good.Proposals...)}
+	broken.Proposals[1] = &types.Proposal{Lane: 1, Position: 2, Parent: types.Digest{9}, Batch: props[1].Batch}
+	if _, err := fresh().OnReply(0, 2, broken); err == nil {
+		t.Fatal("broken chain accepted")
+	}
+	// Wrong anchor: a valid chain ending at a different tip is treated as
+	// unsolicited (ingestable) and leaves the request outstanding.
+	otherStore := lane.NewStore()
+	var parent types.Digest
+	var otherProps []*types.Proposal
+	for pos := 1; pos <= 4; pos++ {
+		p := &types.Proposal{
+			Lane: 1, Position: types.Pos(pos), Parent: parent,
+			Batch: types.NewSyntheticBatch(1, uint64(100+pos), 10, 5120, 0, 0),
+		}
+		otherStore.Put(p)
+		parent = p.Digest()
+		otherProps = append(otherProps, p)
+	}
+	mgr := fresh()
+	if _, err := mgr.OnReply(0, 2, &types.SyncReply{Lane: 1, Proposals: otherProps}); err != ErrUnsolicited {
+		t.Fatalf("unanchored chain: got %v, want ErrUnsolicited", err)
+	}
+	if mgr.Outstanding() != 1 {
+		t.Fatal("unanchored reply must leave the request outstanding")
+	}
+	// Cross-lane.
+	cross := &types.SyncReply{Lane: 2, Proposals: good.Proposals}
+	if _, err := fresh().OnReply(0, 2, cross); err == nil {
+		t.Fatal("cross-lane reply accepted")
+	}
+	// Empty.
+	if _, err := fresh().OnReply(0, 2, &types.SyncReply{Lane: 1}); err == nil {
+		t.Fatal("empty reply accepted")
+	}
+}
+
+func TestUnsolicitedChainValidReply(t *testing.T) {
+	st, props := chain(1, 3)
+	tip := props[2]
+	m := NewManager(Config{Self: 0})
+	rep := Serve(st, &types.SyncRequest{Lane: 1, From: 1, To: 3, TipDigest: tip.Digest()})[0]
+	res, err := m.OnReply(0, 2, rep)
+	if err != ErrUnsolicited || res != nil {
+		t.Fatalf("got (%v, %v), want ErrUnsolicited", res, err)
+	}
+}
+
+func TestPartialReplyChasesRemainder(t *testing.T) {
+	_, props := chain(1, 6)
+	tip := props[5]
+	m := NewManager(Config{Self: 0})
+	m.Start(0, 1, 1, 6, tip.Digest(), []types.NodeID{2, 3}, PurposeExecute, 0, 0)
+	// Responder only has positions 4-6.
+	partial := lane.NewStore()
+	for _, p := range props[3:] {
+		partial.Put(p)
+	}
+	rep := Serve(partial, &types.SyncRequest{Lane: 1, From: 1, To: 6, TipDigest: tip.Digest()})[0]
+	if rep.Complete {
+		t.Fatal("partial serve must not claim completeness")
+	}
+	res, err := m.OnReply(0, 2, rep)
+	if err != nil || res == nil {
+		t.Fatalf("partial reply rejected: %v", err)
+	}
+	if res.Remainder == nil {
+		t.Fatal("remainder fetch expected")
+	}
+	if res.Remainder.Msg.From != 1 || res.Remainder.Msg.To != 3 || res.Remainder.Msg.TipDigest != props[3].Parent {
+		t.Fatalf("remainder = %+v", res.Remainder.Msg)
+	}
+	if m.Outstanding() != 1 {
+		t.Fatal("remainder must be tracked")
+	}
+}
+
+func TestTickRetriesThenAbandons(t *testing.T) {
+	m := NewManager(Config{Self: 0, RetryAfter: 10 * time.Millisecond, PerPositionDelay: time.Millisecond, MaxAttempts: 3})
+	m.Start(0, 1, 5, 5, types.Digest{1}, []types.NodeID{2, 3}, PurposeTipVote, 1, 0)
+
+	ems := m.Tick(20 * time.Millisecond)
+	if len(ems) != 1 {
+		t.Fatalf("first retry: %d emits", len(ems))
+	}
+	if ems[0].To != 3 {
+		t.Fatalf("retry must rotate targets, got %s", ems[0].To)
+	}
+	if len(m.Tick(25*time.Millisecond)) != 0 {
+		t.Fatal("retry before deadline")
+	}
+	m.Tick(40 * time.Millisecond)
+	ems = m.Tick(60 * time.Millisecond) // attempt 3 = MaxAttempts: dropped
+	if len(ems) != 0 || m.Outstanding() != 0 {
+		t.Fatalf("fetch not abandoned: emits=%d outstanding=%d", len(ems), m.Outstanding())
+	}
+}
+
+func TestBudgetBoundsBulkFetches(t *testing.T) {
+	m := NewManager(Config{Self: 0, MaxOutstandingPositions: 10})
+	if em := m.Start(0, 1, 1, 8, types.Digest{1}, []types.NodeID{2}, PurposeExecute, 0, 0); em == nil {
+		t.Fatal("within budget must emit")
+	}
+	if em := m.Start(0, 2, 1, 8, types.Digest{2}, []types.NodeID{2}, PurposeExecute, 0, 0); em != nil {
+		t.Fatal("over budget must defer")
+	}
+	// Point requests bypass the budget (consensus voting).
+	if em := m.Start(0, 2, 9, 9, types.Digest{3}, []types.NodeID{2}, PurposeTipVote, 1, 0); em == nil {
+		t.Fatal("point request must bypass the budget")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	m := NewManager(Config{Self: 0})
+	m.Start(0, 1, 1, 5, types.Digest{1}, []types.NodeID{2}, PurposeGap, 0, 0)
+	m.Start(0, 1, 6, 9, types.Digest{2}, []types.NodeID{2}, PurposeGap, 0, 0)
+	m.Cancel(1, 5)
+	if m.Outstanding() != 1 {
+		t.Fatalf("outstanding = %d after cancel", m.Outstanding())
+	}
+	if !m.HasPending(1, PurposeGap) {
+		t.Fatal("higher range must survive cancel")
+	}
+}

@@ -1,0 +1,170 @@
+// Package harness builds simulated deployments of all four systems the
+// paper evaluates (Autobahn, Bullshark, VanillaHS, BatchedHS) and runs
+// the experiments behind every table and figure in §6. Each experiment
+// returns structured results (for tests and benchmarks to assert the
+// paper's comparative shape) and can render the same rows/series the
+// paper reports.
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bullshark"
+	"repro/internal/core"
+	"repro/internal/crypto"
+	"repro/internal/hotstuff"
+	"repro/internal/metrics"
+	"repro/internal/runtime"
+	"repro/internal/sim"
+	"repro/internal/types"
+	"repro/internal/workload"
+)
+
+// System names one of the four evaluated protocols.
+type System string
+
+// The four systems of §6.
+const (
+	Autobahn  System = "Autobahn"
+	Bullshark System = "Bullshark"
+	VanillaHS System = "VanillaHS"
+	BatchedHS System = "BatchedHS"
+)
+
+// AllSystems lists the paper's comparison set in its plotting order.
+var AllSystems = []System{Autobahn, Bullshark, BatchedHS, VanillaHS}
+
+// ClusterConfig parameterizes one simulated deployment.
+type ClusterConfig struct {
+	System System
+	N      int
+	Seed   uint64
+	// VerifySigs enables real ed25519 end to end (slower; default off —
+	// signature cost is charged by the network model).
+	VerifySigs bool
+	// ViewTimeout for consensus progress timers (default 1s, §6).
+	ViewTimeout time.Duration
+	// Autobahn toggles (fast path and optimistic tips default true, the
+	// paper's configuration; weak votes are the §5.5.2 refinement and
+	// default off, matching the prototype).
+	FastPathOff       bool
+	OptimisticTipsOff bool
+	WeakVotes         bool
+	// HotStuff leader regime (default Rotating).
+	StableLeaders bool
+	// Faults to inject (nil = fault-free).
+	Faults *sim.FaultSchedule
+	// Horizon bounds the recorder's time series (default 5 min).
+	Horizon time.Duration
+	// Net overrides the network model (default: paper's GCP intra-US).
+	Net *sim.Network
+}
+
+// Cluster is a built deployment ready to run.
+type Cluster struct {
+	Config   ClusterConfig
+	Engine   *sim.Engine
+	Recorder *metrics.Recorder
+	IDs      []types.NodeID
+	// Nodes holds the protocol instances (type-assert per system for
+	// protocol-specific statistics).
+	Nodes []runtime.Protocol
+}
+
+// Build constructs the deployment.
+func Build(cfg ClusterConfig) *Cluster {
+	if cfg.N == 0 {
+		cfg.N = 4
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.ViewTimeout == 0 {
+		cfg.ViewTimeout = time.Second
+	}
+	if cfg.Horizon == 0 {
+		cfg.Horizon = 5 * time.Minute
+	}
+	committee := types.NewCommittee(cfg.N)
+	var suite crypto.Suite
+	if cfg.VerifySigs {
+		suite = crypto.NewEd25519Suite(cfg.N, cfg.Seed)
+	} else {
+		suite = crypto.NewNopSuite(cfg.N)
+	}
+	rec := metrics.NewRecorder(cfg.Horizon)
+	rec.Quorum = committee.F() + 1 // output commit: f+1 replica replies (§6)
+	net := cfg.Net
+	if net == nil {
+		net = sim.NewNetwork(sim.DefaultNetConfig(sim.IntraUSTopology()))
+	}
+	eng := sim.NewEngine(sim.Config{Net: net, Faults: cfg.Faults, Seed: cfg.Seed})
+
+	c := &Cluster{Config: cfg, Engine: eng, Recorder: rec}
+	for i := 0; i < cfg.N; i++ {
+		id := types.NodeID(i)
+		c.IDs = append(c.IDs, id)
+		nd := buildNode(cfg, committee, id, suite, rec.Sink())
+		c.Nodes = append(c.Nodes, nd)
+		eng.AddNode(nd)
+	}
+	return c
+}
+
+func buildNode(cfg ClusterConfig, committee types.Committee, id types.NodeID, suite crypto.Suite, sink runtime.CommitSink) runtime.Protocol {
+	switch cfg.System {
+	case Autobahn:
+		return core.NewNode(core.Config{
+			Committee:      committee,
+			Self:           id,
+			Suite:          suite,
+			VerifySigs:     cfg.VerifySigs,
+			FastPath:       !cfg.FastPathOff,
+			OptimisticTips: !cfg.OptimisticTipsOff,
+			WeakVotes:      cfg.WeakVotes,
+			ViewTimeout:    cfg.ViewTimeout,
+			Sink:           sink,
+		})
+	case Bullshark:
+		return bullshark.NewNode(bullshark.Config{
+			Committee:  committee,
+			Self:       id,
+			Suite:      suite,
+			VerifySigs: cfg.VerifySigs,
+			Sink:       sink,
+		})
+	case VanillaHS, BatchedHS:
+		variant := hotstuff.Vanilla
+		if cfg.System == BatchedHS {
+			variant = hotstuff.Batched
+		}
+		mode := hotstuff.Rotating
+		if cfg.StableLeaders {
+			mode = hotstuff.Stable
+		}
+		return hotstuff.NewNode(hotstuff.Config{
+			Committee:   committee,
+			Self:        id,
+			Suite:       suite,
+			VerifySigs:  cfg.VerifySigs,
+			Variant:     variant,
+			LeaderMode:  mode,
+			ViewTimeout: cfg.ViewTimeout,
+			Sink:        sink,
+		})
+	default:
+		panic(fmt.Sprintf("harness: unknown system %q", cfg.System))
+	}
+}
+
+// RunLoad installs an open-loop load of rate tx/s over [start, end) and
+// runs the simulation until `until`.
+func (c *Cluster) RunLoad(rate float64, start, end, until time.Duration) {
+	workload.Install(c.Engine, c.IDs, workload.Config{
+		TotalRate: rate,
+		Start:     start,
+		End:       end,
+	})
+	c.Engine.Run(until)
+}

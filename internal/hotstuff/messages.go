@@ -1,0 +1,192 @@
+package hotstuff
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+
+	"repro/internal/types"
+)
+
+// Message types (range reserved in types.MsgHotStuffBase).
+const (
+	MsgProposal  types.MsgType = types.MsgHotStuffBase + iota // block proposal
+	MsgVote                                                   // block vote
+	MsgNewView                                                // round-timeout complaint
+	MsgBatch                                                  // BatchedHS batch broadcast
+	MsgBatchPull                                              // fetch missing batches
+	MsgBatchPush                                              // batch fetch reply
+	MsgBlockPull                                              // fetch a missing ancestor block
+)
+
+// Round is a HotStuff round number.
+type Round uint64
+
+// QC is a quorum certificate over a block: 2f+1 votes.
+type QC struct {
+	Round  Round
+	Block  types.Digest
+	Shares []types.SigShare
+}
+
+// Block is a chained-HotStuff block. VanillaHS blocks carry the proposer's
+// own batches inline; BatchedHS blocks carry digests referencing batches
+// streamed separately.
+type Block struct {
+	Round    Round
+	Proposer types.NodeID
+	Parent   types.Digest
+	// Justify certifies the parent (nil only for the genesis child).
+	Justify *QC
+	// Batches carried inline (VanillaHS).
+	Batches []*types.Batch
+	// Refs reference separately disseminated batches (BatchedHS):
+	// (origin, seq, digest) triples.
+	Refs []BatchRef
+	Sig  []byte
+}
+
+// BatchRef identifies a streamed batch.
+type BatchRef struct {
+	Origin types.NodeID
+	Seq    uint64
+	Digest types.Digest
+}
+
+// Digest hashes the block header and payload identity.
+func (b *Block) Digest() types.Digest {
+	h := sha256.New()
+	var hdr [8 + 8 + 2]byte
+	copy(hdr[:8], "hsblk-v1")
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(b.Round))
+	binary.LittleEndian.PutUint16(hdr[16:], uint16(b.Proposer))
+	h.Write(hdr[:])
+	h.Write(b.Parent[:])
+	if b.Justify != nil {
+		h.Write(b.Justify.Block[:])
+	}
+	for _, batch := range b.Batches {
+		d := batch.Digest()
+		h.Write(d[:])
+	}
+	for _, r := range b.Refs {
+		h.Write(r.Digest[:])
+	}
+	var d types.Digest
+	h.Sum(d[:0])
+	return d
+}
+
+// SigningBytes returns the proposer-signed content.
+func (b *Block) SigningBytes() []byte {
+	d := b.Digest()
+	return append([]byte("hssig-b\x00"), d[:]...)
+}
+
+// Proposal broadcasts a block.
+type Proposal struct {
+	Block *Block
+}
+
+func (m *Proposal) Type() types.MsgType { return MsgProposal }
+func (m *Proposal) WireSize() int {
+	n := 1 + 8 + 2 + types.DigestSize + 64 + 2
+	if m.Block.Justify != nil {
+		n += 8 + types.DigestSize + len(m.Block.Justify.Shares)*68
+	}
+	for _, b := range m.Block.Batches {
+		n += b.WireSize()
+	}
+	n += len(m.Block.Refs) * (2 + 8 + types.DigestSize)
+	return n
+}
+
+// Vote endorses a block; it is sent to the round's vote collector (the
+// next leader under rotation — the root of the paper's "Dbl" blip).
+type Vote struct {
+	Round Round
+	Block types.Digest
+	Voter types.NodeID
+	Sig   []byte
+}
+
+func (m *Vote) Type() types.MsgType { return MsgVote }
+func (m *Vote) WireSize() int       { return 1 + 8 + types.DigestSize + 2 + 66 }
+
+// SigningBytes binds round and block.
+func (m *Vote) SigningBytes() []byte {
+	out := make([]byte, 0, 16+types.DigestSize)
+	out = append(out, []byte("hsvote\x00\x00")...)
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(m.Round))
+	out = append(out, b[:]...)
+	out = append(out, m.Block[:]...)
+	return out
+}
+
+// NewView complains about a stalled round and carries the sender's highQC
+// so the next leader can extend the freshest certified block.
+type NewView struct {
+	Round  Round
+	HighQC *QC
+	Voter  types.NodeID
+	Sig    []byte
+}
+
+func (m *NewView) Type() types.MsgType { return MsgNewView }
+func (m *NewView) WireSize() int {
+	n := 1 + 8 + 2 + 66
+	if m.HighQC != nil {
+		n += 8 + types.DigestSize + len(m.HighQC.Shares)*68
+	}
+	return n
+}
+
+// SigningBytes binds the timed-out round.
+func (m *NewView) SigningBytes() []byte {
+	out := make([]byte, 0, 16)
+	out = append(out, []byte("hsnewvw\x00")...)
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(m.Round))
+	return append(out, b[:]...)
+}
+
+// BatchMsg streams a batch to all replicas (BatchedHS).
+type BatchMsg struct {
+	Batch *types.Batch
+}
+
+func (m *BatchMsg) Type() types.MsgType { return MsgBatch }
+func (m *BatchMsg) WireSize() int       { return 1 + m.Batch.WireSize() }
+
+// BatchPull requests missing batches from the block proposer — the
+// synchronization-on-the-critical-path that BatchedHS cannot avoid.
+type BatchPull struct {
+	Refs      []BatchRef
+	Requester types.NodeID
+}
+
+func (m *BatchPull) Type() types.MsgType { return MsgBatchPull }
+func (m *BatchPull) WireSize() int       { return 1 + 2 + 4 + len(m.Refs)*(2+8+types.DigestSize) }
+
+// BatchPush answers a BatchPull.
+type BatchPush struct {
+	Batches []*types.Batch
+}
+
+func (m *BatchPush) Type() types.MsgType { return MsgBatchPush }
+func (m *BatchPush) WireSize() int {
+	n := 1 + 4
+	for _, b := range m.Batches {
+		n += b.WireSize()
+	}
+	return n
+}
+
+// BlockPull requests a missing ancestor block chain from a peer.
+type BlockPull struct {
+	From      types.Digest
+	Requester types.NodeID
+}
+
+func (m *BlockPull) Type() types.MsgType { return MsgBlockPull }
+func (m *BlockPull) WireSize() int       { return 1 + types.DigestSize + 2 }

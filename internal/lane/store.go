@@ -1,0 +1,114 @@
+package lane
+
+import (
+	"repro/internal/types"
+)
+
+// Store indexes every data proposal a replica has received, by lane,
+// position and digest (Byzantine lanes may fork, so one position can hold
+// several proposals). It backs ordering (fetching committed payloads),
+// sync serving (walking chain suffixes), and fork garbage collection.
+type Store struct {
+	lanes map[types.NodeID]map[types.Pos]map[types.Digest]*types.Proposal
+	count int
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{lanes: make(map[types.NodeID]map[types.Pos]map[types.Digest]*types.Proposal)}
+}
+
+// Put stores p; duplicate (lane, pos, digest) entries are ignored.
+// It returns true if the proposal was newly stored.
+func (s *Store) Put(p *types.Proposal) bool {
+	byPos, ok := s.lanes[p.Lane]
+	if !ok {
+		byPos = make(map[types.Pos]map[types.Digest]*types.Proposal)
+		s.lanes[p.Lane] = byPos
+	}
+	byDig, ok := byPos[p.Position]
+	if !ok {
+		byDig = make(map[types.Digest]*types.Proposal)
+		byPos[p.Position] = byDig
+	}
+	d := p.Digest()
+	if _, dup := byDig[d]; dup {
+		return false
+	}
+	byDig[d] = p
+	s.count++
+	return true
+}
+
+// Get returns the proposal at (lane, pos) with the given digest, or nil.
+func (s *Store) Get(lane types.NodeID, pos types.Pos, digest types.Digest) *types.Proposal {
+	if byDig, ok := s.lanes[lane][pos]; ok {
+		return byDig[digest]
+	}
+	return nil
+}
+
+// Has reports whether the proposal is stored.
+func (s *Store) Has(lane types.NodeID, pos types.Pos, digest types.Digest) bool {
+	return s.Get(lane, pos, digest) != nil
+}
+
+// Len returns the number of stored proposals.
+func (s *Store) Len() int { return s.count }
+
+// ChainSuffix returns the proposals of `lane` at positions [from, to], in
+// ascending order, walking parent links backward from the proposal with
+// tipDigest at position `to`. The second result is false if any link is
+// missing locally (the returned prefix may then be partial, covering the
+// highest contiguous suffix found).
+func (s *Store) ChainSuffix(lane types.NodeID, from, to types.Pos, tipDigest types.Digest) ([]*types.Proposal, bool) {
+	if from == 0 {
+		from = 1
+	}
+	if to < from {
+		return nil, true
+	}
+	out := make([]*types.Proposal, 0, int(to-from)+1)
+	dig := tipDigest
+	for pos := to; pos >= from; pos-- {
+		p := s.Get(lane, pos, dig)
+		if p == nil {
+			// reverse what we have and report incompleteness
+			reverse(out)
+			return out, false
+		}
+		out = append(out, p)
+		dig = p.Parent
+		if pos == 1 {
+			break
+		}
+	}
+	reverse(out)
+	return out, true
+}
+
+// GCBelow drops all proposals of `lane` at positions < keep. Committed
+// prefixes are garbage collected after ordering; fork siblings below the
+// committed frontier disappear here (§A.4).
+func (s *Store) GCBelow(lane types.NodeID, keep types.Pos) int {
+	removed := 0
+	for pos, byDig := range s.lanes[lane] {
+		if pos < keep {
+			removed += len(byDig)
+			delete(s.lanes[lane], pos)
+		}
+	}
+	s.count -= removed
+	return removed
+}
+
+// ForksAt returns how many distinct proposals are stored at (lane, pos).
+func (s *Store) ForksAt(lane types.NodeID, pos types.Pos) int {
+	return len(s.lanes[lane][pos])
+}
+
+func reverse(ps []*types.Proposal) {
+	for i, j := 0, len(ps)-1; i < j; i, j = i+1, j-1 {
+		ps[i], ps[j] = ps[j], ps[i]
+	}
+}

@@ -1,0 +1,168 @@
+// Package mempool batches incoming client transactions into the fixed-size
+// batches the data layer disseminates (§6: 500 KB / 1000-transaction
+// batches, sealed early after a maximum delay). It supports both real
+// transaction payloads and the simulator's synthetic aggregates (counts +
+// byte totals + arrival-time statistics), which keep multi-hundred-MB/s
+// workloads cheap to simulate while preserving latency accounting.
+package mempool
+
+import (
+	"time"
+
+	"repro/internal/types"
+)
+
+// Config parameterizes batching.
+type Config struct {
+	Self types.NodeID
+	// MaxBatchTxs seals a batch at this many transactions (default 1000).
+	MaxBatchTxs int
+	// MaxBatchBytes seals a batch at this payload size (default 500 KB).
+	MaxBatchBytes uint64
+	// MaxBatchDelay seals a non-empty batch after this long even if not
+	// full (default 100ms).
+	MaxBatchDelay time.Duration
+}
+
+func (c *Config) fill() {
+	if c.MaxBatchTxs == 0 {
+		c.MaxBatchTxs = 1000
+	}
+	if c.MaxBatchBytes == 0 {
+		c.MaxBatchBytes = 500 << 10
+	}
+	if c.MaxBatchDelay == 0 {
+		c.MaxBatchDelay = 100 * time.Millisecond
+	}
+}
+
+// Pool accumulates transactions and seals batches.
+type Pool struct {
+	cfg Config
+	seq uint64
+
+	// Real transactions.
+	txs      []types.Transaction
+	txsBytes uint64
+
+	// Synthetic aggregate.
+	synCount      uint64
+	synBytes      uint64
+	synArrivalSum float64 // sum over txs of arrival (seconds), for the mean
+
+	oldest  time.Duration // arrival of the oldest pending item
+	hasWork bool
+}
+
+// NewPool builds a pool.
+func NewPool(cfg Config) *Pool {
+	cfg.fill()
+	return &Pool{cfg: cfg}
+}
+
+// Pending reports whether unsealed transactions exist.
+func (p *Pool) Pending() bool { return p.hasWork }
+
+// OldestArrival returns the arrival time of the oldest pending item
+// (meaningful only when Pending).
+func (p *Pool) OldestArrival() time.Duration { return p.oldest }
+
+// AddTx adds one real transaction; it returns any batches sealed by the
+// size/count triggers.
+func (p *Pool) AddTx(tx types.Transaction, now time.Duration) []*types.Batch {
+	if !p.hasWork {
+		p.oldest = now
+		p.hasWork = true
+	}
+	p.txs = append(p.txs, tx)
+	p.txsBytes += uint64(len(tx))
+	var out []*types.Batch
+	for len(p.txs) >= p.cfg.MaxBatchTxs || p.txsBytes >= p.cfg.MaxBatchBytes {
+		out = append(out, p.sealReal(now))
+	}
+	return out
+}
+
+// AddSynthetic adds an aggregate of count transactions totalling size
+// bytes with the given mean arrival time; it returns sealed batches.
+func (p *Pool) AddSynthetic(count uint64, size uint64, meanArrival, now time.Duration) []*types.Batch {
+	if count == 0 {
+		return nil
+	}
+	if !p.hasWork {
+		p.oldest = meanArrival
+		p.hasWork = true
+	}
+	p.synCount += count
+	p.synBytes += size
+	p.synArrivalSum += float64(count) * meanArrival.Seconds()
+	var out []*types.Batch
+	for p.synCount >= uint64(p.cfg.MaxBatchTxs) || p.synBytes >= p.cfg.MaxBatchBytes {
+		out = append(out, p.sealSynthetic(now))
+	}
+	return out
+}
+
+// Flush seals whatever is pending (delay trigger); nil when empty.
+func (p *Pool) Flush(now time.Duration) *types.Batch {
+	switch {
+	case len(p.txs) > 0:
+		return p.sealReal(now)
+	case p.synCount > 0:
+		return p.sealSynthetic(now)
+	default:
+		return nil
+	}
+}
+
+// FlushDue reports whether the delay trigger has expired.
+func (p *Pool) FlushDue(now time.Duration) bool {
+	return p.hasWork && now-p.oldest >= p.cfg.MaxBatchDelay
+}
+
+func (p *Pool) sealReal(now time.Duration) *types.Batch {
+	n := min(len(p.txs), p.cfg.MaxBatchTxs)
+	txs := make([]types.Transaction, n)
+	copy(txs, p.txs[:n])
+	p.txs = p.txs[n:]
+	var sz uint64
+	for _, tx := range txs {
+		sz += uint64(len(tx))
+	}
+	p.txsBytes -= sz
+	p.seq++
+	b := types.NewBatch(p.cfg.Self, p.seq, txs, now)
+	p.afterSeal(now)
+	return b
+}
+
+func (p *Pool) sealSynthetic(now time.Duration) *types.Batch {
+	count := min(p.synCount, uint64(p.cfg.MaxBatchTxs))
+	// Carve bytes proportionally; the remainder keeps its share.
+	size := p.synBytes
+	if count < p.synCount {
+		size = p.synBytes * count / p.synCount
+	}
+	mean := time.Duration(p.synArrivalSum / float64(p.synCount) * float64(time.Second))
+	p.synArrivalSum -= float64(count) * mean.Seconds()
+	if p.synArrivalSum < 0 {
+		p.synArrivalSum = 0
+	}
+	p.synCount -= count
+	p.synBytes -= size
+	p.seq++
+	b := types.NewSyntheticBatch(p.cfg.Self, p.seq, uint32(count), size, mean, now)
+	p.afterSeal(now)
+	return b
+}
+
+func (p *Pool) afterSeal(now time.Duration) {
+	if len(p.txs) == 0 && p.synCount == 0 {
+		p.hasWork = false
+	} else {
+		// Approximation: remaining items arrived no earlier than "now
+		// minus the delay window"; precise tracking isn't needed because
+		// the next seal is at most MaxBatchDelay away.
+		p.oldest = now
+	}
+}

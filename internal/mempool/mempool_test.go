@@ -1,0 +1,134 @@
+package mempool
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/types"
+)
+
+func TestCountTriggerSeals(t *testing.T) {
+	p := NewPool(Config{Self: 1, MaxBatchTxs: 3, MaxBatchBytes: 1 << 20})
+	var sealed []*types.Batch
+	for i := 0; i < 7; i++ {
+		sealed = append(sealed, p.AddTx(make(types.Transaction, 10), 0)...)
+	}
+	if len(sealed) != 2 {
+		t.Fatalf("sealed %d batches, want 2", len(sealed))
+	}
+	for _, b := range sealed {
+		if b.Count != 3 || b.Origin != 1 {
+			t.Fatalf("batch = %+v", b)
+		}
+		if err := b.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !p.Pending() {
+		t.Fatal("one tx must remain pending")
+	}
+	if b := p.Flush(0); b == nil || b.Count != 1 {
+		t.Fatalf("flush = %+v", b)
+	}
+	if p.Pending() {
+		t.Fatal("pool must be empty after flush")
+	}
+}
+
+func TestByteTriggerSeals(t *testing.T) {
+	p := NewPool(Config{Self: 0, MaxBatchTxs: 1000, MaxBatchBytes: 100})
+	sealed := p.AddTx(make(types.Transaction, 60), 0)
+	if len(sealed) != 0 {
+		t.Fatal("60 bytes must not seal at 100-byte cap")
+	}
+	sealed = p.AddTx(make(types.Transaction, 60), 0)
+	if len(sealed) != 1 || sealed[0].Bytes != 120 {
+		t.Fatalf("sealed = %+v", sealed)
+	}
+}
+
+func TestDelayTrigger(t *testing.T) {
+	p := NewPool(Config{Self: 0, MaxBatchDelay: 100 * time.Millisecond})
+	p.AddTx([]byte("x"), 50*time.Millisecond)
+	if p.FlushDue(100 * time.Millisecond) {
+		t.Fatal("flush due too early")
+	}
+	if !p.FlushDue(151 * time.Millisecond) {
+		t.Fatal("flush must be due after the delay")
+	}
+	if p.FlushDue(0) && !p.Pending() {
+		t.Fatal("empty pool must never be due")
+	}
+}
+
+func TestSyntheticCarving(t *testing.T) {
+	p := NewPool(Config{Self: 2, MaxBatchTxs: 1000, MaxBatchBytes: 1 << 30})
+	sealed := p.AddSynthetic(2500, 2500*512, 10*time.Millisecond, 10*time.Millisecond)
+	if len(sealed) != 2 {
+		t.Fatalf("sealed %d, want 2 full batches", len(sealed))
+	}
+	var total uint64
+	for _, b := range sealed {
+		if b.Count != 1000 {
+			t.Fatalf("carved batch count = %d", b.Count)
+		}
+		total += uint64(b.Count)
+	}
+	rest := p.Flush(20 * time.Millisecond)
+	if rest == nil || rest.Count != 500 {
+		t.Fatalf("remainder = %+v", rest)
+	}
+	total += uint64(rest.Count)
+	if total != 2500 {
+		t.Fatalf("tx conservation violated: %d", total)
+	}
+	if sum := sealed[0].Bytes + sealed[1].Bytes + rest.Bytes; sum != 2500*512 {
+		t.Fatalf("byte conservation violated: %d", sum)
+	}
+}
+
+// TestSyntheticConservation is a property test: however arrivals are
+// chunked, sealed batches conserve transaction and byte totals.
+func TestSyntheticConservation(t *testing.T) {
+	f := func(chunks []uint16) bool {
+		if len(chunks) > 32 {
+			chunks = chunks[:32]
+		}
+		p := NewPool(Config{Self: 0})
+		var want uint64
+		var got uint64
+		now := time.Duration(0)
+		for _, c := range chunks {
+			count := uint64(c % 3000)
+			want += count
+			for _, b := range p.AddSynthetic(count, count*512, now, now) {
+				got += uint64(b.Count)
+			}
+			now += time.Millisecond
+		}
+		for {
+			b := p.Flush(now)
+			if b == nil {
+				break
+			}
+			got += uint64(b.Count)
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSequenceNumbersMonotone(t *testing.T) {
+	p := NewPool(Config{Self: 0, MaxBatchTxs: 1})
+	var last uint64
+	for i := 0; i < 5; i++ {
+		b := p.AddTx([]byte("t"), 0)[0]
+		if b.Seq <= last {
+			t.Fatalf("seq %d after %d", b.Seq, last)
+		}
+		last = b.Seq
+	}
+}

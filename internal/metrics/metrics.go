@@ -1,0 +1,296 @@
+// Package metrics measures protocol performance the way the paper's
+// evaluation does (§6): latency is the time from transaction arrival at a
+// replica to the moment it is execution-ready; throughput is
+// execution-ready transactions per second; time-series plots (Figs. 1, 7,
+// 8) bucket latency by *request start time*. A blip/hangover analyzer
+// implements the paper's §2.1 definitions.
+package metrics
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/runtime"
+	"repro/internal/types"
+)
+
+// Recorder accumulates commit measurements. It is safe for concurrent use
+// (the TCP runtime commits from multiple goroutines; the simulator from
+// one).
+//
+// Quorum controls the latency endpoint: a batch counts as committed when
+// Quorum distinct replicas have executed it. The paper's clients require
+// f+1 matching replies (output commit), so one slow or recovering replica
+// does not define latency; harnesses set Quorum = f+1. The default (1)
+// records at the first executing replica.
+type Recorder struct {
+	mu sync.Mutex
+
+	// Quorum is the number of distinct replicas that must execute a batch
+	// before it counts (set before use; default 1).
+	Quorum int
+
+	// Per-second buckets keyed by request start (arrival) second.
+	arrival []bucket
+	// Per-second committed-transaction counts keyed by commit second.
+	commit []uint64
+
+	// seen tracks executions per batch until the quorum is reached.
+	seen map[batchKey]*seenState
+
+	hist  histogram
+	total uint64
+	txSum uint64
+}
+
+type batchKey struct {
+	origin types.NodeID
+	seq    uint64
+}
+
+type seenState struct {
+	nodes uint64 // bitmask of replicas that executed (committees are small)
+	count int
+	done  bool
+}
+
+type bucket struct {
+	count  uint64
+	sumLat float64 // seconds
+}
+
+// NewRecorder builds a recorder sized for runs up to horizon.
+func NewRecorder(horizon time.Duration) *Recorder {
+	secs := int(horizon/time.Second) + 2
+	return &Recorder{
+		Quorum:  1,
+		arrival: make([]bucket, secs),
+		commit:  make([]uint64, secs),
+		seen:    make(map[batchKey]*seenState),
+		hist:    newHistogram(),
+	}
+}
+
+// Sink returns a runtime.CommitSink recording each batch once, at the
+// moment the Quorum-th distinct replica executes it (output commit).
+func (r *Recorder) Sink() runtime.CommitSink {
+	return runtime.CommitSinkFunc(func(node types.NodeID, now time.Duration, c runtime.Committed) {
+		if c.Batch == nil {
+			return
+		}
+		r.RecordAt(node, now, c.Batch)
+	})
+}
+
+// RecordAt notes that `node` executed the batch; once Quorum distinct
+// replicas have, the batch is recorded with that timestamp.
+func (r *Recorder) RecordAt(node types.NodeID, now time.Duration, b *types.Batch) {
+	r.mu.Lock()
+	k := batchKey{origin: b.Origin, seq: b.Seq}
+	st := r.seen[k]
+	if st == nil {
+		st = &seenState{}
+		r.seen[k] = st
+	}
+	bit := uint64(1) << (uint(node) % 64)
+	if st.done || st.nodes&bit != 0 {
+		r.mu.Unlock()
+		return
+	}
+	st.nodes |= bit
+	st.count++
+	if st.count < r.Quorum {
+		r.mu.Unlock()
+		return
+	}
+	st.done = true
+	r.mu.Unlock()
+	r.Record(now, b)
+}
+
+// Record notes the commit of a batch at time now.
+func (r *Recorder) Record(now time.Duration, b *types.Batch) {
+	lat := now - b.MeanArrival
+	if lat < 0 {
+		lat = 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	as := int(b.MeanArrival / time.Second)
+	cs := int(now / time.Second)
+	r.grow(max(as, cs))
+	r.arrival[as].count += uint64(b.Count)
+	r.arrival[as].sumLat += lat.Seconds() * float64(b.Count)
+	r.commit[cs] += uint64(b.Count)
+	r.hist.add(lat, uint64(b.Count))
+	r.total += uint64(b.Count)
+	r.txSum += b.Bytes
+}
+
+func (r *Recorder) grow(sec int) {
+	for sec >= len(r.arrival) {
+		r.arrival = append(r.arrival, bucket{})
+		r.commit = append(r.commit, 0)
+	}
+}
+
+// Total returns the number of committed transactions recorded.
+func (r *Recorder) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Throughput returns committed tx/s over commit-time window [from, to).
+func (r *Recorder) Throughput(from, to time.Duration) float64 {
+	if to <= from {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var sum uint64
+	f, t := int(from/time.Second), int(to/time.Second)
+	for s := f; s < t && s < len(r.commit); s++ {
+		sum += r.commit[s]
+	}
+	return float64(sum) / (to - from).Seconds()
+}
+
+// MeanLatency returns the mean commit latency of transactions that
+// *arrived* within [from, to).
+func (r *Recorder) MeanLatency(from, to time.Duration) time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var count uint64
+	var sum float64
+	f, t := int(from/time.Second), int(to/time.Second)
+	for s := f; s < t && s < len(r.arrival); s++ {
+		count += r.arrival[s].count
+		sum += r.arrival[s].sumLat
+	}
+	if count == 0 {
+		return 0
+	}
+	return time.Duration(sum / float64(count) * float64(time.Second))
+}
+
+// Percentile returns the p-quantile (0 < p <= 1) of all recorded latencies.
+func (r *Recorder) Percentile(p float64) time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.hist.percentile(p)
+}
+
+// SeriesPoint is one per-second sample of the latency-vs-request-start
+// series the paper's blip figures plot.
+type SeriesPoint struct {
+	Second    int
+	MeanLat   time.Duration
+	Committed uint64 // txs that started in this second and committed
+}
+
+// ArrivalSeries returns per-second mean latency keyed by request start.
+func (r *Recorder) ArrivalSeries() []SeriesPoint {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]SeriesPoint, 0, len(r.arrival))
+	for s, b := range r.arrival {
+		p := SeriesPoint{Second: s, Committed: b.count}
+		if b.count > 0 {
+			p.MeanLat = time.Duration(b.sumLat / float64(b.count) * float64(time.Second))
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// CommitSeries returns per-second committed transaction counts.
+func (r *Recorder) CommitSeries() []uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]uint64, len(r.commit))
+	copy(out, r.commit)
+	return out
+}
+
+// --- hangover analysis (§2.1) ---
+
+// Hangover quantifies a blip's aftermath: given the blip window and a
+// steady-state latency baseline, it reports how long after the blip ended
+// the per-second mean latency (by request start time) stayed above
+// baseline*tolerance — the paper's "performance degradation ... that
+// persists beyond the return of a good interval".
+func (r *Recorder) Hangover(blipEnd time.Duration, baseline time.Duration, tolerance float64) time.Duration {
+	series := r.ArrivalSeries()
+	threshold := time.Duration(float64(baseline) * tolerance)
+	endSec := int((blipEnd + time.Second - 1) / time.Second) // first full post-blip second
+	last := endSec
+	for _, p := range series {
+		if p.Second < endSec || p.Committed == 0 {
+			continue
+		}
+		if p.MeanLat > threshold {
+			last = p.Second + 1
+		}
+	}
+	if last <= endSec {
+		return 0
+	}
+	return time.Duration(last-endSec) * time.Second
+}
+
+// --- histogram ---
+
+const (
+	histMin    = 50 * time.Microsecond
+	histGrowth = 1.05
+	histSize   = 512
+)
+
+type histogram struct {
+	buckets [histSize]uint64
+	logG    float64
+}
+
+func newHistogram() histogram {
+	return histogram{logG: math.Log(histGrowth)}
+}
+
+func (h *histogram) index(d time.Duration) int {
+	if d <= histMin {
+		return 0
+	}
+	i := int(math.Log(float64(d)/float64(histMin)) / h.logG)
+	if i >= histSize {
+		i = histSize - 1
+	}
+	return i
+}
+
+func (h *histogram) value(i int) time.Duration {
+	return time.Duration(float64(histMin) * math.Pow(histGrowth, float64(i)+0.5))
+}
+
+func (h *histogram) add(d time.Duration, w uint64) {
+	h.buckets[h.index(d)] += w
+}
+
+func (h *histogram) percentile(p float64) time.Duration {
+	var total uint64
+	for _, c := range h.buckets {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(p * float64(total))
+	var cum uint64
+	for i, c := range h.buckets {
+		cum += c
+		if cum >= target {
+			return h.value(i)
+		}
+	}
+	return h.value(histSize - 1)
+}

@@ -1,0 +1,129 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/types"
+)
+
+func batchAt(origin types.NodeID, seq uint64, count uint32, arrival time.Duration) *types.Batch {
+	return types.NewSyntheticBatch(origin, seq, count, uint64(count)*512, arrival, arrival)
+}
+
+func TestRecordAndWindows(t *testing.T) {
+	r := NewRecorder(time.Minute)
+	// 100 txs arriving at 1.5s committing at 2.0s (500ms latency).
+	r.Record(2*time.Second, batchAt(0, 1, 100, 1500*time.Millisecond))
+	// 300 txs arriving at 2.5s committing at 2.7s (200ms latency).
+	r.Record(2700*time.Millisecond, batchAt(0, 2, 300, 2500*time.Millisecond))
+
+	if r.Total() != 400 {
+		t.Fatalf("total = %d", r.Total())
+	}
+	// Throughput over commit window [2s,3s): all 400.
+	if got := r.Throughput(2*time.Second, 3*time.Second); got != 400 {
+		t.Fatalf("throughput = %v", got)
+	}
+	// Mean latency over arrival window [1s,3s): (100*0.5 + 300*0.2)/400.
+	want := time.Duration((100*0.5 + 300*0.2) / 400 * float64(time.Second))
+	got := r.MeanLatency(1*time.Second, 3*time.Second)
+	if got < want-time.Millisecond || got > want+time.Millisecond {
+		t.Fatalf("mean = %v, want %v", got, want)
+	}
+	// Arrival window excluding the first batch.
+	if got := r.MeanLatency(2*time.Second, 3*time.Second); got < 190*time.Millisecond || got > 210*time.Millisecond {
+		t.Fatalf("windowed mean = %v", got)
+	}
+}
+
+func TestQuorumRecording(t *testing.T) {
+	r := NewRecorder(time.Minute)
+	r.Quorum = 2
+	b := batchAt(1, 7, 50, time.Second)
+	r.RecordAt(0, 1500*time.Millisecond, b) // first executor: not yet recorded
+	if r.Total() != 0 {
+		t.Fatal("recorded before quorum")
+	}
+	r.RecordAt(0, 1600*time.Millisecond, b) // duplicate executor: ignored
+	if r.Total() != 0 {
+		t.Fatal("duplicate executor counted")
+	}
+	r.RecordAt(2, 1800*time.Millisecond, b) // second distinct: recorded at 1.8s
+	if r.Total() != 50 {
+		t.Fatalf("total = %d", r.Total())
+	}
+	lat := r.MeanLatency(0, 2*time.Second)
+	if lat != 800*time.Millisecond {
+		t.Fatalf("latency endpoint = %v, want 800ms (2nd executor)", lat)
+	}
+	r.RecordAt(3, 5*time.Second, b) // post-quorum executor: ignored
+	if r.Total() != 50 {
+		t.Fatal("post-quorum execution double-counted")
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	r := NewRecorder(time.Minute)
+	// 90 txs at 100ms, 10 txs at 1s.
+	r.Record(1100*time.Millisecond, batchAt(0, 1, 90, time.Second))
+	r.Record(3*time.Second, batchAt(0, 2, 10, 2*time.Second))
+	p50 := r.Percentile(0.5)
+	p99 := r.Percentile(0.99)
+	if p50 < 80*time.Millisecond || p50 > 130*time.Millisecond {
+		t.Fatalf("p50 = %v", p50)
+	}
+	if p99 < 800*time.Millisecond || p99 > 1200*time.Millisecond {
+		t.Fatalf("p99 = %v", p99)
+	}
+	if p99 <= p50 {
+		t.Fatal("percentiles must be monotone")
+	}
+}
+
+func TestHangoverAnalysis(t *testing.T) {
+	r := NewRecorder(time.Minute)
+	// Steady 100ms latency for seconds 0-9.
+	for s := 0; s < 10; s++ {
+		arr := time.Duration(s)*time.Second + 500*time.Millisecond
+		r.Record(arr+100*time.Millisecond, batchAt(0, uint64(s+1), 100, arr))
+	}
+	// Blip: seconds 10-12 at 2s latency; recovery at 13+.
+	for s := 10; s < 13; s++ {
+		arr := time.Duration(s)*time.Second + 500*time.Millisecond
+		r.Record(arr+2*time.Second, batchAt(0, uint64(s+1), 100, arr))
+	}
+	for s := 13; s < 20; s++ {
+		arr := time.Duration(s)*time.Second + 500*time.Millisecond
+		r.Record(arr+110*time.Millisecond, batchAt(0, uint64(s+1), 100, arr))
+	}
+	// Blip declared over at t=11s: latency stayed >2x baseline until 13.
+	h := r.Hangover(11*time.Second, 100*time.Millisecond, 2.0)
+	if h != 2*time.Second {
+		t.Fatalf("hangover = %v, want 2s", h)
+	}
+	// Measured from 13s, no hangover remains.
+	if h := r.Hangover(13*time.Second, 100*time.Millisecond, 2.0); h != 0 {
+		t.Fatalf("post-recovery hangover = %v", h)
+	}
+}
+
+func TestArrivalSeriesShape(t *testing.T) {
+	r := NewRecorder(10 * time.Second)
+	r.Record(2*time.Second, batchAt(0, 1, 10, 1500*time.Millisecond))
+	series := r.ArrivalSeries()
+	if series[1].Committed != 10 || series[1].MeanLat != 500*time.Millisecond {
+		t.Fatalf("series[1] = %+v", series[1])
+	}
+	if series[0].Committed != 0 {
+		t.Fatalf("series[0] = %+v", series[0])
+	}
+}
+
+func TestNegativeLatencyClamped(t *testing.T) {
+	r := NewRecorder(time.Minute)
+	r.Record(time.Second, batchAt(0, 1, 10, 2*time.Second)) // commit before arrival
+	if lat := r.MeanLatency(2*time.Second, 3*time.Second); lat != 0 {
+		t.Fatalf("negative latency not clamped: %v", lat)
+	}
+}

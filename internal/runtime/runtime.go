@@ -1,0 +1,96 @@
+// Package runtime defines the execution model shared by the discrete-event
+// simulator (internal/sim) and the real TCP runtime (internal/transport):
+// protocol nodes are single-threaded, event-driven state machines that
+// react to messages, timers and client submissions through a Context.
+//
+// Because every protocol in this repository (Autobahn, HotStuff variants,
+// Bullshark) is written against these interfaces, the simulator exercises
+// exactly the code a real deployment runs — only the transport and clock
+// differ.
+package runtime
+
+import (
+	"time"
+
+	"repro/internal/types"
+)
+
+// TimerTag identifies a timer to the protocol that set it. Kind is a
+// protocol-defined discriminator; A and B carry protocol-defined payload
+// (e.g. slot and view). Tags are value types so timers allocate nothing.
+type TimerTag struct {
+	Kind uint8
+	A    uint64
+	B    uint64
+}
+
+// Context is the interface through which a protocol node interacts with
+// the outside world. All methods must be called only from within the
+// node's event handlers (the runtime is single-threaded per node).
+type Context interface {
+	// ID returns this node's replica ID.
+	ID() types.NodeID
+	// Now returns the time elapsed since the deployment epoch. Under
+	// simulation this is virtual time.
+	Now() time.Duration
+	// Send queues m for delivery to replica `to`. Sending to self delivers
+	// through the normal path (with loopback cost under simulation).
+	Send(to types.NodeID, m types.Message)
+	// Broadcast sends m to every replica except the sender.
+	Broadcast(m types.Message)
+	// SetTimer schedules OnTimer(tag) after d. Timers are one-shot.
+	// Setting a timer with a tag equal to an already-pending timer
+	// replaces it (the earlier deadline is cancelled).
+	SetTimer(d time.Duration, tag TimerTag)
+	// CancelTimer cancels a pending timer with the given tag, if any.
+	CancelTimer(tag TimerTag)
+	// Rand returns a deterministic pseudo-random uint64 (seeded per node
+	// by the runtime); protocols must not use global randomness.
+	Rand() uint64
+}
+
+// Protocol is a replicated state machine node. Implementations must be
+// deterministic functions of their event history (plus Context.Rand).
+type Protocol interface {
+	// Init is called once before any other event.
+	Init(ctx Context)
+	// OnMessage delivers a message from another replica. Implementations
+	// must treat m as immutable (the simulator shares pointers).
+	OnMessage(ctx Context, from types.NodeID, m types.Message)
+	// OnTimer fires a previously set timer.
+	OnTimer(ctx Context, tag TimerTag)
+	// OnClientBatch submits a sealed batch of client transactions
+	// originating at this replica's mempool.
+	OnClientBatch(ctx Context, b *types.Batch)
+}
+
+// Committed describes one batch that became execution-ready: the protocol
+// has totally ordered it and the replica possesses its data (the paper's
+// latency endpoint).
+type Committed struct {
+	// Lane/Position locate the batch in its dissemination structure
+	// (lane position for Autobahn, round for DAGs, block height for HS).
+	Lane     types.NodeID
+	Position types.Pos
+	// Slot is the consensus decision that committed the batch (0 when the
+	// protocol has no slot notion).
+	Slot  types.Slot
+	Batch *types.Batch
+}
+
+// CommitSink receives execution-ready batches in total order. The runtime
+// (not the protocol) provides it; metrics and applications attach here.
+type CommitSink interface {
+	OnCommit(node types.NodeID, now time.Duration, c Committed)
+}
+
+// CommitSinkFunc adapts a function to CommitSink.
+type CommitSinkFunc func(node types.NodeID, now time.Duration, c Committed)
+
+// OnCommit implements CommitSink.
+func (f CommitSinkFunc) OnCommit(node types.NodeID, now time.Duration, c Committed) {
+	f(node, now, c)
+}
+
+// NopSink discards commits.
+var NopSink CommitSink = CommitSinkFunc(func(types.NodeID, time.Duration, Committed) {})

@@ -1,0 +1,39 @@
+package runtime
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/types"
+)
+
+func TestCommitSinkFunc(t *testing.T) {
+	var gotNode types.NodeID
+	var gotNow time.Duration
+	var gotLane types.NodeID
+	sink := CommitSinkFunc(func(node types.NodeID, now time.Duration, c Committed) {
+		gotNode, gotNow, gotLane = node, now, c.Lane
+	})
+	sink.OnCommit(2, 5*time.Second, Committed{Lane: 3, Position: 7, Slot: 9})
+	if gotNode != 2 || gotNow != 5*time.Second || gotLane != 3 {
+		t.Fatalf("sink saw node=%v now=%v lane=%v", gotNode, gotNow, gotLane)
+	}
+}
+
+func TestNopSinkIsSafe(t *testing.T) {
+	// Must not panic and must accept any input, including zero values.
+	NopSink.OnCommit(0, 0, Committed{})
+	NopSink.OnCommit(63, time.Hour, Committed{Batch: types.NewSyntheticBatch(1, 1, 1, 1, 0, 0)})
+}
+
+func TestTimerTagComparable(t *testing.T) {
+	// Tags must be usable as map keys with value semantics (the runtimes
+	// key pending timers by tag).
+	m := map[TimerTag]int{}
+	m[TimerTag{Kind: 1, A: 2, B: 3}] = 1
+	m[TimerTag{Kind: 1, A: 2, B: 3}] = 2
+	m[TimerTag{Kind: 1, A: 2, B: 4}] = 3
+	if len(m) != 2 || m[TimerTag{Kind: 1, A: 2, B: 3}] != 2 {
+		t.Fatalf("tag map semantics broken: %v", m)
+	}
+}

@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"time"
+
+	"repro/internal/types"
+)
+
+// FaultSchedule injects failures into a simulation. All windows are
+// half-open virtual-time intervals [From, To).
+//
+// Three fault kinds cover the paper's blip experiments:
+//   - Down: the replica neither sends nor receives nor fires timers
+//     (a crashed replica; used for the Fig. 1/7 leader-failure blips).
+//   - Mute: the replica receives but its outbound messages are dropped
+//     (a silent/Byzantine leader).
+//   - Partition: messages crossing group boundaries are dropped
+//     (the Fig. 8 partial partition).
+type FaultSchedule struct {
+	downs      []nodeWindow
+	mutes      []nodeWindow
+	partitions []partitionWindow
+}
+
+type nodeWindow struct {
+	node     types.NodeID
+	from, to time.Duration
+}
+
+type partitionWindow struct {
+	group    map[types.NodeID]int
+	from, to time.Duration
+}
+
+// Down marks node as crashed during [from, to).
+func (f *FaultSchedule) Down(t time.Duration, node types.NodeID) bool {
+	_, down := f.DownUntil(t, node)
+	return down
+}
+
+// DownUntil reports whether node is crashed at t and, if so, when its
+// current down window ends (overlapping windows are coalesced).
+func (f *FaultSchedule) DownUntil(t time.Duration, node types.NodeID) (time.Duration, bool) {
+	down := false
+	until := t
+	for changed := true; changed; {
+		changed = false
+		for _, w := range f.downs {
+			if w.node == node && until >= w.from && until < w.to {
+				down = true
+				if w.to > until {
+					until = w.to
+					changed = true
+				}
+			}
+		}
+	}
+	return until, down
+}
+
+// AddDown schedules a crash window.
+func (f *FaultSchedule) AddDown(node types.NodeID, from, to time.Duration) *FaultSchedule {
+	f.downs = append(f.downs, nodeWindow{node, from, to})
+	return f
+}
+
+// AddMute schedules a silent-sender window.
+func (f *FaultSchedule) AddMute(node types.NodeID, from, to time.Duration) *FaultSchedule {
+	f.mutes = append(f.mutes, nodeWindow{node, from, to})
+	return f
+}
+
+// AddPartition splits the committee into groups during [from, to); groups
+// maps every affected node to a group index, and messages between
+// different groups are dropped. Nodes absent from the map can talk to
+// everyone.
+func (f *FaultSchedule) AddPartition(groups map[types.NodeID]int, from, to time.Duration) *FaultSchedule {
+	f.partitions = append(f.partitions, partitionWindow{group: groups, from: from, to: to})
+	return f
+}
+
+// SplitPartition is a convenience for the paper's Fig. 8 scenario: nodes
+// in `half` form group 1, everyone else group 0.
+func (f *FaultSchedule) SplitPartition(n int, half []types.NodeID, from, to time.Duration) *FaultSchedule {
+	groups := make(map[types.NodeID]int, n)
+	for i := 0; i < n; i++ {
+		groups[types.NodeID(i)] = 0
+	}
+	for _, id := range half {
+		groups[id] = 1
+	}
+	return f.AddPartition(groups, from, to)
+}
+
+// Blocked reports whether a message sent at t from a to b is dropped.
+func (f *FaultSchedule) Blocked(t time.Duration, from, to types.NodeID) bool {
+	if f.Down(t, from) || f.Down(t, to) {
+		return true
+	}
+	for _, w := range f.mutes {
+		if w.node == from && t >= w.from && t < w.to {
+			return true
+		}
+	}
+	for _, p := range f.partitions {
+		if t >= p.from && t < p.to {
+			ga, aok := p.group[from]
+			gb, bok := p.group[to]
+			if aok && bok && ga != gb {
+				return true
+			}
+		}
+	}
+	return false
+}

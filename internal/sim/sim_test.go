@@ -1,0 +1,221 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/runtime"
+	"repro/internal/types"
+)
+
+// echoProto counts deliveries and replies to every message; used to
+// exercise the engine plumbing.
+type echoProto struct {
+	id        types.NodeID
+	delivered []time.Duration
+	timers    []runtime.TimerTag
+	batches   int
+	reply     bool
+}
+
+type ping struct{ size int }
+
+func (p *ping) Type() types.MsgType { return 200 }
+func (p *ping) WireSize() int       { return p.size }
+
+func (e *echoProto) Init(ctx runtime.Context)                    { e.id = ctx.ID() }
+func (e *echoProto) OnClientBatch(runtime.Context, *types.Batch) {}
+func (e *echoProto) OnTimer(ctx runtime.Context, tag runtime.TimerTag) {
+	e.timers = append(e.timers, tag)
+}
+func (e *echoProto) OnMessage(ctx runtime.Context, from types.NodeID, m types.Message) {
+	e.delivered = append(e.delivered, ctx.Now())
+	if e.reply {
+		ctx.Send(from, &ping{size: 100})
+	}
+}
+
+func twoNodeEngine(oneWay time.Duration, cfg NetConfig) (*Engine, *echoProto, *echoProto) {
+	if cfg.Topology == nil {
+		cfg.Topology = UniformTopology{OneWay: oneWay}
+	}
+	if cfg.JitterFrac == 0 {
+		cfg.JitterFrac = -1 // sentinel: NewNetwork replaces 0 with default
+	}
+	net := NewNetwork(cfg)
+	net.cfg.JitterFrac = 0 // exact arithmetic for tests
+	e := NewEngine(Config{Net: net, Seed: 1})
+	a, b := &echoProto{}, &echoProto{}
+	e.AddNode(a)
+	e.AddNode(b)
+	return e, a, b
+}
+
+func TestControlMessageLatency(t *testing.T) {
+	e, _, b := twoNodeEngine(10*time.Millisecond, NetConfig{})
+	e.At(0, func() {
+		e.nodes[0].Send(1, &ping{size: 100})
+	})
+	e.Run(time.Second)
+	if len(b.delivered) != 1 {
+		t.Fatalf("delivered %d messages", len(b.delivered))
+	}
+	// 100 bytes: egress ~80ns + 10ms propagation + 60µs control overhead.
+	got := b.delivered[0]
+	want := 10*time.Millisecond + 60*time.Microsecond
+	if got < want || got > want+time.Millisecond {
+		t.Fatalf("control delivery at %v, want ≈%v", got, want)
+	}
+}
+
+func TestBulkProcessingQueueSerializes(t *testing.T) {
+	e, _, b := twoNodeEngine(10*time.Millisecond, NetConfig{
+		ProcBytesPerSec: 100e6, ProcOverhead: time.Millisecond,
+	})
+	const size = 1 << 20 // 1 MiB >= bulk threshold
+	e.At(0, func() {
+		e.nodes[0].Send(1, &ping{size: size})
+		e.nodes[0].Send(1, &ping{size: size})
+	})
+	e.Run(time.Second)
+	if len(b.delivered) != 2 {
+		t.Fatalf("delivered %d", len(b.delivered))
+	}
+	proc := time.Duration(float64(size) / 100e6 * float64(time.Second))
+	gap := b.delivered[1] - b.delivered[0]
+	// The second message queues behind the first's processing.
+	if gap < proc {
+		t.Fatalf("bulk gap %v, want >= processing time %v", gap, proc)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() []time.Duration {
+		net := NewNetwork(DefaultNetConfig(IntraUSTopology()))
+		e := NewEngine(Config{Net: net, Seed: 99})
+		a, b := &echoProto{reply: true}, &echoProto{reply: true}
+		e.AddNode(a)
+		e.AddNode(b)
+		e.At(0, func() { e.nodes[0].Send(1, &ping{size: 1 << 20}) })
+		e.At(time.Millisecond, func() { e.nodes[1].Send(0, &ping{size: 500}) })
+		e.Run(2 * time.Second)
+		return append(append([]time.Duration{}, a.delivered...), b.delivered...)
+	}
+	r1, r2 := run(), run()
+	if len(r1) != len(r2) || len(r1) == 0 {
+		t.Fatalf("replay lengths differ: %d vs %d", len(r1), len(r2))
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("replay diverged at %d: %v vs %v", i, r1[i], r2[i])
+		}
+	}
+}
+
+func TestTimerReplaceAndCancel(t *testing.T) {
+	e, a, _ := twoNodeEngine(time.Millisecond, NetConfig{})
+	tag := runtime.TimerTag{Kind: 1, A: 42}
+	e.At(0, func() {
+		e.nodes[0].SetTimer(50*time.Millisecond, tag)
+		e.nodes[0].SetTimer(80*time.Millisecond, tag) // replaces
+	})
+	e.Run(200 * time.Millisecond)
+	if len(a.timers) != 1 {
+		t.Fatalf("timer fired %d times, want 1 (replacement)", len(a.timers))
+	}
+
+	e2, a2, _ := twoNodeEngine(time.Millisecond, NetConfig{})
+	e2.At(0, func() {
+		e2.nodes[0].SetTimer(50*time.Millisecond, tag)
+		e2.nodes[0].CancelTimer(tag)
+	})
+	e2.Run(200 * time.Millisecond)
+	if len(a2.timers) != 0 {
+		t.Fatalf("cancelled timer fired")
+	}
+}
+
+// TestTimerDefersAcrossCrash: a timer due while its node is down fires at
+// recovery instead of being lost (periodic chains must survive crashes).
+func TestTimerDefersAcrossCrash(t *testing.T) {
+	faults := (&FaultSchedule{}).AddDown(0, 40*time.Millisecond, 100*time.Millisecond)
+	net := NewNetwork(NetConfig{Topology: UniformTopology{OneWay: time.Millisecond}})
+	e := NewEngine(Config{Net: net, Faults: faults, Seed: 1})
+	a := &echoProto{}
+	e.AddNode(a)
+	e.At(0, func() {
+		e.nodes[0].SetTimer(50*time.Millisecond, runtime.TimerTag{Kind: 2})
+	})
+	e.Run(time.Second)
+	if len(a.timers) != 1 {
+		t.Fatalf("timer fired %d times", len(a.timers))
+	}
+	// It fired, and only after the down window ended.
+	// (echoProto doesn't record fire times; rely on dispatch semantics:
+	// Down() at fire time reschedules to the window end.)
+}
+
+func TestFaultScheduleBlocking(t *testing.T) {
+	f := (&FaultSchedule{}).
+		AddDown(1, 10, 20).
+		AddMute(2, 30, 40).
+		SplitPartition(4, []types.NodeID{2, 3}, 50, 60)
+
+	if !f.Blocked(15, 0, 1) || !f.Blocked(15, 1, 0) {
+		t.Fatal("down node must not send or receive")
+	}
+	if f.Blocked(25, 0, 1) {
+		t.Fatal("recovered node must communicate")
+	}
+	if !f.Blocked(35, 2, 0) {
+		t.Fatal("muted node must not send")
+	}
+	if f.Blocked(35, 0, 2) {
+		t.Fatal("muted node must still receive")
+	}
+	if !f.Blocked(55, 0, 2) || !f.Blocked(55, 3, 1) {
+		t.Fatal("cross-partition traffic must drop")
+	}
+	if f.Blocked(55, 0, 1) || f.Blocked(55, 2, 3) {
+		t.Fatal("intra-partition traffic must flow")
+	}
+}
+
+func TestDownUntilCoalescesWindows(t *testing.T) {
+	f := (&FaultSchedule{}).AddDown(0, 10, 20).AddDown(0, 20, 30).AddDown(0, 25, 35)
+	until, down := f.DownUntil(12, 0)
+	if !down || until != 35 {
+		t.Fatalf("DownUntil = (%v, %v), want (35, true)", until, down)
+	}
+	if _, down := f.DownUntil(35, 0); down {
+		t.Fatal("window end is exclusive")
+	}
+}
+
+func TestIntraUSTopologyMatchesTable1(t *testing.T) {
+	topo := IntraUSTopology()
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			want := time.Duration(IntraUSRTTms[i][j] / 2 * float64(time.Millisecond))
+			if d := topo.Delay(types.NodeID(i), types.NodeID(j)); d != want {
+				t.Fatalf("delay(%d,%d) = %v, want %v", i, j, d, want)
+			}
+		}
+	}
+	// Replicas beyond 4 wrap around regions.
+	if topo.Delay(0, 4) != topo.Delay(0, 0) {
+		t.Fatal("replica 4 must map to region 0")
+	}
+}
+
+func TestEverySchedulesUntilBound(t *testing.T) {
+	e, _, _ := twoNodeEngine(time.Millisecond, NetConfig{})
+	var fired []time.Duration
+	e.Every(10*time.Millisecond, 20*time.Millisecond, 100*time.Millisecond, func(now time.Duration) {
+		fired = append(fired, now)
+	})
+	e.Run(time.Second)
+	if len(fired) != 5 { // 10,30,50,70,90
+		t.Fatalf("Every fired %d times: %v", len(fired), fired)
+	}
+}

@@ -1,0 +1,87 @@
+package sim
+
+import (
+	"time"
+
+	"repro/internal/types"
+)
+
+// Topology supplies one-way propagation delays between replicas.
+type Topology interface {
+	// Delay returns the one-way propagation delay from a to b.
+	Delay(a, b types.NodeID) time.Duration
+	// Regions returns the number of distinct regions (informational).
+	Regions() int
+}
+
+// Region names of the paper's intra-US GCP deployment (§6, Table 1).
+var IntraUSRegions = []string{"us-east1", "us-east5", "us-west1", "us-west4"}
+
+// IntraUSRTTms is the paper's Table 1: round-trip times in milliseconds
+// between the four GCP regions, indexed by IntraUSRegions order.
+var IntraUSRTTms = [4][4]float64{
+	{0.5, 19, 64, 55},
+	{19, 0.5, 50, 57},
+	{64, 50, 0.5, 28},
+	{55, 57, 28, 0.5},
+}
+
+// regionTopology spreads n replicas round-robin across a set of regions
+// with a symmetric inter-region RTT matrix; one-way delay is RTT/2.
+type regionTopology struct {
+	rttHalf [][]time.Duration
+	regions int
+}
+
+// NewRegionTopology builds a topology from an RTT matrix given in
+// milliseconds. Replica i is placed in region i mod len(matrix).
+func NewRegionTopology(rttMs [][]float64) Topology {
+	k := len(rttMs)
+	half := make([][]time.Duration, k)
+	for i := range half {
+		if len(rttMs[i]) != k {
+			panic("sim: RTT matrix must be square")
+		}
+		half[i] = make([]time.Duration, k)
+		for j := range half[i] {
+			half[i][j] = time.Duration(rttMs[i][j] / 2 * float64(time.Millisecond))
+		}
+	}
+	return &regionTopology{rttHalf: half, regions: k}
+}
+
+// IntraUSTopology returns the paper's Table 1 topology (replica i in
+// region i mod 4). It is the default for every experiment.
+func IntraUSTopology() Topology {
+	m := make([][]float64, 4)
+	for i := range m {
+		m[i] = IntraUSRTTms[i][:]
+	}
+	return NewRegionTopology(m)
+}
+
+func (t *regionTopology) Delay(a, b types.NodeID) time.Duration {
+	ra := int(a) % t.regions
+	rb := int(b) % t.regions
+	return t.rttHalf[ra][rb]
+}
+
+func (t *regionTopology) Regions() int { return t.regions }
+
+// UniformTopology gives every pair the same one-way delay — useful for
+// unit tests with easily predictable arithmetic.
+type UniformTopology struct {
+	OneWay time.Duration
+	Local  time.Duration // self/loopback delay
+}
+
+// Delay implements Topology.
+func (t UniformTopology) Delay(a, b types.NodeID) time.Duration {
+	if a == b {
+		return t.Local
+	}
+	return t.OneWay
+}
+
+// Regions implements Topology.
+func (t UniformTopology) Regions() int { return 1 }

@@ -1,0 +1,217 @@
+// Package storage is the persistence substrate standing in for the
+// paper's RocksDB: an append-only, length-framed write-ahead log with an
+// in-memory index. Both stores are sequential-write-dominated, which is
+// the property that matters for the paper's "deserialize and store"
+// throughput bottleneck; the simulator charges that cost through its
+// processing model, while real deployments (cmd/autobahn-node) write
+// through this package.
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// Store is a WAL-backed key/value store. Keys and values are opaque
+// bytes; writes append to the log and update the index atomically under
+// one lock. Reopening replays the log.
+type Store struct {
+	mu    sync.Mutex
+	f     *os.File
+	w     *bufio.Writer
+	index map[string][]byte
+	path  string
+	dirty int
+	// SyncEvery fsyncs after this many appends (0 = never, relying on OS
+	// flush; crash durability is a non-goal for the reproduction).
+	SyncEvery int
+}
+
+// Open opens (creating if absent) a store at path and replays its log.
+func Open(path string) (*Store, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open %s: %w", path, err)
+	}
+	s := &Store{
+		f:     f,
+		index: make(map[string][]byte),
+		path:  path,
+	}
+	if err := s.replay(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, err
+	}
+	s.w = bufio.NewWriterSize(f, 1<<20)
+	return s, nil
+}
+
+// replay loads every intact record; a torn tail (partial final record or
+// checksum mismatch) truncates the log there, WAL-style.
+func (s *Store) replay() error {
+	r := bufio.NewReaderSize(s.f, 1<<20)
+	var off int64
+	for {
+		rec, n, err := readRecord(r)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// Torn tail: truncate and recover.
+			if terr := s.f.Truncate(off); terr != nil {
+				return fmt.Errorf("storage: truncate torn tail: %w", terr)
+			}
+			break
+		}
+		if rec.val == nil {
+			delete(s.index, string(rec.key))
+		} else {
+			s.index[string(rec.key)] = rec.val
+		}
+		off += int64(n)
+	}
+	return nil
+}
+
+type record struct {
+	key, val []byte
+}
+
+// Record framing: crc32(4) | klen(4) | vlen(4, ^0 = tombstone) | key | val.
+func readRecord(r io.Reader) (record, int, error) {
+	var hdr [12]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return record{}, 0, fmt.Errorf("storage: torn header")
+		}
+		return record{}, 0, err
+	}
+	crc := binary.LittleEndian.Uint32(hdr[0:])
+	klen := binary.LittleEndian.Uint32(hdr[4:])
+	vlen := binary.LittleEndian.Uint32(hdr[8:])
+	if klen > 1<<20 || (vlen != ^uint32(0) && vlen > 256<<20) {
+		return record{}, 0, fmt.Errorf("storage: implausible record lengths")
+	}
+	key := make([]byte, klen)
+	if _, err := io.ReadFull(r, key); err != nil {
+		return record{}, 0, fmt.Errorf("storage: torn key")
+	}
+	var val []byte
+	if vlen != ^uint32(0) {
+		val = make([]byte, vlen)
+		if _, err := io.ReadFull(r, val); err != nil {
+			return record{}, 0, fmt.Errorf("storage: torn value")
+		}
+	}
+	if crc != recordCRC(key, val, vlen) {
+		return record{}, 0, fmt.Errorf("storage: checksum mismatch")
+	}
+	n := 12 + int(klen)
+	if val != nil {
+		n += int(vlen)
+	}
+	return record{key: key, val: val}, n, nil
+}
+
+func recordCRC(key, val []byte, vlen uint32) uint32 {
+	h := crc32.NewIEEE()
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], vlen)
+	h.Write(b[:])
+	h.Write(key)
+	h.Write(val)
+	return h.Sum32()
+}
+
+func (s *Store) append(key, val []byte, vlen uint32) error {
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:], recordCRC(key, val, vlen))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(key)))
+	binary.LittleEndian.PutUint32(hdr[8:], vlen)
+	if _, err := s.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := s.w.Write(key); err != nil {
+		return err
+	}
+	if val != nil {
+		if _, err := s.w.Write(val); err != nil {
+			return err
+		}
+	}
+	s.dirty++
+	if s.SyncEvery > 0 && s.dirty >= s.SyncEvery {
+		s.dirty = 0
+		if err := s.w.Flush(); err != nil {
+			return err
+		}
+		return s.f.Sync()
+	}
+	return nil
+}
+
+// Put stores val under key.
+func (s *Store) Put(key, val []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.append(key, val, uint32(len(val))); err != nil {
+		return fmt.Errorf("storage: put: %w", err)
+	}
+	cp := make([]byte, len(val))
+	copy(cp, val)
+	s.index[string(key)] = cp
+	return nil
+}
+
+// Get returns the value for key (nil, false when absent).
+func (s *Store) Get(key []byte) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.index[string(key)]
+	return v, ok
+}
+
+// Delete removes key (a tombstone is logged).
+func (s *Store) Delete(key []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.append(key, nil, ^uint32(0)); err != nil {
+		return fmt.Errorf("storage: delete: %w", err)
+	}
+	delete(s.index, string(key))
+	return nil
+}
+
+// Len returns the number of live keys.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// Flush forces buffered appends to the OS.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Flush()
+}
+
+// Close flushes and closes the store.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.w.Flush(); err != nil {
+		s.f.Close()
+		return err
+	}
+	return s.f.Close()
+}

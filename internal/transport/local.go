@@ -1,0 +1,69 @@
+package transport
+
+import (
+	"time"
+
+	"repro/internal/runtime"
+	"repro/internal/types"
+)
+
+// LocalMesh connects n loops inside one process: messages pass by pointer
+// with optional injected delay, giving examples and integration tests a
+// real-time cluster without sockets.
+type LocalMesh struct {
+	loops []*Loop
+	// Delay, if set, adds a fixed artificial latency to every delivery
+	// (rough WAN emulation for demos).
+	Delay time.Duration
+}
+
+// NewLocalMesh builds an empty mesh; attach loops with AddNode.
+func NewLocalMesh() *LocalMesh { return &LocalMesh{} }
+
+// AddNode creates a loop for proto wired to this mesh. Nodes must be
+// added in ID order before Start.
+func (m *LocalMesh) AddNode(proto runtime.Protocol, epoch time.Time) *Loop {
+	l := NewLoop(types.NodeID(len(m.loops)), proto, m, epoch)
+	m.loops = append(m.loops, l)
+	return l
+}
+
+// Loop returns the loop for a replica.
+func (m *LocalMesh) Loop(id types.NodeID) *Loop { return m.loops[id] }
+
+// Start launches every loop goroutine.
+func (m *LocalMesh) Start() {
+	for _, l := range m.loops {
+		go l.Run()
+	}
+}
+
+// Stop terminates every loop.
+func (m *LocalMesh) Stop() {
+	for _, l := range m.loops {
+		l.Stop()
+	}
+}
+
+// Send implements Sender.
+func (m *LocalMesh) Send(from, to types.NodeID, msg types.Message) {
+	if int(to) >= len(m.loops) {
+		return
+	}
+	if m.Delay > 0 {
+		target := m.loops[to]
+		time.AfterFunc(m.Delay, func() { target.Deliver(from, msg) })
+		return
+	}
+	m.loops[to].Deliver(from, msg)
+}
+
+// Broadcast implements Sender.
+func (m *LocalMesh) Broadcast(from types.NodeID, msg types.Message) {
+	for _, l := range m.loops {
+		if l.id == from {
+			continue
+		}
+		m.Send(from, l.id, msg)
+	}
+}

@@ -1,0 +1,166 @@
+// Package transport runs protocol nodes in real time: each replica is an
+// event loop goroutine that serializes message deliveries, timer firings
+// and client submissions, satisfying the runtime.Protocol single-threaded
+// contract. Two meshes are provided: an in-process bus (local.go) for
+// single-binary clusters and examples, and a TCP mesh (tcp.go) with
+// length-framed wire encoding for real deployments.
+package transport
+
+import (
+	"math/rand/v2"
+	"sync"
+	"time"
+
+	"repro/internal/runtime"
+	"repro/internal/types"
+)
+
+// Sender abstracts the outbound half of a mesh.
+type Sender interface {
+	Send(from, to types.NodeID, m types.Message)
+	Broadcast(from types.NodeID, m types.Message)
+}
+
+// event is one serialized unit of work for a node loop.
+type event struct {
+	kind  uint8 // 0 deliver, 1 timer, 2 batch, 3 stop
+	from  types.NodeID
+	msg   types.Message
+	tag   runtime.TimerTag
+	epoch uint64
+	batch *types.Batch
+}
+
+// Loop drives one protocol instance in real time.
+type Loop struct {
+	id     types.NodeID
+	proto  runtime.Protocol
+	sender Sender
+	start  time.Time
+	events chan event
+
+	mu     sync.Mutex
+	epochs map[runtime.TimerTag]uint64
+	timers map[runtime.TimerTag]*time.Timer
+
+	rng     *rand.Rand
+	stopped chan struct{}
+	once    sync.Once
+}
+
+// queueDepth bounds a loop's inbox; overload drops oldest-style by
+// blocking briefly then discarding (protocols tolerate loss).
+const queueDepth = 1 << 14
+
+// NewLoop builds a loop for one replica. Call Run to start it.
+func NewLoop(id types.NodeID, proto runtime.Protocol, sender Sender, epoch time.Time) *Loop {
+	return &Loop{
+		id:      id,
+		proto:   proto,
+		sender:  sender,
+		start:   epoch,
+		events:  make(chan event, queueDepth),
+		epochs:  make(map[runtime.TimerTag]uint64),
+		timers:  make(map[runtime.TimerTag]*time.Timer),
+		rng:     rand.New(rand.NewPCG(uint64(id)+1, 0x51ab_2de1)),
+		stopped: make(chan struct{}),
+	}
+}
+
+var _ runtime.Context = (*Loop)(nil)
+
+// ID implements runtime.Context.
+func (l *Loop) ID() types.NodeID { return l.id }
+
+// Now implements runtime.Context (time since the deployment epoch).
+func (l *Loop) Now() time.Duration { return time.Since(l.start) }
+
+// Rand implements runtime.Context. Only the loop goroutine calls it.
+func (l *Loop) Rand() uint64 { return l.rng.Uint64() }
+
+// Send implements runtime.Context.
+func (l *Loop) Send(to types.NodeID, m types.Message) { l.sender.Send(l.id, to, m) }
+
+// Broadcast implements runtime.Context.
+func (l *Loop) Broadcast(m types.Message) { l.sender.Broadcast(l.id, m) }
+
+// SetTimer implements runtime.Context: one-shot, same-tag replaces.
+func (l *Loop) SetTimer(d time.Duration, tag runtime.TimerTag) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.epochs[tag]++
+	epoch := l.epochs[tag]
+	if t, ok := l.timers[tag]; ok {
+		t.Stop()
+	}
+	l.timers[tag] = time.AfterFunc(d, func() {
+		select {
+		case l.events <- event{kind: 1, tag: tag, epoch: epoch}:
+		case <-l.stopped:
+		}
+	})
+}
+
+// CancelTimer implements runtime.Context.
+func (l *Loop) CancelTimer(tag runtime.TimerTag) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.epochs[tag]++
+	if t, ok := l.timers[tag]; ok {
+		t.Stop()
+		delete(l.timers, tag)
+	}
+}
+
+// Deliver enqueues an inbound message (mesh side). Drops on overload.
+func (l *Loop) Deliver(from types.NodeID, m types.Message) {
+	select {
+	case l.events <- event{kind: 0, from: from, msg: m}:
+	case <-l.stopped:
+	default:
+		// Inbox full: drop. Protocol retransmission recovers.
+	}
+}
+
+// Submit enqueues a sealed client batch.
+func (l *Loop) Submit(b *types.Batch) {
+	select {
+	case l.events <- event{kind: 2, batch: b}:
+	case <-l.stopped:
+	}
+}
+
+// Run processes events until Stop; call in a dedicated goroutine.
+func (l *Loop) Run() {
+	l.proto.Init(l)
+	for {
+		select {
+		case <-l.stopped:
+			return
+		case ev := <-l.events:
+			switch ev.kind {
+			case 0:
+				l.proto.OnMessage(l, ev.from, ev.msg)
+			case 1:
+				l.mu.Lock()
+				live := l.epochs[ev.tag] == ev.epoch
+				if live {
+					delete(l.timers, ev.tag)
+				}
+				l.mu.Unlock()
+				if live {
+					l.proto.OnTimer(l, ev.tag)
+				}
+			case 2:
+				l.proto.OnClientBatch(l, ev.batch)
+			case 3:
+				return
+			}
+		}
+	}
+}
+
+// Stop terminates the loop.
+func (l *Loop) Stop() {
+	l.once.Do(func() { close(l.stopped) })
+}

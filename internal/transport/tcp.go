@@ -1,0 +1,230 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/runtime"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// TCPMesh connects one local replica to its peers over TCP, with
+// length-framed wire-encoded messages, lazy dialing and automatic
+// reconnection — the stdlib equivalent of the paper's Tokio TCP stack.
+type TCPMesh struct {
+	self  types.NodeID
+	addrs map[types.NodeID]string
+	loop  *Loop
+
+	mu    sync.Mutex
+	conns map[types.NodeID]*peerConn
+
+	listener net.Listener
+	stopped  chan struct{}
+	once     sync.Once
+	logger   *log.Logger
+}
+
+type peerConn struct {
+	out  chan []byte
+	done chan struct{}
+}
+
+// maxFrame bounds a single framed message (matches wire limits).
+const maxFrame = 256 << 20
+
+// NewTCPMesh builds the mesh for `self`, given every replica's address.
+func NewTCPMesh(self types.NodeID, addrs map[types.NodeID]string, proto runtime.Protocol, epoch time.Time, logger *log.Logger) *TCPMesh {
+	if logger == nil {
+		logger = log.Default()
+	}
+	m := &TCPMesh{
+		self:    self,
+		addrs:   addrs,
+		conns:   make(map[types.NodeID]*peerConn),
+		stopped: make(chan struct{}),
+		logger:  logger,
+	}
+	m.loop = NewLoop(self, proto, m, epoch)
+	return m
+}
+
+// Loop returns the local replica's event loop (for client submissions).
+func (m *TCPMesh) Loop() *Loop { return m.loop }
+
+// Start listens on this replica's address and launches the event loop.
+func (m *TCPMesh) Start() error {
+	ln, err := net.Listen("tcp", m.addrs[m.self])
+	if err != nil {
+		return fmt.Errorf("transport: listen %s: %w", m.addrs[m.self], err)
+	}
+	m.listener = ln
+	go m.acceptLoop()
+	go m.loop.Run()
+	return nil
+}
+
+// Stop closes the listener, connections and the loop.
+func (m *TCPMesh) Stop() {
+	m.once.Do(func() {
+		close(m.stopped)
+		if m.listener != nil {
+			m.listener.Close()
+		}
+		m.loop.Stop()
+	})
+}
+
+func (m *TCPMesh) acceptLoop() {
+	for {
+		conn, err := m.listener.Accept()
+		if err != nil {
+			select {
+			case <-m.stopped:
+				return
+			default:
+				m.logger.Printf("transport: accept: %v", err)
+				continue
+			}
+		}
+		go m.readLoop(conn)
+	}
+}
+
+// readLoop handshakes (peer sends its 2-byte ID) then decodes frames.
+func (m *TCPMesh) readLoop(conn net.Conn) {
+	defer conn.Close()
+	var idBuf [2]byte
+	if _, err := io.ReadFull(conn, idBuf[:]); err != nil {
+		return
+	}
+	from := types.NodeID(binary.LittleEndian.Uint16(idBuf[:]))
+	var lenBuf [4]byte
+	for {
+		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+			return
+		}
+		n := binary.LittleEndian.Uint32(lenBuf[:])
+		if n == 0 || n > maxFrame {
+			m.logger.Printf("transport: bad frame size %d from %s", n, from)
+			return
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(conn, payload); err != nil {
+			return
+		}
+		msg, err := wire.Decode(payload)
+		if err != nil {
+			m.logger.Printf("transport: decode from %s: %v", from, err)
+			continue
+		}
+		m.loop.Deliver(from, msg)
+	}
+}
+
+// Send implements Sender (from is always the local replica).
+func (m *TCPMesh) Send(_, to types.NodeID, msg types.Message) {
+	if to == m.self {
+		m.loop.Deliver(m.self, msg)
+		return
+	}
+	data, err := wire.Encode(msg)
+	if err != nil {
+		m.logger.Printf("transport: encode: %v", err)
+		return
+	}
+	frame := make([]byte, 4+len(data))
+	binary.LittleEndian.PutUint32(frame, uint32(len(data)))
+	copy(frame[4:], data)
+
+	pc := m.peer(to)
+	select {
+	case pc.out <- frame:
+	default:
+		// Peer queue full (slow or down): drop; retransmission recovers.
+	}
+}
+
+// Broadcast implements Sender.
+func (m *TCPMesh) Broadcast(from types.NodeID, msg types.Message) {
+	for id := range m.addrs {
+		if id != m.self {
+			m.Send(from, id, msg)
+		}
+	}
+}
+
+// peer returns (creating if needed) the outbound connection manager.
+func (m *TCPMesh) peer(to types.NodeID) *peerConn {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if pc, ok := m.conns[to]; ok {
+		return pc
+	}
+	pc := &peerConn{out: make(chan []byte, 4096), done: make(chan struct{})}
+	m.conns[to] = pc
+	go m.writeLoop(to, pc)
+	return pc
+}
+
+// writeLoop dials (with backoff) and streams frames to one peer.
+func (m *TCPMesh) writeLoop(to types.NodeID, pc *peerConn) {
+	backoff := 100 * time.Millisecond
+	for {
+		select {
+		case <-m.stopped:
+			return
+		default:
+		}
+		conn, err := net.DialTimeout("tcp", m.addrs[to], 3*time.Second)
+		if err != nil {
+			select {
+			case <-m.stopped:
+				return
+			case <-time.After(backoff):
+			}
+			if backoff < 5*time.Second {
+				backoff *= 2
+			}
+			continue
+		}
+		backoff = 100 * time.Millisecond
+		// Handshake: announce our ID.
+		var idBuf [2]byte
+		binary.LittleEndian.PutUint16(idBuf[:], uint16(m.self))
+		if _, err := conn.Write(idBuf[:]); err != nil {
+			conn.Close()
+			continue
+		}
+		if err := m.streamFrames(conn, pc); err != nil {
+			conn.Close()
+			continue
+		}
+		conn.Close()
+		return
+	}
+}
+
+func (m *TCPMesh) streamFrames(conn net.Conn, pc *peerConn) error {
+	for {
+		select {
+		case <-m.stopped:
+			return nil
+		case frame := <-pc.out:
+			if _, err := conn.Write(frame); err != nil {
+				// Re-queue best effort, then redial.
+				select {
+				case pc.out <- frame:
+				default:
+				}
+				return err
+			}
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package transport
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/runtime"
+	"repro/internal/types"
+)
+
+// collector is a Protocol recording events (thread-safe: assertions
+// happen from the test goroutine).
+type collector struct {
+	mu       sync.Mutex
+	msgs     []types.Message
+	froms    []types.NodeID
+	timers   int32
+	batches  int32
+	initDone atomic.Bool
+	echo     bool
+}
+
+func (c *collector) Init(ctx runtime.Context) { c.initDone.Store(true) }
+func (c *collector) OnMessage(ctx runtime.Context, from types.NodeID, m types.Message) {
+	c.mu.Lock()
+	c.msgs = append(c.msgs, m)
+	c.froms = append(c.froms, from)
+	c.mu.Unlock()
+	if c.echo {
+		ctx.Send(from, &types.Vote{Lane: 0, Position: 99, Voter: ctx.ID()})
+	}
+}
+func (c *collector) OnTimer(ctx runtime.Context, tag runtime.TimerTag) {
+	atomic.AddInt32(&c.timers, 1)
+}
+func (c *collector) OnClientBatch(ctx runtime.Context, b *types.Batch) {
+	atomic.AddInt32(&c.batches, 1)
+}
+
+func (c *collector) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.msgs)
+}
+
+func waitFor(t *testing.T, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestLocalMeshDelivery(t *testing.T) {
+	mesh := NewLocalMesh()
+	a, b := &collector{}, &collector{echo: true}
+	la := mesh.AddNode(a, time.Now())
+	mesh.AddNode(b, time.Now())
+	mesh.Start()
+	defer mesh.Stop()
+
+	la.Send(1, &types.Vote{Lane: 0, Position: 1, Voter: 0})
+	waitFor(t, func() bool { return b.count() == 1 }, "delivery to b")
+	waitFor(t, func() bool { return a.count() == 1 }, "echo back to a")
+	if a.froms[0] != 1 {
+		t.Fatalf("echo from = %v", a.froms[0])
+	}
+}
+
+func TestLocalMeshBroadcastExcludesSelf(t *testing.T) {
+	mesh := NewLocalMesh()
+	cols := make([]*collector, 4)
+	for i := range cols {
+		cols[i] = &collector{}
+		mesh.AddNode(cols[i], time.Now())
+	}
+	mesh.Start()
+	defer mesh.Stop()
+	mesh.Loop(2).Broadcast(&types.Vote{Lane: 0, Position: 1, Voter: 2})
+	waitFor(t, func() bool {
+		return cols[0].count() == 1 && cols[1].count() == 1 && cols[3].count() == 1
+	}, "broadcast to peers")
+	if cols[2].count() != 0 {
+		t.Fatal("broadcast delivered to sender")
+	}
+}
+
+func TestLoopTimersReplaceAndCancel(t *testing.T) {
+	mesh := NewLocalMesh()
+	c := &collector{}
+	l := mesh.AddNode(c, time.Now())
+	mesh.Start()
+	defer mesh.Stop()
+
+	tag := runtime.TimerTag{Kind: 1}
+	l.SetTimer(30*time.Millisecond, tag)
+	l.SetTimer(60*time.Millisecond, tag) // replaces
+	time.Sleep(120 * time.Millisecond)
+	if got := atomic.LoadInt32(&c.timers); got != 1 {
+		t.Fatalf("timer fired %d times, want 1", got)
+	}
+
+	l.SetTimer(30*time.Millisecond, runtime.TimerTag{Kind: 2})
+	l.CancelTimer(runtime.TimerTag{Kind: 2})
+	time.Sleep(80 * time.Millisecond)
+	if got := atomic.LoadInt32(&c.timers); got != 1 {
+		t.Fatalf("cancelled timer fired (total %d)", got)
+	}
+}
+
+func TestLoopSubmit(t *testing.T) {
+	mesh := NewLocalMesh()
+	c := &collector{}
+	l := mesh.AddNode(c, time.Now())
+	mesh.Start()
+	defer mesh.Stop()
+	l.Submit(types.NewSyntheticBatch(0, 1, 10, 100, 0, 0))
+	waitFor(t, func() bool { return atomic.LoadInt32(&c.batches) == 1 }, "batch")
+}
+
+func freePorts(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	return addrs
+}
+
+func TestTCPMeshRoundTrip(t *testing.T) {
+	ports := freePorts(t, 2)
+	addrs := map[types.NodeID]string{0: ports[0], 1: ports[1]}
+	epoch := time.Now()
+	a, b := &collector{}, &collector{echo: true}
+	ma := NewTCPMesh(0, addrs, a, epoch, nil)
+	mb := NewTCPMesh(1, addrs, b, epoch, nil)
+	if err := ma.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer ma.Stop()
+	if err := mb.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer mb.Stop()
+
+	// A realistic message with payload survives encode/frame/decode.
+	batch := types.NewBatch(0, 1, []types.Transaction{[]byte("hello"), []byte("world")}, 0)
+	ma.Send(0, 1, &types.Proposal{Lane: 0, Position: 1, Batch: batch, Sig: make([]byte, 64)})
+	waitFor(t, func() bool { return b.count() == 1 }, "TCP delivery")
+
+	b.mu.Lock()
+	p, ok := b.msgs[0].(*types.Proposal)
+	b.mu.Unlock()
+	if !ok || p.Batch.Count != 2 || string(p.Batch.Txs[0]) != "hello" {
+		t.Fatalf("decoded = %#v", b.msgs[0])
+	}
+	waitFor(t, func() bool { return a.count() == 1 }, "TCP echo")
+}
+
+func TestTCPMeshSelfSendLoopsBack(t *testing.T) {
+	ports := freePorts(t, 1)
+	addrs := map[types.NodeID]string{0: ports[0]}
+	c := &collector{}
+	m := NewTCPMesh(0, addrs, c, time.Now(), nil)
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer m.Stop()
+	m.Send(0, 0, &types.Vote{Lane: 0, Position: 1, Voter: 0})
+	waitFor(t, func() bool { return c.count() == 1 }, "self delivery")
+}
+
+func TestTCPMeshSurvivesPeerRestart(t *testing.T) {
+	ports := freePorts(t, 2)
+	addrs := map[types.NodeID]string{0: ports[0], 1: ports[1]}
+	epoch := time.Now()
+	a := &collector{}
+	ma := NewTCPMesh(0, addrs, a, epoch, nil)
+	if err := ma.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer ma.Stop()
+
+	// Peer 1 is down: sends are dropped (queued at most), no panic.
+	for i := 0; i < 10; i++ {
+		ma.Send(0, 1, &types.Vote{Lane: 0, Position: types.Pos(i), Voter: 0})
+	}
+	// Peer 1 comes up; subsequent (or queued) messages flow.
+	b := &collector{}
+	mb := NewTCPMesh(1, addrs, b, epoch, nil)
+	if err := mb.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer mb.Stop()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && b.count() == 0 {
+		ma.Send(0, 1, &types.Vote{Lane: 0, Position: 99, Voter: 0})
+		time.Sleep(20 * time.Millisecond)
+	}
+	if b.count() == 0 {
+		t.Fatal("no delivery after peer restart")
+	}
+}

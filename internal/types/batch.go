@@ -1,0 +1,166 @@
+package types
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"time"
+)
+
+// Transaction is an opaque client request. The paper's evaluation uses
+// 512-byte no-op transactions; the protocol never inspects payloads beyond
+// hashing them.
+type Transaction []byte
+
+// Batch is a set of transactions assembled by one replica's mempool and
+// disseminated through that replica's data lane (or through a baseline
+// protocol's dissemination path).
+//
+// A batch is either *real* (Txs holds the payloads; used by the TCP
+// transport, the examples, and most unit tests) or *synthetic* (Txs is nil
+// and Count/Bytes describe the aggregate; used by the discrete-event
+// simulator so that multi-hundred-MB workloads need not be materialized).
+// Synthetic batches carry the same metadata the metrics layer needs: the
+// mean arrival time of the aggregated transactions.
+type Batch struct {
+	// Origin is the replica whose mempool created the batch.
+	Origin NodeID
+	// Seq is the per-origin batch sequence number (used only for digest
+	// uniqueness and debugging; lane positions are assigned separately).
+	Seq uint64
+	// Txs holds real transaction payloads; nil for synthetic batches.
+	Txs []Transaction
+	// Count is the number of transactions. For real batches it must equal
+	// len(Txs); for synthetic batches it is authoritative.
+	Count uint32
+	// Bytes is the total payload size in bytes. For real batches it must
+	// equal the sum of len(tx); for synthetic batches it is authoritative.
+	Bytes uint64
+	// MeanArrival is the mean arrival time (since epoch) of the batch's
+	// transactions at the origin replica; commit latency is measured
+	// against it, matching the paper's arrival→execution-ready definition.
+	MeanArrival time.Duration
+	// CreatedAt is when the mempool sealed the batch.
+	CreatedAt time.Duration
+}
+
+// NewBatch builds a real batch from transaction payloads.
+func NewBatch(origin NodeID, seq uint64, txs []Transaction, now time.Duration) *Batch {
+	var total uint64
+	for _, tx := range txs {
+		total += uint64(len(tx))
+	}
+	return &Batch{
+		Origin:      origin,
+		Seq:         seq,
+		Txs:         txs,
+		Count:       uint32(len(txs)),
+		Bytes:       total,
+		MeanArrival: now,
+		CreatedAt:   now,
+	}
+}
+
+// NewSyntheticBatch builds a payload-free batch describing count
+// transactions totalling size bytes whose mean arrival time was meanArrival.
+func NewSyntheticBatch(origin NodeID, seq uint64, count uint32, size uint64, meanArrival, now time.Duration) *Batch {
+	return &Batch{
+		Origin:      origin,
+		Seq:         seq,
+		Count:       count,
+		Bytes:       size,
+		MeanArrival: meanArrival,
+		CreatedAt:   now,
+	}
+}
+
+// Synthetic reports whether the batch carries no real payloads.
+func (b *Batch) Synthetic() bool { return b.Txs == nil && b.Count > 0 }
+
+// Digest returns the batch's content hash. Real batches hash their
+// payloads; synthetic batches hash their metadata header, which uniquely
+// identifies them ((origin, seq) is unique per honest mempool).
+func (b *Batch) Digest() Digest {
+	h := sha256.New()
+	var hdr [8 + 2 + 8 + 4 + 8 + 8]byte
+	copy(hdr[:8], "batchv1\x00")
+	binary.LittleEndian.PutUint16(hdr[8:], uint16(b.Origin))
+	binary.LittleEndian.PutUint64(hdr[10:], b.Seq)
+	binary.LittleEndian.PutUint32(hdr[18:], b.Count)
+	binary.LittleEndian.PutUint64(hdr[22:], b.Bytes)
+	binary.LittleEndian.PutUint64(hdr[30:], uint64(b.MeanArrival))
+	h.Write(hdr[:])
+	for _, tx := range b.Txs {
+		var ln [4]byte
+		binary.LittleEndian.PutUint32(ln[:], uint32(len(tx)))
+		h.Write(ln[:])
+		h.Write(tx)
+	}
+	var d Digest
+	h.Sum(d[:0])
+	return d
+}
+
+// WireSize returns the number of bytes the batch occupies on the wire.
+// For synthetic batches this is the described payload size plus the header,
+// so the simulator's bandwidth accounting matches a real deployment even
+// though no payload bytes exist in memory.
+func (b *Batch) WireSize() int {
+	const header = 2 + 8 + 4 + 8 + 8 + 8 + 1 // origin, seq, count, bytes, arrival, created, kind
+	if b == nil {
+		return 1
+	}
+	return header + int(b.Bytes) + 4*int(b.Count) // per-tx length prefixes
+}
+
+// MergeBatches combines several batches from one origin into a single
+// larger batch (the paper's mini-batching: proposals "include/reference
+// more than one batch if available", letting replicas organically reach
+// larger effective batch sizes, §6). Arrival statistics merge by
+// count-weighted mean; the merged batch reuses the first part's sequence
+// number (unique, since the parts are consumed). A single part is
+// returned unchanged.
+func MergeBatches(parts []*Batch) *Batch {
+	if len(parts) == 0 {
+		return nil
+	}
+	if len(parts) == 1 {
+		return parts[0]
+	}
+	out := &Batch{Origin: parts[0].Origin, Seq: parts[0].Seq}
+	var arrivalSum float64
+	real := parts[0].Txs != nil
+	for _, p := range parts {
+		out.Count += p.Count
+		out.Bytes += p.Bytes
+		arrivalSum += float64(p.Count) * p.MeanArrival.Seconds()
+		if p.CreatedAt > out.CreatedAt {
+			out.CreatedAt = p.CreatedAt
+		}
+		if real {
+			out.Txs = append(out.Txs, p.Txs...)
+		}
+	}
+	if out.Count > 0 {
+		out.MeanArrival = time.Duration(arrivalSum / float64(out.Count) * float64(time.Second))
+	}
+	return out
+}
+
+// Validate performs structural validation: real batches must have
+// consistent Count/Bytes.
+func (b *Batch) Validate() error {
+	if b.Txs != nil {
+		if int(b.Count) != len(b.Txs) {
+			return fmt.Errorf("batch: count %d != len(txs) %d", b.Count, len(b.Txs))
+		}
+		var total uint64
+		for _, tx := range b.Txs {
+			total += uint64(len(tx))
+		}
+		if total != b.Bytes {
+			return fmt.Errorf("batch: bytes %d != sum(txs) %d", b.Bytes, total)
+		}
+	}
+	return nil
+}

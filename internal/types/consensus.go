@@ -1,0 +1,285 @@
+package types
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+)
+
+// TicketKind discriminates the two tenure proofs a leader may carry (§5.3).
+type TicketKind uint8
+
+const (
+	// TicketCommit: a CommitQC for a preceding slot (view-0 tenures). Under
+	// parallel multi-slot agreement (§5.4) the ticket references slot s-k.
+	TicketCommit TicketKind = iota + 1
+	// TicketTC: a Timeout Certificate for (slot, view-1) (view>0 tenures).
+	TicketTC
+)
+
+// Ticket proves a leader's tenure for (slot, view).
+type Ticket struct {
+	Kind TicketKind
+	// Commit is set when Kind == TicketCommit.
+	Commit *CommitQC
+	// TC is set when Kind == TicketTC.
+	TC *TC
+}
+
+// Proposal payload of the consensus layer: a (slot, view, cut) triple.
+type ConsensusProposal struct {
+	Slot Slot
+	View View
+	Cut  Cut
+}
+
+// Digest binds slot, view and cut.
+func (p *ConsensusProposal) Digest() Digest {
+	h := sha256.New()
+	var hdr [8 + 8 + 8]byte
+	copy(hdr[:8], "consv1\x00\x00")
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(p.Slot))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(p.View))
+	h.Write(hdr[:])
+	cd := p.Cut.Digest()
+	h.Write(cd[:])
+	var d Digest
+	h.Sum(d[:0])
+	return d
+}
+
+// ValueDigest binds only the slot and cut — the view-independent identity
+// of the proposed value. View changes repropose the same value under a new
+// view; safety arguments track values, not (view, value) pairs.
+func (p *ConsensusProposal) ValueDigest() Digest {
+	h := sha256.New()
+	var hdr [8 + 8]byte
+	copy(hdr[:8], "consval\x00")
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(p.Slot))
+	h.Write(hdr[:])
+	cd := p.Cut.Digest()
+	h.Write(cd[:])
+	var d Digest
+	h.Sum(d[:0])
+	return d
+}
+
+func (p *ConsensusProposal) String() string {
+	return fmt.Sprintf("P{s=%d v=%d}", p.Slot, p.View)
+}
+
+// Prepare opens a view: the leader broadcasts its proposal plus the ticket
+// proving its tenure (§5.2.1 P1).
+type Prepare struct {
+	Leader   NodeID
+	Proposal ConsensusProposal
+	Ticket   Ticket
+	Sig      []byte
+}
+
+// SigningBytes returns the leader-signed bytes.
+func (m *Prepare) SigningBytes() []byte {
+	d := m.Proposal.Digest()
+	out := make([]byte, 0, 8+DigestSize)
+	out = append(out, []byte("prep-sig")...)
+	out = append(out, d[:]...)
+	return out
+}
+
+// PrepVote is a replica's vote on a Prepare. Strong votes additionally
+// assert local availability of all (optimistic) tip data (§5.5.2); with
+// certified-only cuts every vote is strong.
+type PrepVote struct {
+	Slot   Slot
+	View   View
+	Digest Digest // ConsensusProposal.Digest()
+	Voter  NodeID
+	Strong bool
+	Sig    []byte
+}
+
+// SigningBytes binds slot, view, proposal digest and strength.
+func (m *PrepVote) SigningBytes() []byte {
+	return consensusVoteBytes("prepvote", m.Slot, m.View, m.Digest, m.Strong)
+}
+
+func consensusVoteBytes(tag string, s Slot, v View, d Digest, strong bool) []byte {
+	out := make([]byte, 0, len(tag)+17+DigestSize+1)
+	out = append(out, tag...)
+	var b [16]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(s))
+	binary.LittleEndian.PutUint64(b[8:], uint64(v))
+	out = append(out, b[:]...)
+	out = append(out, d[:]...)
+	if strong {
+		out = append(out, 1)
+	} else {
+		out = append(out, 0)
+	}
+	return out
+}
+
+// PrepareQC aggregates 2f+1 PrepVotes: agreement within a view (§5.2.1 P1
+// step 3). At least f+1 of the shares must be strong when optimistic tips
+// are in use.
+type PrepareQC struct {
+	Slot   Slot
+	View   View
+	Digest Digest
+	Shares []SigShare
+	// StrongMask marks which shares were strong votes (parallel to Shares).
+	StrongMask []bool
+}
+
+// Confirm forwards a PrepareQC to all replicas (slow path, §5.2.1 P2).
+type Confirm struct {
+	Leader NodeID
+	QC     PrepareQC
+	Sig    []byte
+}
+
+// SigningBytes returns the leader-signed bytes of the Confirm.
+func (m *Confirm) SigningBytes() []byte {
+	return consensusVoteBytes("confirm\x00", m.QC.Slot, m.QC.View, m.QC.Digest, false)
+}
+
+// ConfirmAck acknowledges a Confirm; 2f+1 form a CommitQC.
+type ConfirmAck struct {
+	Slot   Slot
+	View   View
+	Digest Digest
+	Voter  NodeID
+	Sig    []byte
+}
+
+// SigningBytes binds slot, view and proposal digest.
+func (m *ConfirmAck) SigningBytes() []byte {
+	return consensusVoteBytes("confack\x00", m.Slot, m.View, m.Digest, false)
+}
+
+// CommitQC proves commitment of a proposal: either 2f+1 ConfirmAcks (slow
+// path) or n strong PrepVotes upgraded by the leader (fast path).
+type CommitQC struct {
+	Slot   Slot
+	View   View
+	Digest Digest
+	Fast   bool
+	Shares []SigShare
+}
+
+func (qc *CommitQC) String() string {
+	kind := "slow"
+	if qc.Fast {
+		kind = "fast"
+	}
+	return fmt.Sprintf("CommitQC{s=%d v=%d %s}", qc.Slot, qc.View, kind)
+}
+
+// CommitNotice broadcasts a CommitQC together with the committed proposal
+// so replicas that never saw the Prepare can still process the commit.
+type CommitNotice struct {
+	QC       CommitQC
+	Proposal ConsensusProposal
+}
+
+// Timeout is a replica's complaint that (slot, view) failed to make timely
+// progress (§5.3 step 1). It carries the highest PrepareQC and highest
+// proposal the replica has locally observed for the slot, which the next
+// leader uses to recover any possibly-committed value.
+type Timeout struct {
+	Slot  Slot
+	View  View
+	Voter NodeID
+	// HighQC is the PrepareQC with the highest view the voter stored for
+	// this slot (nil if none).
+	HighQC *PrepareQC
+	// HighProp is the proposal with the highest view the voter voted for
+	// in this slot (nil if none).
+	HighProp *ConsensusProposal
+	Sig      []byte
+}
+
+// SigningBytes binds the slot and view being timed out. The piggybacked
+// HighQC/HighProp are self-certifying (QC shares / leader signature) and
+// are validated independently.
+func (m *Timeout) SigningBytes() []byte {
+	return consensusVoteBytes("timeout\x00", m.Slot, m.View, ZeroDigest, false)
+}
+
+// TC is a Timeout Certificate: 2f+1 Timeouts for (slot, view), licensing
+// the leader of view+1 (§5.3 step 2).
+type TC struct {
+	Slot     Slot
+	View     View
+	Timeouts []Timeout
+}
+
+// WinningProposal applies the two-pronged recovery rule (§5.3): the next
+// leader must repropose the greater of (i) the proposal certified by the
+// highest HighQC in the TC, and (ii) the proposal appearing at least f+1
+// times among HighProps (it may have fast-committed); ties favor the QC.
+// It returns nil if the TC constrains nothing (leader proposes fresh).
+func (tc *TC) WinningProposal(committee Committee) *ConsensusProposal {
+	var bestQC *PrepareQC
+	for i := range tc.Timeouts {
+		if qc := tc.Timeouts[i].HighQC; qc != nil {
+			if bestQC == nil || qc.View > bestQC.View {
+				bestQC = qc
+			}
+		}
+	}
+	// Count HighProps by (view, value digest); find any reaching f+1.
+	type key struct {
+		v View
+		d Digest
+	}
+	counts := make(map[key]int)
+	props := make(map[key]*ConsensusProposal)
+	var bestProp *ConsensusProposal
+	for i := range tc.Timeouts {
+		p := tc.Timeouts[i].HighProp
+		if p == nil {
+			continue
+		}
+		k := key{p.View, p.ValueDigest()}
+		counts[k]++
+		props[k] = p
+		if counts[k] >= committee.PoAQuorum() { // f+1
+			if bestProp == nil || p.View > bestProp.View {
+				bestProp = props[k]
+			}
+		}
+	}
+	switch {
+	case bestQC == nil && bestProp == nil:
+		return nil
+	case bestQC == nil:
+		return bestProp
+	case bestProp == nil || bestProp.View <= bestQC.View: // tie → QC
+		// The QC certifies a digest; the matching proposal must be found
+		// among the HighProps (some Timeout carried it) — by quorum
+		// intersection at least one of the 2f+1 mutineers voted for it.
+		for i := range tc.Timeouts {
+			p := tc.Timeouts[i].HighProp
+			if p != nil && p.Slot == bestQC.Slot && p.Digest() == bestQC.Digest {
+				return p
+			}
+		}
+		// Digest-only fallback: search any proposal whose value matches a
+		// lower-view reproposal of the same value.
+		for i := range tc.Timeouts {
+			p := tc.Timeouts[i].HighProp
+			if p != nil && consensusVoteDigestMatches(p, bestQC) {
+				return p
+			}
+		}
+		return nil
+	default:
+		return bestProp
+	}
+}
+
+func consensusVoteDigestMatches(p *ConsensusProposal, qc *PrepareQC) bool {
+	q := ConsensusProposal{Slot: p.Slot, View: qc.View, Cut: p.Cut}
+	return q.Digest() == qc.Digest
+}

@@ -1,0 +1,225 @@
+package types
+
+// MsgType tags every wire message. Ranges: 1-31 Autobahn data layer,
+// 32-63 Autobahn consensus, 64-79 synchronization, 80-95 HotStuff
+// baseline, 96-111 Bullshark baseline, 112+ transport/control.
+type MsgType uint8
+
+const (
+	MsgProposal MsgType = 1 + iota
+	MsgVote
+	MsgPoA
+
+	MsgPrepare MsgType = 32 + iota - 3
+	MsgPrepVote
+	MsgConfirm
+	MsgConfirmAck
+	MsgCommitNotice
+	MsgTimeout
+
+	MsgSyncRequest   MsgType = 64
+	MsgSyncReply     MsgType = 65
+	MsgCommitRequest MsgType = 66
+	MsgCommitReply   MsgType = 67
+)
+
+// Baseline message-type ranges (values defined in their packages).
+const (
+	MsgHotStuffBase  MsgType = 80
+	MsgBullsharkBase MsgType = 96
+)
+
+// Message is the interface all wire messages implement. WireSize reports
+// the number of bytes the message occupies on the wire; the simulator's
+// bandwidth and processing model is driven by it, and the TCP codec's
+// encodings match it closely (synthetic batches excepted, by design).
+type Message interface {
+	Type() MsgType
+	WireSize() int
+}
+
+const sigShareWire = 2 + 2 + 64 // signer + length prefix + ed25519 sig
+
+func sharesWire(shares []SigShare) int {
+	n := 4
+	for _, s := range shares {
+		n += 2 + 2 + len(s.Sig)
+	}
+	return n
+}
+
+func poaWire(p *PoA) int {
+	if p == nil {
+		return 1
+	}
+	return 1 + 2 + 8 + DigestSize + sharesWire(p.Shares)
+}
+
+// --- data layer ---
+
+func (p *Proposal) Type() MsgType { return MsgProposal }
+
+// WireSize accounts for the header, the parent PoA and the batch payload.
+func (p *Proposal) WireSize() int {
+	return 1 + 2 + 8 + DigestSize + poaWire(p.ParentPoA) + p.Batch.WireSize() + 2 + len(p.Sig)
+}
+
+func (v *Vote) Type() MsgType { return MsgVote }
+func (v *Vote) WireSize() int {
+	return 1 + 2 + 8 + DigestSize + 2 + 2 + len(v.Sig)
+}
+
+func (p *PoA) Type() MsgType { return MsgPoA }
+func (p *PoA) WireSize() int { return poaWire(p) }
+
+// --- consensus ---
+
+func cutWire(c Cut) int {
+	n := 4
+	for i := range c.Tips {
+		n += 2 + 8 + DigestSize + poaWire(c.Tips[i].Cert)
+	}
+	return n
+}
+
+func ticketWire(t Ticket) int {
+	switch t.Kind {
+	case TicketCommit:
+		if t.Commit == nil {
+			return 2
+		}
+		return 2 + commitQCWire(t.Commit)
+	case TicketTC:
+		if t.TC == nil {
+			return 2
+		}
+		return 2 + tcWire(t.TC)
+	default:
+		return 1
+	}
+}
+
+func prepareQCWire(qc *PrepareQC) int {
+	if qc == nil {
+		return 1
+	}
+	return 1 + 8 + 8 + DigestSize + sharesWire(qc.Shares) + len(qc.StrongMask)
+}
+
+func commitQCWire(qc *CommitQC) int {
+	if qc == nil {
+		return 1
+	}
+	return 1 + 8 + 8 + DigestSize + 1 + sharesWire(qc.Shares)
+}
+
+func proposalHeaderWire(p *ConsensusProposal) int {
+	return 8 + 8 + cutWire(p.Cut)
+}
+
+func tcWire(tc *TC) int {
+	n := 8 + 8 + 4
+	for i := range tc.Timeouts {
+		n += timeoutWire(&tc.Timeouts[i])
+	}
+	return n
+}
+
+func timeoutWire(t *Timeout) int {
+	n := 1 + 8 + 8 + 2 + 2 + len(t.Sig)
+	n += prepareQCWire(t.HighQC)
+	if t.HighProp != nil {
+		n += proposalHeaderWire(t.HighProp)
+	} else {
+		n++
+	}
+	return n
+}
+
+func (m *Prepare) Type() MsgType { return MsgPrepare }
+func (m *Prepare) WireSize() int {
+	return 1 + 2 + proposalHeaderWire(&m.Proposal) + ticketWire(m.Ticket) + 2 + len(m.Sig)
+}
+
+func (m *PrepVote) Type() MsgType { return MsgPrepVote }
+func (m *PrepVote) WireSize() int {
+	return 1 + 8 + 8 + DigestSize + 2 + 1 + 2 + len(m.Sig)
+}
+
+func (m *Confirm) Type() MsgType { return MsgConfirm }
+func (m *Confirm) WireSize() int {
+	return 1 + 2 + prepareQCWire(&m.QC) + 2 + len(m.Sig)
+}
+
+func (m *ConfirmAck) Type() MsgType { return MsgConfirmAck }
+func (m *ConfirmAck) WireSize() int {
+	return 1 + 8 + 8 + DigestSize + 2 + 2 + len(m.Sig)
+}
+
+func (m *CommitNotice) Type() MsgType { return MsgCommitNotice }
+func (m *CommitNotice) WireSize() int {
+	return 1 + commitQCWire(&m.QC) + proposalHeaderWire(&m.Proposal)
+}
+
+func (m *Timeout) Type() MsgType { return MsgTimeout }
+func (m *Timeout) WireSize() int { return timeoutWire(m) }
+
+// --- synchronization ---
+
+// SyncRequest asks a peer for the proposals of one lane in the inclusive
+// position range [From, To], whose chain must terminate in TipDigest at
+// position To (§5.2.2). Point requests (From == To) are used for
+// optimistic-tip fetches.
+type SyncRequest struct {
+	Lane      NodeID
+	From      Pos
+	To        Pos
+	TipDigest Digest
+	Requester NodeID
+}
+
+func (m *SyncRequest) Type() MsgType { return MsgSyncRequest }
+func (m *SyncRequest) WireSize() int { return 1 + 2 + 8 + 8 + DigestSize + 2 }
+
+// SyncReply carries a gap-free, hash-chained suffix of lane proposals in
+// ascending position order. Complete reports whether the responder could
+// serve the whole requested range.
+type SyncReply struct {
+	Lane      NodeID
+	Proposals []*Proposal
+	Complete  bool
+}
+
+func (m *SyncReply) Type() MsgType { return MsgSyncReply }
+func (m *SyncReply) WireSize() int {
+	n := 1 + 2 + 4 + 1
+	for _, p := range m.Proposals {
+		n += p.WireSize()
+	}
+	return n
+}
+
+// CommitRequest asks a peer for the CommitNotices of slots [From, To]
+// that the requester missed (e.g. across a partition); the responder
+// answers with whatever it still retains.
+type CommitRequest struct {
+	From, To  Slot
+	Requester NodeID
+}
+
+func (m *CommitRequest) Type() MsgType { return MsgCommitRequest }
+func (m *CommitRequest) WireSize() int { return 1 + 8 + 8 + 2 }
+
+// CommitReply returns retained commit certificates and their proposals.
+type CommitReply struct {
+	Notices []CommitNotice
+}
+
+func (m *CommitReply) Type() MsgType { return MsgCommitReply }
+func (m *CommitReply) WireSize() int {
+	n := 1 + 4
+	for i := range m.Notices {
+		n += m.Notices[i].WireSize()
+	}
+	return n
+}

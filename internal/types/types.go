@@ -1,0 +1,132 @@
+// Package types defines the core identifiers, data structures, and wire
+// messages shared by every layer of the Autobahn reproduction: the data
+// dissemination layer (lanes and cars), the consensus layer (cuts, slots,
+// views, quorum certificates), the synchronization layer, and the baseline
+// protocols. All structures carry a canonical binary encoding (encode.go)
+// used both for hashing/signing and for TCP transport.
+package types
+
+import (
+	"encoding/hex"
+	"fmt"
+	"time"
+)
+
+// NodeID identifies a replica within a committee. Replicas are numbered
+// 0..n-1; the same space is used for lane ownership (replica i owns lane i).
+type NodeID uint16
+
+// String renders a NodeID as "r<i>".
+func (id NodeID) String() string { return fmt.Sprintf("r%d", uint16(id)) }
+
+// Slot is a consensus sequence number. Slots are totally ordered and each
+// commits one cut of the data lanes. Slot numbering starts at 1.
+type Slot uint64
+
+// View is a view number within a slot. Each (slot, view) pair maps to one
+// designated leader; view 0 is the slot's initial tenure.
+type View uint64
+
+// Pos is a position within a data lane (the sequence number of a car).
+// Positions start at 1; position 0 denotes the empty lane genesis.
+type Pos uint64
+
+// DigestSize is the size of all content digests (SHA-256).
+const DigestSize = 32
+
+// Digest is a SHA-256 content hash. The zero digest denotes "no parent"
+// (lane genesis) or an absent value.
+type Digest [DigestSize]byte
+
+// ZeroDigest is the all-zero digest, used as the genesis parent reference.
+var ZeroDigest Digest
+
+// IsZero reports whether d is the zero digest.
+func (d Digest) IsZero() bool { return d == ZeroDigest }
+
+// String renders the first 8 bytes of the digest in hex.
+func (d Digest) String() string { return hex.EncodeToString(d[:8]) }
+
+// Committee captures the static membership of a deployment: n replicas
+// tolerating f = floor((n-1)/3) Byzantine faults. For the canonical
+// n = 3f+1 sizes the quorums reduce to the familiar 2f+1; for other sizes
+// (the paper's Fig. 6 uses n = 12 and n = 20) the agreement quorum is
+// n-f, which still intersects any two quorums in at least f+1 replicas.
+type Committee struct {
+	n      int
+	f      int
+	stride int // slot-leader stride, coprime with n (see Leader)
+}
+
+// NewCommittee returns the committee for n >= 1 replicas.
+func NewCommittee(n int) Committee {
+	if n < 1 {
+		panic(fmt.Sprintf("types: committee size %d invalid", n))
+	}
+	f := (n - 1) / 3
+	// Smallest stride >= 2f+1 that is coprime with n: consecutive slots'
+	// initial leaders are then at least the faulty window apart AND every
+	// replica leads infinitely many slots.
+	stride := 2*f + 1
+	for gcd(stride, n) != 1 {
+		stride++
+	}
+	return Committee{n: n, f: f, stride: stride}
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// Size returns n, the number of replicas.
+func (c Committee) Size() int { return c.n }
+
+// F returns f, the maximum number of faulty replicas tolerated.
+func (c Committee) F() int { return c.f }
+
+// Quorum returns the agreement quorum size (PrepareQC, CommitQC, Timeout
+// Certificate): n-f, which equals 2f+1 when n = 3f+1.
+func (c Committee) Quorum() int { return c.n - c.f }
+
+// FastQuorum returns n = 3f+1, the vote count required by the fast path.
+func (c Committee) FastQuorum() int { return c.n }
+
+// PoAQuorum returns f+1, the vote count of a Proof of Availability: enough
+// to guarantee at least one correct replica holds the data.
+func (c Committee) PoAQuorum() int { return c.f + 1 }
+
+// Leader returns the designated leader of (slot, view). Consecutive slots
+// are offset by 2f+1 positions — coprime with n = 3f+1, so every replica
+// leads infinitely many slots — which clears the entire faulty window
+// between the initial leaders of consecutive slots (§5.4 "Adjusting view
+// synchronization": without an offset >= f, k successive slots could each
+// rotate through the same faulty leaders).
+func (c Committee) Leader(s Slot, v View) NodeID {
+	return NodeID((uint64(s)*uint64(c.stride) + uint64(v)) % uint64(c.n))
+}
+
+// EachNode calls fn for every replica ID in the committee.
+func (c Committee) EachNode(fn func(NodeID)) {
+	for i := 0; i < c.n; i++ {
+		fn(NodeID(i))
+	}
+}
+
+// Nodes returns the list of all replica IDs.
+func (c Committee) Nodes() []NodeID {
+	out := make([]NodeID, c.n)
+	for i := range out {
+		out[i] = NodeID(i)
+	}
+	return out
+}
+
+// Valid reports whether id addresses a member of the committee.
+func (c Committee) Valid(id NodeID) bool { return int(id) < c.n }
+
+// Duration re-exported for convenience in message fields (timestamps are
+// durations since the start of the deployment/simulation epoch).
+type Duration = time.Duration

@@ -1,0 +1,244 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCommitteeQuorums(t *testing.T) {
+	for _, tc := range []struct {
+		n, f, quorum, fast, poa int
+	}{
+		{1, 0, 1, 1, 1},
+		{4, 1, 3, 4, 2},
+		{7, 2, 5, 7, 3},
+		{10, 3, 7, 10, 4},
+		{12, 3, 9, 12, 4},  // the paper's Fig. 6 sizes are not 3f+1:
+		{20, 6, 14, 20, 7}, // quorum is n-f with f = floor((n-1)/3)
+		{31, 10, 21, 31, 11},
+	} {
+		c := NewCommittee(tc.n)
+		if c.F() != tc.f || c.Quorum() != tc.quorum || c.FastQuorum() != tc.fast || c.PoAQuorum() != tc.poa {
+			t.Errorf("n=%d: got f=%d q=%d fast=%d poa=%d", tc.n, c.F(), c.Quorum(), c.FastQuorum(), c.PoAQuorum())
+		}
+	}
+}
+
+func TestCommitteeRejectsBadSizes(t *testing.T) {
+	for _, n := range []int{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewCommittee(%d) did not panic", n)
+				}
+			}()
+			NewCommittee(n)
+		}()
+	}
+}
+
+// TestLeaderScheduleCoversAllReplicas verifies the 2f+1 slot stride is
+// coprime with n, so every replica leads view 0 of infinitely many slots
+// (required for reliable inclusion, §A.4).
+func TestLeaderScheduleCoversAllReplicas(t *testing.T) {
+	for _, n := range []int{4, 7, 10, 12, 15, 20, 31} {
+		c := NewCommittee(n)
+		seen := make(map[NodeID]bool)
+		for s := Slot(1); s <= Slot(n); s++ {
+			seen[c.Leader(s, 0)] = true
+		}
+		if len(seen) != n {
+			t.Errorf("n=%d: view-0 leaders cover only %d replicas", n, len(seen))
+		}
+	}
+}
+
+func TestLeaderViewRotation(t *testing.T) {
+	c := NewCommittee(4)
+	s := Slot(9)
+	base := c.Leader(s, 0)
+	for v := View(1); v < 8; v++ {
+		want := NodeID((uint64(base) + uint64(v)) % 4)
+		if got := c.Leader(s, v); got != want {
+			t.Fatalf("leader(%d,%d) = %s, want %s", s, v, got, want)
+		}
+	}
+}
+
+func TestBatchDigestDistinguishesContent(t *testing.T) {
+	b1 := NewBatch(1, 1, []Transaction{[]byte("aa"), []byte("bb")}, 0)
+	b2 := NewBatch(1, 1, []Transaction{[]byte("aabb")}, 0)
+	if b1.Digest() == b2.Digest() {
+		t.Fatal("length-prefixed tx hashing must distinguish concatenation splits")
+	}
+	s1 := NewSyntheticBatch(1, 1, 10, 100, 0, 0)
+	s2 := NewSyntheticBatch(1, 2, 10, 100, 0, 0)
+	if s1.Digest() == s2.Digest() {
+		t.Fatal("synthetic batches with distinct seqs must have distinct digests")
+	}
+}
+
+func TestBatchValidate(t *testing.T) {
+	good := NewBatch(0, 1, []Transaction{[]byte("xyz")}, 0)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := *good
+	bad.Count = 2
+	if err := bad.Validate(); err == nil {
+		t.Fatal("count mismatch must fail validation")
+	}
+	bad2 := *good
+	bad2.Bytes = 99
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("byte-sum mismatch must fail validation")
+	}
+}
+
+// TestMergeBatchesConservesTotals is a property test: merging preserves
+// counts, bytes, and the count-weighted arrival mean.
+func TestMergeBatchesConservesTotals(t *testing.T) {
+	f := func(counts []uint16, arrivalsMs []uint16) bool {
+		if len(counts) == 0 {
+			return true
+		}
+		if len(counts) > 16 {
+			counts = counts[:16]
+		}
+		var parts []*Batch
+		var wantCount, wantBytes uint64
+		var wantArr float64
+		for i, c := range counts {
+			count := uint64(c%999) + 1
+			arr := time.Duration(0)
+			if i < len(arrivalsMs) {
+				arr = time.Duration(arrivalsMs[i]) * time.Millisecond
+			}
+			parts = append(parts, NewSyntheticBatch(2, uint64(i+1), uint32(count), count*512, arr, arr))
+			wantCount += count
+			wantBytes += count * 512
+			wantArr += float64(count) * arr.Seconds()
+		}
+		m := MergeBatches(parts)
+		if uint64(m.Count) != wantCount || m.Bytes != wantBytes {
+			return false
+		}
+		wantMean := wantArr / float64(wantCount)
+		got := m.MeanArrival.Seconds()
+		return got > wantMean-1e-6 && got < wantMean+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeBatchesSinglePartIdentity(t *testing.T) {
+	b := NewSyntheticBatch(0, 5, 10, 5120, time.Second, time.Second)
+	if MergeBatches([]*Batch{b}) != b {
+		t.Fatal("single-part merge must return the part unchanged")
+	}
+	if MergeBatches(nil) != nil {
+		t.Fatal("empty merge must return nil")
+	}
+}
+
+func TestCutValidate(t *testing.T) {
+	c4 := NewCommittee(4)
+	cut := NewEmptyCut(4)
+	if err := cut.Validate(c4); err != nil {
+		t.Fatal(err)
+	}
+	short := Cut{Tips: cut.Tips[:3]}
+	if err := short.Validate(c4); err == nil {
+		t.Fatal("short cut must fail")
+	}
+	wrongLane := NewEmptyCut(4)
+	wrongLane.Tips[2].Lane = 3
+	if err := wrongLane.Validate(c4); err == nil {
+		t.Fatal("misordered lanes must fail")
+	}
+	genesisDigest := NewEmptyCut(4)
+	genesisDigest.Tips[0].Digest = Digest{1}
+	if err := genesisDigest.Validate(c4); err == nil {
+		t.Fatal("genesis tip with digest must fail")
+	}
+	mismatchedCert := NewEmptyCut(4)
+	mismatchedCert.Tips[1].Position = 5
+	mismatchedCert.Tips[1].Digest = Digest{9}
+	mismatchedCert.Tips[1].Cert = &PoA{Lane: 1, Position: 4, Digest: Digest{9}}
+	if err := mismatchedCert.Validate(c4); err == nil {
+		t.Fatal("tip/PoA position mismatch must fail")
+	}
+}
+
+func TestNewTipsVersus(t *testing.T) {
+	cut := NewEmptyCut(4)
+	cut.Tips[0].Position = 5
+	cut.Tips[1].Position = 3
+	cut.Tips[3].Position = 7
+	base := []Pos{4, 3, 0, 2}
+	if got := cut.NewTipsVersus(base); got != 2 { // lanes 0 and 3 advance
+		t.Fatalf("NewTipsVersus = %d, want 2", got)
+	}
+}
+
+func TestConsensusProposalDigests(t *testing.T) {
+	cut := NewEmptyCut(4)
+	p1 := ConsensusProposal{Slot: 3, View: 0, Cut: cut}
+	p2 := ConsensusProposal{Slot: 3, View: 1, Cut: cut}
+	if p1.Digest() == p2.Digest() {
+		t.Fatal("digest must bind the view")
+	}
+	if p1.ValueDigest() != p2.ValueDigest() {
+		t.Fatal("value digest must be view-independent")
+	}
+	p3 := ConsensusProposal{Slot: 4, View: 0, Cut: cut}
+	if p1.ValueDigest() == p3.ValueDigest() {
+		t.Fatal("value digest must bind the slot")
+	}
+}
+
+func TestWireSizeReflectsSyntheticPayload(t *testing.T) {
+	small := NewSyntheticBatch(0, 1, 10, 100, 0, 0)
+	big := NewSyntheticBatch(0, 2, 1000, 512_000, 0, 0)
+	ps := &Proposal{Lane: 0, Position: 1, Batch: small}
+	pb := &Proposal{Lane: 0, Position: 2, Batch: big}
+	if pb.WireSize()-ps.WireSize() < 500_000 {
+		t.Fatalf("wire size must account for synthetic payload bytes: %d vs %d", ps.WireSize(), pb.WireSize())
+	}
+}
+
+func TestMessageTypeTags(t *testing.T) {
+	cases := []struct {
+		m    Message
+		want MsgType
+	}{
+		{&Proposal{Batch: NewSyntheticBatch(0, 1, 1, 1, 0, 0)}, MsgProposal},
+		{&Vote{}, MsgVote},
+		{&PoA{}, MsgPoA},
+		{&Prepare{}, MsgPrepare},
+		{&PrepVote{}, MsgPrepVote},
+		{&Confirm{}, MsgConfirm},
+		{&ConfirmAck{}, MsgConfirmAck},
+		{&CommitNotice{}, MsgCommitNotice},
+		{&Timeout{}, MsgTimeout},
+		{&SyncRequest{}, MsgSyncRequest},
+		{&SyncReply{}, MsgSyncReply},
+		{&CommitRequest{}, MsgCommitRequest},
+		{&CommitReply{}, MsgCommitReply},
+	}
+	seen := make(map[MsgType]bool)
+	for _, c := range cases {
+		if c.m.Type() != c.want {
+			t.Errorf("%T.Type() = %d, want %d", c.m, c.m.Type(), c.want)
+		}
+		if seen[c.want] {
+			t.Errorf("duplicate message type %d", c.want)
+		}
+		seen[c.want] = true
+		if c.m.WireSize() <= 0 {
+			t.Errorf("%T.WireSize() must be positive", c.m)
+		}
+	}
+}

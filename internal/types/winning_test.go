@@ -1,0 +1,129 @@
+package types
+
+import "testing"
+
+// Helpers building TC scenarios for the §5.3 winning-proposal rule.
+
+func prop(slot Slot, view View, mark byte) *ConsensusProposal {
+	cut := NewEmptyCut(4)
+	cut.Tips[0].Position = Pos(mark) // distinguish values
+	if mark > 0 {
+		cut.Tips[0].Digest = Digest{mark}
+	}
+	return &ConsensusProposal{Slot: slot, View: view, Cut: cut}
+}
+
+func qcFor(p *ConsensusProposal) *PrepareQC {
+	return &PrepareQC{Slot: p.Slot, View: p.View, Digest: p.Digest()}
+}
+
+func tcWith(timeouts ...Timeout) *TC {
+	return &TC{Slot: 1, View: 0, Timeouts: timeouts}
+}
+
+func TestWinningProposalEmpty(t *testing.T) {
+	c := NewCommittee(4)
+	tc := tcWith(
+		Timeout{Slot: 1, View: 0, Voter: 0},
+		Timeout{Slot: 1, View: 0, Voter: 1},
+		Timeout{Slot: 1, View: 0, Voter: 2},
+	)
+	if w := tc.WinningProposal(c); w != nil {
+		t.Fatalf("no QCs or props: winner must be nil, got %v", w)
+	}
+}
+
+// A proposal seen by f+1 mutineers may have fast-committed: it must win.
+func TestWinningProposalFastPathSurvival(t *testing.T) {
+	c := NewCommittee(4)
+	p := prop(1, 0, 7)
+	tc := tcWith(
+		Timeout{Slot: 1, View: 0, Voter: 0, HighProp: p},
+		Timeout{Slot: 1, View: 0, Voter: 1, HighProp: p},
+		Timeout{Slot: 1, View: 0, Voter: 2},
+	)
+	w := tc.WinningProposal(c)
+	if w == nil || w.Cut.Digest() != p.Cut.Digest() {
+		t.Fatalf("f+1 HighProps must win: got %v", w)
+	}
+}
+
+// A proposal appearing only once (< f+1) cannot have fast-committed and
+// must not win on its own.
+func TestWinningProposalSingleHighPropLoses(t *testing.T) {
+	c := NewCommittee(4)
+	tc := tcWith(
+		Timeout{Slot: 1, View: 0, Voter: 0, HighProp: prop(1, 0, 7)},
+		Timeout{Slot: 1, View: 0, Voter: 1},
+		Timeout{Slot: 1, View: 0, Voter: 2},
+	)
+	if w := tc.WinningProposal(c); w != nil {
+		t.Fatalf("single HighProp must not win, got %v", w)
+	}
+}
+
+// A PrepareQC in the TC always constrains the reproposal (slow-path
+// survival): the QC's proposal must be recoverable from some HighProp.
+func TestWinningProposalQCSurvival(t *testing.T) {
+	c := NewCommittee(4)
+	p := prop(1, 0, 9)
+	tc := tcWith(
+		Timeout{Slot: 1, View: 0, Voter: 0, HighQC: qcFor(p), HighProp: p},
+		Timeout{Slot: 1, View: 0, Voter: 1},
+		Timeout{Slot: 1, View: 0, Voter: 2},
+	)
+	w := tc.WinningProposal(c)
+	if w == nil || w.Cut.Digest() != p.Cut.Digest() {
+		t.Fatalf("QC'd proposal must win: got %v", w)
+	}
+}
+
+// Ties between a QC and an f+1 HighProp set at the same view go to the QC
+// (§5.3: "in a tie, precedence is given to the highQC").
+func TestWinningProposalTieFavorsQC(t *testing.T) {
+	c := NewCommittee(4)
+	pq := prop(1, 0, 9) // the QC'd value
+	ph := prop(1, 0, 5) // a different value seen f+1 times, same view
+	tc := tcWith(
+		Timeout{Slot: 1, View: 0, Voter: 0, HighQC: qcFor(pq), HighProp: pq},
+		Timeout{Slot: 1, View: 0, Voter: 1, HighProp: ph},
+		Timeout{Slot: 1, View: 0, Voter: 2, HighProp: ph},
+	)
+	w := tc.WinningProposal(c)
+	if w == nil || w.Cut.Digest() != pq.Cut.Digest() {
+		t.Fatalf("tie must favor the QC'd proposal: got %v", w)
+	}
+}
+
+// A higher-view f+1 HighProp set beats a lower-view QC: the newer value
+// may have fast-committed after the QC's view.
+func TestWinningProposalHigherViewPropBeatsOlderQC(t *testing.T) {
+	c := NewCommittee(4)
+	old := prop(1, 0, 9)
+	newer := prop(1, 2, 5)
+	tc := &TC{Slot: 1, View: 2, Timeouts: []Timeout{
+		{Slot: 1, View: 2, Voter: 0, HighQC: qcFor(old), HighProp: old},
+		{Slot: 1, View: 2, Voter: 1, HighProp: newer},
+		{Slot: 1, View: 2, Voter: 2, HighProp: newer},
+	}}
+	w := tc.WinningProposal(c)
+	if w == nil || w.Cut.Digest() != newer.Cut.Digest() {
+		t.Fatalf("higher-view f+1 props must beat an older QC: got %v", w)
+	}
+}
+
+// A higher-view QC beats a lower-view f+1 HighProp set.
+func TestWinningProposalHigherViewQCWins(t *testing.T) {
+	c := NewCommittee(4)
+	older := prop(1, 0, 5)
+	qcd := prop(1, 1, 9)
+	tc := &TC{Slot: 1, View: 1, Timeouts: []Timeout{
+		{Slot: 1, View: 1, Voter: 0, HighQC: qcFor(qcd), HighProp: qcd},
+		{Slot: 1, View: 1, Voter: 1, HighProp: older},
+		{Slot: 1, View: 1, Voter: 2, HighProp: older},
+	}}
+	w := tc.WinningProposal(c)
+	if w == nil || w.Cut.Digest() != qcd.Cut.Digest() {
+		t.Fatalf("higher-view QC must win: got %v", w)
+	}
+}

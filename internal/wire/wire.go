@@ -1,0 +1,642 @@
+// Package wire provides the canonical binary codec for every Autobahn
+// message, used by the TCP transport (internal/transport). Encodings are
+// deterministic and length-framed; the decoder validates structure and
+// bounds every length field, so malformed or hostile input fails cleanly
+// instead of over-allocating.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/types"
+)
+
+// ErrTruncated reports input shorter than its encoding requires.
+var ErrTruncated = errors.New("wire: truncated message")
+
+// Limits guarding against hostile length fields.
+const (
+	maxTxs       = 1 << 20
+	maxShares    = 1 << 12
+	maxProposals = 1 << 17
+	maxBytesLen  = 64 << 20
+)
+
+// --- writer ---
+
+type writer struct {
+	buf []byte
+}
+
+func (w *writer) u8(v uint8)            { w.buf = append(w.buf, v) }
+func (w *writer) u16(v uint16)          { w.buf = binary.LittleEndian.AppendUint16(w.buf, v) }
+func (w *writer) u32(v uint32)          { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+func (w *writer) u64(v uint64)          { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+func (w *writer) node(v types.NodeID)   { w.u16(uint16(v)) }
+func (w *writer) digest(d types.Digest) { w.buf = append(w.buf, d[:]...) }
+func (w *writer) bytes(b []byte) {
+	w.u32(uint32(len(b)))
+	w.buf = append(w.buf, b...)
+}
+func (w *writer) bool(v bool) {
+	if v {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+}
+
+// --- reader ---
+
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.off+n > len(r.buf) {
+		r.fail(ErrTruncated)
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *reader) u8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+func (r *reader) u16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+func (r *reader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+func (r *reader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+func (r *reader) node() types.NodeID { return types.NodeID(r.u16()) }
+func (r *reader) digest() types.Digest {
+	var d types.Digest
+	copy(d[:], r.take(types.DigestSize))
+	return d
+}
+func (r *reader) bytes() []byte {
+	n := int(r.u32())
+	if n > maxBytesLen {
+		r.fail(fmt.Errorf("wire: byte field of %d exceeds limit", n))
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	b := r.take(n)
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out
+}
+func (r *reader) bool() bool { return r.u8() != 0 }
+
+func (r *reader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.buf) {
+		return fmt.Errorf("wire: %d trailing bytes", len(r.buf)-r.off)
+	}
+	return nil
+}
+
+// --- batch ---
+
+func putBatch(w *writer, b *types.Batch) {
+	w.node(b.Origin)
+	w.u64(b.Seq)
+	w.u32(b.Count)
+	w.u64(b.Bytes)
+	w.u64(uint64(b.MeanArrival))
+	w.u64(uint64(b.CreatedAt))
+	if b.Txs == nil {
+		w.bool(true) // synthetic
+		return
+	}
+	w.bool(false)
+	w.u32(uint32(len(b.Txs)))
+	for _, tx := range b.Txs {
+		w.bytes(tx)
+	}
+}
+
+func getBatch(r *reader) *types.Batch {
+	b := &types.Batch{
+		Origin:      r.node(),
+		Seq:         r.u64(),
+		Count:       r.u32(),
+		Bytes:       r.u64(),
+		MeanArrival: types.Duration(r.u64()),
+		CreatedAt:   types.Duration(r.u64()),
+	}
+	if r.bool() {
+		return b // synthetic
+	}
+	n := int(r.u32())
+	if n > maxTxs {
+		r.fail(fmt.Errorf("wire: %d txs exceeds limit", n))
+		return b
+	}
+	b.Txs = make([]types.Transaction, 0, min(n, 4096))
+	for i := 0; i < n && r.err == nil; i++ {
+		tx := types.Transaction(r.bytes())
+		if tx == nil {
+			tx = types.Transaction{} // preserve empty (but present) payloads
+		}
+		b.Txs = append(b.Txs, tx)
+	}
+	return b
+}
+
+// --- shares, PoA, cuts ---
+
+func putShares(w *writer, shares []types.SigShare) {
+	w.u32(uint32(len(shares)))
+	for _, s := range shares {
+		w.node(s.Signer)
+		w.bytes(s.Sig)
+	}
+}
+
+func getShares(r *reader) []types.SigShare {
+	n := int(r.u32())
+	if n > maxShares {
+		r.fail(fmt.Errorf("wire: %d shares exceeds limit", n))
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]types.SigShare, 0, min(n, 64))
+	for i := 0; i < n && r.err == nil; i++ {
+		out = append(out, types.SigShare{Signer: r.node(), Sig: r.bytes()})
+	}
+	return out
+}
+
+func putPoA(w *writer, p *types.PoA) {
+	if p == nil {
+		w.bool(false)
+		return
+	}
+	w.bool(true)
+	w.node(p.Lane)
+	w.u64(uint64(p.Position))
+	w.digest(p.Digest)
+	putShares(w, p.Shares)
+}
+
+func getPoA(r *reader) *types.PoA {
+	if !r.bool() {
+		return nil
+	}
+	return &types.PoA{
+		Lane:     r.node(),
+		Position: types.Pos(r.u64()),
+		Digest:   r.digest(),
+		Shares:   getShares(r),
+	}
+}
+
+func putCut(w *writer, c types.Cut) {
+	w.u32(uint32(len(c.Tips)))
+	for _, t := range c.Tips {
+		w.node(t.Lane)
+		w.u64(uint64(t.Position))
+		w.digest(t.Digest)
+		putPoA(w, t.Cert)
+	}
+}
+
+func getCut(r *reader) types.Cut {
+	n := int(r.u32())
+	if n > maxShares {
+		r.fail(fmt.Errorf("wire: cut of %d tips exceeds limit", n))
+		return types.Cut{}
+	}
+	tips := make([]types.TipRef, 0, min(n, 64))
+	for i := 0; i < n && r.err == nil; i++ {
+		tips = append(tips, types.TipRef{
+			Lane:     r.node(),
+			Position: types.Pos(r.u64()),
+			Digest:   r.digest(),
+			Cert:     getPoA(r),
+		})
+	}
+	return types.Cut{Tips: tips}
+}
+
+// --- proposals & QCs ---
+
+func putProposal(w *writer, p *types.Proposal) {
+	w.node(p.Lane)
+	w.u64(uint64(p.Position))
+	w.digest(p.Parent)
+	putPoA(w, p.ParentPoA)
+	putBatch(w, p.Batch)
+	w.bytes(p.Sig)
+}
+
+func getProposal(r *reader) *types.Proposal {
+	return &types.Proposal{
+		Lane:      r.node(),
+		Position:  types.Pos(r.u64()),
+		Parent:    r.digest(),
+		ParentPoA: getPoA(r),
+		Batch:     getBatch(r),
+		Sig:       r.bytes(),
+	}
+}
+
+func putConsensusProposal(w *writer, p *types.ConsensusProposal) {
+	w.u64(uint64(p.Slot))
+	w.u64(uint64(p.View))
+	putCut(w, p.Cut)
+}
+
+func getConsensusProposal(r *reader) types.ConsensusProposal {
+	return types.ConsensusProposal{
+		Slot: types.Slot(r.u64()),
+		View: types.View(r.u64()),
+		Cut:  getCut(r),
+	}
+}
+
+func putPrepareQC(w *writer, qc *types.PrepareQC) {
+	if qc == nil {
+		w.bool(false)
+		return
+	}
+	w.bool(true)
+	w.u64(uint64(qc.Slot))
+	w.u64(uint64(qc.View))
+	w.digest(qc.Digest)
+	putShares(w, qc.Shares)
+	w.u32(uint32(len(qc.StrongMask)))
+	for _, b := range qc.StrongMask {
+		w.bool(b)
+	}
+}
+
+func getPrepareQC(r *reader) *types.PrepareQC {
+	if !r.bool() {
+		return nil
+	}
+	qc := &types.PrepareQC{
+		Slot:   types.Slot(r.u64()),
+		View:   types.View(r.u64()),
+		Digest: r.digest(),
+		Shares: getShares(r),
+	}
+	n := int(r.u32())
+	if n > maxShares {
+		r.fail(fmt.Errorf("wire: strong mask of %d exceeds limit", n))
+		return qc
+	}
+	for i := 0; i < n && r.err == nil; i++ {
+		qc.StrongMask = append(qc.StrongMask, r.bool())
+	}
+	return qc
+}
+
+func putCommitQC(w *writer, qc *types.CommitQC) {
+	if qc == nil {
+		w.bool(false)
+		return
+	}
+	w.bool(true)
+	w.u64(uint64(qc.Slot))
+	w.u64(uint64(qc.View))
+	w.digest(qc.Digest)
+	w.bool(qc.Fast)
+	putShares(w, qc.Shares)
+}
+
+func getCommitQC(r *reader) *types.CommitQC {
+	if !r.bool() {
+		return nil
+	}
+	return &types.CommitQC{
+		Slot:   types.Slot(r.u64()),
+		View:   types.View(r.u64()),
+		Digest: r.digest(),
+		Fast:   r.bool(),
+		Shares: getShares(r),
+	}
+}
+
+func putTimeout(w *writer, t *types.Timeout) {
+	w.u64(uint64(t.Slot))
+	w.u64(uint64(t.View))
+	w.node(t.Voter)
+	putPrepareQC(w, t.HighQC)
+	if t.HighProp != nil {
+		w.bool(true)
+		putConsensusProposal(w, t.HighProp)
+	} else {
+		w.bool(false)
+	}
+	w.bytes(t.Sig)
+}
+
+func getTimeout(r *reader) types.Timeout {
+	t := types.Timeout{
+		Slot:   types.Slot(r.u64()),
+		View:   types.View(r.u64()),
+		Voter:  r.node(),
+		HighQC: getPrepareQC(r),
+	}
+	if r.bool() {
+		p := getConsensusProposal(r)
+		t.HighProp = &p
+	}
+	t.Sig = r.bytes()
+	return t
+}
+
+func putTC(w *writer, tc *types.TC) {
+	if tc == nil {
+		w.bool(false)
+		return
+	}
+	w.bool(true)
+	w.u64(uint64(tc.Slot))
+	w.u64(uint64(tc.View))
+	w.u32(uint32(len(tc.Timeouts)))
+	for i := range tc.Timeouts {
+		putTimeout(w, &tc.Timeouts[i])
+	}
+}
+
+func getTC(r *reader) *types.TC {
+	if !r.bool() {
+		return nil
+	}
+	tc := &types.TC{Slot: types.Slot(r.u64()), View: types.View(r.u64())}
+	n := int(r.u32())
+	if n > maxShares {
+		r.fail(fmt.Errorf("wire: TC of %d timeouts exceeds limit", n))
+		return tc
+	}
+	for i := 0; i < n && r.err == nil; i++ {
+		tc.Timeouts = append(tc.Timeouts, getTimeout(r))
+	}
+	return tc
+}
+
+func putTicket(w *writer, t types.Ticket) {
+	w.u8(uint8(t.Kind))
+	switch t.Kind {
+	case types.TicketCommit:
+		putCommitQC(w, t.Commit)
+	case types.TicketTC:
+		putTC(w, t.TC)
+	}
+}
+
+func getTicket(r *reader) types.Ticket {
+	t := types.Ticket{Kind: types.TicketKind(r.u8())}
+	switch t.Kind {
+	case types.TicketCommit:
+		t.Commit = getCommitQC(r)
+	case types.TicketTC:
+		t.TC = getTC(r)
+	default:
+		r.fail(fmt.Errorf("wire: unknown ticket kind %d", t.Kind))
+	}
+	return t
+}
+
+// --- top-level messages ---
+
+// Encode serializes m as [type byte | payload]. It supports every message
+// in package types; unknown concrete types return an error.
+func Encode(m types.Message) ([]byte, error) {
+	w := &writer{buf: make([]byte, 0, 256)}
+	w.u8(uint8(m.Type()))
+	switch v := m.(type) {
+	case *types.Proposal:
+		putProposal(w, v)
+	case *types.Vote:
+		w.node(v.Lane)
+		w.u64(uint64(v.Position))
+		w.digest(v.Digest)
+		w.node(v.Voter)
+		w.bytes(v.Sig)
+	case *types.PoA:
+		putPoA(w, v)
+	case *types.Prepare:
+		w.node(v.Leader)
+		putConsensusProposal(w, &v.Proposal)
+		putTicket(w, v.Ticket)
+		w.bytes(v.Sig)
+	case *types.PrepVote:
+		w.u64(uint64(v.Slot))
+		w.u64(uint64(v.View))
+		w.digest(v.Digest)
+		w.node(v.Voter)
+		w.bool(v.Strong)
+		w.bytes(v.Sig)
+	case *types.Confirm:
+		w.node(v.Leader)
+		putPrepareQC(w, &v.QC)
+		w.bytes(v.Sig)
+	case *types.ConfirmAck:
+		w.u64(uint64(v.Slot))
+		w.u64(uint64(v.View))
+		w.digest(v.Digest)
+		w.node(v.Voter)
+		w.bytes(v.Sig)
+	case *types.CommitNotice:
+		putCommitQC(w, &v.QC)
+		putConsensusProposal(w, &v.Proposal)
+	case *types.Timeout:
+		putTimeout(w, v)
+	case *types.SyncRequest:
+		w.node(v.Lane)
+		w.u64(uint64(v.From))
+		w.u64(uint64(v.To))
+		w.digest(v.TipDigest)
+		w.node(v.Requester)
+	case *types.SyncReply:
+		w.node(v.Lane)
+		w.bool(v.Complete)
+		w.u32(uint32(len(v.Proposals)))
+		for _, p := range v.Proposals {
+			putProposal(w, p)
+		}
+	case *types.CommitRequest:
+		w.u64(uint64(v.From))
+		w.u64(uint64(v.To))
+		w.node(v.Requester)
+	case *types.CommitReply:
+		w.u32(uint32(len(v.Notices)))
+		for i := range v.Notices {
+			putCommitQC(w, &v.Notices[i].QC)
+			putConsensusProposal(w, &v.Notices[i].Proposal)
+		}
+	default:
+		return nil, fmt.Errorf("wire: cannot encode %T", m)
+	}
+	return w.buf, nil
+}
+
+// Decode parses a message previously produced by Encode.
+func Decode(data []byte) (types.Message, error) {
+	if len(data) == 0 {
+		return nil, ErrTruncated
+	}
+	r := &reader{buf: data, off: 1}
+	var m types.Message
+	switch types.MsgType(data[0]) {
+	case types.MsgProposal:
+		m = getProposal(r)
+	case types.MsgVote:
+		m = &types.Vote{
+			Lane:     r.node(),
+			Position: types.Pos(r.u64()),
+			Digest:   r.digest(),
+			Voter:    r.node(),
+			Sig:      r.bytes(),
+		}
+	case types.MsgPoA:
+		m = getPoA(r)
+		if m == (*types.PoA)(nil) {
+			return nil, fmt.Errorf("wire: nil PoA message")
+		}
+	case types.MsgPrepare:
+		m = &types.Prepare{
+			Leader:   r.node(),
+			Proposal: getConsensusProposal(r),
+			Ticket:   getTicket(r),
+			Sig:      r.bytes(),
+		}
+	case types.MsgPrepVote:
+		m = &types.PrepVote{
+			Slot:   types.Slot(r.u64()),
+			View:   types.View(r.u64()),
+			Digest: r.digest(),
+			Voter:  r.node(),
+			Strong: r.bool(),
+			Sig:    r.bytes(),
+		}
+	case types.MsgConfirm:
+		c := &types.Confirm{Leader: r.node()}
+		if qc := getPrepareQC(r); qc != nil {
+			c.QC = *qc
+		} else {
+			r.fail(fmt.Errorf("wire: confirm without QC"))
+		}
+		c.Sig = r.bytes()
+		m = c
+	case types.MsgConfirmAck:
+		m = &types.ConfirmAck{
+			Slot:   types.Slot(r.u64()),
+			View:   types.View(r.u64()),
+			Digest: r.digest(),
+			Voter:  r.node(),
+			Sig:    r.bytes(),
+		}
+	case types.MsgCommitNotice:
+		cn := &types.CommitNotice{}
+		if qc := getCommitQC(r); qc != nil {
+			cn.QC = *qc
+		} else {
+			r.fail(fmt.Errorf("wire: commit notice without QC"))
+		}
+		cn.Proposal = getConsensusProposal(r)
+		m = cn
+	case types.MsgTimeout:
+		t := getTimeout(r)
+		m = &t
+	case types.MsgSyncRequest:
+		m = &types.SyncRequest{
+			Lane:      r.node(),
+			From:      types.Pos(r.u64()),
+			To:        types.Pos(r.u64()),
+			TipDigest: r.digest(),
+			Requester: r.node(),
+		}
+	case types.MsgSyncReply:
+		rep := &types.SyncReply{Lane: r.node(), Complete: r.bool()}
+		n := int(r.u32())
+		if n > maxProposals {
+			return nil, fmt.Errorf("wire: %d proposals exceeds limit", n)
+		}
+		for i := 0; i < n && r.err == nil; i++ {
+			rep.Proposals = append(rep.Proposals, getProposal(r))
+		}
+		m = rep
+	case types.MsgCommitRequest:
+		m = &types.CommitRequest{
+			From:      types.Slot(r.u64()),
+			To:        types.Slot(r.u64()),
+			Requester: r.node(),
+		}
+	case types.MsgCommitReply:
+		rep := &types.CommitReply{}
+		n := int(r.u32())
+		if n > maxProposals {
+			return nil, fmt.Errorf("wire: %d notices exceeds limit", n)
+		}
+		for i := 0; i < n && r.err == nil; i++ {
+			var cn types.CommitNotice
+			if qc := getCommitQC(r); qc != nil {
+				cn.QC = *qc
+			} else {
+				r.fail(fmt.Errorf("wire: commit reply notice without QC"))
+			}
+			cn.Proposal = getConsensusProposal(r)
+			rep.Notices = append(rep.Notices, cn)
+		}
+		m = rep
+	default:
+		return nil, fmt.Errorf("wire: unknown message type %d", data[0])
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Guard against accidental integer truncation in length prefixes.
+var _ = math.MaxUint32

@@ -1,0 +1,142 @@
+package workload
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/runtime"
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// counter tallies submitted batches per node.
+type counter struct {
+	txs   atomic.Uint64
+	bytes atomic.Uint64
+	n     atomic.Uint64
+}
+
+func (c *counter) Init(runtime.Context)                                   {}
+func (c *counter) OnMessage(runtime.Context, types.NodeID, types.Message) {}
+func (c *counter) OnTimer(runtime.Context, runtime.TimerTag)              {}
+func (c *counter) OnClientBatch(_ runtime.Context, b *types.Batch) {
+	c.txs.Add(uint64(b.Count))
+	c.bytes.Add(b.Bytes)
+	c.n.Add(1)
+}
+
+func newEngine(faults *sim.FaultSchedule) (*sim.Engine, []*counter) {
+	eng := sim.NewEngine(sim.Config{
+		Net:    sim.NewNetwork(sim.NetConfig{Topology: sim.UniformTopology{OneWay: time.Millisecond}}),
+		Faults: faults,
+		Seed:   1,
+	})
+	cs := make([]*counter, 4)
+	for i := range cs {
+		cs[i] = &counter{}
+		eng.AddNode(cs[i])
+	}
+	return eng, cs
+}
+
+func ids() []types.NodeID { return []types.NodeID{0, 1, 2, 3} }
+
+func TestRateAccounting(t *testing.T) {
+	eng, cs := newEngine(nil)
+	Install(eng, ids(), Config{TotalRate: 40_000, TxSize: 512, Start: 0, End: 10 * time.Second})
+	eng.Run(15 * time.Second)
+	var total, bytes uint64
+	for _, c := range cs {
+		total += c.txs.Load()
+		bytes += c.bytes.Load()
+	}
+	if total != 400_000 {
+		t.Fatalf("submitted %d txs, want exactly 400000", total)
+	}
+	if bytes != 400_000*512 {
+		t.Fatalf("submitted %d bytes", bytes)
+	}
+	// Load balanced evenly.
+	for i, c := range cs {
+		if c.txs.Load() != 100_000 {
+			t.Fatalf("node %d got %d txs", i, c.txs.Load())
+		}
+	}
+}
+
+func TestBatchSealing(t *testing.T) {
+	eng, cs := newEngine(nil)
+	Install(eng, ids(), Config{TotalRate: 4_000, Start: 0, End: 2 * time.Second})
+	eng.Run(5 * time.Second)
+	// 1k tx/s per node with 1000-tx batches sealed within 100ms: at least
+	// one full batch plus delay-triggered partials.
+	for i, c := range cs {
+		if c.n.Load() < 2 || c.n.Load() > 40 {
+			t.Fatalf("node %d sealed %d batches", i, c.n.Load())
+		}
+	}
+}
+
+func TestRedirectAwayFromDownNode(t *testing.T) {
+	faults := (&sim.FaultSchedule{}).AddDown(1, 0, 10*time.Second)
+	eng, cs := newEngine(faults)
+	Install(eng, ids(), Config{TotalRate: 40_000, TxSize: 512, Start: 0, End: 10 * time.Second})
+	eng.Run(15 * time.Second)
+	if got := cs[1].txs.Load(); got != 0 {
+		t.Fatalf("down node received %d txs", got)
+	}
+	var total uint64
+	for _, c := range cs {
+		total += c.txs.Load()
+	}
+	if total != 400_000 {
+		t.Fatalf("redirected load lost txs: %d", total)
+	}
+}
+
+func TestNoRedirectDropsLoad(t *testing.T) {
+	faults := (&sim.FaultSchedule{}).AddDown(1, 0, 10*time.Second)
+	eng, cs := newEngine(faults)
+	Install(eng, ids(), Config{TotalRate: 40_000, TxSize: 512, Start: 0, End: 10 * time.Second, NoRedirect: true})
+	eng.Run(15 * time.Second)
+	if got := cs[1].txs.Load(); got != 0 {
+		t.Fatalf("down node received %d txs", got)
+	}
+	var total uint64
+	for _, c := range cs {
+		total += c.txs.Load()
+	}
+	if total >= 400_000 {
+		t.Fatal("NoRedirect must drop the down node's share")
+	}
+}
+
+func TestArrivalTimestampsProgress(t *testing.T) {
+	eng, _ := newEngine(nil)
+	var arrivals []time.Duration
+	probe := &probeProto{onBatch: func(b *types.Batch) { arrivals = append(arrivals, b.MeanArrival) }}
+	eng.AddNode(probe)
+	Install(eng, []types.NodeID{4}, Config{TotalRate: 5_000, Start: time.Second, End: 3 * time.Second})
+	eng.Run(5 * time.Second)
+	if len(arrivals) < 5 {
+		t.Fatalf("only %d batches", len(arrivals))
+	}
+	for i, a := range arrivals {
+		if a < time.Second || a > 3*time.Second {
+			t.Fatalf("arrival %d = %v outside the window", i, a)
+		}
+		if i > 0 && a < arrivals[i-1] {
+			t.Fatal("arrival means must be nondecreasing")
+		}
+	}
+}
+
+type probeProto struct {
+	onBatch func(*types.Batch)
+}
+
+func (p *probeProto) Init(runtime.Context)                                   {}
+func (p *probeProto) OnMessage(runtime.Context, types.NodeID, types.Message) {}
+func (p *probeProto) OnTimer(runtime.Context, runtime.TimerTag)              {}
+func (p *probeProto) OnClientBatch(_ runtime.Context, b *types.Batch)        { p.onBatch(b) }

@@ -1,0 +1,131 @@
+package autobahn
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mempool"
+	"repro/internal/runtime"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// LiveCluster runs an n-replica Autobahn deployment inside one process in
+// real time: one event-loop goroutine per replica, channel transport,
+// real ed25519 signatures. Submit transactions to any replica and consume
+// the totally ordered commits from the Commits channel.
+type LiveCluster struct {
+	opts  Options
+	mesh  *transport.LocalMesh
+	pools []*mempool.Pool
+	mu    []sync.Mutex // per-pool locks (Submit may be called concurrently)
+	nodes []*core.Node
+
+	// Commits delivers every committed batch observed at replica 0 (one
+	// canonical copy of the total order; all replicas agree).
+	Commits chan Committed
+
+	epoch   time.Time
+	started bool
+}
+
+// NewLiveCluster builds (but does not start) an in-process cluster.
+// Signatures are always verified in live mode.
+func NewLiveCluster(o Options) (*LiveCluster, error) {
+	if o.N < 1 || (o.N > 1 && o.N < 4) {
+		return nil, fmt.Errorf("autobahn: committee size %d cannot tolerate any fault (need n >= 4)", o.N)
+	}
+	o.VerifySignatures = true
+	lc := &LiveCluster{
+		opts:    o,
+		mesh:    transport.NewLocalMesh(),
+		Commits: make(chan Committed, 4096),
+		epoch:   time.Now(),
+	}
+	suite := o.suite()
+	sink := runtime.CommitSinkFunc(func(node types.NodeID, now time.Duration, cm runtime.Committed) {
+		if node != 0 {
+			return // one canonical stream; replicas agree by safety
+		}
+		select {
+		case lc.Commits <- Committed{
+			Replica: node, Lane: cm.Lane, Position: cm.Position,
+			Slot: cm.Slot, Batch: cm.Batch, At: now,
+		}:
+		default: // consumer not keeping up: drop delivery notifications
+		}
+	})
+	for i := 0; i < o.N; i++ {
+		nd := core.NewNode(o.nodeConfig(types.NodeID(i), suite, sink))
+		lc.nodes = append(lc.nodes, nd)
+		lc.mesh.AddNode(nd, lc.epoch)
+		lc.pools = append(lc.pools, mempool.NewPool(mempool.Config{
+			Self:          types.NodeID(i),
+			MaxBatchTxs:   o.MaxBatchTxs,
+			MaxBatchBytes: o.MaxBatchBytes,
+			MaxBatchDelay: o.MaxBatchDelay,
+		}))
+	}
+	lc.mu = make([]sync.Mutex, o.N)
+	return lc, nil
+}
+
+// Start launches the replicas and the batch-flush ticker.
+func (c *LiveCluster) Start() {
+	if c.started {
+		return
+	}
+	c.started = true
+	c.mesh.Start()
+	go c.flushLoop()
+}
+
+// Stop terminates all replicas.
+func (c *LiveCluster) Stop() { c.mesh.Stop() }
+
+// Submit hands a transaction to a replica's mempool; full batches are
+// sealed and disseminated immediately, partial ones within the batch
+// delay. Safe for concurrent use.
+func (c *LiveCluster) Submit(to types.NodeID, tx []byte) error {
+	if int(to) >= c.opts.N {
+		return fmt.Errorf("autobahn: no replica %d", to)
+	}
+	now := time.Since(c.epoch)
+	c.mu[to].Lock()
+	batches := c.pools[to].AddTx(types.Transaction(tx), now)
+	c.mu[to].Unlock()
+	for _, b := range batches {
+		c.mesh.Loop(to).Submit(b)
+	}
+	return nil
+}
+
+// flushLoop seals partially filled batches after the batch delay.
+func (c *LiveCluster) flushLoop() {
+	delay := c.opts.MaxBatchDelay
+	if delay == 0 {
+		delay = 100 * time.Millisecond
+	}
+	tick := time.NewTicker(delay / 2)
+	defer tick.Stop()
+	for c.started {
+		<-tick.C
+		now := time.Since(c.epoch)
+		for i := range c.pools {
+			c.mu[i].Lock()
+			var b *types.Batch
+			if c.pools[i].FlushDue(now) {
+				b = c.pools[i].Flush(now)
+			}
+			c.mu[i].Unlock()
+			if b != nil {
+				c.mesh.Loop(types.NodeID(i)).Submit(b)
+			}
+		}
+	}
+}
+
+// Node returns a replica for inspection.
+func (c *LiveCluster) Node(id types.NodeID) *core.Node { return c.nodes[id] }

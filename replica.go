@@ -1,0 +1,115 @@
+package autobahn
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mempool"
+	"repro/internal/runtime"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// Replica is a single Autobahn replica communicating with its peers over
+// TCP (length-framed wire encoding, automatic reconnection). It is the
+// building block of real multi-process deployments; see cmd/autobahn-node.
+type Replica struct {
+	opts Options
+	self types.NodeID
+	mesh *transport.TCPMesh
+	node *core.Node
+
+	poolMu sync.Mutex
+	pool   *mempool.Pool
+	epoch  time.Time
+
+	// Commits delivers this replica's totally ordered, execution-ready
+	// batches.
+	Commits chan Committed
+}
+
+// NewReplica builds replica `self` of a committee whose members listen at
+// the given addresses (all replicas must share the same Options and
+// address map). Signatures are always verified.
+func NewReplica(self types.NodeID, addrs map[types.NodeID]string, o Options, logger *log.Logger) (*Replica, error) {
+	if len(addrs) != o.N {
+		return nil, fmt.Errorf("autobahn: %d addresses for committee of %d", len(addrs), o.N)
+	}
+	o.VerifySignatures = true
+	r := &Replica{
+		opts:    o,
+		self:    self,
+		epoch:   time.Now(), // deployments tolerate skewed epochs: only latency *reports* depend on it
+		Commits: make(chan Committed, 4096),
+	}
+	sink := runtime.CommitSinkFunc(func(node types.NodeID, now time.Duration, cm runtime.Committed) {
+		select {
+		case r.Commits <- Committed{
+			Replica: node, Lane: cm.Lane, Position: cm.Position,
+			Slot: cm.Slot, Batch: cm.Batch, At: now,
+		}:
+		default:
+		}
+	})
+	r.node = core.NewNode(o.nodeConfig(self, o.suite(), sink))
+	r.mesh = transport.NewTCPMesh(self, addrs, r.node, r.epoch, logger)
+	r.pool = mempool.NewPool(mempool.Config{
+		Self:          self,
+		MaxBatchTxs:   o.MaxBatchTxs,
+		MaxBatchBytes: o.MaxBatchBytes,
+		MaxBatchDelay: o.MaxBatchDelay,
+	})
+	return r, nil
+}
+
+// Start begins listening, connects to peers lazily, and launches the
+// replica's event loop and batch-flush ticker.
+func (r *Replica) Start() error {
+	if err := r.mesh.Start(); err != nil {
+		return err
+	}
+	go r.flushLoop()
+	return nil
+}
+
+// Stop shuts the replica down.
+func (r *Replica) Stop() { r.mesh.Stop() }
+
+// Submit adds one client transaction to this replica's mempool.
+func (r *Replica) Submit(tx []byte) {
+	now := time.Since(r.epoch)
+	r.poolMu.Lock()
+	batches := r.pool.AddTx(types.Transaction(tx), now)
+	r.poolMu.Unlock()
+	for _, b := range batches {
+		r.mesh.Loop().Submit(b)
+	}
+}
+
+func (r *Replica) flushLoop() {
+	delay := r.opts.MaxBatchDelay
+	if delay == 0 {
+		delay = 100 * time.Millisecond
+	}
+	tick := time.NewTicker(delay / 2)
+	defer tick.Stop()
+	for {
+		<-tick.C
+		now := time.Since(r.epoch)
+		r.poolMu.Lock()
+		var b *types.Batch
+		if r.pool.FlushDue(now) {
+			b = r.pool.Flush(now)
+		}
+		r.poolMu.Unlock()
+		if b != nil {
+			r.mesh.Loop().Submit(b)
+		}
+	}
+}
+
+// Node exposes the protocol state (stats, orderer) for monitoring.
+func (r *Replica) Node() *core.Node { return r.node }

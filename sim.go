@@ -1,0 +1,102 @@
+package autobahn
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mempool"
+	"repro/internal/metrics"
+	"repro/internal/runtime"
+	"repro/internal/sim"
+	"repro/internal/types"
+	"repro/internal/workload"
+)
+
+// SimCluster is a deterministic discrete-event Autobahn deployment over a
+// modeled WAN (the paper's Table 1 topology by default). Virtual time
+// makes minutes-long runs complete in milliseconds, bit-for-bit
+// reproducible from the seed.
+type SimCluster struct {
+	Engine   *sim.Engine
+	Recorder *metrics.Recorder
+	nodes    []*core.Node
+	ids      []types.NodeID
+	opts     Options
+}
+
+// SimOptions extends Options with simulation-specific knobs.
+type SimOptions struct {
+	Options
+	// Topology overrides the WAN model (default: paper's intra-US GCP).
+	Topology sim.Topology
+	// Faults injects crashes, mutes and partitions.
+	Faults *sim.FaultSchedule
+	// OnCommit, if set, receives every committed batch at every replica.
+	OnCommit func(Committed)
+	// Horizon sizes the metrics time series (default 5 minutes).
+	Horizon time.Duration
+}
+
+// NewSimCluster builds an n-replica simulated deployment.
+func NewSimCluster(o SimOptions) *SimCluster {
+	if o.Horizon == 0 {
+		o.Horizon = 5 * time.Minute
+	}
+	topo := o.Topology
+	if topo == nil {
+		topo = sim.IntraUSTopology()
+	}
+	rec := metrics.NewRecorder(o.Horizon)
+	rec.Quorum = o.committee().F() + 1
+	suite := o.suite()
+	eng := sim.NewEngine(sim.Config{
+		Net:    sim.NewNetwork(sim.DefaultNetConfig(topo)),
+		Faults: o.Faults,
+		Seed:   o.seedOr(1),
+	})
+	c := &SimCluster{Engine: eng, Recorder: rec, opts: o.Options}
+	sink := rec.Sink()
+	if o.OnCommit != nil {
+		inner := sink
+		cb := o.OnCommit
+		sink = runtime.CommitSinkFunc(func(node types.NodeID, now time.Duration, cm runtime.Committed) {
+			inner.OnCommit(node, now, cm)
+			cb(Committed{
+				Replica: node, Lane: cm.Lane, Position: cm.Position,
+				Slot: cm.Slot, Batch: cm.Batch, At: now,
+			})
+		})
+	}
+	for i := 0; i < o.N; i++ {
+		nd := core.NewNode(o.nodeConfig(types.NodeID(i), suite, sink))
+		c.nodes = append(c.nodes, nd)
+		c.ids = append(c.ids, types.NodeID(i))
+		eng.AddNode(nd)
+	}
+	return c
+}
+
+// SubmitLoad installs an open-loop workload of rate tx/s of txSize-byte
+// transactions over [start, end), balanced across replicas.
+func (c *SimCluster) SubmitLoad(rate float64, txSize int, start, end time.Duration) {
+	workload.Install(c.Engine, c.ids, workload.Config{
+		TotalRate: rate,
+		TxSize:    txSize,
+		Start:     start,
+		End:       end,
+		Batch: mempool.Config{
+			MaxBatchTxs:   c.opts.MaxBatchTxs,
+			MaxBatchBytes: c.opts.MaxBatchBytes,
+			MaxBatchDelay: c.opts.MaxBatchDelay,
+		},
+	})
+}
+
+// Run advances virtual time to `until`.
+func (c *SimCluster) Run(until time.Duration) { c.Engine.Run(until) }
+
+// Node returns one replica (protocol inspection in tests and examples).
+func (c *SimCluster) Node(id types.NodeID) *core.Node { return c.nodes[id] }
+
+// Nodes returns the replica IDs.
+func (c *SimCluster) Nodes() []types.NodeID { return c.ids }
