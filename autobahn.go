@@ -63,6 +63,11 @@ type Options struct {
 	MaxBatchTxs   int
 	MaxBatchBytes uint64
 	MaxBatchDelay time.Duration
+
+	// VerifyWorkers sizes the transport's parallel signature
+	// pre-verification stage (default GOMAXPROCS). Real-time runtimes
+	// only; the simulator charges crypto through its network model.
+	VerifyWorkers int
 }
 
 func (o Options) committee() types.Committee { return types.NewCommittee(o.N) }

@@ -43,6 +43,46 @@ func TestLiveClusterCommitsTransactions(t *testing.T) {
 	}
 }
 
+// TestLivePipelinePreVerifies asserts the staged ingress pipeline is
+// actually in the live path: after committing traffic, the transport's
+// pre-verification workers must have populated each replica's
+// verified-signature memo, and the state machines' inline re-checks must
+// have hit it (i.e. curve arithmetic came off the event loop).
+func TestLivePipelinePreVerifies(t *testing.T) {
+	lc, err := NewLiveCluster(Options{N: 4, MaxBatchDelay: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc.Start()
+	defer lc.Stop()
+
+	for i := 0; i < 100; i++ {
+		if err := lc.Submit(types.NodeID(i%4), []byte(fmt.Sprintf("pv-tx-%04d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.After(15 * time.Second)
+	got := 0
+	for got < 100 {
+		select {
+		case c := <-lc.Commits:
+			got += len(c.Batch.Txs)
+		case <-deadline:
+			t.Fatalf("timed out: committed %d of 100 txs", got)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		hits, misses := lc.Node(types.NodeID(i)).PreVerifyStats()
+		if misses == 0 {
+			t.Fatalf("replica %d: memo never populated (pipeline not running)", i)
+		}
+		if hits == 0 {
+			t.Fatalf("replica %d: inline checks never hit the memo (no trust hand-off)", i)
+		}
+		t.Logf("replica %d: memo hits=%d misses=%d", i, hits, misses)
+	}
+}
+
 func TestLiveClusterRejectsBadCommittee(t *testing.T) {
 	if _, err := NewLiveCluster(Options{N: 3}); err == nil {
 		t.Fatal("expected error for n=3 (tolerates no faults)")

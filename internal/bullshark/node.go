@@ -130,10 +130,15 @@ var _ runtime.Protocol = (*Node)(nil)
 // NewNode builds a Bullshark replica.
 func NewNode(cfg Config) *Node {
 	cfg.fill()
+	verifier := cfg.Suite.Verifier()
+	if cfg.VerifySigs {
+		// Memoized: inline checks of pre-verified messages are cache hits.
+		verifier = crypto.NewVerifyCache(verifier, 0)
+	}
 	return &Node{
 		cfg:          cfg,
 		signer:       cfg.Suite.Signer(cfg.Self),
-		verifier:     cfg.Suite.Verifier(),
+		verifier:     verifier,
 		round:        1,
 		headers:      make(map[types.Digest]*Header),
 		certs:        make(map[Round]map[types.NodeID]*Cert),
@@ -537,19 +542,7 @@ func (n *Node) onCert(ctx runtime.Context, c *Cert) {
 }
 
 func (n *Node) verifyCert(c *Cert) bool {
-	if len(c.Shares) < n.cfg.Committee.Quorum() {
-		return false
-	}
-	if _, err := crypto.DistinctSigners(n.cfg.Committee, c.Shares); err != nil {
-		return false
-	}
-	probe := HeaderVote{Author: c.Author, Round: c.Round, Header: c.Header}
-	for _, sh := range c.Shares {
-		if !n.verifier.Verify(sh.Signer, probe.SigningBytes(), sh.Sig) {
-			return false
-		}
-	}
-	return true
+	return verifyCert(n.cfg.Committee, n.verifier, c) == nil
 }
 
 // --- Bullshark commit rule ---

@@ -703,7 +703,7 @@ func (e *Engine) processConfirm(from types.NodeID, conf *types.Confirm) {
 		if !e.cfg.Verifier.Verify(conf.Leader, conf.SigningBytes(), conf.Sig) {
 			return
 		}
-		if err := verifyPrepareQC(e.cfg, &conf.QC); err != nil {
+		if err := verifyPrepareQC(e.cfg.Committee, e.cfg.Verifier, e.cfg.OptimisticTips, &conf.QC); err != nil {
 			return
 		}
 	}
@@ -773,7 +773,7 @@ func (e *Engine) collectAck(st *slotState, ack *types.ConfirmAck) {
 // OnCommitNotice handles a broadcast commit certificate.
 func (e *Engine) OnCommitNotice(from types.NodeID, m *types.CommitNotice) {
 	if e.cfg.VerifySigs {
-		if err := verifyCommitQC(e.cfg, &m.QC); err != nil {
+		if err := verifyCommitQC(e.cfg.Committee, e.cfg.Verifier, &m.QC); err != nil {
 			return
 		}
 	}

@@ -1,0 +1,101 @@
+package consensus
+
+import (
+	"fmt"
+
+	"repro/internal/crypto"
+	"repro/internal/types"
+)
+
+// This file holds the consensus layer's stateless signature checks, split
+// out of the stateful engine so they can run on the transport's parallel
+// pre-verification stage (runtime.PreVerifier). The engine's inline
+// validation calls the same helpers; with a shared crypto.VerifyCache a
+// pre-verified message's signatures resolve to memo lookups there.
+
+// PreVerifier checks consensus message signatures without touching engine
+// state. Safe for concurrent use (immutable fields; a crypto.VerifyCache
+// Verifier is thread-safe).
+type PreVerifier struct {
+	Committee types.Committee
+	Verifier  crypto.Verifier
+	// OptimisticTips mirrors Config.OptimisticTips: it sets the strong-vote
+	// threshold PrepareQCs must meet (§5.5.2).
+	OptimisticTips bool
+}
+
+// PreVerify implements the runtime.PreVerifier contract for the six
+// consensus message types; everything else passes through untouched.
+func (pv *PreVerifier) PreVerify(from types.NodeID, m types.Message) error {
+	switch msg := m.(type) {
+	case *types.Prepare:
+		if msg.Leader != from {
+			return fmt.Errorf("consensus: prepare relayed by %s for leader %s", from, msg.Leader)
+		}
+		return verifyPrepareSigs(pv.Committee, pv.Verifier, msg)
+	case *types.PrepVote:
+		return verifySignerMsg(pv.Committee, pv.Verifier, msg.Voter, msg.SigningBytes(), msg.Sig)
+	case *types.Confirm:
+		if err := verifySignerMsg(pv.Committee, pv.Verifier, msg.Leader, msg.SigningBytes(), msg.Sig); err != nil {
+			return err
+		}
+		return verifyPrepareQC(pv.Committee, pv.Verifier, pv.OptimisticTips, &msg.QC)
+	case *types.ConfirmAck:
+		return verifySignerMsg(pv.Committee, pv.Verifier, msg.Voter, msg.SigningBytes(), msg.Sig)
+	case *types.CommitNotice:
+		return verifyCommitQC(pv.Committee, pv.Verifier, &msg.QC)
+	case *types.Timeout:
+		return verifyTimeoutSigs(pv.Committee, pv.Verifier, pv.OptimisticTips, msg)
+	}
+	return nil
+}
+
+func verifySignerMsg(committee types.Committee, v crypto.Verifier, signer types.NodeID, msg, sig []byte) error {
+	if !committee.Valid(signer) {
+		return fmt.Errorf("consensus: message from unknown replica %s", signer)
+	}
+	if !v.Verify(signer, msg, sig) {
+		return fmt.Errorf("consensus: bad signature from %s", signer)
+	}
+	return nil
+}
+
+// verifyPrepareSigs checks everything cryptographic about a Prepare: the
+// leader's signature, the ticket's certificate (CommitQC or TC), and the
+// PoAs of every certified tip in the cut. Structural rules that depend on
+// engine state or configuration (ticket kind for the view, winner
+// reproposals, the optimistic-tips admission rule) stay in validPrepare.
+func verifyPrepareSigs(committee types.Committee, v crypto.Verifier, prep *types.Prepare) error {
+	if !v.Verify(prep.Leader, prep.SigningBytes(), prep.Sig) {
+		return fmt.Errorf("consensus: bad prepare signature from %s", prep.Leader)
+	}
+	if qc := prep.Ticket.Commit; qc != nil {
+		if err := verifyCommitQC(committee, v, qc); err != nil {
+			return err
+		}
+	}
+	if tc := prep.Ticket.TC; tc != nil {
+		if err := crypto.VerifyTC(v, committee, tc); err != nil {
+			return err
+		}
+	}
+	bv := crypto.NewBatchVerifier(v)
+	for i := range prep.Proposal.Cut.Tips {
+		if cert := prep.Proposal.Cut.Tips[i].Cert; cert != nil {
+			if err := bv.AddPoA(committee, cert); err != nil {
+				return err
+			}
+		}
+	}
+	return bv.Verify()
+}
+
+func verifyTimeoutSigs(committee types.Committee, v crypto.Verifier, optimisticTips bool, t *types.Timeout) error {
+	if err := verifySignerMsg(committee, v, t.Voter, t.SigningBytes(), t.Sig); err != nil {
+		return err
+	}
+	if t.HighQC != nil {
+		return verifyPrepareQC(committee, v, optimisticTips, t.HighQC)
+	}
+	return nil
+}

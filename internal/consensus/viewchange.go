@@ -37,7 +37,7 @@ func (e *Engine) validPrepare(from types.NodeID, prep *types.Prepare) bool {
 				return false
 			}
 			if e.cfg.VerifySigs {
-				if err := verifyCommitQC(e.cfg, qc); err != nil {
+				if err := verifyCommitQC(e.cfg.Committee, e.cfg.Verifier, qc); err != nil {
 					return false
 				}
 			}
@@ -89,16 +89,19 @@ func (e *Engine) validPrepare(from types.NodeID, prep *types.Prepare) bool {
 	return true
 }
 
-func verifyPrepareQC(cfg Config, qc *types.PrepareQC) error {
+// verifyPrepareQC and verifyCommitQC are stateless so the engine's inline
+// validation and the PreVerifier share one implementation (the inline call
+// is a memo hit for pre-verified messages).
+func verifyPrepareQC(committee types.Committee, v crypto.Verifier, optimisticTips bool, qc *types.PrepareQC) error {
 	strongThreshold := 0
-	if cfg.OptimisticTips {
-		strongThreshold = cfg.Committee.PoAQuorum() // f+1 strong (§5.5.2)
+	if optimisticTips {
+		strongThreshold = committee.PoAQuorum() // f+1 strong (§5.5.2)
 	}
-	return crypto.VerifyPrepareQC(cfg.Verifier, cfg.Committee, qc, strongThreshold)
+	return crypto.VerifyPrepareQC(v, committee, qc, strongThreshold)
 }
 
-func verifyCommitQC(cfg Config, qc *types.CommitQC) error {
-	return crypto.VerifyCommitQC(cfg.Verifier, cfg.Committee, qc)
+func verifyCommitQC(committee types.Committee, v crypto.Verifier, qc *types.CommitQC) error {
+	return crypto.VerifyCommitQC(v, committee, qc)
 }
 
 // --- mutiny & timeout certificates (§5.3) ---
@@ -150,7 +153,7 @@ func (e *Engine) OnTimeoutMsg(from types.NodeID, t *types.Timeout) {
 			return
 		}
 		if t.HighQC != nil {
-			if err := verifyPrepareQC(e.cfg, t.HighQC); err != nil {
+			if err := verifyPrepareQC(e.cfg.Committee, e.cfg.Verifier, e.cfg.OptimisticTips, t.HighQC); err != nil {
 				return
 			}
 		}

@@ -108,6 +108,15 @@ type Node struct {
 	cfg      Config
 	signer   crypto.Signer
 	verifier crypto.Verifier
+	// vcache is the verified-signature memo behind verifier when
+	// VerifySigs is on (nil otherwise): the transport's pre-verification
+	// workers populate it, the state machines' inline checks hit it.
+	vcache *crypto.VerifyCache
+
+	// lanePV / consPV are the stateless signature checkers composed by
+	// PreVerify (see preverify.go).
+	lanePV lane.PreVerifier
+	consPV consensus.PreVerifier
 
 	lanes   *lane.State
 	engine  *consensus.Engine
@@ -171,6 +180,16 @@ func NewNode(cfg Config) *Node {
 		signer:        cfg.Suite.Signer(cfg.Self),
 		verifier:      cfg.Suite.Verifier(),
 		recentNotices: make(map[types.Slot]*types.CommitNotice),
+	}
+	if cfg.VerifySigs {
+		n.vcache = crypto.NewVerifyCache(n.verifier, 0)
+		n.verifier = n.vcache
+	}
+	n.lanePV = lane.PreVerifier{Committee: cfg.Committee, Verifier: n.verifier}
+	n.consPV = consensus.PreVerifier{
+		Committee:      cfg.Committee,
+		Verifier:       n.verifier,
+		OptimisticTips: cfg.OptimisticTips,
 	}
 	n.reputation = make([]int, cfg.Committee.Size())
 	n.repCommits = make([]int, cfg.Committee.Size())

@@ -1,0 +1,251 @@
+package crypto
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	gort "runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/types"
+)
+
+// This file implements the amortized verification primitives behind the
+// staged ingress pipeline: a bounded memo of already-verified signatures
+// (VerifyCache) and a BatchVerifier that checks many signatures at once,
+// spreading the curve arithmetic across every available core.
+//
+// The memo is the trust hand-off between the pipeline stages: transport
+// workers pre-verify a message's signatures off the event loop, populating
+// the memo; when the single-threaded state machine later re-checks the
+// same signature inline, the check resolves to a constant-time lookup
+// instead of a second scalar multiplication. Paths that bypass
+// pre-verification (the discrete-event simulator, direct unit tests)
+// simply miss the memo and fall through to a full verification, so no
+// path ever trusts an unchecked signature.
+
+// memoKey identifies one verified signature. The digest covers both the
+// message and the signature bytes: caching by message alone would let an
+// attacker replay a *different* (invalid) signature for a known-signed
+// message and have it accepted — harmless for authentication, but the
+// bogus share could then be aggregated into a PoA or QC that every other
+// replica rejects.
+type memoKey struct {
+	signer types.NodeID
+	digest [32]byte
+}
+
+func makeMemoKey(signer types.NodeID, msg, sig []byte) memoKey {
+	h := sha256.New()
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(msg)))
+	h.Write(n[:])
+	h.Write(msg)
+	h.Write(sig)
+	var k memoKey
+	k.signer = signer
+	h.Sum(k.digest[:0])
+	return k
+}
+
+// VerifyCache wraps a Verifier with a bounded memo of signatures that
+// already verified successfully. Failed verifications are never cached.
+// Safe for concurrent use; implements Verifier.
+//
+// The memo uses two generations: inserts go to the young generation, and
+// when it fills, the old generation is discarded and the young one takes
+// its place. Lookups consult both. This bounds memory at ~2x capacity
+// with O(1) operations and no per-entry bookkeeping.
+type VerifyCache struct {
+	inner Verifier
+
+	mu       sync.RWMutex
+	capacity int
+	young    map[memoKey]struct{}
+	old      map[memoKey]struct{}
+
+	// Counters are atomic: the hit path must stay lock-free beyond the
+	// read lock — it is shared between the event loop and every
+	// pre-verification worker.
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// NewVerifyCache wraps v with a memo holding at least capacity verified
+// signatures (default 1<<14).
+func NewVerifyCache(v Verifier, capacity int) *VerifyCache {
+	if capacity <= 0 {
+		capacity = 1 << 14
+	}
+	return &VerifyCache{
+		inner:    v,
+		capacity: capacity,
+		young:    make(map[memoKey]struct{}),
+		old:      make(map[memoKey]struct{}),
+	}
+}
+
+// Verify implements Verifier: memo hit, else full verification (caching
+// the result only on success).
+func (c *VerifyCache) Verify(signer types.NodeID, msg, sig []byte) bool {
+	k := makeMemoKey(signer, msg, sig)
+	c.mu.RLock()
+	_, ok := c.young[k]
+	if !ok {
+		_, ok = c.old[k]
+	}
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		return true
+	}
+	if !c.inner.Verify(signer, msg, sig) {
+		return false
+	}
+	c.insert(k)
+	return true
+}
+
+func (c *VerifyCache) insert(k memoKey) {
+	c.misses.Add(1)
+	c.mu.Lock()
+	if len(c.young) >= c.capacity {
+		c.old = c.young
+		c.young = make(map[memoKey]struct{}, c.capacity)
+	}
+	c.young[k] = struct{}{}
+	c.mu.Unlock()
+}
+
+// Cached reports whether the exact (signer, msg, sig) triple is memoized
+// (tests and stats; a false result says nothing about validity).
+func (c *VerifyCache) Cached(signer types.NodeID, msg, sig []byte) bool {
+	k := makeMemoKey(signer, msg, sig)
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if _, ok := c.young[k]; ok {
+		return true
+	}
+	_, ok := c.old[k]
+	return ok
+}
+
+// Stats returns the memo hit/miss counters.
+func (c *VerifyCache) Stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// batchItem is one queued signature check.
+type batchItem struct {
+	signer types.NodeID
+	msg    []byte
+	sig    []byte
+}
+
+// BatchVerifier collects signature checks and verifies them together,
+// amortizing cost two ways: duplicate and memoized signatures are checked
+// once (when the underlying Verifier is a VerifyCache), and the remaining
+// curve arithmetic is spread across all available cores. It works with
+// any Suite — ed25519 and nop alike — since it drives the suite's own
+// Verifier.
+//
+// A BatchVerifier is single-use and not safe for concurrent use; create
+// one per batch. (The underlying VerifyCache is shared and thread-safe.)
+type BatchVerifier struct {
+	v     Verifier
+	items []batchItem
+}
+
+// NewBatchVerifier builds an empty batch over v. Pass a *VerifyCache to
+// get memo amortization in addition to parallelism.
+func NewBatchVerifier(v Verifier) *BatchVerifier {
+	return &BatchVerifier{v: v}
+}
+
+// Add queues one signature check. The caller must not mutate msg or sig
+// until Verify returns.
+func (b *BatchVerifier) Add(signer types.NodeID, msg, sig []byte) {
+	b.items = append(b.items, batchItem{signer: signer, msg: msg, sig: sig})
+}
+
+// Len reports the number of queued checks.
+func (b *BatchVerifier) Len() int { return len(b.items) }
+
+// AddPoA queues a PoA's shares after validating its structure (distinct
+// committee signers at the f+1 threshold) — the batch form of VerifyPoA.
+func (b *BatchVerifier) AddPoA(committee types.Committee, poa *types.PoA) error {
+	if poa == nil {
+		return fmt.Errorf("crypto: nil PoA")
+	}
+	if len(poa.Shares) < committee.PoAQuorum() {
+		return fmt.Errorf("crypto: %d shares below threshold %d", len(poa.Shares), committee.PoAQuorum())
+	}
+	if _, err := DistinctSigners(committee, poa.Shares); err != nil {
+		return err
+	}
+	msg := poa.SigningBytes()
+	for _, s := range poa.Shares {
+		b.Add(s.Signer, msg, s.Sig)
+	}
+	return nil
+}
+
+// parallelThreshold is the batch size below which fanning out to worker
+// goroutines costs more than it saves.
+const parallelThreshold = 4
+
+// Verify checks every queued signature and fails if any one is invalid.
+// On a VerifyCache only the valid signatures are memoized — a batch
+// containing a forgery rejects, and the forgery is never cached. The
+// batch is cleared afterwards.
+func (b *BatchVerifier) Verify() error {
+	items := b.items
+	b.items = nil
+	if len(items) == 0 {
+		return nil
+	}
+	workers := gort.GOMAXPROCS(0)
+	if workers > len(items) {
+		workers = len(items)
+	}
+	if len(items) < parallelThreshold || workers < 2 {
+		for i := range items {
+			it := &items[i]
+			if !b.v.Verify(it.signer, it.msg, it.sig) {
+				return fmt.Errorf("crypto: invalid signature from %s in batch of %d", it.signer, len(items))
+			}
+		}
+		return nil
+	}
+	var (
+		mu  sync.Mutex
+		bad = -1
+		wg  sync.WaitGroup
+	)
+	// Striped work distribution: worker w takes items w, w+workers, ...
+	// Static striping keeps the hot path allocation- and contention-free
+	// (no shared work queue to coordinate for these short batches).
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(items); i += workers {
+				it := &items[i]
+				if !b.v.Verify(it.signer, it.msg, it.sig) {
+					mu.Lock()
+					if bad < 0 || i < bad {
+						bad = i
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if bad >= 0 {
+		return fmt.Errorf("crypto: invalid signature from %s in batch of %d", items[bad].signer, len(items))
+	}
+	return nil
+}

@@ -161,10 +161,15 @@ var _ runtime.Protocol = (*Node)(nil)
 // NewNode builds a HotStuff replica.
 func NewNode(cfg Config) *Node {
 	cfg.fill()
+	verifier := cfg.Suite.Verifier()
+	if cfg.VerifySigs {
+		// Memoized: inline checks of pre-verified messages are cache hits.
+		verifier = crypto.NewVerifyCache(verifier, 0)
+	}
 	return &Node{
 		cfg:         cfg,
 		signer:      cfg.Suite.Signer(cfg.Self),
-		verifier:    cfg.Suite.Verifier(),
+		verifier:    verifier,
 		view:        1,
 		nextRound:   1,
 		blocks:      make(map[types.Digest]*Block),
@@ -799,19 +804,7 @@ func (n *Node) collectNewView(ctx runtime.Context, nv *NewView) {
 }
 
 func (n *Node) verifyQC(qc *QC) bool {
-	if len(qc.Shares) < n.cfg.Committee.Quorum() {
-		return false
-	}
-	if _, err := crypto.DistinctSigners(n.cfg.Committee, qc.Shares); err != nil {
-		return false
-	}
-	probe := Vote{Round: qc.Round, Block: qc.Block}
-	for _, sh := range qc.Shares {
-		if !n.verifier.Verify(sh.Signer, probe.SigningBytes(), sh.Sig) {
-			return false
-		}
-	}
-	return true
+	return verifyQC(n.cfg.Committee, n.verifier, qc) == nil
 }
 
 // serveBlocks answers an ancestor pull with the requested chain (bounded).

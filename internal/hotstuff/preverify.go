@@ -1,0 +1,68 @@
+package hotstuff
+
+import (
+	"fmt"
+
+	"repro/internal/crypto"
+	"repro/internal/runtime"
+	"repro/internal/types"
+)
+
+// Staged-ingress mirror for the HotStuff baselines: the same parallel
+// pre-verification hook the Autobahn replica implements, so baseline
+// comparisons on the real runtime measure protocol differences rather
+// than which system got the multi-core verification pipeline.
+
+var _ runtime.PreVerifier = (*Node)(nil)
+
+// PreVerify checks m's signatures without touching protocol state (it
+// reads only the immutable config and the thread-safe verifier). Safe
+// for concurrent use.
+func (n *Node) PreVerify(from types.NodeID, m types.Message) error {
+	if !n.cfg.VerifySigs {
+		return nil
+	}
+	switch msg := m.(type) {
+	case *Proposal:
+		blk := msg.Block
+		if !n.verifier.Verify(blk.Proposer, blk.SigningBytes(), blk.Sig) {
+			return fmt.Errorf("hotstuff: bad block signature from %s", blk.Proposer)
+		}
+		if blk.Justify != nil {
+			return verifyQC(n.cfg.Committee, n.verifier, blk.Justify)
+		}
+		return nil
+	case *Vote:
+		if !n.verifier.Verify(msg.Voter, msg.SigningBytes(), msg.Sig) {
+			return fmt.Errorf("hotstuff: bad vote signature from %s", msg.Voter)
+		}
+		return nil
+	case *NewView:
+		if !n.verifier.Verify(msg.Voter, msg.SigningBytes(), msg.Sig) {
+			return fmt.Errorf("hotstuff: bad new-view signature from %s", msg.Voter)
+		}
+		if msg.HighQC != nil {
+			return verifyQC(n.cfg.Committee, n.verifier, msg.HighQC)
+		}
+		return nil
+	}
+	return nil
+}
+
+// verifyQC is the stateless QC check shared by the inline path and the
+// pre-verification pipeline (batch-verified: shares spread across cores).
+func verifyQC(committee types.Committee, v crypto.Verifier, qc *QC) error {
+	if len(qc.Shares) < committee.Quorum() {
+		return fmt.Errorf("hotstuff: QC has %d shares, need %d", len(qc.Shares), committee.Quorum())
+	}
+	if _, err := crypto.DistinctSigners(committee, qc.Shares); err != nil {
+		return err
+	}
+	bv := crypto.NewBatchVerifier(v)
+	probe := Vote{Round: qc.Round, Block: qc.Block}
+	msg := probe.SigningBytes()
+	for _, sh := range qc.Shares {
+		bv.Add(sh.Signer, msg, sh.Sig)
+	}
+	return bv.Verify()
+}

@@ -208,8 +208,12 @@ func (s *State) OnVote(v *types.Vote) ([]*types.Proposal, *types.PoA, error) {
 	if !s.cfg.Committee.Valid(v.Voter) {
 		return nil, nil, fmt.Errorf("lane: vote from unknown replica %s", v.Voter)
 	}
-	if s.cfg.VerifyProposals && !s.cfg.Verifier.Verify(v.Voter, v.SigningBytes(), v.Sig) {
-		return nil, nil, fmt.Errorf("lane: bad vote signature from %s", v.Voter)
+	if s.cfg.VerifyProposals {
+		// Stateless check shared with the pre-verification pipeline: a
+		// pre-verified vote resolves to a memo hit here.
+		if err := VerifyVoteSig(s.cfg.Committee, s.cfg.Verifier, v); err != nil {
+			return nil, nil, err
+		}
 	}
 	set := s.votes[v.Position]
 	if _, dup := set[v.Voter]; dup {
@@ -267,15 +271,11 @@ func (s *State) OnProposal(p *types.Proposal) ([]*types.Vote, error) {
 		return nil, err
 	}
 	if s.cfg.VerifyProposals {
-		if !s.cfg.Verifier.Verify(p.Lane, p.SigningBytes(), p.Sig) {
-			return nil, fmt.Errorf("lane: bad proposal signature from %s", p.Lane)
-		}
-		if p.Position > 1 {
-			if p.ParentPoA != nil {
-				if err := s.validateParentPoA(p); err != nil {
-					return nil, err
-				}
-			}
+		// Stateless checks (proposer signature + parent PoA) shared with
+		// the pre-verification pipeline: a pre-verified proposal resolves
+		// to memo hits here instead of repeating the curve arithmetic.
+		if err := VerifyProposalSigs(s.cfg.Committee, s.cfg.Verifier, p); err != nil {
+			return nil, err
 		}
 	}
 	pv := s.peers[p.Lane]
@@ -349,14 +349,6 @@ func (s *State) fifoOK(pv *peerView, p *types.Proposal) bool {
 		return false
 	}
 	return prev == p.Parent
-}
-
-func (s *State) validateParentPoA(p *types.Proposal) error {
-	poa := p.ParentPoA
-	if poa.Lane != p.Lane || poa.Position != p.Position-1 || poa.Digest != p.Parent {
-		return fmt.Errorf("lane: parent PoA does not certify parent")
-	}
-	return crypto.VerifyPoA(s.cfg.Verifier, s.cfg.Committee, poa)
 }
 
 // OnPoA ingests a standalone PoA broadcast (flushed when a lane goes

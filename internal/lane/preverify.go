@@ -1,0 +1,93 @@
+package lane
+
+import (
+	"fmt"
+
+	"repro/internal/crypto"
+	"repro/internal/types"
+)
+
+// This file holds the data layer's stateless signature checks, split out
+// of the stateful State handlers so they can run on the transport's
+// parallel pre-verification stage (runtime.PreVerifier). Both paths call
+// the same Collect*/Verify* helpers: the pipeline runs them off the event
+// loop through a shared crypto.VerifyCache, and the state machine's
+// inline re-check then resolves to a constant-time memo lookup.
+
+// PreVerifier checks data-layer message signatures without touching lane
+// state. Safe for concurrent use when Verifier is (its fields are
+// immutable and a crypto.VerifyCache is thread-safe).
+type PreVerifier struct {
+	Committee types.Committee
+	Verifier  crypto.Verifier
+}
+
+// PreVerify implements the runtime.PreVerifier contract for *Proposal,
+// *Vote and *PoA; other message types pass through untouched.
+func (pv *PreVerifier) PreVerify(_ types.NodeID, m types.Message) error {
+	bv := crypto.NewBatchVerifier(pv.Verifier)
+	switch msg := m.(type) {
+	case *types.Proposal:
+		if err := CollectProposalSigs(pv.Committee, bv, msg); err != nil {
+			return err
+		}
+	case *types.Vote:
+		if err := CollectVoteSig(pv.Committee, bv, msg); err != nil {
+			return err
+		}
+	case *types.PoA:
+		if err := bv.AddPoA(pv.Committee, msg); err != nil {
+			return err
+		}
+	default:
+		return nil
+	}
+	return bv.Verify()
+}
+
+// CollectProposalSigs queues a proposal's signature checks — the
+// proposer's signature plus, when a parent PoA rides along, its f+1
+// shares — after validating the PoA's structure. Stateless.
+func CollectProposalSigs(committee types.Committee, bv *crypto.BatchVerifier, p *types.Proposal) error {
+	if !committee.Valid(p.Lane) {
+		return fmt.Errorf("lane: proposal for unknown lane %s", p.Lane)
+	}
+	bv.Add(p.Lane, p.SigningBytes(), p.Sig)
+	if p.ParentPoA != nil {
+		if p.Position <= 1 || p.ParentPoA.Lane != p.Lane || p.ParentPoA.Position != p.Position-1 || p.ParentPoA.Digest != p.Parent {
+			return fmt.Errorf("lane: parent PoA does not certify parent")
+		}
+		if err := bv.AddPoA(committee, p.ParentPoA); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// VerifyProposalSigs runs CollectProposalSigs to completion on its own
+// batch — the inline form used by the state machine.
+func VerifyProposalSigs(committee types.Committee, v crypto.Verifier, p *types.Proposal) error {
+	bv := crypto.NewBatchVerifier(v)
+	if err := CollectProposalSigs(committee, bv, p); err != nil {
+		return err
+	}
+	return bv.Verify()
+}
+
+// CollectVoteSig queues a lane vote's signature check. Stateless.
+func CollectVoteSig(committee types.Committee, bv *crypto.BatchVerifier, v *types.Vote) error {
+	if !committee.Valid(v.Voter) {
+		return fmt.Errorf("lane: vote from unknown replica %s", v.Voter)
+	}
+	bv.Add(v.Voter, v.SigningBytes(), v.Sig)
+	return nil
+}
+
+// VerifyVoteSig is the inline form of CollectVoteSig.
+func VerifyVoteSig(committee types.Committee, ver crypto.Verifier, v *types.Vote) error {
+	bv := crypto.NewBatchVerifier(ver)
+	if err := CollectVoteSig(committee, bv, v); err != nil {
+		return err
+	}
+	return bv.Verify()
+}

@@ -64,6 +64,31 @@ type Protocol interface {
 	OnClientBatch(ctx Context, b *types.Batch)
 }
 
+// PreVerifier is optionally implemented by protocols whose inbound
+// messages carry signatures that can be checked without protocol state.
+// Runtimes that deliver messages from the network (internal/transport)
+// detect the interface and run PreVerify on a parallel worker stage
+// between frame decode and the event loop, so signature arithmetic comes
+// off the single-threaded critical path; messages failing PreVerify are
+// dropped before delivery.
+//
+// Implementations must be stateless with respect to the protocol's
+// event-driven state and safe for concurrent use: PreVerify runs on
+// multiple goroutines concurrently with the event loop. The intended
+// trust hand-off is a shared crypto.VerifyCache — PreVerify populates
+// the memo, and the state machine's inline checks become constant-time
+// lookups instead of repeated curve arithmetic. Paths that never call
+// PreVerify (the discrete-event simulator charges crypto through its
+// network model instead) miss the memo and fall back to full inline
+// verification, so correctness never depends on the pipeline stage.
+//
+// PreVerify must return a non-nil error only for cryptographically
+// invalid input; state-dependent judgments (duplicates, stale views,
+// unknown parents) belong to OnMessage.
+type PreVerifier interface {
+	PreVerify(from types.NodeID, m types.Message) error
+}
+
 // Committed describes one batch that became execution-ready: the protocol
 // has totally ordered it and the replica possesses its data (the paper's
 // latency endpoint).

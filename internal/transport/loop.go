@@ -46,15 +46,23 @@ type Loop struct {
 	rng     *rand.Rand
 	stopped chan struct{}
 	once    sync.Once
+
+	// pool is the parallel pre-verification stage (nil when the protocol
+	// does not implement runtime.PreVerifier): inbound peer messages are
+	// signature-checked across a bounded worker pool before they reach
+	// the event queue, preserving per-peer FIFO delivery order.
+	pool *verifyPool
 }
 
 // queueDepth bounds a loop's inbox; overload drops oldest-style by
 // blocking briefly then discarding (protocols tolerate loss).
 const queueDepth = 1 << 14
 
-// NewLoop builds a loop for one replica. Call Run to start it.
+// NewLoop builds a loop for one replica. Call Run to start it. When proto
+// implements runtime.PreVerifier, inbound peer messages pass through the
+// parallel pre-verification stage before entering the event queue.
 func NewLoop(id types.NodeID, proto runtime.Protocol, sender Sender, epoch time.Time) *Loop {
-	return &Loop{
+	l := &Loop{
 		id:      id,
 		proto:   proto,
 		sender:  sender,
@@ -64,6 +72,18 @@ func NewLoop(id types.NodeID, proto runtime.Protocol, sender Sender, epoch time.
 		timers:  make(map[runtime.TimerTag]*time.Timer),
 		rng:     rand.New(rand.NewPCG(uint64(id)+1, 0x51ab_2de1)),
 		stopped: make(chan struct{}),
+	}
+	if pv, ok := proto.(runtime.PreVerifier); ok {
+		l.pool = newVerifyPool(pv, l.enqueueMessage, l.stopped)
+	}
+	return l
+}
+
+// SetVerifyWorkers overrides the pre-verification worker count (default
+// GOMAXPROCS). Call before Start/Run; no-op without a pipeline.
+func (l *Loop) SetVerifyWorkers(n int) {
+	if l.pool != nil {
+		l.pool.setWorkers(n)
 	}
 }
 
@@ -113,7 +133,19 @@ func (l *Loop) CancelTimer(tag runtime.TimerTag) {
 }
 
 // Deliver enqueues an inbound message (mesh side). Drops on overload.
+// With a pre-verification pipeline, peer messages are signature-checked
+// on the worker pool first (self-deliveries skip it: a replica does not
+// verify its own signatures).
 func (l *Loop) Deliver(from types.NodeID, m types.Message) {
+	if l.pool != nil && from != l.id {
+		l.pool.submit(from, m)
+		return
+	}
+	l.enqueueMessage(from, m)
+}
+
+// enqueueMessage places a (verified) message on the event queue.
+func (l *Loop) enqueueMessage(from types.NodeID, m types.Message) {
 	select {
 	case l.events <- event{kind: 0, from: from, msg: m}:
 	case <-l.stopped:

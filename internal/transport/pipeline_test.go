@@ -1,0 +1,223 @@
+package transport
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/runtime"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// nopSender discards outbound traffic (pipeline tests are inbound-only).
+type nopSender struct{}
+
+func (nopSender) Send(_, _ types.NodeID, _ types.Message)   {}
+func (nopSender) Broadcast(_ types.NodeID, _ types.Message) {}
+
+// pipelineProto is a Protocol+PreVerifier whose PreVerify burns a
+// variable amount of CPU (so completion order scrambles across workers)
+// and rejects votes at positions divisible by rejectEvery.
+type pipelineProto struct {
+	rejectEvery types.Pos
+
+	mu    sync.Mutex
+	seen  map[types.NodeID][]types.Pos
+	total int
+}
+
+func (p *pipelineProto) Init(runtime.Context) {}
+func (p *pipelineProto) OnMessage(_ runtime.Context, from types.NodeID, m types.Message) {
+	v := m.(*types.Vote)
+	p.mu.Lock()
+	p.seen[from] = append(p.seen[from], v.Position)
+	p.total++
+	p.mu.Unlock()
+}
+func (p *pipelineProto) OnTimer(runtime.Context, runtime.TimerTag)   {}
+func (p *pipelineProto) OnClientBatch(runtime.Context, *types.Batch) {}
+
+func (p *pipelineProto) PreVerify(from types.NodeID, m types.Message) error {
+	v, ok := m.(*types.Vote)
+	if !ok {
+		return nil
+	}
+	// Variable work: later positions sometimes finish long before earlier
+	// ones on another worker, which is exactly what the per-peer FIFO
+	// stage must mask.
+	rounds := int(v.Position % 7)
+	sum := sha256.Sum256([]byte{byte(v.Position)})
+	for i := 0; i < rounds*50; i++ {
+		sum = sha256.Sum256(sum[:])
+	}
+	if p.rejectEvery != 0 && v.Position%p.rejectEvery == 0 {
+		return fmt.Errorf("forged vote at %d", v.Position)
+	}
+	return nil
+}
+
+func (p *pipelineProto) counts() (int, map[types.NodeID][]types.Pos) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	cp := make(map[types.NodeID][]types.Pos, len(p.seen))
+	for k, v := range p.seen {
+		cp[k] = append([]types.Pos(nil), v...)
+	}
+	return p.total, cp
+}
+
+// TestVerifyPoolPreservesPerPeerFIFO floods one loop through the
+// parallel pre-verification stage from several peers at once (run with
+// -race) and asserts that every surviving message is delivered, in
+// per-peer FIFO order, with every invalid message dropped.
+func TestVerifyPoolPreservesPerPeerFIFO(t *testing.T) {
+	const peers, perPeer = 4, 1500
+	const rejectEvery = 101
+	proto := &pipelineProto{rejectEvery: rejectEvery, seen: make(map[types.NodeID][]types.Pos)}
+	l := NewLoop(0, proto, nopSender{}, time.Now())
+	if l.pool == nil {
+		t.Fatal("loop did not detect the PreVerifier protocol")
+	}
+	l.SetVerifyWorkers(4)
+	go l.Run()
+	defer l.Stop()
+
+	var wg sync.WaitGroup
+	for peer := 1; peer <= peers; peer++ {
+		wg.Add(1)
+		go func(peer types.NodeID) {
+			defer wg.Done()
+			for i := 1; i <= perPeer; i++ {
+				l.Deliver(peer, &types.Vote{Lane: 0, Position: types.Pos(i), Voter: peer})
+			}
+		}(types.NodeID(peer))
+	}
+	wg.Wait()
+
+	rejected := perPeer / rejectEvery // positions 101, 202, ... per peer
+	want := peers * (perPeer - rejected)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		total, _ := proto.counts()
+		if total >= want || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	total, seen := proto.counts()
+	if total != want {
+		t.Fatalf("delivered %d messages, want %d", total, want)
+	}
+	for peer, positions := range seen {
+		if len(positions) != perPeer-rejected {
+			t.Fatalf("peer %s: %d delivered, want %d", peer, len(positions), perPeer-rejected)
+		}
+		prev := types.Pos(0)
+		for i, pos := range positions {
+			if pos%rejectEvery == 0 {
+				t.Fatalf("peer %s: rejected position %d was delivered", peer, pos)
+			}
+			if pos <= prev {
+				t.Fatalf("peer %s: FIFO violated at index %d: %d after %d", peer, i, pos, prev)
+			}
+			prev = pos
+		}
+	}
+}
+
+// TestVerifyPoolSelfDeliveryBypasses checks that a loop's own messages
+// skip pre-verification (a replica does not verify its own signatures).
+func TestVerifyPoolSelfDeliveryBypasses(t *testing.T) {
+	proto := &pipelineProto{rejectEvery: 1, seen: make(map[types.NodeID][]types.Pos)} // rejects everything
+	l := NewLoop(0, proto, nopSender{}, time.Now())
+	go l.Run()
+	defer l.Stop()
+	l.Deliver(0, &types.Vote{Lane: 0, Position: 5, Voter: 0})
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		total, _ := proto.counts()
+		if total == 1 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("self delivery never reached the protocol")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestTCPMeshClosesOversizedFrame sends a hostile length prefix (beyond
+// wire.MaxFrame) and asserts the mesh closes the connection instead of
+// allocating the claimed buffer.
+func TestTCPMeshClosesOversizedFrame(t *testing.T) {
+	ports := freePorts(t, 2)
+	addrs := map[types.NodeID]string{0: ports[0], 1: ports[1]} // 1 never started
+	c := &collector{}
+	m := NewTCPMesh(0, addrs, c, time.Now(), nil)
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer m.Stop()
+
+	conn, err := net.Dial("tcp", ports[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Handshake as peer 1, then claim a 256 MB frame.
+	var hdr [6]byte
+	binary.LittleEndian.PutUint16(hdr[:2], 1)
+	binary.LittleEndian.PutUint32(hdr[2:], 256<<20)
+	if _, err := conn.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err != io.EOF {
+		t.Fatalf("connection not closed on hostile frame: read err = %v", err)
+	}
+	if c.count() != 0 {
+		t.Fatal("hostile frame produced a delivery")
+	}
+}
+
+// TestTCPMeshRejectsUnknownHandshake asserts a connection claiming a
+// non-committee ID is closed before any per-peer state is allocated.
+func TestTCPMeshRejectsUnknownHandshake(t *testing.T) {
+	ports := freePorts(t, 1)
+	addrs := map[types.NodeID]string{0: ports[0]}
+	c := &collector{}
+	m := NewTCPMesh(0, addrs, c, time.Now(), nil)
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer m.Stop()
+
+	conn, err := net.Dial("tcp", ports[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	var id [2]byte
+	binary.LittleEndian.PutUint16(id[:], 9999)
+	if _, err := conn.Write(id[:]); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err != io.EOF {
+		t.Fatalf("connection not closed on unknown handshake id: read err = %v", err)
+	}
+}
+
+// TestFrameLimitAlignedWithWire pins the transport limit to the codec's.
+func TestFrameLimitAlignedWithWire(t *testing.T) {
+	if maxFrame != wire.MaxFrame {
+		t.Fatalf("transport maxFrame %d != wire.MaxFrame %d", int64(maxFrame), int64(wire.MaxFrame))
+	}
+}

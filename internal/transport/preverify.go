@@ -1,0 +1,154 @@
+package transport
+
+import (
+	gort "runtime"
+	"sync"
+
+	"repro/internal/runtime"
+	"repro/internal/types"
+)
+
+// verifyPool is the parallel pre-verification stage of the ingress
+// pipeline: it sits between frame decode and the event loop, running the
+// protocol's PreVerify on a bounded pool of worker goroutines so
+// signature arithmetic uses every core instead of serializing on the
+// single event-loop goroutine.
+//
+// Delivery order is preserved per peer: each sender has a FIFO queue of
+// in-flight tasks and a drainer goroutine that hands results to the loop
+// strictly in arrival order, waiting for the head task's verification to
+// finish before delivering it. Verification of queued tasks proceeds
+// concurrently and out of order; only delivery is ordered. Cross-peer
+// ordering is not preserved — the network gives no such guarantee to
+// begin with.
+//
+// Backpressure and overload mirror Loop.Deliver's contract: a full
+// per-peer queue drops the message (protocol retransmission recovers).
+// The shared work queue is deep; when it does fill, submit blocks until
+// a worker frees a slot — a wait bounded by roughly one verification
+// duration, never a full verification on the submitting goroutine. For
+// the TCP mesh that propagates backpressure to the peer's socket; for
+// the in-process mesh it briefly stalls the sender only when the
+// receiver's pool is saturated.
+
+// peerQueueDepth bounds one sender's in-flight pre-verifications. The
+// TCP mesh only accepts handshakes from committee members, so total
+// in-flight work is bounded by committee size times this.
+const peerQueueDepth = 4096
+
+// workQueueDepth bounds verifications queued to the worker pool.
+const workQueueDepth = 8192
+
+// verifyTask is one message moving through the verification stage.
+type verifyTask struct {
+	from types.NodeID
+	msg  types.Message
+	done chan struct{}
+	ok   bool
+}
+
+func (t *verifyTask) run(pv runtime.PreVerifier) {
+	t.ok = pv.PreVerify(t.from, t.msg) == nil
+	close(t.done)
+}
+
+type verifyPool struct {
+	pv      runtime.PreVerifier
+	deliver func(from types.NodeID, m types.Message)
+	stopped <-chan struct{}
+
+	workers int
+	work    chan *verifyTask
+	once    sync.Once
+
+	mu    sync.Mutex
+	peers map[types.NodeID]chan *verifyTask
+}
+
+func newVerifyPool(pv runtime.PreVerifier, deliver func(types.NodeID, types.Message), stopped <-chan struct{}) *verifyPool {
+	return &verifyPool{
+		pv:      pv,
+		deliver: deliver,
+		stopped: stopped,
+		workers: gort.GOMAXPROCS(0),
+		peers:   make(map[types.NodeID]chan *verifyTask),
+	}
+}
+
+// setWorkers overrides the worker count; effective only before the first
+// submission starts the pool.
+func (p *verifyPool) setWorkers(n int) {
+	if n > 0 {
+		p.workers = n
+	}
+}
+
+func (p *verifyPool) start() {
+	p.once.Do(func() {
+		p.work = make(chan *verifyTask, workQueueDepth)
+		for i := 0; i < p.workers; i++ {
+			go p.worker()
+		}
+	})
+}
+
+func (p *verifyPool) worker() {
+	for {
+		select {
+		case <-p.stopped:
+			return
+		case t := <-p.work:
+			t.run(p.pv)
+		}
+	}
+}
+
+// submit enqueues one decoded message for verification and eventual
+// in-order delivery. Called from the mesh's read path.
+func (p *verifyPool) submit(from types.NodeID, m types.Message) {
+	p.start()
+	t := &verifyTask{from: from, msg: m, done: make(chan struct{})}
+	select {
+	case p.peerQueue(from) <- t:
+	default:
+		return // peer queue full: drop, retransmission recovers
+	}
+	select {
+	case p.work <- t:
+	case <-p.stopped:
+		// Pool shutting down: resolve the task so the drainer (if it
+		// races the stop signal) never waits on it.
+		close(t.done)
+	}
+}
+
+func (p *verifyPool) peerQueue(from types.NodeID) chan *verifyTask {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	q, ok := p.peers[from]
+	if !ok {
+		q = make(chan *verifyTask, peerQueueDepth)
+		p.peers[from] = q
+		go p.drain(q)
+	}
+	return q
+}
+
+// drain delivers one peer's verified messages in arrival order.
+func (p *verifyPool) drain(q chan *verifyTask) {
+	for {
+		select {
+		case <-p.stopped:
+			return
+		case t := <-q:
+			select {
+			case <-p.stopped:
+				return
+			case <-t.done:
+			}
+			if t.ok {
+				p.deliver(t.from, t.msg)
+			}
+		}
+	}
+}

@@ -36,8 +36,10 @@ type peerConn struct {
 	done chan struct{}
 }
 
-// maxFrame bounds a single framed message (matches wire limits).
-const maxFrame = 256 << 20
+// maxFrame bounds a single framed message, aligned with the wire codec's
+// own payload cap: a frame the decoder could never accept must close the
+// connection instead of allocating its claimed size.
+const maxFrame = wire.MaxFrame
 
 // NewTCPMesh builds the mesh for `self`, given every replica's address.
 func NewTCPMesh(self types.NodeID, addrs map[types.NodeID]string, proto runtime.Protocol, epoch time.Time, logger *log.Logger) *TCPMesh {
@@ -105,6 +107,13 @@ func (m *TCPMesh) readLoop(conn net.Conn) {
 		return
 	}
 	from := types.NodeID(binary.LittleEndian.Uint16(idBuf[:]))
+	if _, known := m.addrs[from]; !known || from == m.self {
+		// The self-declared ID must name another committee member:
+		// arbitrary IDs would otherwise allocate per-peer pipeline state
+		// (queues, drainer goroutines) for 65k fictitious senders.
+		m.logger.Printf("transport: rejecting connection claiming id %s", from)
+		return
+	}
 	var lenBuf [4]byte
 	for {
 		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
@@ -128,21 +137,29 @@ func (m *TCPMesh) readLoop(conn net.Conn) {
 	}
 }
 
-// Send implements Sender (from is always the local replica).
-func (m *TCPMesh) Send(_, to types.NodeID, msg types.Message) {
-	if to == m.self {
-		m.loop.Deliver(m.self, msg)
-		return
-	}
+// encodeFrame wire-encodes msg with its length prefix. Messages whose
+// encoding exceeds the frame limit are dropped here: transmitting them
+// would make every receiver close the connection and the retransmitting
+// protocol would churn redials forever (a symptom of misconfiguration —
+// e.g. a batch-size cap beyond wire.MaxFrame — not of hostile peers).
+func (m *TCPMesh) encodeFrame(msg types.Message) []byte {
 	data, err := wire.Encode(msg)
 	if err != nil {
 		m.logger.Printf("transport: encode: %v", err)
-		return
+		return nil
+	}
+	if len(data) > maxFrame {
+		m.logger.Printf("transport: dropping oversized %d-byte message (frame limit %d): check batch/car size configuration", len(data), int64(maxFrame))
+		return nil
 	}
 	frame := make([]byte, 4+len(data))
 	binary.LittleEndian.PutUint32(frame, uint32(len(data)))
 	copy(frame[4:], data)
+	return frame
+}
 
+// enqueueFrame hands a frame to one peer's writer.
+func (m *TCPMesh) enqueueFrame(to types.NodeID, frame []byte) {
 	pc := m.peer(to)
 	select {
 	case pc.out <- frame:
@@ -151,11 +168,28 @@ func (m *TCPMesh) Send(_, to types.NodeID, msg types.Message) {
 	}
 }
 
-// Broadcast implements Sender.
-func (m *TCPMesh) Broadcast(from types.NodeID, msg types.Message) {
+// Send implements Sender (from is always the local replica).
+func (m *TCPMesh) Send(_, to types.NodeID, msg types.Message) {
+	if to == m.self {
+		m.loop.Deliver(m.self, msg)
+		return
+	}
+	if frame := m.encodeFrame(msg); frame != nil {
+		m.enqueueFrame(to, frame)
+	}
+}
+
+// Broadcast implements Sender: the message is encoded once and the same
+// frame is enqueued to every peer (writers only read it), instead of
+// paying the encoding n-1 times.
+func (m *TCPMesh) Broadcast(_ types.NodeID, msg types.Message) {
+	frame := m.encodeFrame(msg)
+	if frame == nil {
+		return
+	}
 	for id := range m.addrs {
 		if id != m.self {
-			m.Send(from, id, msg)
+			m.enqueueFrame(id, frame)
 		}
 	}
 }

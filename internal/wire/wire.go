@@ -25,6 +25,14 @@ const (
 	maxBytesLen  = 64 << 20
 )
 
+// MaxFrame is the largest framed message a transport should accept:
+// the payload cap plus headroom for message envelopes (headers, shares,
+// length prefixes). Larger length prefixes are hostile — no message this
+// codec produces in practice approaches the payload cap (sync replies
+// chunk at 8 MB, cars cap at 4 MB) — and must close the connection
+// rather than allocate.
+const MaxFrame = maxBytesLen + 1<<20
+
 // --- writer ---
 
 type writer struct {

@@ -60,7 +60,9 @@ func NewLiveCluster(o Options) (*LiveCluster, error) {
 	for i := 0; i < o.N; i++ {
 		nd := core.NewNode(o.nodeConfig(types.NodeID(i), suite, sink))
 		lc.nodes = append(lc.nodes, nd)
-		lc.mesh.AddNode(nd, lc.epoch)
+		// Nodes implement runtime.PreVerifier: each loop signature-checks
+		// inbound messages on a parallel worker stage before delivery.
+		lc.mesh.AddNode(nd, lc.epoch).SetVerifyWorkers(o.VerifyWorkers)
 		lc.pools = append(lc.pools, mempool.NewPool(mempool.Config{
 			Self:          types.NodeID(i),
 			MaxBatchTxs:   o.MaxBatchTxs,

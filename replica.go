@@ -56,6 +56,9 @@ func NewReplica(self types.NodeID, addrs map[types.NodeID]string, o Options, log
 	})
 	r.node = core.NewNode(o.nodeConfig(self, o.suite(), sink))
 	r.mesh = transport.NewTCPMesh(self, addrs, r.node, r.epoch, logger)
+	// The node implements runtime.PreVerifier, so the mesh's loop runs
+	// inbound signature checks on a parallel worker stage.
+	r.mesh.Loop().SetVerifyWorkers(o.VerifyWorkers)
 	r.pool = mempool.NewPool(mempool.Config{
 		Self:          self,
 		MaxBatchTxs:   o.MaxBatchTxs,
