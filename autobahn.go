@@ -68,6 +68,15 @@ type Options struct {
 	// pre-verification stage (default GOMAXPROCS). Real-time runtimes
 	// only; the simulator charges crypto through its network model.
 	VerifyWorkers int
+
+	// WALPath, when set, makes a Replica journal its safety-critical
+	// protocol state to this write-ahead log before externalizing it and
+	// recover from it on restart (the paper's RocksDB persistence,
+	// substituted by internal/storage). Single-replica runtimes only.
+	WALPath string
+	// WALSyncEvery fsyncs the journal after this many records (0 = rely
+	// on OS flush; each record is still written out immediately).
+	WALSyncEvery int
 }
 
 func (o Options) committee() types.Committee { return types.NewCommittee(o.N) }

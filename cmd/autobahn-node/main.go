@@ -1,8 +1,13 @@
 // Command autobahn-node runs one Autobahn replica over TCP. Peers are
 // configured with a comma-separated address list ordered by replica ID;
 // clients submit newline-delimited transactions over a separate TCP port.
-// Committed batches are appended to a write-ahead log (the RocksDB
-// substitute) and summarized on stdout.
+//
+// With -wal, the replica journals its safety-critical protocol state to
+// a write-ahead log (the RocksDB substitute) before externalizing it: a
+// killed process restarted with the same -wal path recovers its voting
+// state and committed frontier, so it never contradicts a pre-crash vote
+// and rejoins the cluster seamlessly. Committed batch payloads are
+// additionally appended to <wal>.commits and summarized on stdout.
 //
 // Example 4-replica deployment on one machine:
 //
@@ -34,7 +39,7 @@ func main() {
 	id := flag.Int("id", 0, "this replica's ID (0-based, ordered as in -peers)")
 	peers := flag.String("peers", "", "comma-separated replica addresses ordered by ID")
 	clientAddr := flag.String("client", "", "address for client transaction submissions (optional)")
-	walPath := flag.String("wal", "", "write-ahead log path for committed batches (optional)")
+	walPath := flag.String("wal", "", "write-ahead log path for crash-restart recovery; committed batches go to <path>.commits (optional)")
 	timeout := flag.Duration("view-timeout", time.Second, "consensus view timeout")
 	quiet := flag.Bool("quiet", false, "suppress per-commit output")
 	flag.Parse()
@@ -55,6 +60,7 @@ func main() {
 	replica, err := autobahn.NewReplica(types.NodeID(*id), addrs, autobahn.Options{
 		N:           len(addrList),
 		ViewTimeout: *timeout,
+		WALPath:     *walPath,
 	}, logger)
 	if err != nil {
 		log.Fatal(err)
@@ -66,7 +72,9 @@ func main() {
 
 	var wal *storage.Store
 	if *walPath != "" {
-		wal, err = storage.Open(*walPath)
+		// The protocol journal lives at -wal (opened by the replica);
+		// committed batch payloads are logged separately alongside it.
+		wal, err = storage.Open(*walPath + ".commits")
 		if err != nil {
 			log.Fatal(err)
 		}

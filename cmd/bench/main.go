@@ -5,7 +5,9 @@
 //
 // Usage:
 //
-//	bench -exp table1|fig1|fig5|fig6|fig7|fig8|ablation|all [-quick]
+//	bench -exp table1|fig1|fig5|fig6|fig7|fig8|ablation|restart|all [-quick]
+//
+// A failed shape check exits non-zero (CI gates on it).
 package main
 
 import (
@@ -18,7 +20,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, fig1, fig5, fig6, fig7, fig8, ablation, all")
+	exp := flag.String("exp", "all", "experiment: table1, fig1, fig5, fig6, fig7, fig8, ablation, restart, all")
 	quick := flag.Bool("quick", false, "reduced sweeps for a fast smoke run")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	flag.Parse()
@@ -141,12 +143,32 @@ func main() {
 		check(auto.Recovery <= 4*time.Second, "Autobahn commits the partition backlog almost immediately")
 		check(vhs.Recovery >= 4*auto.Recovery, "VanillaHS hangover is proportional to the blip")
 	})
+
+	run("restart", func() {
+		// Crash-restart blip: a replica's process dies mid-run and comes
+		// back from its journal (ISSUE 2 recovery scenario).
+		r := harness.RunRestartBlip(harness.BlipConfig{
+			Load: 20e3, Seed: *seed, Duration: 25 * time.Second,
+		}, false)
+		harness.PrintBlip(os.Stdout, r, 25)
+		check(r.Hangover <= time.Second, "journal-backed restart has no hangover beyond the down window")
+		check(r.Total >= 499_000, "the offered transactions commit across the restart")
+	})
+
+	if failed {
+		os.Exit(1)
+	}
 }
 
 func check(ok bool, claim string) {
 	status := "PASS"
 	if !ok {
 		status = "FAIL"
+		failed = true
 	}
 	fmt.Printf("[%s] %s\n", status, claim)
 }
+
+// failed records any FAILed shape check; main exits non-zero so CI can
+// gate on figure regressions.
+var failed bool

@@ -69,7 +69,33 @@ type Provider interface {
 	// NewTipCount reports how many lanes have a proposable tip strictly
 	// beyond base (the lane-coverage measure).
 	NewTipCount(base []types.Pos) int
+	// NextExec returns the next slot awaiting execution (the ordering
+	// layer's frontier). Slots below it are fully settled; messages for
+	// them are stale and must not resurrect engine state.
+	NextExec() types.Slot
 }
+
+// Journal records the engine's safety-critical outputs before they are
+// externalized, so a restarted replica can never contradict a pre-crash
+// vote (see Restore). core.Journal adapts this to the replica-wide
+// durable journal; the default is a no-op.
+type Journal interface {
+	// PrepVote records a prepare-phase vote (weak or strong).
+	PrepVote(v *types.PrepVote)
+	// ConfirmAck records a confirm-phase ack.
+	ConfirmAck(a *types.ConfirmAck)
+	// Timeout records a view-change complaint.
+	Timeout(t *types.Timeout)
+	// Commit records a decided slot's certificate and proposal.
+	Commit(n *types.CommitNotice)
+}
+
+type nopJournal struct{}
+
+func (nopJournal) PrepVote(*types.PrepVote)     {}
+func (nopJournal) ConfirmAck(*types.ConfirmAck) {}
+func (nopJournal) Timeout(*types.Timeout)       {}
+func (nopJournal) Commit(*types.CommitNotice)   {}
 
 // Signer abstracts message signing (satisfied by crypto.Signer).
 type Signer interface {
@@ -120,6 +146,9 @@ type Config struct {
 	// MinProposalGap paces consecutive proposals by the same leader
 	// (default 5ms).
 	MinProposalGap time.Duration
+	// Journal durably records votes, acks, timeouts and commits before
+	// they are externalized (nil = no persistence).
+	Journal Journal
 	// Trace, when non-nil, receives verbose engine events (tests only).
 	Trace func(format string, args ...any)
 }
@@ -148,6 +177,9 @@ func (c *Config) fill() {
 	}
 	if c.MinProposalGap == 0 {
 		c.MinProposalGap = 5 * time.Millisecond
+	}
+	if c.Journal == nil {
+		c.Journal = nopJournal{}
 	}
 }
 
@@ -260,6 +292,40 @@ func (e *Engine) slot(s types.Slot) *slotState {
 	return st
 }
 
+// inWindow reports whether s lies inside the active consensus window
+// [nextExec, maxStarted + MaxParallel]: at or above the execution
+// frontier, and no further ahead of the highest legitimately started slot
+// than the §5.4 parallelism bound allows. Messages outside it must not
+// allocate slot state — one Byzantine PrepVote for a far-future slot
+// would otherwise corrupt `frontier` (making gcSlots delete live slots)
+// and grow memory without bound.
+func (e *Engine) inWindow(s types.Slot) bool {
+	return s >= e.provider.NextExec() && s <= e.maxStarted+types.Slot(e.cfg.MaxParallel)
+}
+
+// slotIfActive returns existing state for s, or allocates it only when s
+// is inside the active window (nil otherwise). Every handler driven by
+// unvalidated peer slot numbers goes through here; self-certifying inputs
+// (CommitNotices, whose QCs are verified) and self-armed paths use slot()
+// directly.
+func (e *Engine) slotIfActive(s types.Slot) *slotState {
+	if st, ok := e.slots[s]; ok {
+		return st
+	}
+	if s == 0 || !e.inWindow(s) {
+		return nil
+	}
+	return e.slot(s)
+}
+
+// observeStarted advances the started-slot high-water mark that anchors
+// the active window's upper bound.
+func (e *Engine) observeStarted(s types.Slot) {
+	if s > e.maxStarted {
+		e.maxStarted = s
+	}
+}
+
 // Decided reports whether slot s has committed locally.
 func (e *Engine) Decided(s types.Slot) bool {
 	st, ok := e.slots[s]
@@ -302,6 +368,39 @@ func (e *Engine) DebugSlot(s types.Slot) (view types.View, timeouts map[types.Vi
 
 // Frontier returns the highest slot the engine tracks.
 func (e *Engine) Frontier() types.Slot { return e.frontier }
+
+// Restore re-marks this replica's pre-crash consensus votes from a
+// journal snapshot so the restarted replica can never contradict them:
+// views with a journaled PrepVote or ConfirmAck are treated as already
+// voted (both weak and strong — the voted digest is not reconstructed,
+// so the conservative stance also covers leader equivocation across the
+// crash), journaled Timeouts re-enter their mutiny, and each slot
+// re-enters the highest view any journaled record attests. Must be
+// called before Init; decided slots are replayed separately through
+// OnCommitNotice.
+func (e *Engine) Restore(prepVotes []*types.PrepVote, acks []*types.ConfirmAck, timeouts []*types.Timeout) {
+	touch := func(s types.Slot, v types.View) *slotState {
+		st := e.slot(s)
+		if v > st.view {
+			st.view = v
+		}
+		e.observeStarted(s)
+		return st
+	}
+	for _, pv := range prepVotes {
+		st := touch(pv.Slot, pv.View)
+		st.votedPrep[pv.View] = true
+		st.votedWeak[pv.View] = true
+	}
+	for _, a := range acks {
+		st := touch(a.Slot, a.View)
+		st.votedAck[a.View] = true
+	}
+	for _, t := range timeouts {
+		st := touch(t.Slot, t.View)
+		st.mutinied[t.View] = true
+	}
+}
 
 // --- slot start & proposing (§5.2.3, §5.4) ---
 
@@ -424,6 +523,9 @@ func (e *Engine) processPrepare(from types.NodeID, prep *types.Prepare) {
 	if !e.validPrepare(from, prep) {
 		return
 	}
+	// A structurally valid Prepare carries its own start license (commit
+	// ticket or TC), so it legitimately extends the active window.
+	e.observeStarted(s)
 	st := e.slot(s)
 
 	// The first Prepare for s arms slot s+1 (§5.4).
@@ -517,6 +619,9 @@ func (e *Engine) sendPrepVote(st *slotState, prep *types.Prepare, strong bool) {
 		Strong: strong,
 	}
 	vote.Sig = e.cfg.Signer.Sign(vote.SigningBytes())
+	// Durably record the vote before it can influence anyone — including
+	// this replica's own leader aggregation, whose QCs externalize it.
+	e.cfg.Journal.PrepVote(vote)
 	if prep.Leader == e.cfg.Self {
 		e.collectPrepVote(st, vote)
 	} else {
@@ -563,7 +668,10 @@ func (e *Engine) OnPrepVote(from types.NodeID, vote *types.PrepVote) {
 	if e.cfg.VerifySigs && !e.cfg.Verifier.Verify(vote.Voter, vote.SigningBytes(), vote.Sig) {
 		return
 	}
-	st := e.slot(vote.Slot)
+	st := e.slotIfActive(vote.Slot)
+	if st == nil {
+		return // outside the active window: never allocate for votes
+	}
 	e.collectPrepVote(st, vote)
 }
 
@@ -656,7 +764,10 @@ func (e *Engine) OnTimer(t Timer) {
 	st, ok := e.slots[t.Slot]
 	switch t.Kind {
 	case TimerCoverage:
-		st2 := e.slot(t.Slot)
+		st2 := e.slotIfActive(t.Slot)
+		if st2 == nil {
+			return // slot settled (or never started) since the timer armed
+		}
 		st2.coverageRelaxed = true
 		e.evalStart(t.Slot)
 	case TimerFast:
@@ -707,7 +818,10 @@ func (e *Engine) processConfirm(from types.NodeID, conf *types.Confirm) {
 			return
 		}
 	}
-	st := e.slot(s)
+	st := e.slotIfActive(s)
+	if st == nil {
+		return
+	}
 	if st.decided || v < st.view || st.mutinied[v] {
 		return
 	}
@@ -722,6 +836,7 @@ func (e *Engine) processConfirm(from types.NodeID, conf *types.Confirm) {
 	st.votedAck[v] = true
 	ack := &types.ConfirmAck{Slot: s, View: v, Digest: conf.QC.Digest, Voter: e.cfg.Self}
 	ack.Sig = e.cfg.Signer.Sign(ack.SigningBytes())
+	e.cfg.Journal.ConfirmAck(ack)
 	if conf.Leader == e.cfg.Self {
 		e.collectAck(st, ack)
 	} else {
@@ -737,7 +852,10 @@ func (e *Engine) OnConfirmAck(from types.NodeID, ack *types.ConfirmAck) {
 	if e.cfg.VerifySigs && !e.cfg.Verifier.Verify(ack.Voter, ack.SigningBytes(), ack.Sig) {
 		return
 	}
-	st := e.slot(ack.Slot)
+	st := e.slotIfActive(ack.Slot)
+	if st == nil {
+		return // outside the active window: never allocate for acks
+	}
 	e.collectAck(st, ack)
 }
 
@@ -800,10 +918,13 @@ func (e *Engine) deliverCommit(st *slotState, qc *types.CommitQC, prop *types.Co
 	st.pendingVote = nil
 	e.lastDecide[st.slot] = qc
 	e.lastCommitPos = cutPositions(prop.Cut)
+	e.observeStarted(st.slot)
 	// Cancel interest in this slot's timers (they become no-ops).
 	st.timerRunning = false
+	notice := &types.CommitNotice{QC: *qc, Proposal: *prop}
+	e.cfg.Journal.Commit(notice)
 	if announce {
-		e.env.Broadcast(&types.CommitNotice{QC: *qc, Proposal: *prop})
+		e.env.Broadcast(notice)
 	}
 	e.env.Decide(st.slot, prop, qc)
 	// Committing s unlocks the ticket for s+k; the prepare for s (implied

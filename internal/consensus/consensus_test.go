@@ -52,6 +52,7 @@ func (p *mockProvider) AssembleCut(bool) types.Cut                { return p.cut
 func (p *mockProvider) HasTipData(types.TipRef) bool              { return p.hasData }
 func (p *mockProvider) ValidateCut(types.Cut, types.NodeID) error { return nil }
 func (p *mockProvider) NewTipCount([]types.Pos) int               { return p.newTips }
+func (p *mockProvider) NextExec() types.Slot                      { return 1 }
 
 // net wires 4 engines through mock envs with manual pumping.
 type net struct {

@@ -125,6 +125,7 @@ func (e *Engine) startMutiny(st *slotState, v types.View) {
 	t.Sig = e.cfg.Signer.Sign(t.SigningBytes())
 	first := !st.mutinied[v]
 	st.mutinied[v] = true
+	e.cfg.Journal.Timeout(t)
 	e.env.Broadcast(t)
 	// Re-arm so the complaint repeats while the view stays stuck.
 	e.env.SetTimer(Timer{Kind: TimerView, Slot: st.slot, View: v, Delay: e.viewTimeout(v)})
@@ -138,7 +139,10 @@ func (e *Engine) OnTimeoutMsg(from types.NodeID, t *types.Timeout) {
 	if from != t.Voter || !e.cfg.Committee.Valid(from) {
 		return
 	}
-	st := e.slot(t.Slot)
+	st := e.slotIfActive(t.Slot)
+	if st == nil {
+		return // outside the active window: never allocate for complaints
+	}
 	if st.decided {
 		// Already committed: catch the straggler up (§5.3 step 2).
 		e.env.Send(from, &types.CommitNotice{QC: *st.commitQC, Proposal: *st.committed})

@@ -1,0 +1,368 @@
+// Journal: the replica's durable record of safety-critical protocol
+// state, written before that state is externalized. The paper's
+// prototype persists all lane data and protocol state to RocksDB and its
+// seamlessness story depends on replicas returning from blips without
+// hurting safety; this file is the reproduction's equivalent, backed by
+// internal/storage's write-ahead log (real deployments) or an in-memory
+// store (simulated restarts), with a no-op default for deployments that
+// accept amnesia on crash.
+//
+// What is journaled — exactly the state whose loss lets a restarted
+// replica contradict its pre-crash self:
+//
+//   - own-lane proposals (never equivocate at a proposed position)
+//   - lane FIFO votes (never vote a different digest at a voted position)
+//   - consensus PrepVotes / ConfirmAcks / Timeouts per (slot, view)
+//   - decided CommitQCs and the execution frontier (resume without
+//     re-emitting; fetch missing data via the normal non-blocking sync)
+//
+// Everything else (peer lane data, PoAs, aggregation state) is rebuilt
+// from live traffic and sync, exactly as a lagging replica would.
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/storage"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// Journal durably records a replica's safety-critical state before it is
+// externalized and replays it on restart. Implementations must be safe
+// for use from the replica's single-threaded event loop; Recover is
+// called once, before any write.
+type Journal interface {
+	// OwnProposal records a newly produced own-lane proposal.
+	OwnProposal(p *types.Proposal)
+	// LaneVote records a FIFO vote for a peer-lane proposal.
+	LaneVote(v *types.Vote)
+	// PrepVote records a consensus prepare vote (weak or strong).
+	PrepVote(v *types.PrepVote)
+	// ConfirmAck records a consensus confirm ack.
+	ConfirmAck(a *types.ConfirmAck)
+	// Timeout records a view-change complaint.
+	Timeout(t *types.Timeout)
+	// Commit records a decided slot's certificate and proposal.
+	Commit(n *types.CommitNotice)
+	// Executed records the execution frontier after slots execute: the
+	// next slot awaiting execution plus per-lane committed positions and
+	// digests.
+	Executed(next types.Slot, frontier []types.Pos, digests []types.Digest)
+	// Recover returns the state a previous incarnation journaled (empty
+	// when the journal is fresh).
+	Recover() *Recovered
+	// Close releases the backing store.
+	Close() error
+}
+
+// Recovered is a journal snapshot from a previous incarnation. Slices
+// are sorted (proposals by position; commits by slot; votes, acks and
+// timeouts by slot then view) so recovery is deterministic regardless of
+// the backing store's iteration order.
+type Recovered struct {
+	OwnProposals    []*types.Proposal
+	LaneVotes       map[types.NodeID]map[types.Pos]types.Digest
+	PrepVotes       []*types.PrepVote
+	ConfirmAcks     []*types.ConfirmAck
+	Timeouts        []*types.Timeout
+	Commits         []*types.CommitNotice
+	NextExec        types.Slot
+	Frontier        []types.Pos
+	FrontierDigests []types.Digest
+}
+
+// Empty reports whether the snapshot carries no recorded state.
+func (r *Recovered) Empty() bool {
+	return r == nil || (len(r.OwnProposals) == 0 && len(r.LaneVotes) == 0 &&
+		len(r.PrepVotes) == 0 && len(r.ConfirmAcks) == 0 && len(r.Timeouts) == 0 &&
+		len(r.Commits) == 0 && r.NextExec <= 1)
+}
+
+// NopJournal discards everything: a replica configured with it restarts
+// with amnesia.
+type NopJournal struct{}
+
+func (NopJournal) OwnProposal(*types.Proposal)                      {}
+func (NopJournal) LaneVote(*types.Vote)                             {}
+func (NopJournal) PrepVote(*types.PrepVote)                         {}
+func (NopJournal) ConfirmAck(*types.ConfirmAck)                     {}
+func (NopJournal) Timeout(*types.Timeout)                           {}
+func (NopJournal) Commit(*types.CommitNotice)                       {}
+func (NopJournal) Executed(types.Slot, []types.Pos, []types.Digest) {}
+func (NopJournal) Recover() *Recovered                              { return &Recovered{} }
+func (NopJournal) Close() error                                     { return nil }
+
+// journalStore is the key/value substrate a journal writes through,
+// satisfied by storage.Store (durable) and memStore (simulated).
+type journalStore interface {
+	Put(key, val []byte) error
+	Range(fn func(key, val []byte) bool)
+	Flush() error
+	Close() error
+}
+
+// memStore keeps journal records in memory: it survives a simulated
+// protocol teardown (the cluster holds it across node rebuilds) but not
+// the process. Used by the simulator's Restart fault and by tests.
+type memStore struct {
+	m map[string][]byte
+}
+
+func (s *memStore) Put(key, val []byte) error {
+	cp := make([]byte, len(val))
+	copy(cp, val)
+	s.m[string(key)] = cp
+	return nil
+}
+
+func (s *memStore) Range(fn func(key, val []byte) bool) {
+	for k, v := range s.m {
+		if !fn([]byte(k), v) {
+			return
+		}
+	}
+}
+
+func (s *memStore) Flush() error { return nil }
+func (s *memStore) Close() error { return nil }
+
+// Record key prefixes. Unknown prefixes are ignored on recovery, so a
+// journal store may host auxiliary records.
+const (
+	keyOwnProposal = 'p' // + position(8)          -> wire(Proposal)
+	keyLaneVote    = 'v' // + lane(2) + position(8) -> digest(32)
+	keyPrepVote    = 'c' // + slot(8) + view(8)     -> wire(PrepVote)
+	keyConfirmAck  = 'a' // + slot(8) + view(8)     -> wire(ConfirmAck)
+	keyTimeout     = 't' // + slot(8) + view(8)     -> wire(Timeout)
+	keyCommit      = 'q' // + slot(8)               -> wire(CommitNotice)
+	keyExec        = 'x' //                         -> next(8) + count(4) + count*(pos(8) + digest(32))
+)
+
+// walJournal implements Journal over a journalStore, encoding records
+// with the canonical wire codec. Each record is flushed to the store
+// immediately (for storage.Store that pushes it to the OS; fsync cadence
+// stays under storage.Store.SyncEvery). Write errors are sticky and
+// reported by Err — the prototype keeps running, trading the durability
+// guarantee for availability, which mirrors the paper's prototype's
+// crash-durability posture.
+type walJournal struct {
+	st  journalStore
+	err error
+}
+
+// NewWALJournal wraps a storage.Store as a durable replica journal.
+func NewWALJournal(st *storage.Store) Journal { return &walJournal{st: st} }
+
+// NewMemJournal builds an in-memory journal that survives protocol
+// teardown but not the process (simulated restarts, tests).
+func NewMemJournal() Journal { return &walJournal{st: &memStore{m: make(map[string][]byte)}} }
+
+func (j *walJournal) fail(err error) {
+	if j.err == nil && err != nil {
+		j.err = err
+	}
+}
+
+// Err returns the first write or encode error, if any.
+func (j *walJournal) Err() error { return j.err }
+
+func (j *walJournal) put(key []byte, val []byte) {
+	if err := j.st.Put(key, val); err != nil {
+		j.fail(err)
+		return
+	}
+	j.fail(j.st.Flush())
+}
+
+func (j *walJournal) putMsg(key []byte, m types.Message) {
+	b, err := wire.Encode(m)
+	if err != nil {
+		j.fail(fmt.Errorf("journal: encode %T: %w", m, err))
+		return
+	}
+	j.put(key, b)
+}
+
+func (j *walJournal) OwnProposal(p *types.Proposal) {
+	key := make([]byte, 9)
+	key[0] = keyOwnProposal
+	binary.LittleEndian.PutUint64(key[1:], uint64(p.Position))
+	j.putMsg(key, p)
+}
+
+func (j *walJournal) LaneVote(v *types.Vote) {
+	key := make([]byte, 11)
+	key[0] = keyLaneVote
+	binary.LittleEndian.PutUint16(key[1:], uint16(v.Lane))
+	binary.LittleEndian.PutUint64(key[3:], uint64(v.Position))
+	j.put(key, v.Digest[:])
+}
+
+func slotViewKey(prefix byte, s types.Slot, v types.View) []byte {
+	key := make([]byte, 17)
+	key[0] = prefix
+	binary.LittleEndian.PutUint64(key[1:], uint64(s))
+	binary.LittleEndian.PutUint64(key[9:], uint64(v))
+	return key
+}
+
+func (j *walJournal) PrepVote(v *types.PrepVote) {
+	j.putMsg(slotViewKey(keyPrepVote, v.Slot, v.View), v)
+}
+
+func (j *walJournal) ConfirmAck(a *types.ConfirmAck) {
+	j.putMsg(slotViewKey(keyConfirmAck, a.Slot, a.View), a)
+}
+
+func (j *walJournal) Timeout(t *types.Timeout) {
+	j.putMsg(slotViewKey(keyTimeout, t.Slot, t.View), t)
+}
+
+func (j *walJournal) Commit(n *types.CommitNotice) {
+	key := make([]byte, 9)
+	key[0] = keyCommit
+	binary.LittleEndian.PutUint64(key[1:], uint64(n.QC.Slot))
+	j.putMsg(key, n)
+}
+
+func (j *walJournal) Executed(next types.Slot, frontier []types.Pos, digests []types.Digest) {
+	if len(digests) != len(frontier) {
+		j.fail(fmt.Errorf("journal: frontier/digest length mismatch"))
+		return
+	}
+	val := make([]byte, 0, 12+len(frontier)*(8+types.DigestSize))
+	val = binary.LittleEndian.AppendUint64(val, uint64(next))
+	val = binary.LittleEndian.AppendUint32(val, uint32(len(frontier)))
+	for i, pos := range frontier {
+		val = binary.LittleEndian.AppendUint64(val, uint64(pos))
+		val = append(val, digests[i][:]...)
+	}
+	j.put([]byte{keyExec}, val)
+}
+
+// Recover decodes every record in the store into a deterministic
+// snapshot. Individually undecodable records are skipped (the store
+// already drops torn tails; a skipped record degrades recovery to the
+// same conservative amnesia a fresh journal has for that entry).
+func (j *walJournal) Recover() *Recovered {
+	rec := &Recovered{LaneVotes: make(map[types.NodeID]map[types.Pos]types.Digest)}
+	j.st.Range(func(key, val []byte) bool {
+		if len(key) == 0 {
+			return true
+		}
+		switch key[0] {
+		case keyOwnProposal:
+			if m, err := wire.Decode(val); err == nil {
+				if p, ok := m.(*types.Proposal); ok {
+					rec.OwnProposals = append(rec.OwnProposals, p)
+				}
+			}
+		case keyLaneVote:
+			if len(key) != 11 || len(val) != types.DigestSize {
+				return true
+			}
+			lane := types.NodeID(binary.LittleEndian.Uint16(key[1:]))
+			pos := types.Pos(binary.LittleEndian.Uint64(key[3:]))
+			var d types.Digest
+			copy(d[:], val)
+			m := rec.LaneVotes[lane]
+			if m == nil {
+				m = make(map[types.Pos]types.Digest)
+				rec.LaneVotes[lane] = m
+			}
+			m[pos] = d
+		case keyPrepVote:
+			if m, err := wire.Decode(val); err == nil {
+				if v, ok := m.(*types.PrepVote); ok {
+					rec.PrepVotes = append(rec.PrepVotes, v)
+				}
+			}
+		case keyConfirmAck:
+			if m, err := wire.Decode(val); err == nil {
+				if a, ok := m.(*types.ConfirmAck); ok {
+					rec.ConfirmAcks = append(rec.ConfirmAcks, a)
+				}
+			}
+		case keyTimeout:
+			if m, err := wire.Decode(val); err == nil {
+				if t, ok := m.(*types.Timeout); ok {
+					rec.Timeouts = append(rec.Timeouts, t)
+				}
+			}
+		case keyCommit:
+			if m, err := wire.Decode(val); err == nil {
+				if n, ok := m.(*types.CommitNotice); ok {
+					rec.Commits = append(rec.Commits, n)
+				}
+			}
+		case keyExec:
+			if len(val) < 12 {
+				return true
+			}
+			next := types.Slot(binary.LittleEndian.Uint64(val))
+			count := int(binary.LittleEndian.Uint32(val[8:]))
+			if count < 0 || len(val) != 12+count*(8+types.DigestSize) {
+				return true
+			}
+			rec.NextExec = next
+			rec.Frontier = make([]types.Pos, count)
+			rec.FrontierDigests = make([]types.Digest, count)
+			off := 12
+			for i := 0; i < count; i++ {
+				rec.Frontier[i] = types.Pos(binary.LittleEndian.Uint64(val[off:]))
+				copy(rec.FrontierDigests[i][:], val[off+8:])
+				off += 8 + types.DigestSize
+			}
+		}
+		return true
+	})
+	sort.Slice(rec.OwnProposals, func(i, k int) bool {
+		return rec.OwnProposals[i].Position < rec.OwnProposals[k].Position
+	})
+	sort.Slice(rec.PrepVotes, func(i, k int) bool {
+		a, b := rec.PrepVotes[i], rec.PrepVotes[k]
+		return a.Slot < b.Slot || (a.Slot == b.Slot && a.View < b.View)
+	})
+	sort.Slice(rec.ConfirmAcks, func(i, k int) bool {
+		a, b := rec.ConfirmAcks[i], rec.ConfirmAcks[k]
+		return a.Slot < b.Slot || (a.Slot == b.Slot && a.View < b.View)
+	})
+	sort.Slice(rec.Timeouts, func(i, k int) bool {
+		a, b := rec.Timeouts[i], rec.Timeouts[k]
+		return a.Slot < b.Slot || (a.Slot == b.Slot && a.View < b.View)
+	})
+	sort.Slice(rec.Commits, func(i, k int) bool {
+		return rec.Commits[i].QC.Slot < rec.Commits[k].QC.Slot
+	})
+	return rec
+}
+
+func (j *walJournal) Close() error {
+	if err := j.st.Close(); err != nil {
+		return err
+	}
+	return j.err
+}
+
+// laneJournal adapts Journal to lane.Journal.
+type laneJournal struct{ j Journal }
+
+func (l laneJournal) OwnProposal(p *types.Proposal) { l.j.OwnProposal(p) }
+func (l laneJournal) Vote(v *types.Vote)            { l.j.LaneVote(v) }
+
+// consJournal adapts Journal to consensus.Journal.
+type consJournal struct{ n *Node }
+
+func (c consJournal) PrepVote(v *types.PrepVote)     { c.n.cfg.Journal.PrepVote(v) }
+func (c consJournal) ConfirmAck(a *types.ConfirmAck) { c.n.cfg.Journal.ConfirmAck(a) }
+func (c consJournal) Timeout(t *types.Timeout)       { c.n.cfg.Journal.Timeout(t) }
+
+func (c consJournal) Commit(m *types.CommitNotice) {
+	if c.n.replaying {
+		return // re-delivery of an already-journaled notice (recovery)
+	}
+	c.n.cfg.Journal.Commit(m)
+}

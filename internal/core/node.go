@@ -87,6 +87,10 @@ type Config struct {
 	// (§5.5.1; default 1 = disabled, matching the paper's prototype).
 	PipelineCars int
 
+	// Journal durably records safety-critical protocol state before it is
+	// externalized, and seeds recovery on restart (default: NopJournal —
+	// the replica restarts with amnesia). See journal.go.
+	Journal Journal
 	// Sink receives the totally ordered, execution-ready batches.
 	Sink runtime.CommitSink
 	// ConsensusTrace, when non-nil, receives verbose consensus engine
@@ -100,6 +104,9 @@ func (c *Config) fill() {
 	}
 	if c.Sink == nil {
 		c.Sink = runtime.NopSink
+	}
+	if c.Journal == nil {
+		c.Journal = NopJournal{}
 	}
 }
 
@@ -142,6 +149,12 @@ type Node struct {
 	// almost always delivers the tip first, and eagerly fetching on every
 	// Prepare floods a congested replica with duplicate bulk data.
 	tipFetchQueue []deferredTipFetch
+
+	// recovery holds the journal snapshot between NewNode (pure state
+	// restoration) and Init (commit replay, which needs a Context);
+	// replaying suppresses re-journaling the recovered notices.
+	recovery  *Recovered
+	replaying bool
 
 	// Stats (exposed for tests and the harness).
 	stats Stats
@@ -203,6 +216,7 @@ func NewNode(cfg Config) *Node {
 		Verifier:        n.verifier,
 		VerifyProposals: cfg.VerifySigs,
 		PipelineCars:    cfg.PipelineCars,
+		Journal:         laneJournal{cfg.Journal},
 	})
 	n.orderer = order.NewOrderer(cfg.Committee, n.lanes.Store())
 	n.fetcher = fetch.NewManager(fetch.Config{Self: cfg.Self})
@@ -221,9 +235,39 @@ func NewNode(cfg Config) *Node {
 		Coverage:       cfg.Coverage,
 		CoverageDelay:  cfg.CoverageDelay,
 		MinProposalGap: cfg.MinProposalGap,
+		Journal:        consJournal{n},
 		Trace:          cfg.ConsensusTrace,
 	}, (*consensusEnv)(n), (*cutProvider)(n))
+	n.recover()
 	return n
+}
+
+// recover rebuilds pre-crash state from the journal: vote frontiers and
+// own-lane production in NewNode (pure state, no effects), and the
+// decided-slot replay deferred to Init (it emits fetches and may
+// propose, which need a runtime Context). A fresh journal is a no-op.
+func (n *Node) recover() {
+	rec := n.cfg.Journal.Recover()
+	if rec.Empty() {
+		return
+	}
+	var ownCommitted types.Pos
+	if int(n.cfg.Self) < len(rec.Frontier) {
+		ownCommitted = rec.Frontier[n.cfg.Self]
+	}
+	n.lanes.Restore(rec.OwnProposals, ownCommitted, rec.LaneVotes)
+	n.engine.Restore(rec.PrepVotes, rec.ConfirmAcks, rec.Timeouts)
+	n.orderer.Restore(rec.NextExec, rec.Frontier, rec.FrontierDigests)
+	if len(rec.Frontier) == n.cfg.Committee.Size() {
+		// Vote frontiers adopt the committed chains (fork GC, §A.4), as
+		// drainExecution would have done before the crash.
+		for _, l := range n.cfg.Committee.Nodes() {
+			if pos := n.orderer.LastCommit(l); pos > 0 {
+				n.lanes.OnCommitted(l, pos, n.orderer.FrontierDigest(l))
+			}
+		}
+	}
+	n.recovery = rec
 }
 
 // Stats returns a snapshot of node counters.
@@ -243,11 +287,23 @@ func (n *Node) Reputation(l types.NodeID) int { return n.reputation[l] }
 
 // --- runtime.Protocol ---
 
-// Init arms the recurring fetch-retry and car-retransmit timers and
-// bootstraps consensus.
+// Init arms the recurring fetch-retry and car-retransmit timers,
+// replays journaled decisions (crash recovery) and bootstraps consensus.
 func (n *Node) Init(ctx runtime.Context) {
 	n.enter(ctx)
 	defer n.leave()
+	if rec := n.recovery; rec != nil {
+		n.recovery = nil
+		// Re-deliver pre-crash commits in slot order: decided slots above
+		// the executed frontier re-enter the orderer and execution resumes
+		// once their data is (re-)fetched via the normal non-blocking sync.
+		// The notices are already journaled — don't append them again.
+		n.replaying = true
+		for _, notice := range rec.Commits {
+			n.handleCommitNotice(ctx, n.cfg.Self, notice)
+		}
+		n.replaying = false
+	}
 	ctx.SetTimer(n.cfg.FetchTick, runtime.TimerTag{Kind: tagFetchTick})
 	ctx.SetTimer(carRetransmit, runtime.TimerTag{Kind: tagCarRetx})
 	n.engine.Init()
@@ -542,6 +598,9 @@ func (n *Node) drainExecution(ctx runtime.Context) {
 				n.lanes.OnCommitted(l, pos, n.orderer.FrontierDigest(l))
 			}
 		}
+		// Persist the execution frontier: a restarted replica resumes here
+		// instead of re-emitting the whole log.
+		n.cfg.Journal.Executed(n.orderer.NextExec(), n.orderer.Frontier(), n.orderer.FrontierDigests())
 		n.engine.OnTipsAdvanced()
 	}
 	for _, m := range missing {
@@ -704,6 +763,8 @@ func (c *cutProvider) NewTipCount(base []types.Pos) int {
 	cut := nd.lanes.AssembleCut(nd.cfg.OptimisticTips)
 	return cut.NewTipsVersus(base)
 }
+
+func (c *cutProvider) NextExec() types.Slot { return c.node().orderer.NextExec() }
 
 // Fetcher exposes the sync manager (tests).
 func (n *Node) Fetcher() *fetch.Manager { return n.fetcher }

@@ -68,8 +68,12 @@ type Cluster struct {
 	Recorder *metrics.Recorder
 	IDs      []types.NodeID
 	// Nodes holds the protocol instances (type-assert per system for
-	// protocol-specific statistics).
+	// protocol-specific statistics). A Restart fault replaces the entry
+	// for the restarted replica.
 	Nodes []runtime.Protocol
+	// Journals holds per-replica journals, populated only when the fault
+	// schedule contains Restart events (Autobahn only).
+	Journals []core.Journal
 }
 
 // Build constructs the deployment.
@@ -102,17 +106,46 @@ func Build(cfg ClusterConfig) *Cluster {
 	eng := sim.NewEngine(sim.Config{Net: net, Faults: cfg.Faults, Seed: cfg.Seed})
 
 	c := &Cluster{Config: cfg, Engine: eng, Recorder: rec}
+	// Restart faults tear protocol state down mid-run and rebuild it from
+	// a journal (crash-restart recovery). Only Autobahn wires journals;
+	// the baselines have no recovery story in this reproduction.
+	if cfg.Faults != nil && cfg.Faults.HasRestarts() {
+		if cfg.System != Autobahn {
+			panic(fmt.Sprintf("harness: Restart faults are only supported for Autobahn, not %s", cfg.System))
+		}
+		c.Journals = make([]core.Journal, cfg.N)
+		for i := range c.Journals {
+			c.Journals[i] = core.NewMemJournal()
+		}
+	}
 	for i := 0; i < cfg.N; i++ {
 		id := types.NodeID(i)
 		c.IDs = append(c.IDs, id)
-		nd := buildNode(cfg, committee, id, suite, rec.Sink())
+		nd := buildNode(cfg, committee, id, suite, rec.Sink(), c.journal(id))
 		c.Nodes = append(c.Nodes, nd)
 		eng.AddNode(nd)
+	}
+	if c.Journals != nil {
+		eng.SetRebuild(func(id types.NodeID, amnesia bool) runtime.Protocol {
+			if amnesia {
+				c.Journals[id] = core.NewMemJournal()
+			}
+			nd := buildNode(cfg, committee, id, suite, rec.Sink(), c.Journals[id])
+			c.Nodes[id] = nd
+			return nd
+		})
 	}
 	return c
 }
 
-func buildNode(cfg ClusterConfig, committee types.Committee, id types.NodeID, suite crypto.Suite, sink runtime.CommitSink) runtime.Protocol {
+func (c *Cluster) journal(id types.NodeID) core.Journal {
+	if c.Journals == nil {
+		return nil
+	}
+	return c.Journals[id]
+}
+
+func buildNode(cfg ClusterConfig, committee types.Committee, id types.NodeID, suite crypto.Suite, sink runtime.CommitSink, journal core.Journal) runtime.Protocol {
 	switch cfg.System {
 	case Autobahn:
 		return core.NewNode(core.Config{
@@ -124,6 +157,7 @@ func buildNode(cfg ClusterConfig, committee types.Committee, id types.NodeID, su
 			OptimisticTips: !cfg.OptimisticTipsOff,
 			WeakVotes:      cfg.WeakVotes,
 			ViewTimeout:    cfg.ViewTimeout,
+			Journal:        journal,
 			Sink:           sink,
 		})
 	case Bullshark:

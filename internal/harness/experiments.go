@@ -331,6 +331,25 @@ func (c *BlipConfig) fill() {
 func RunBlip(cfg BlipConfig) BlipResult {
 	cfg.fill()
 	faults := (&sim.FaultSchedule{}).AddDown(cfg.CrashNode, cfg.CrashFrom, cfg.CrashFrom+cfg.CrashFor)
+	return runBlipWith(cfg, faults)
+}
+
+// RunRestartBlip crashes one Autobahn replica mid-run and restarts its
+// process at the end of the down window — rebuilt from its journal, or
+// blank when amnesia is set — then analyzes the blip exactly like
+// RunBlip. This is the recovery analog of Fig. 7: the restarted replica
+// must rejoin without a safety violation and without a hangover beyond
+// the down window.
+func RunRestartBlip(cfg BlipConfig, amnesia bool) BlipResult {
+	cfg.System = Autobahn
+	cfg.fill()
+	faults := (&sim.FaultSchedule{}).
+		AddDown(cfg.CrashNode, cfg.CrashFrom, cfg.CrashFrom+cfg.CrashFor).
+		Restart(cfg.CrashNode, cfg.CrashFrom+cfg.CrashFor, amnesia)
+	return runBlipWith(cfg, faults)
+}
+
+func runBlipWith(cfg BlipConfig, faults *sim.FaultSchedule) BlipResult {
 	c := Build(ClusterConfig{
 		System:        cfg.System,
 		N:             cfg.N,

@@ -65,6 +65,44 @@ func TestBlipSeamlessness(t *testing.T) {
 	}
 }
 
+// TestRestartBlipSeamless is the recovery scenario of ISSUE 2: a replica
+// crashes mid-run and its process restarts from its journal at the end
+// of the down window. The cluster must commit everything with no
+// hangover beyond the window, and the restarted replica must not dent
+// steady-state latency after rejoining.
+func TestRestartBlipSeamless(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		amnesia  bool
+		minTotal uint64
+	}{
+		// Journal-backed: every offered tx commits (20k tx/s for 25s).
+		{"journal-backed", false, 499_000},
+		// Amnesia: the amnesiac's own lane halts (peers never vote below
+		// their frontier for it), so its post-restart share of the load is
+		// lost — but every other lane commits in full.
+		{"amnesia", true, 425_000},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			r := RunRestartBlip(BlipConfig{Load: 20e3, Duration: 25 * time.Second}, tc.amnesia)
+			if testing.Verbose() {
+				PrintBlip(os.Stdout, r, 25)
+			}
+			t.Logf("baseline=%v peak=%v resume=%v hangover=%v total=%d", r.Baseline, r.PeakLat, r.BlipEnd, r.Hangover, r.Total)
+			if r.Total < tc.minTotal {
+				t.Errorf("committed %d txs, want >= %d", r.Total, tc.minTotal)
+			}
+			// No hangover beyond the down window (the seamlessness claim).
+			if r.Hangover > time.Second {
+				t.Errorf("restart hangover = %v, want ~0", r.Hangover)
+			}
+			if r.BlipEnd > r.FaultTo+time.Second {
+				t.Errorf("commits resumed at %v, well past the fault end %v", r.BlipEnd, r.FaultTo)
+			}
+		})
+	}
+}
+
 func TestAblationDirection(t *testing.T) {
 	r := Ablation(4, 150e3, 12*time.Second, 1)
 	t.Logf("full=%v noFast=%v certified=%v neither=%v", r.Full, r.NoFastPath, r.CertifiedTips, r.Neither)

@@ -19,12 +19,33 @@ import (
 	"repro/internal/types"
 )
 
+// Journal records the lane layer's safety-critical outputs before they
+// are externalized: own-lane proposals (a restarted replica must never
+// equivocate at a position it already proposed) and FIFO votes (it must
+// never vote for a different digest at a voted position). core.Journal
+// adapts this to the replica-wide durable journal; the default is a
+// no-op.
+type Journal interface {
+	// OwnProposal records a newly produced own-lane proposal.
+	OwnProposal(p *types.Proposal)
+	// Vote records a FIFO vote cast for a peer-lane proposal.
+	Vote(v *types.Vote)
+}
+
+type nopJournal struct{}
+
+func (nopJournal) OwnProposal(*types.Proposal) {}
+func (nopJournal) Vote(*types.Vote)            {}
+
 // Config parameterizes a replica's lane state.
 type Config struct {
 	Committee types.Committee
 	Self      types.NodeID
 	Signer    crypto.Signer
 	Verifier  crypto.Verifier
+	// Journal durably records proposals and votes before they leave the
+	// replica (nil = no persistence).
+	Journal Journal
 	// VerifyProposals enables full signature verification of incoming
 	// proposals and votes. Disable only in simulations where signature
 	// cost is modeled by the network layer instead.
@@ -53,6 +74,9 @@ func (c *Config) fill() {
 	}
 	if c.MaxCarBytes == 0 {
 		c.MaxCarBytes = 4 << 20
+	}
+	if c.Journal == nil {
+		c.Journal = nopJournal{}
 	}
 }
 
@@ -178,6 +202,7 @@ func (s *State) tryPropose() *types.Proposal {
 	s.ownTip = types.TipRef{Lane: s.cfg.Self, Position: p.Position, Digest: d}
 	s.nextPos++
 	s.store.Put(p)
+	s.cfg.Journal.OwnProposal(p)
 	return p
 }
 
@@ -324,6 +349,7 @@ func (s *State) voteChain(pv *peerView, p *types.Proposal) []*types.Vote {
 		d := p.Digest()
 		v := &types.Vote{Lane: p.Lane, Position: p.Position, Digest: d, Voter: s.cfg.Self}
 		v.Sig = s.cfg.Signer.Sign(v.SigningBytes())
+		s.cfg.Journal.Vote(v)
 		out = append(out, v)
 		pv.votedPos = p.Position
 		pv.votedDigest[p.Position] = d
@@ -525,6 +551,54 @@ func (s *State) OnCommitted(lane types.NodeID, pos types.Pos, digest types.Diges
 	// fetch history well below the live frontier (see internal/storage
 	// for the disk-backed equivalent). Only vote bookkeeping and fork
 	// siblings below the frontier are reclaimed (§A.4).
+}
+
+// Restore rebuilds the lane state of a restarted replica from its
+// journal: own-lane production resumes after the last journaled proposal
+// (so the lane can never equivocate at a pre-crash position), and peer
+// vote frontiers adopt the journaled FIFO votes (so the replica can never
+// vote for a different digest at a pre-crash position — only re-emit the
+// identical vote on retransmission). Must be called before any protocol
+// input, with own proposals in ascending position order. ownCommitted is
+// the own lane's executed frontier: proposals at or below it were
+// committed pre-crash and are not re-certified (peers have GC'd their
+// vote state below their committed frontiers), only retained for sync
+// serving.
+func (s *State) Restore(own []*types.Proposal, ownCommitted types.Pos, votes map[types.NodeID]map[types.Pos]types.Digest) {
+	for _, p := range own {
+		if p.Lane != s.cfg.Self || p.Position < s.nextPos {
+			continue
+		}
+		s.store.Put(p)
+		d := p.Digest()
+		s.ownTip = types.TipRef{Lane: s.cfg.Self, Position: p.Position, Digest: d}
+		s.nextPos = p.Position + 1
+		if p.Position <= ownCommitted {
+			continue
+		}
+		// Still uncertified: rejoin the outstanding pipeline (the car-retx
+		// timer re-broadcasts it; peers re-emit their idempotent votes).
+		self := types.Vote{Lane: s.cfg.Self, Position: p.Position, Digest: d, Voter: s.cfg.Self}
+		share := types.SigShare{Signer: s.cfg.Self, Sig: s.cfg.Signer.Sign(self.SigningBytes())}
+		s.votes[p.Position] = map[types.NodeID]types.SigShare{s.cfg.Self: share}
+		s.outstanding = append(s.outstanding, p)
+	}
+	for l, m := range votes {
+		if !s.cfg.Committee.Valid(l) || l == s.cfg.Self {
+			continue
+		}
+		pv := s.peers[l]
+		for pos, d := range m {
+			pv.votedDigest[pos] = d
+			if pos > pv.votedPos {
+				// FIFO voting journals every vote in order, so the highest
+				// journaled position is the contiguous frontier.
+				pv.votedPos = pos
+			}
+		}
+		// certTip/optTip restart at genesis: certified tips must carry a
+		// real PoA, and both rebuild from live traffic (ParentPoA, OnPoA).
+	}
 }
 
 func maxPos(a, b types.Pos) types.Pos {

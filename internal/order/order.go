@@ -248,3 +248,26 @@ func (o *Orderer) Frontier() []types.Pos {
 
 // FrontierDigest returns the digest committed at a lane's frontier.
 func (o *Orderer) FrontierDigest(lane types.NodeID) types.Digest { return o.lastDigest[lane] }
+
+// FrontierDigests returns a copy of the per-lane frontier digests.
+func (o *Orderer) FrontierDigests() []types.Digest {
+	out := make([]types.Digest, len(o.lastDigest))
+	copy(out, o.lastDigest)
+	return out
+}
+
+// Restore resets the execution frontier from a journal snapshot (crash
+// recovery): slots below nextExec count as executed and never re-emit,
+// and per-lane committed positions/digests resume from the recorded
+// frontier. Must be called before any decision is added.
+func (o *Orderer) Restore(nextExec types.Slot, frontier []types.Pos, digests []types.Digest) {
+	if nextExec > o.nextExec {
+		o.nextExec = nextExec
+	}
+	if len(frontier) == len(o.lastCommit) {
+		copy(o.lastCommit, frontier)
+	}
+	if len(digests) == len(o.lastDigest) {
+		copy(o.lastDigest, digests)
+	}
+}

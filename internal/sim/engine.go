@@ -83,6 +83,10 @@ type Engine struct {
 	faults *FaultSchedule
 	rng    *rand.Rand
 	events uint64
+	// rebuild constructs a fresh protocol instance for a Restart fault;
+	// required iff the fault schedule contains restarts.
+	rebuild           func(id types.NodeID, amnesia bool) runtime.Protocol
+	restartsScheduled bool
 	// Stats
 	delivered uint64
 	dropped   uint64
@@ -156,6 +160,27 @@ func (e *Engine) Every(start, interval, until time.Duration, fn func(t time.Dura
 	schedule(start)
 }
 
+// SetRebuild registers the factory Restart faults use to re-instantiate
+// a node's protocol (typically re-reading its journal; with amnesia the
+// factory must hand the node a fresh journal instead).
+func (e *Engine) SetRebuild(fn func(id types.NodeID, amnesia bool) runtime.Protocol) {
+	e.rebuild = fn
+}
+
+// restartNode tears down a node's protocol state and re-initializes it
+// (the process restarted). Pending timers of the old incarnation become
+// stale; in-flight messages still deliver, as the network would redeliver
+// to a restarted process.
+func (e *Engine) restartNode(id types.NodeID, amnesia bool) {
+	if e.rebuild == nil {
+		panic(fmt.Sprintf("sim: Restart fault for %s scheduled without Engine.SetRebuild", id))
+	}
+	n := e.nodes[id]
+	n.timers = make(map[runtime.TimerTag]uint64)
+	n.proto = e.rebuild(id, amnesia)
+	n.proto.Init(n)
+}
+
 // Run executes events until virtual time `until` (exclusive) or until the
 // event queue drains. It returns the number of events processed.
 func (e *Engine) Run(until time.Duration) uint64 {
@@ -164,6 +189,15 @@ func (e *Engine) Run(until time.Duration) uint64 {
 		if !n.inited {
 			n.inited = true
 			n.proto.Init(n)
+		}
+	}
+	// Schedule Restart faults once nodes exist. Fault-free schedules push
+	// no events here, keeping fixed-seed runs byte-identical.
+	if !e.restartsScheduled {
+		e.restartsScheduled = true
+		for _, r := range e.faults.Restarts() {
+			r := r
+			e.push(&event{at: r.At, kind: evFunc, fn: func() { e.restartNode(r.Node, r.Amnesia) }})
 		}
 	}
 	processed := uint64(0)

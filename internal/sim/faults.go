@@ -9,17 +9,31 @@ import (
 // FaultSchedule injects failures into a simulation. All windows are
 // half-open virtual-time intervals [From, To).
 //
-// Three fault kinds cover the paper's blip experiments:
+// Four fault kinds cover the paper's blip experiments plus crash-restart
+// recovery:
 //   - Down: the replica neither sends nor receives nor fires timers
 //     (a crashed replica; used for the Fig. 1/7 leader-failure blips).
 //   - Mute: the replica receives but its outbound messages are dropped
 //     (a silent/Byzantine leader).
 //   - Partition: messages crossing group boundaries are dropped
 //     (the Fig. 8 partial partition).
+//   - Restart: the replica's protocol state is torn down and re-built
+//     mid-run (a process restart) — from its journal, or with amnesia.
+//     Usually paired with a Down window ending at the restart instant.
 type FaultSchedule struct {
 	downs      []nodeWindow
 	mutes      []nodeWindow
 	partitions []partitionWindow
+	restarts   []RestartEvent
+}
+
+// RestartEvent describes one scheduled protocol restart.
+type RestartEvent struct {
+	Node types.NodeID
+	At   time.Duration
+	// Amnesia discards the node's journal: it restarts blank, like a
+	// replica whose disk was lost (safe for at most f replicas).
+	Amnesia bool
 }
 
 type nodeWindow struct {
@@ -91,6 +105,23 @@ func (f *FaultSchedule) SplitPartition(n int, half []types.NodeID, from, to time
 	}
 	return f.AddPartition(groups, from, to)
 }
+
+// Restart schedules a protocol restart of node at virtual time `at`:
+// the engine tears the node's protocol state down and re-initializes it
+// through the rebuild hook (Engine.SetRebuild). With amnesia the rebuild
+// must discard the node's journal too. Pair with AddDown(node, from, at)
+// to model the crash window preceding the restart.
+func (f *FaultSchedule) Restart(node types.NodeID, at time.Duration, amnesia bool) *FaultSchedule {
+	f.restarts = append(f.restarts, RestartEvent{Node: node, At: at, Amnesia: amnesia})
+	return f
+}
+
+// Restarts returns the scheduled restart events.
+func (f *FaultSchedule) Restarts() []RestartEvent { return f.restarts }
+
+// HasRestarts reports whether any restart is scheduled (clusters use it
+// to decide whether nodes need journals and a rebuild hook).
+func (f *FaultSchedule) HasRestarts() bool { return len(f.restarts) > 0 }
 
 // Blocked reports whether a message sent at t from a to b is dropped.
 func (f *FaultSchedule) Blocked(t time.Duration, from, to types.NodeID) bool {

@@ -191,6 +191,19 @@ func (s *Store) Delete(key []byte) error {
 	return nil
 }
 
+// Range calls fn for every live key/value pair until fn returns false.
+// Iteration order is unspecified; callers needing determinism must sort.
+// fn must not call back into the store.
+func (s *Store) Range(fn func(key, val []byte) bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k, v := range s.index {
+		if !fn([]byte(k), v) {
+			return
+		}
+	}
+}
+
 // Len returns the number of live keys.
 func (s *Store) Len() int {
 	s.mu.Lock()

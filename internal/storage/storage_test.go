@@ -2,6 +2,7 @@ package storage
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -98,6 +99,74 @@ func TestTornTailRecovered(t *testing.T) {
 	// The store remains writable after truncating the tail.
 	if err := r.Put([]byte("after"), []byte("x")); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestTornTailDropsOnlyTornRecord: a crash mid-append leaves a partial
+// final record; replay must keep every earlier record intact and drop
+// exactly the torn one (the journal recovery contract).
+func TestTornTailDropsOnlyTornRecord(t *testing.T) {
+	s, path := openTemp(t)
+	for i := 0; i < 10; i++ {
+		if err := s.Put(fmt.Appendf(nil, "key-%d", i), fmt.Appendf(nil, "val-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	// Craft a structurally valid record, then append only half of it —
+	// exactly what a crash between write() calls leaves behind.
+	key, val := []byte("torn-key"), []byte("torn-value")
+	var rec []byte
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:], recordCRC(key, val, uint32(len(val))))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(key)))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(val)))
+	rec = append(rec, hdr[:]...)
+	rec = append(rec, key...)
+	rec = append(rec, val...)
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write(rec[:len(rec)/2])
+	f.Close()
+
+	r, err := Open(path)
+	if err != nil {
+		t.Fatalf("torn tail must recover: %v", err)
+	}
+	defer r.Close()
+	if r.Len() != 10 {
+		t.Fatalf("replayed %d records, want 10 (only the torn one dropped)", r.Len())
+	}
+	for i := 0; i < 10; i++ {
+		if v, ok := r.Get(fmt.Appendf(nil, "key-%d", i)); !ok || !bytes.Equal(v, fmt.Appendf(nil, "val-%d", i)) {
+			t.Fatalf("key-%d lost or corrupted: %q %v", i, v, ok)
+		}
+	}
+	if _, ok := r.Get(key); ok {
+		t.Fatal("torn record replayed")
+	}
+	// The truncated store accepts and persists new writes.
+	if err := r.Put([]byte("after"), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRangeVisitsLiveKeys(t *testing.T) {
+	s, _ := openTemp(t)
+	defer s.Close()
+	s.Put([]byte("a"), []byte("1"))
+	s.Put([]byte("b"), []byte("2"))
+	s.Delete([]byte("a"))
+	got := map[string]string{}
+	s.Range(func(k, v []byte) bool {
+		got[string(k)] = string(v)
+		return true
+	})
+	if len(got) != 1 || got["b"] != "2" {
+		t.Fatalf("Range = %v", got)
 	}
 }
 

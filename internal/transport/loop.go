@@ -45,6 +45,7 @@ type Loop struct {
 
 	rng     *rand.Rand
 	stopped chan struct{}
+	done    chan struct{} // closed when Run returns
 	once    sync.Once
 
 	// pool is the parallel pre-verification stage (nil when the protocol
@@ -72,6 +73,7 @@ func NewLoop(id types.NodeID, proto runtime.Protocol, sender Sender, epoch time.
 		timers:  make(map[runtime.TimerTag]*time.Timer),
 		rng:     rand.New(rand.NewPCG(uint64(id)+1, 0x51ab_2de1)),
 		stopped: make(chan struct{}),
+		done:    make(chan struct{}),
 	}
 	if pv, ok := proto.(runtime.PreVerifier); ok {
 		l.pool = newVerifyPool(pv, l.enqueueMessage, l.stopped)
@@ -164,6 +166,7 @@ func (l *Loop) Submit(b *types.Batch) {
 
 // Run processes events until Stop; call in a dedicated goroutine.
 func (l *Loop) Run() {
+	defer close(l.done)
 	l.proto.Init(l)
 	for {
 		select {
@@ -196,3 +199,9 @@ func (l *Loop) Run() {
 func (l *Loop) Stop() {
 	l.once.Do(func() { close(l.stopped) })
 }
+
+// Join blocks until Run has returned — i.e. no handler is in flight and
+// none will start. Only valid after Run was started; callers tearing
+// down resources the protocol writes to (e.g. a journal) must Join
+// between Stop and the teardown.
+func (l *Loop) Join() { <-l.done }

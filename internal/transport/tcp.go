@@ -24,6 +24,11 @@ type TCPMesh struct {
 
 	mu    sync.Mutex
 	conns map[types.NodeID]*peerConn
+	// inbound tracks accepted connections so Stop can sever them: a
+	// stopped mesh that keeps reading would silently swallow peers'
+	// frames, hiding the death from their reconnection logic (and from a
+	// restarted process listening on the same address).
+	inbound map[net.Conn]struct{}
 
 	listener net.Listener
 	stopped  chan struct{}
@@ -50,6 +55,7 @@ func NewTCPMesh(self types.NodeID, addrs map[types.NodeID]string, proto runtime.
 		self:    self,
 		addrs:   addrs,
 		conns:   make(map[types.NodeID]*peerConn),
+		inbound: make(map[net.Conn]struct{}),
 		stopped: make(chan struct{}),
 		logger:  logger,
 	}
@@ -72,13 +78,18 @@ func (m *TCPMesh) Start() error {
 	return nil
 }
 
-// Stop closes the listener, connections and the loop.
+// Stop closes the listener, connections (inbound included) and the loop.
 func (m *TCPMesh) Stop() {
 	m.once.Do(func() {
 		close(m.stopped)
 		if m.listener != nil {
 			m.listener.Close()
 		}
+		m.mu.Lock()
+		for conn := range m.inbound {
+			conn.Close()
+		}
+		m.mu.Unlock()
 		m.loop.Stop()
 	})
 }
@@ -101,7 +112,22 @@ func (m *TCPMesh) acceptLoop() {
 
 // readLoop handshakes (peer sends its 2-byte ID) then decodes frames.
 func (m *TCPMesh) readLoop(conn net.Conn) {
-	defer conn.Close()
+	m.mu.Lock()
+	select {
+	case <-m.stopped:
+		m.mu.Unlock()
+		conn.Close()
+		return
+	default:
+	}
+	m.inbound[conn] = struct{}{}
+	m.mu.Unlock()
+	defer func() {
+		m.mu.Lock()
+		delete(m.inbound, conn)
+		m.mu.Unlock()
+		conn.Close()
+	}()
 	var idBuf [2]byte
 	if _, err := io.ReadFull(conn, idBuf[:]); err != nil {
 		return

@@ -29,6 +29,7 @@ type LiveCluster struct {
 
 	epoch   time.Time
 	started bool
+	done    chan struct{} // closed by Stop; terminates flushLoop
 }
 
 // NewLiveCluster builds (but does not start) an in-process cluster.
@@ -80,12 +81,20 @@ func (c *LiveCluster) Start() {
 		return
 	}
 	c.started = true
+	c.done = make(chan struct{})
 	c.mesh.Start()
 	go c.flushLoop()
 }
 
-// Stop terminates all replicas.
-func (c *LiveCluster) Stop() { c.mesh.Stop() }
+// Stop terminates all replicas and the flush ticker.
+func (c *LiveCluster) Stop() {
+	if !c.started {
+		return
+	}
+	c.started = false
+	close(c.done)
+	c.mesh.Stop()
+}
 
 // Submit hands a transaction to a replica's mempool; full batches are
 // sealed and disseminated immediately, partial ones within the batch
@@ -112,8 +121,12 @@ func (c *LiveCluster) flushLoop() {
 	}
 	tick := time.NewTicker(delay / 2)
 	defer tick.Stop()
-	for c.started {
-		<-tick.C
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-tick.C:
+		}
 		now := time.Since(c.epoch)
 		for i := range c.pools {
 			c.mu[i].Lock()

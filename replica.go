@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mempool"
 	"repro/internal/runtime"
+	"repro/internal/storage"
 	"repro/internal/transport"
 	"repro/internal/types"
 )
@@ -17,14 +18,18 @@ import (
 // TCP (length-framed wire encoding, automatic reconnection). It is the
 // building block of real multi-process deployments; see cmd/autobahn-node.
 type Replica struct {
-	opts Options
-	self types.NodeID
-	mesh *transport.TCPMesh
-	node *core.Node
+	opts    Options
+	self    types.NodeID
+	mesh    *transport.TCPMesh
+	node    *core.Node
+	journal core.Journal // nil without Options.WALPath
 
-	poolMu sync.Mutex
-	pool   *mempool.Pool
-	epoch  time.Time
+	poolMu   sync.Mutex
+	pool     *mempool.Pool
+	epoch    time.Time
+	done     chan struct{} // closed by Stop; terminates flushLoop
+	started  bool          // Start launched the event loop (Stop may Join it)
+	stopOnce sync.Once
 
 	// Commits delivers this replica's totally ordered, execution-ready
 	// batches.
@@ -34,6 +39,13 @@ type Replica struct {
 // NewReplica builds replica `self` of a committee whose members listen at
 // the given addresses (all replicas must share the same Options and
 // address map). Signatures are always verified.
+//
+// With Options.WALPath set, the replica journals its safety-critical
+// protocol state (own proposals, lane FIFO votes, consensus votes,
+// decided slots) to that write-ahead log before externalizing it, and a
+// restarted process recovers from the same path: it never contradicts a
+// pre-crash vote and resumes execution from its committed frontier,
+// fetching whatever else it misses through the normal non-blocking sync.
 func NewReplica(self types.NodeID, addrs map[types.NodeID]string, o Options, logger *log.Logger) (*Replica, error) {
 	if len(addrs) != o.N {
 		return nil, fmt.Errorf("autobahn: %d addresses for committee of %d", len(addrs), o.N)
@@ -43,7 +55,16 @@ func NewReplica(self types.NodeID, addrs map[types.NodeID]string, o Options, log
 		opts:    o,
 		self:    self,
 		epoch:   time.Now(), // deployments tolerate skewed epochs: only latency *reports* depend on it
+		done:    make(chan struct{}),
 		Commits: make(chan Committed, 4096),
+	}
+	if o.WALPath != "" {
+		st, err := storage.Open(o.WALPath)
+		if err != nil {
+			return nil, fmt.Errorf("autobahn: replica journal: %w", err)
+		}
+		st.SyncEvery = o.WALSyncEvery
+		r.journal = core.NewWALJournal(st)
 	}
 	sink := runtime.CommitSinkFunc(func(node types.NodeID, now time.Duration, cm runtime.Committed) {
 		select {
@@ -54,7 +75,9 @@ func NewReplica(self types.NodeID, addrs map[types.NodeID]string, o Options, log
 		default:
 		}
 	})
-	r.node = core.NewNode(o.nodeConfig(self, o.suite(), sink))
+	cfg := o.nodeConfig(self, o.suite(), sink)
+	cfg.Journal = r.journal
+	r.node = core.NewNode(cfg)
 	r.mesh = transport.NewTCPMesh(self, addrs, r.node, r.epoch, logger)
 	// The node implements runtime.PreVerifier, so the mesh's loop runs
 	// inbound signature checks on a parallel worker stage.
@@ -74,12 +97,29 @@ func (r *Replica) Start() error {
 	if err := r.mesh.Start(); err != nil {
 		return err
 	}
+	r.started = true
 	go r.flushLoop()
 	return nil
 }
 
-// Stop shuts the replica down.
-func (r *Replica) Stop() { r.mesh.Stop() }
+// Stop shuts the replica down: the flush ticker exits, the mesh closes,
+// and the journal (if any) is flushed to disk.
+func (r *Replica) Stop() {
+	r.stopOnce.Do(func() {
+		close(r.done)
+		r.mesh.Stop()
+		if r.started {
+			// Wait for the event loop's in-flight handler: journal writes
+			// must win the race against the store closing beneath them.
+			r.mesh.Loop().Join()
+		}
+		if r.journal != nil {
+			if err := r.journal.Close(); err != nil {
+				log.Printf("autobahn: closing replica journal: %v", err)
+			}
+		}
+	})
+}
 
 // Submit adds one client transaction to this replica's mempool.
 func (r *Replica) Submit(tx []byte) {
@@ -100,7 +140,11 @@ func (r *Replica) flushLoop() {
 	tick := time.NewTicker(delay / 2)
 	defer tick.Stop()
 	for {
-		<-tick.C
+		select {
+		case <-r.done:
+			return
+		case <-tick.C:
+		}
 		now := time.Since(r.epoch)
 		r.poolMu.Lock()
 		var b *types.Batch

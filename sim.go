@@ -21,6 +21,7 @@ type SimCluster struct {
 	Recorder *metrics.Recorder
 	nodes    []*core.Node
 	ids      []types.NodeID
+	journals []core.Journal
 	opts     Options
 }
 
@@ -67,13 +68,50 @@ func NewSimCluster(o SimOptions) *SimCluster {
 			})
 		})
 	}
+	// Restart faults need per-node journals that outlive a protocol
+	// teardown, plus a rebuild hook that re-reads them (or, with amnesia,
+	// replaces them). Fault-free deployments skip journaling entirely, so
+	// fixed-seed runs stay byte-identical.
+	withJournals := o.Faults != nil && o.Faults.HasRestarts()
+	if withJournals {
+		c.journals = make([]core.Journal, o.N)
+		for i := range c.journals {
+			c.journals[i] = core.NewMemJournal()
+		}
+	}
+	build := func(id types.NodeID) *core.Node {
+		cfg := o.nodeConfig(id, suite, sink)
+		if withJournals {
+			cfg.Journal = c.journals[id]
+		}
+		return core.NewNode(cfg)
+	}
 	for i := 0; i < o.N; i++ {
-		nd := core.NewNode(o.nodeConfig(types.NodeID(i), suite, sink))
+		nd := build(types.NodeID(i))
 		c.nodes = append(c.nodes, nd)
 		c.ids = append(c.ids, types.NodeID(i))
 		eng.AddNode(nd)
 	}
+	if withJournals {
+		eng.SetRebuild(func(id types.NodeID, amnesia bool) runtime.Protocol {
+			if amnesia {
+				c.journals[id] = core.NewMemJournal()
+			}
+			nd := build(id)
+			c.nodes[id] = nd
+			return nd
+		})
+	}
 	return c
+}
+
+// Journal returns a replica's journal (nil unless the fault schedule
+// contains restarts). Tests inspect it.
+func (c *SimCluster) Journal(id types.NodeID) core.Journal {
+	if c.journals == nil {
+		return nil
+	}
+	return c.journals[id]
 }
 
 // SubmitLoad installs an open-loop workload of rate tx/s of txSize-byte
