@@ -26,11 +26,14 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
+	_ "net/http/pprof" // -pprof exposes the default mux's profiles
 	"os"
 	"strings"
 	"time"
 
 	autobahn "repro"
+	"repro/internal/metrics"
 	"repro/internal/storage"
 	"repro/internal/types"
 )
@@ -42,6 +45,7 @@ func main() {
 	walPath := flag.String("wal", "", "write-ahead log path for crash-restart recovery; committed batches go to <path>.commits (optional)")
 	timeout := flag.Duration("view-timeout", time.Second, "consensus view timeout")
 	quiet := flag.Bool("quiet", false, "suppress per-commit output")
+	pprofAddr := flag.String("pprof", "", "listen address for net/http/pprof live profiling, e.g. 127.0.0.1:6060 (optional)")
 	flag.Parse()
 
 	addrList := strings.Split(*peers, ",")
@@ -81,6 +85,15 @@ func main() {
 		defer wal.Close()
 	}
 
+	if *pprofAddr != "" {
+		go func() {
+			logger.Printf("pprof listening on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				logger.Printf("pprof: %v", err)
+			}
+		}()
+	}
+
 	if *clientAddr != "" {
 		go serveClients(*clientAddr, replica, logger)
 	}
@@ -106,7 +119,15 @@ func main() {
 		}
 		if !*quiet && time.Since(lastReport) >= time.Second {
 			lastReport = time.Now()
-			logger.Printf("committed %d txs in %d batches (slot %d)", committedTx, committedBatches, c.Slot)
+			var egress metrics.TransportSnapshot
+			for _, s := range replica.TransportStats() {
+				egress.Add(s)
+			}
+			logger.Printf("committed %d txs in %d batches (slot %d); egress ctl %d frames/%d flushes, data %d frames/%d flushes, %d drops",
+				committedTx, committedBatches, c.Slot,
+				egress.Control.Frames, egress.Control.Flushes,
+				egress.Data.Frames, egress.Data.Flushes,
+				egress.Control.Drops+egress.Data.Drops)
 		}
 	}
 }

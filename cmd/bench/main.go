@@ -5,12 +5,17 @@
 //
 // Usage:
 //
-//	bench -exp table1|fig1|fig5|fig6|fig7|fig8|ablation|restart|all [-quick]
+//	bench -exp table1|fig1|fig5|fig6|fig7|fig8|ablation|restart|all [-quick] [-json out.json]
 //
-// A failed shape check exits non-zero (CI gates on it).
+// With -json, the per-experiment headline metrics (throughput, latency,
+// hangover, recovery — whatever the experiment measures) are written as
+// a machine-readable report, so the repo accumulates a perf trajectory
+// across PRs (see BENCH_pr3.json for the first data point). A failed
+// shape check exits non-zero (CI gates on it).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,18 +24,49 @@ import (
 	"repro/internal/harness"
 )
 
+// report is the -json output: experiment name → metric name → value.
+type report struct {
+	Seed        uint64                        `json:"seed"`
+	Quick       bool                          `json:"quick"`
+	Checks      map[string]bool               `json:"checks"`
+	Experiments map[string]map[string]float64 `json:"experiments"`
+}
+
+var rep = report{
+	Checks:      make(map[string]bool),
+	Experiments: make(map[string]map[string]float64),
+}
+
+// current names the experiment being run, for record/check attribution.
+var current string
+
+func record(metric string, value float64) {
+	m := rep.Experiments[current]
+	if m == nil {
+		m = make(map[string]float64)
+		rep.Experiments[current] = m
+	}
+	m[metric] = value
+}
+
 func main() {
 	exp := flag.String("exp", "all", "experiment: table1, fig1, fig5, fig6, fig7, fig8, ablation, restart, all")
 	quick := flag.Bool("quick", false, "reduced sweeps for a fast smoke run")
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	jsonPath := flag.String("json", "", "write machine-readable per-experiment metrics to this file")
 	flag.Parse()
+	rep.Seed = *seed
+	rep.Quick = *quick
 
 	run := func(name string, fn func()) {
 		if *exp == name || *exp == "all" {
 			fmt.Printf("\n=== %s ===\n", name)
+			current = name
 			start := time.Now()
 			fn()
-			fmt.Printf("--- %s done in %v (wall clock)\n", name, time.Since(start).Round(time.Millisecond))
+			wall := time.Since(start)
+			record("wall_clock_s", wall.Seconds())
+			fmt.Printf("--- %s done in %v (wall clock)\n", name, wall.Round(time.Millisecond))
 		}
 	}
 
@@ -43,6 +79,9 @@ func main() {
 			Duration: 20 * time.Second, CrashFrom: 5 * time.Second,
 		})
 		harness.PrintBlip(os.Stdout, r, 20)
+		record("hangover_s", r.Hangover.Seconds())
+		record("peak_lat_s", r.PeakLat.Seconds())
+		record("baseline_ms", float64(r.Baseline.Milliseconds()))
 		check(r.Hangover >= time.Second, "VanillaHS exhibits a hangover beyond the blip")
 	})
 
@@ -62,11 +101,18 @@ func main() {
 			}
 			return nil
 		}
+		for sys, points := range res {
+			if p := at(points, 200e3); p != nil {
+				record(string(sys)+"_tput_at_200k", p.Throughput)
+				record(string(sys)+"_lat_ms_at_200k", float64(p.MeanLat.Milliseconds()))
+			}
+		}
 		auto := at(res[harness.Autobahn], 200e3)
 		bull := at(res[harness.Bullshark], 200e3)
 		if auto != nil && bull != nil && auto.Throughput >= 190e3 && bull.Throughput >= 190e3 {
 			ratio := float64(bull.MeanLat) / float64(auto.MeanLat)
 			fmt.Printf("latency ratio Bullshark/Autobahn at 200k tx/s: %.2fx (paper: 2.1x)\n", ratio)
+			record("latency_ratio_bullshark_over_autobahn", ratio)
 			check(ratio >= 1.6, "Autobahn cuts DAG latency roughly in half at equal throughput")
 		}
 	})
@@ -81,6 +127,9 @@ func main() {
 		res := harness.Fig6(cfg)
 		harness.PrintFig6(os.Stdout, res, cfg.Ns)
 		for _, n := range cfg.Ns {
+			for sys, p := range res[n] {
+				record(fmt.Sprintf("%s_peak_n%d", sys, n), p.Peak)
+			}
 			a, b := res[n][harness.Autobahn], res[n][harness.Bullshark]
 			v := res[n][harness.VanillaHS]
 			check(a.Peak >= 0.9*b.Peak, fmt.Sprintf("n=%d: Autobahn matches Bullshark peak", n))
@@ -91,6 +140,9 @@ func main() {
 	run("ablation", func() {
 		r := harness.Ablation(4, 200e3, 15*time.Second, *seed)
 		harness.PrintAblation(os.Stdout, r)
+		record("full_ms", float64(r.Full.Milliseconds()))
+		record("no_fastpath_ms", float64(r.NoFastPath.Milliseconds()))
+		record("certified_tips_ms", float64(r.CertifiedTips.Milliseconds()))
 		check(r.NoFastPath > r.Full, "fast path reduces latency (paper: ~40ms)")
 		check(r.CertifiedTips > r.Full, "optimistic tips reduce latency (paper: ~33ms)")
 	})
@@ -107,7 +159,7 @@ func main() {
 			{"1s (stable)", true, time.Second},
 			{"5s (stable)", true, 5 * time.Second},
 		}
-		for _, sc := range scenarios {
+		for i, sc := range scenarios {
 			fmt.Printf("\n-- scenario %s --\n", sc.name)
 			crashFor := 1500 * time.Millisecond
 			if sc.timeout == 5*time.Second {
@@ -124,6 +176,8 @@ func main() {
 			})
 			harness.PrintBlip(os.Stdout, vhs, 30)
 			harness.PrintBlip(os.Stdout, auto, 30)
+			record(fmt.Sprintf("vanilla_hangover_s_scenario%d", i), vhs.Hangover.Seconds())
+			record(fmt.Sprintf("autobahn_hangover_s_scenario%d", i), auto.Hangover.Seconds())
 			check(vhs.Hangover >= time.Second || vhs.PeakLat > 4*vhs.Baseline,
 				"VanillaHS blips hard and/or hangs over")
 			// Autobahn may carry a <=2s residual while the crashed replica
@@ -137,6 +191,7 @@ func main() {
 		for _, sys := range harness.AllSystems {
 			r := harness.RunPartition(harness.PartitionConfig{System: sys, Seed: *seed})
 			harness.PrintPartition(os.Stdout, r)
+			record(string(sys)+"_recovery_s", r.Recovery.Seconds())
 		}
 		auto := harness.RunPartition(harness.PartitionConfig{System: harness.Autobahn, Seed: *seed})
 		vhs := harness.RunPartition(harness.PartitionConfig{System: harness.VanillaHS, Seed: *seed})
@@ -151,9 +206,25 @@ func main() {
 			Load: 20e3, Seed: *seed, Duration: 25 * time.Second,
 		}, false)
 		harness.PrintBlip(os.Stdout, r, 25)
+		record("hangover_s", r.Hangover.Seconds())
+		record("committed_tx", float64(r.Total))
 		check(r.Hangover <= time.Second, "journal-backed restart has no hangover beyond the down window")
 		check(r.Total >= 499_000, "the offered transactions commit across the restart")
 	})
+
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(&rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: marshal report: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: write report: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s\n", *jsonPath)
+	}
 
 	if failed {
 		os.Exit(1)
@@ -166,6 +237,7 @@ func check(ok bool, claim string) {
 		status = "FAIL"
 		failed = true
 	}
+	rep.Checks[claim] = ok
 	fmt.Printf("[%s] %s\n", status, claim)
 }
 

@@ -51,6 +51,12 @@ type Journal interface {
 	// next slot awaiting execution plus per-lane committed positions and
 	// digests.
 	Executed(next types.Slot, frontier []types.Pos, digests []types.Digest)
+	// Sync is the group-commit barrier: it makes every record appended
+	// since the previous Sync durable (one WAL flush covering the whole
+	// group) and is a no-op when nothing was appended. The replica calls
+	// it once per event-loop burst, before releasing the sends those
+	// records gate (write-before-externalize).
+	Sync() error
 	// Recover returns the state a previous incarnation journaled (empty
 	// when the journal is fresh).
 	Recover() *Recovered
@@ -92,6 +98,7 @@ func (NopJournal) ConfirmAck(*types.ConfirmAck)                     {}
 func (NopJournal) Timeout(*types.Timeout)                           {}
 func (NopJournal) Commit(*types.CommitNotice)                       {}
 func (NopJournal) Executed(types.Slot, []types.Pos, []types.Digest) {}
+func (NopJournal) Sync() error                                      { return nil }
 func (NopJournal) Recover() *Recovered                              { return &Recovered{} }
 func (NopJournal) Close() error                                     { return nil }
 
@@ -142,15 +149,19 @@ const (
 )
 
 // walJournal implements Journal over a journalStore, encoding records
-// with the canonical wire codec. Each record is flushed to the store
-// immediately (for storage.Store that pushes it to the OS; fsync cadence
-// stays under storage.Store.SyncEvery). Write errors are sticky and
-// reported by Err — the prototype keeps running, trading the durability
-// guarantee for availability, which mirrors the paper's prototype's
-// crash-durability posture.
+// with the canonical wire codec. Records accumulate in the store's write
+// buffer until Sync, the group-commit barrier: one flush (for
+// storage.Store, one write syscall; fsync cadence stays under
+// storage.Store.SyncEvery) covers every record of an event-loop burst,
+// instead of one flush per record. The replica releases the sends those
+// records gate only after Sync returns, so write-before-externalize is
+// preserved. Write errors are sticky and reported by Err — the prototype
+// keeps running, trading the durability guarantee for availability,
+// which mirrors the paper's prototype's crash-durability posture.
 type walJournal struct {
-	st  journalStore
-	err error
+	st    journalStore
+	dirty bool
+	err   error
 }
 
 // NewWALJournal wraps a storage.Store as a durable replica journal.
@@ -174,16 +185,33 @@ func (j *walJournal) put(key []byte, val []byte) {
 		j.fail(err)
 		return
 	}
+	j.dirty = true
+}
+
+// Sync flushes every record appended since the last Sync (no-op when
+// none were): the group-commit barrier.
+func (j *walJournal) Sync() error {
+	if !j.dirty {
+		return j.err
+	}
+	j.dirty = false
 	j.fail(j.st.Flush())
+	return j.err
 }
 
 func (j *walJournal) putMsg(key []byte, m types.Message) {
-	b, err := wire.Encode(m)
+	// Pooled encode: both stores copy val (index + log buffer), so the
+	// buffer can be recycled as soon as Put returns.
+	buf := wire.GetBuf(wire.SizeHint(m))
+	var err error
+	buf.B, err = wire.EncodeTo(buf.B, m)
 	if err != nil {
+		buf.Release()
 		j.fail(fmt.Errorf("journal: encode %T: %w", m, err))
 		return
 	}
-	j.put(key, b)
+	j.put(key, buf.B)
+	buf.Release()
 }
 
 func (j *walJournal) OwnProposal(p *types.Proposal) {

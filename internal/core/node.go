@@ -91,6 +91,15 @@ type Config struct {
 	// externalized, and seeds recovery on restart (default: NopJournal —
 	// the replica restarts with amnesia). See journal.go.
 	Journal Journal
+	// GroupCommit gates outbound sends behind the journal's group-commit
+	// barrier: during an event handler, sends accumulate instead of going
+	// out, and Flush (called by the runtime after each event burst)
+	// performs one Journal.Sync covering every record the burst appended
+	// before releasing them — write-before-externalize at amortized
+	// cost. Requires a runtime that calls runtime.Flusher (the TCP
+	// transport's loop does; the simulator does not — simulated
+	// deployments must leave this off).
+	GroupCommit bool
 	// Sink receives the totally ordered, execution-ready batches.
 	Sink runtime.CommitSink
 	// ConsensusTrace, when non-nil, receives verbose consensus engine
@@ -155,6 +164,12 @@ type Node struct {
 	// replaying suppresses re-journaling the recovered notices.
 	recovery  *Recovered
 	replaying bool
+
+	// Group-commit state (cfg.GroupCommit): handlers send through gctx,
+	// which defers into pending until Flush syncs the journal and
+	// releases them (see Flush).
+	gctx    gatedContext
+	pending []pendingSend
 
 	// Stats (exposed for tests and the harness).
 	stats Stats
@@ -290,7 +305,7 @@ func (n *Node) Reputation(l types.NodeID) int { return n.reputation[l] }
 // Init arms the recurring fetch-retry and car-retransmit timers,
 // replays journaled decisions (crash recovery) and bootstraps consensus.
 func (n *Node) Init(ctx runtime.Context) {
-	n.enter(ctx)
+	ctx = n.enter(ctx)
 	defer n.leave()
 	if rec := n.recovery; rec != nil {
 		n.recovery = nil
@@ -312,7 +327,7 @@ func (n *Node) Init(ctx runtime.Context) {
 // OnClientBatch receives a sealed batch from this replica's mempool and
 // feeds it into the replica's own lane (§5.1 step 1).
 func (n *Node) OnClientBatch(ctx runtime.Context, b *types.Batch) {
-	n.enter(ctx)
+	ctx = n.enter(ctx)
 	defer n.leave()
 	if p := n.lanes.AddBatch(b); p != nil {
 		n.stats.BatchesProposed++
@@ -323,7 +338,7 @@ func (n *Node) OnClientBatch(ctx runtime.Context, b *types.Batch) {
 
 // OnMessage dispatches a peer message.
 func (n *Node) OnMessage(ctx runtime.Context, from types.NodeID, m types.Message) {
-	n.enter(ctx)
+	ctx = n.enter(ctx)
 	defer n.leave()
 	switch msg := m.(type) {
 	case *types.Proposal:
@@ -362,7 +377,7 @@ func (n *Node) OnMessage(ctx runtime.Context, from types.NodeID, m types.Message
 
 // OnTimer dispatches node timers.
 func (n *Node) OnTimer(ctx runtime.Context, tag runtime.TimerTag) {
-	n.enter(ctx)
+	ctx = n.enter(ctx)
 	defer n.leave()
 	switch tag.Kind {
 	case tagConsensusView:
@@ -398,8 +413,77 @@ func (n *Node) OnTimer(ctx runtime.Context, tag runtime.TimerTag) {
 	}
 }
 
-func (n *Node) enter(ctx runtime.Context) { n.ctx = ctx }
-func (n *Node) leave()                    { n.ctx = nil }
+// enter installs the context for the duration of one event handler.
+// Under group commit the installed context is the gating wrapper, so
+// every send the handler (or the consensus engine beneath it) performs
+// is deferred until Flush has synced the journal records the handler
+// appended.
+func (n *Node) enter(ctx runtime.Context) runtime.Context {
+	if n.cfg.GroupCommit {
+		n.gctx.inner = ctx
+		n.gctx.node = n
+		n.ctx = &n.gctx
+	} else {
+		n.ctx = ctx
+	}
+	return n.ctx
+}
+
+func (n *Node) leave() { n.ctx = nil }
+
+// pendingSend is one gated outbound message awaiting the group-commit
+// barrier.
+type pendingSend struct {
+	to        types.NodeID
+	broadcast bool
+	msg       types.Message
+}
+
+// gatedContext defers Send/Broadcast into the node's pending queue;
+// everything else passes through to the runtime.
+type gatedContext struct {
+	inner runtime.Context
+	node  *Node
+}
+
+func (g *gatedContext) ID() types.NodeID   { return g.inner.ID() }
+func (g *gatedContext) Now() time.Duration { return g.inner.Now() }
+func (g *gatedContext) Rand() uint64       { return g.inner.Rand() }
+func (g *gatedContext) SetTimer(d time.Duration, tag runtime.TimerTag) {
+	g.inner.SetTimer(d, tag)
+}
+func (g *gatedContext) CancelTimer(tag runtime.TimerTag) { g.inner.CancelTimer(tag) }
+func (g *gatedContext) Send(to types.NodeID, m types.Message) {
+	g.node.pending = append(g.node.pending, pendingSend{to: to, msg: m})
+}
+func (g *gatedContext) Broadcast(m types.Message) {
+	g.node.pending = append(g.node.pending, pendingSend{broadcast: true, msg: m})
+}
+
+var _ runtime.Flusher = (*Node)(nil)
+
+// Flush implements runtime.Flusher: the group-commit barrier. The
+// runtime calls it after each burst of events; one Journal.Sync makes
+// every record the burst appended durable, and only then are the gated
+// sends released (in original order) through the real context —
+// write-before-externalize, amortized over the burst. Without
+// cfg.GroupCommit the journal syncs but no sends were gated.
+func (n *Node) Flush(ctx runtime.Context) {
+	_ = n.cfg.Journal.Sync() // errors are sticky in the journal (see Err)
+	if len(n.pending) == 0 {
+		return
+	}
+	pend := n.pending
+	n.pending = n.pending[:0]
+	for i := range pend {
+		if pend[i].broadcast {
+			ctx.Broadcast(pend[i].msg)
+		} else {
+			ctx.Send(pend[i].to, pend[i].msg)
+		}
+		pend[i] = pendingSend{} // release the message reference
+	}
+}
 
 // --- data layer handling ---
 

@@ -41,7 +41,12 @@ type Pool struct {
 	cfg Config
 	seq uint64
 
-	// Real transactions.
+	// Real transactions. txs is a reusable accumulation buffer pre-sized
+	// to MaxBatchTxs: sealing copies the batch prefix out into an
+	// exactly-sized slice (the batch escapes into lane stores and onto
+	// the wire, so its backing array cannot be recycled) and compacts
+	// the remainder to the front, so the buffer is allocated once per
+	// pool instead of re-grown per batch.
 	txs      []types.Transaction
 	txsBytes uint64
 
@@ -57,7 +62,7 @@ type Pool struct {
 // NewPool builds a pool.
 func NewPool(cfg Config) *Pool {
 	cfg.fill()
-	return &Pool{cfg: cfg}
+	return &Pool{cfg: cfg, txs: make([]types.Transaction, 0, cfg.MaxBatchTxs)}
 }
 
 // Pending reports whether unsealed transactions exist.
@@ -124,7 +129,14 @@ func (p *Pool) sealReal(now time.Duration) *types.Batch {
 	n := min(len(p.txs), p.cfg.MaxBatchTxs)
 	txs := make([]types.Transaction, n)
 	copy(txs, p.txs[:n])
-	p.txs = p.txs[n:]
+	// Compact the remainder to the front and reuse the accumulation
+	// buffer (re-slicing p.txs[n:] instead would strand the prefix and
+	// force append to re-grow a fresh backing array every batch).
+	rest := copy(p.txs, p.txs[n:])
+	for i := rest; i < len(p.txs); i++ {
+		p.txs[i] = nil // drop tx references so sealed payloads can be GC'd
+	}
+	p.txs = p.txs[:rest]
 	var sz uint64
 	for _, tx := range txs {
 		sz += uint64(len(tx))

@@ -64,6 +64,19 @@ type Protocol interface {
 	OnClientBatch(ctx Context, b *types.Batch)
 }
 
+// Flusher is optionally implemented by protocols that defer externally
+// visible effects (outbound sends gated behind a durability barrier —
+// see core.Config.GroupCommit). Real-time runtimes (internal/transport)
+// call Flush after Init and after each burst of consecutively processed
+// events; the protocol performs its group barrier (e.g. one journal sync
+// for every record the burst appended) and then releases the gated sends
+// through ctx. Protocols that gate sends MUST only run under runtimes
+// that call Flush; the discrete-event simulator does not, and simulated
+// deployments leave gating off.
+type Flusher interface {
+	Flush(ctx Context)
+}
+
 // PreVerifier is optionally implemented by protocols whose inbound
 // messages carry signatures that can be checked without protocol state.
 // Runtimes that deliver messages from the network (internal/transport)

@@ -30,6 +30,29 @@ type Store struct {
 	// SyncEvery fsyncs after this many appends (0 = never, relying on OS
 	// flush; crash durability is a non-goal for the reproduction).
 	SyncEvery int
+
+	// Write-barrier counters (see Stats): group-commit callers use the
+	// appends/flushes ratio to verify barrier amortization.
+	appends uint64
+	flushes uint64
+	fsyncs  uint64
+}
+
+// StoreStats are cumulative write-path counters.
+type StoreStats struct {
+	// Appends is the number of records written (Put + Delete).
+	Appends uint64
+	// Flushes is the number of buffered-writer flushes to the OS.
+	Flushes uint64
+	// Fsyncs is the number of file syncs to stable media.
+	Fsyncs uint64
+}
+
+// Stats snapshots the store's write-path counters.
+func (s *Store) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return StoreStats{Appends: s.appends, Flushes: s.flushes, Fsyncs: s.fsyncs}
 }
 
 // Open opens (creating if absent) a store at path and replays its log.
@@ -148,12 +171,15 @@ func (s *Store) append(key, val []byte, vlen uint32) error {
 			return err
 		}
 	}
+	s.appends++
 	s.dirty++
 	if s.SyncEvery > 0 && s.dirty >= s.SyncEvery {
 		s.dirty = 0
+		s.flushes++
 		if err := s.w.Flush(); err != nil {
 			return err
 		}
+		s.fsyncs++
 		return s.f.Sync()
 	}
 	return nil
@@ -215,6 +241,7 @@ func (s *Store) Len() int {
 func (s *Store) Flush() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.flushes++
 	return s.w.Flush()
 }
 

@@ -53,7 +53,17 @@ type Loop struct {
 	// signature-checked across a bounded worker pool before they reach
 	// the event queue, preserving per-peer FIFO delivery order.
 	pool *verifyPool
+
+	// flusher is non-nil when the protocol defers gated effects (group
+	// commit): Run calls it after Init and after each event burst.
+	flusher runtime.Flusher
 }
+
+// maxBurst bounds how many consecutively available events Run processes
+// before calling the protocol's Flush hook: larger bursts amortize the
+// group-commit barrier (one journal sync covers the whole burst's
+// records) at the cost of holding gated sends longer under saturation.
+const maxBurst = 64
 
 // queueDepth bounds a loop's inbox; overload drops oldest-style by
 // blocking briefly then discarding (protocols tolerate loss).
@@ -77,6 +87,9 @@ func NewLoop(id types.NodeID, proto runtime.Protocol, sender Sender, epoch time.
 	}
 	if pv, ok := proto.(runtime.PreVerifier); ok {
 		l.pool = newVerifyPool(pv, l.enqueueMessage, l.stopped)
+	}
+	if f, ok := proto.(runtime.Flusher); ok {
+		l.flusher = f
 	}
 	return l
 }
@@ -165,33 +178,63 @@ func (l *Loop) Submit(b *types.Batch) {
 }
 
 // Run processes events until Stop; call in a dedicated goroutine.
+// Consecutively available events are handled in bursts of up to maxBurst
+// before the protocol's Flush hook (if any) runs, so a group-commit
+// protocol amortizes one durability barrier over the whole burst.
 func (l *Loop) Run() {
 	defer close(l.done)
 	l.proto.Init(l)
+	l.flush()
 	for {
 		select {
 		case <-l.stopped:
 			return
 		case ev := <-l.events:
-			switch ev.kind {
-			case 0:
-				l.proto.OnMessage(l, ev.from, ev.msg)
-			case 1:
-				l.mu.Lock()
-				live := l.epochs[ev.tag] == ev.epoch
-				if live {
-					delete(l.timers, ev.tag)
-				}
-				l.mu.Unlock()
-				if live {
-					l.proto.OnTimer(l, ev.tag)
-				}
-			case 2:
-				l.proto.OnClientBatch(l, ev.batch)
-			case 3:
+			if l.handle(ev) {
 				return
 			}
+		burst:
+			for n := 1; n < maxBurst; n++ {
+				select {
+				case next := <-l.events:
+					if l.handle(next) {
+						return
+					}
+				default:
+					break burst
+				}
+			}
+			l.flush()
 		}
+	}
+}
+
+// handle processes one event; it reports whether the loop must stop.
+func (l *Loop) handle(ev event) (stop bool) {
+	switch ev.kind {
+	case 0:
+		l.proto.OnMessage(l, ev.from, ev.msg)
+	case 1:
+		l.mu.Lock()
+		live := l.epochs[ev.tag] == ev.epoch
+		if live {
+			delete(l.timers, ev.tag)
+		}
+		l.mu.Unlock()
+		if live {
+			l.proto.OnTimer(l, ev.tag)
+		}
+	case 2:
+		l.proto.OnClientBatch(l, ev.batch)
+	case 3:
+		return true
+	}
+	return false
+}
+
+func (l *Loop) flush() {
+	if l.flusher != nil {
+		l.flusher.Flush(l)
 	}
 }
 

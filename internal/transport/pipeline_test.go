@@ -171,10 +171,11 @@ func TestTCPMeshClosesOversizedFrame(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	// Handshake as peer 1, then claim a 256 MB frame.
-	var hdr [6]byte
+	// Handshake as peer 1 (control plane), then claim a 256 MB frame.
+	var hdr [7]byte
 	binary.LittleEndian.PutUint16(hdr[:2], 1)
-	binary.LittleEndian.PutUint32(hdr[2:], 256<<20)
+	hdr[2] = 0 // plane byte
+	binary.LittleEndian.PutUint32(hdr[3:], 256<<20)
 	if _, err := conn.Write(hdr[:]); err != nil {
 		t.Fatal(err)
 	}
@@ -204,9 +205,10 @@ func TestTCPMeshRejectsUnknownHandshake(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	var id [2]byte
-	binary.LittleEndian.PutUint16(id[:], 9999)
-	if _, err := conn.Write(id[:]); err != nil {
+	var hello [3]byte
+	binary.LittleEndian.PutUint16(hello[:2], 9999)
+	hello[2] = 0 // plane byte
+	if _, err := conn.Write(hello[:]); err != nil {
 		t.Fatal(err)
 	}
 	conn.SetReadDeadline(time.Now().Add(5 * time.Second))

@@ -7,8 +7,10 @@ import (
 	"log"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/runtime"
 	"repro/internal/types"
 	"repro/internal/wire"
@@ -17,6 +19,15 @@ import (
 // TCPMesh connects one local replica to its peers over TCP, with
 // length-framed wire-encoded messages, lazy dialing and automatic
 // reconnection — the stdlib equivalent of the paper's Tokio TCP stack.
+//
+// Egress is allocation-light and interference-free: messages are encoded
+// once into pooled buffers (wire.GetBuf) and the same reference-counted
+// frame is shared across a broadcast's peers; each peer link runs two
+// prioritized planes over separate TCP connections — control (votes,
+// consensus, certificates) and data (cars, sync payloads) — so a
+// multi-megabyte car can never head-of-line-block a PrepVote; and each
+// plane's writer drains its queue into a single writev-style flush
+// (net.Buffers), turning many small frames into one syscall.
 type TCPMesh struct {
 	self  types.NodeID
 	addrs map[types.NodeID]string
@@ -24,6 +35,7 @@ type TCPMesh struct {
 
 	mu    sync.Mutex
 	conns map[types.NodeID]*peerConn
+	stats map[types.NodeID]*metrics.PeerTransport
 	// inbound tracks accepted connections so Stop can sever them: a
 	// stopped mesh that keeps reading would silently swallow peers'
 	// frames, hiding the death from their reconnection logic (and from a
@@ -36,9 +48,65 @@ type TCPMesh struct {
 	logger   *log.Logger
 }
 
+// Priority planes. Every peer link is two TCP connections, one per
+// plane, each with its own queue and writer.
+const (
+	planeControl = 0 // votes, consensus messages, certificates, requests
+	planeData    = 1 // bulk payloads: lane proposals (cars), sync replies
+	planeCount   = 2
+)
+
+// planeOf classifies a message: anything that can carry batch payloads is
+// data; everything else — consensus votes, timeouts, PoA votes, sync and
+// commit requests — is control and must never queue behind a car.
+func planeOf(t types.MsgType) int {
+	switch t {
+	case types.MsgProposal, types.MsgSyncReply, types.MsgCommitReply:
+		return planeData
+	default:
+		return planeControl
+	}
+}
+
+// Per-plane queue depths. Control frames are small and must survive data
+// backpressure; the data queue is shorter so a slow peer sheds bulk
+// traffic (retransmission recovers) instead of buffering gigabytes.
+var planeQueueDepth = [planeCount]int{planeControl: 8192, planeData: 1024}
+
+// Coalescing limits per flush: drain the queue until either bound, then
+// write the whole batch with one writev.
+const (
+	coalesceFrames = 64
+	coalesceBytes  = 1 << 20
+)
+
+// frame is one length-prefixed encoded message. Frames are pooled and
+// reference-counted: a broadcast enqueues the same frame to every peer,
+// and the backing buffer returns to the wire buffer pool only after the
+// last writer (or dropper) releases it.
+type frame struct {
+	buf  *wire.Buf // [len(4) | type | payload]
+	refs atomic.Int32
+}
+
+var framePool = sync.Pool{New: func() any { return new(frame) }}
+
+func (f *frame) release() {
+	if f.refs.Add(-1) == 0 {
+		f.buf.Release()
+		f.buf = nil
+		framePool.Put(f)
+	}
+}
+
+type stream struct {
+	out   chan *frame
+	plane int
+	ctr   *metrics.PlaneCounters
+}
+
 type peerConn struct {
-	out  chan []byte
-	done chan struct{}
+	streams [planeCount]*stream
 }
 
 // maxFrame bounds a single framed message, aligned with the wire codec's
@@ -55,6 +123,7 @@ func NewTCPMesh(self types.NodeID, addrs map[types.NodeID]string, proto runtime.
 		self:    self,
 		addrs:   addrs,
 		conns:   make(map[types.NodeID]*peerConn),
+		stats:   make(map[types.NodeID]*metrics.PeerTransport),
 		inbound: make(map[net.Conn]struct{}),
 		stopped: make(chan struct{}),
 		logger:  logger,
@@ -94,6 +163,43 @@ func (m *TCPMesh) Stop() {
 	})
 }
 
+// PeerStats snapshots the per-peer transport counters (frames, coalesced
+// flushes, bytes, drops per plane; inbound frames/bytes).
+func (m *TCPMesh) PeerStats() map[types.NodeID]metrics.TransportSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[types.NodeID]metrics.TransportSnapshot, len(m.stats))
+	for id, s := range m.stats {
+		out[id] = s.Snapshot()
+	}
+	return out
+}
+
+// TotalStats aggregates PeerStats across all peers.
+func (m *TCPMesh) TotalStats() metrics.TransportSnapshot {
+	var total metrics.TransportSnapshot
+	for _, s := range m.PeerStats() {
+		total.Add(s)
+	}
+	return total
+}
+
+// statsFor returns (creating if needed) a peer's counter block.
+func (m *TCPMesh) statsFor(id types.NodeID) *metrics.PeerTransport {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.statsForLocked(id)
+}
+
+func (m *TCPMesh) statsForLocked(id types.NodeID) *metrics.PeerTransport {
+	s, ok := m.stats[id]
+	if !ok {
+		s = &metrics.PeerTransport{}
+		m.stats[id] = s
+	}
+	return s
+}
+
 func (m *TCPMesh) acceptLoop() {
 	for {
 		conn, err := m.listener.Accept()
@@ -110,7 +216,8 @@ func (m *TCPMesh) acceptLoop() {
 	}
 }
 
-// readLoop handshakes (peer sends its 2-byte ID) then decodes frames.
+// readLoop handshakes (peer sends its 2-byte ID plus a plane byte) then
+// decodes frames.
 func (m *TCPMesh) readLoop(conn net.Conn) {
 	m.mu.Lock()
 	select {
@@ -128,11 +235,11 @@ func (m *TCPMesh) readLoop(conn net.Conn) {
 		m.mu.Unlock()
 		conn.Close()
 	}()
-	var idBuf [2]byte
-	if _, err := io.ReadFull(conn, idBuf[:]); err != nil {
+	var hello [3]byte
+	if _, err := io.ReadFull(conn, hello[:]); err != nil {
 		return
 	}
-	from := types.NodeID(binary.LittleEndian.Uint16(idBuf[:]))
+	from := types.NodeID(binary.LittleEndian.Uint16(hello[:2]))
 	if _, known := m.addrs[from]; !known || from == m.self {
 		// The self-declared ID must name another committee member:
 		// arbitrary IDs would otherwise allocate per-peer pipeline state
@@ -140,6 +247,11 @@ func (m *TCPMesh) readLoop(conn net.Conn) {
 		m.logger.Printf("transport: rejecting connection claiming id %s", from)
 		return
 	}
+	if hello[2] >= planeCount {
+		m.logger.Printf("transport: rejecting connection from %s with plane %d", from, hello[2])
+		return
+	}
+	stats := m.statsFor(from)
 	var lenBuf [4]byte
 	for {
 		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
@@ -154,6 +266,8 @@ func (m *TCPMesh) readLoop(conn net.Conn) {
 		if _, err := io.ReadFull(conn, payload); err != nil {
 			return
 		}
+		stats.RecvFrames.Add(1)
+		stats.RecvBytes.Add(uint64(n) + 4)
 		msg, err := wire.Decode(payload)
 		if err != nil {
 			m.logger.Printf("transport: decode from %s: %v", from, err)
@@ -163,34 +277,44 @@ func (m *TCPMesh) readLoop(conn net.Conn) {
 	}
 }
 
-// encodeFrame wire-encodes msg with its length prefix. Messages whose
-// encoding exceeds the frame limit are dropped here: transmitting them
-// would make every receiver close the connection and the retransmitting
-// protocol would churn redials forever (a symptom of misconfiguration —
-// e.g. a batch-size cap beyond wire.MaxFrame — not of hostile peers).
-func (m *TCPMesh) encodeFrame(msg types.Message) []byte {
-	data, err := wire.Encode(msg)
+// encodeFrame wire-encodes msg (length prefix included) into a pooled
+// frame with one reference held by the caller. Messages whose encoding
+// exceeds the frame limit are dropped here: transmitting them would make
+// every receiver close the connection and the retransmitting protocol
+// would churn redials forever (a symptom of misconfiguration — e.g. a
+// batch-size cap beyond wire.MaxFrame — not of hostile peers).
+func (m *TCPMesh) encodeFrame(msg types.Message) *frame {
+	buf := wire.GetBuf(4 + wire.SizeHint(msg))
+	buf.B = append(buf.B, 0, 0, 0, 0)
+	var err error
+	buf.B, err = wire.EncodeTo(buf.B, msg)
 	if err != nil {
+		buf.Release()
 		m.logger.Printf("transport: encode: %v", err)
 		return nil
 	}
-	if len(data) > maxFrame {
-		m.logger.Printf("transport: dropping oversized %d-byte message (frame limit %d): check batch/car size configuration", len(data), int64(maxFrame))
+	if len(buf.B)-4 > maxFrame {
+		m.logger.Printf("transport: dropping oversized %d-byte message (frame limit %d): check batch/car size configuration", len(buf.B)-4, int64(maxFrame))
+		buf.Release()
 		return nil
 	}
-	frame := make([]byte, 4+len(data))
-	binary.LittleEndian.PutUint32(frame, uint32(len(data)))
-	copy(frame[4:], data)
-	return frame
+	binary.LittleEndian.PutUint32(buf.B, uint32(len(buf.B)-4))
+	f := framePool.Get().(*frame)
+	f.buf = buf
+	f.refs.Store(1)
+	return f
 }
 
-// enqueueFrame hands a frame to one peer's writer.
-func (m *TCPMesh) enqueueFrame(to types.NodeID, frame []byte) {
-	pc := m.peer(to)
+// enqueueFrame hands a frame (adding a reference) to one peer's plane.
+func (m *TCPMesh) enqueueFrame(to types.NodeID, f *frame, plane int) {
+	st := m.peer(to).streams[plane]
+	f.refs.Add(1)
 	select {
-	case pc.out <- frame:
+	case st.out <- f:
 	default:
 		// Peer queue full (slow or down): drop; retransmission recovers.
+		st.ctr.Drops.Add(1)
+		f.release()
 	}
 }
 
@@ -200,24 +324,27 @@ func (m *TCPMesh) Send(_, to types.NodeID, msg types.Message) {
 		m.loop.Deliver(m.self, msg)
 		return
 	}
-	if frame := m.encodeFrame(msg); frame != nil {
-		m.enqueueFrame(to, frame)
+	if f := m.encodeFrame(msg); f != nil {
+		m.enqueueFrame(to, f, planeOf(msg.Type()))
+		f.release()
 	}
 }
 
 // Broadcast implements Sender: the message is encoded once and the same
-// frame is enqueued to every peer (writers only read it), instead of
-// paying the encoding n-1 times.
+// reference-counted frame is enqueued to every peer (writers only read
+// it), instead of paying the encoding n-1 times.
 func (m *TCPMesh) Broadcast(_ types.NodeID, msg types.Message) {
-	frame := m.encodeFrame(msg)
-	if frame == nil {
+	f := m.encodeFrame(msg)
+	if f == nil {
 		return
 	}
+	plane := planeOf(msg.Type())
 	for id := range m.addrs {
 		if id != m.self {
-			m.enqueueFrame(id, frame)
+			m.enqueueFrame(id, f, plane)
 		}
 	}
+	f.release()
 }
 
 // peer returns (creating if needed) the outbound connection manager.
@@ -227,14 +354,21 @@ func (m *TCPMesh) peer(to types.NodeID) *peerConn {
 	if pc, ok := m.conns[to]; ok {
 		return pc
 	}
-	pc := &peerConn{out: make(chan []byte, 4096), done: make(chan struct{})}
+	pc := &peerConn{}
+	stats := m.statsForLocked(to)
+	ctrs := [planeCount]*metrics.PlaneCounters{&stats.Control, &stats.Data}
+	for p := 0; p < planeCount; p++ {
+		st := &stream{out: make(chan *frame, planeQueueDepth[p]), plane: p, ctr: ctrs[p]}
+		pc.streams[p] = st
+		go m.writeLoop(to, st)
+	}
 	m.conns[to] = pc
-	go m.writeLoop(to, pc)
 	return pc
 }
 
-// writeLoop dials (with backoff) and streams frames to one peer.
-func (m *TCPMesh) writeLoop(to types.NodeID, pc *peerConn) {
+// writeLoop dials (with backoff) and streams one plane's frames to a
+// peer.
+func (m *TCPMesh) writeLoop(to types.NodeID, st *stream) {
 	backoff := 100 * time.Millisecond
 	for {
 		select {
@@ -255,14 +389,15 @@ func (m *TCPMesh) writeLoop(to types.NodeID, pc *peerConn) {
 			continue
 		}
 		backoff = 100 * time.Millisecond
-		// Handshake: announce our ID.
-		var idBuf [2]byte
-		binary.LittleEndian.PutUint16(idBuf[:], uint16(m.self))
-		if _, err := conn.Write(idBuf[:]); err != nil {
+		// Handshake: announce our ID and this connection's plane.
+		var hello [3]byte
+		binary.LittleEndian.PutUint16(hello[:2], uint16(m.self))
+		hello[2] = byte(st.plane)
+		if _, err := conn.Write(hello[:]); err != nil {
 			conn.Close()
 			continue
 		}
-		if err := m.streamFrames(conn, pc); err != nil {
+		if err := m.streamFrames(conn, st); err != nil {
 			conn.Close()
 			continue
 		}
@@ -271,19 +406,56 @@ func (m *TCPMesh) writeLoop(to types.NodeID, pc *peerConn) {
 	}
 }
 
-func (m *TCPMesh) streamFrames(conn net.Conn, pc *peerConn) error {
+// streamFrames drains the plane's queue into coalesced writev batches:
+// one blocking receive, then an opportunistic drain up to the coalescing
+// limits, then a single net.Buffers write for the whole run of frames.
+func (m *TCPMesh) streamFrames(conn net.Conn, st *stream) error {
+	batch := make([]*frame, 0, coalesceFrames)
+	// scratch backs each flush's net.Buffers. WriteTo consumes the
+	// slice header it is given, so every flush hands it a fresh header
+	// over this persistent array — reusing the consumed header would
+	// shrink its capacity to nothing and put an allocation back on the
+	// hot path.
+	scratch := make([][]byte, 0, coalesceFrames)
 	for {
 		select {
 		case <-m.stopped:
 			return nil
-		case frame := <-pc.out:
-			if _, err := conn.Write(frame); err != nil {
-				// Re-queue best effort, then redial.
+		case f := <-st.out:
+			batch = append(batch[:0], f)
+			total := len(f.buf.B)
+		drain:
+			for len(batch) < coalesceFrames && total < coalesceBytes {
 				select {
-				case pc.out <- frame:
+				case f2 := <-st.out:
+					batch = append(batch, f2)
+					total += len(f2.buf.B)
 				default:
+					break drain
+				}
+			}
+			scratch = scratch[:0]
+			for _, fr := range batch {
+				scratch = append(scratch, fr.buf.B)
+			}
+			bufs := net.Buffers(scratch)
+			if _, err := bufs.WriteTo(conn); err != nil {
+				// Re-queue best effort (references kept), then redial.
+				for _, fr := range batch {
+					select {
+					case st.out <- fr:
+					default:
+						st.ctr.Drops.Add(1)
+						fr.release()
+					}
 				}
 				return err
+			}
+			st.ctr.Frames.Add(uint64(len(batch)))
+			st.ctr.Flushes.Add(1)
+			st.ctr.Bytes.Add(uint64(total))
+			for _, fr := range batch {
+				fr.release()
 			}
 		}
 	}

@@ -125,7 +125,7 @@ func TestLoopSubmit(t *testing.T) {
 	waitFor(t, func() bool { return atomic.LoadInt32(&c.batches) == 1 }, "batch")
 }
 
-func freePorts(t *testing.T, n int) []string {
+func freePorts(t testing.TB, n int) []string {
 	t.Helper()
 	addrs := make([]string, n)
 	for i := range addrs {

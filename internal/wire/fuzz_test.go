@@ -1,0 +1,49 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRoundTrip drives the codec with arbitrary bytes: any input Decode
+// accepts must re-encode byte-identically (the codec is canonical — one
+// valid encoding per message), and that encoding must decode again
+// without error. This pins both hostile-input robustness (no panics or
+// over-allocation on garbage) and encode/decode inverse-ness, including
+// for the pooled EncodeTo path.
+func FuzzRoundTrip(f *testing.F) {
+	for _, m := range sampleMessages() {
+		enc, err := Encode(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(enc)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err != nil {
+			return // invalid input must fail cleanly, nothing more to check
+		}
+		re, err := Encode(m)
+		if err != nil {
+			t.Fatalf("decoded message failed to encode: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("re-encode differs from accepted input:\n in: %x\nout: %x", data, re)
+		}
+		buf := GetBuf(SizeHint(m))
+		defer buf.Release()
+		buf.B, err = EncodeTo(buf.B, m)
+		if err != nil {
+			t.Fatalf("EncodeTo: %v", err)
+		}
+		if !bytes.Equal(buf.B, data) {
+			t.Fatal("pooled EncodeTo differs from Encode")
+		}
+		if _, err := Decode(re); err != nil {
+			t.Fatalf("re-encoding failed to decode: %v", err)
+		}
+	})
+}

@@ -1,0 +1,111 @@
+// Pooled encode buffers. The egress hot path (transport frames, journal
+// records) encodes thousands of messages per second; allocating a fresh
+// slice per message makes the allocator and GC the bottleneck long
+// before the NIC is (EXPERIMENTS.md). Buf wraps a reusable byte slice
+// drawn from a size-classed sync.Pool: callers take one sized by
+// SizeHint, encode into it with EncodeTo, and Release it once the bytes
+// have been handed off (written to a socket, copied into a store).
+package wire
+
+import (
+	"sync"
+
+	"repro/internal/types"
+)
+
+// bufClasses are the pooled capacity tiers. Votes and consensus messages
+// land in the smallest classes; batch-carrying proposals in the middle;
+// multi-proposal sync replies at the top. Larger requests are allocated
+// exactly and still recycled into the largest fitting class on Release.
+var bufClasses = [...]int{1 << 10, 1 << 14, 1 << 18, 1 << 20, 1 << 23}
+
+var bufPools [len(bufClasses)]sync.Pool
+
+// Buf is a pooled encode buffer. B is the live slice: append to it (or
+// hand it to EncodeTo) and call Release when the bytes are no longer
+// referenced. A Buf must not be used after Release.
+type Buf struct {
+	B []byte
+}
+
+// GetBuf returns a buffer with len 0 and capacity at least hint.
+func GetBuf(hint int) *Buf {
+	for i, size := range bufClasses {
+		if hint <= size {
+			if v := bufPools[i].Get(); v != nil {
+				b := v.(*Buf)
+				b.B = b.B[:0]
+				return b
+			}
+			return &Buf{B: make([]byte, 0, size)}
+		}
+	}
+	return &Buf{B: make([]byte, 0, hint)}
+}
+
+// Release returns the buffer to the pool serving its current capacity
+// (append growth beyond the original class re-files it upward).
+func (b *Buf) Release() {
+	c := cap(b.B)
+	for i := len(bufClasses) - 1; i >= 0; i-- {
+		if c >= bufClasses[i] {
+			b.B = b.B[:0]
+			bufPools[i].Put(b)
+			return
+		}
+	}
+	// Smaller than every class (caller-provided slice): drop for GC.
+}
+
+// SizeHint estimates m's encoded size, for pre-sizing encode buffers.
+// It leans on Message.WireSize but re-derives batch-carrying messages
+// from their actual payload slices, because WireSize trusts the batch's
+// self-declared Count/Bytes: a synthetic batch models a payload the
+// codec never emits (a simulated 500 KB car must not cost a 500 KB
+// journal-encode buffer), and a decoded hostile batch can claim sizes
+// that overflow the arithmetic outright. The estimate may be slightly
+// low (WireSize models 2-byte length prefixes where the codec writes
+// 4); EncodeTo grows the buffer when that happens.
+func SizeHint(m types.Message) int {
+	const slack = 64
+	var n int
+	switch v := m.(type) {
+	case *types.Proposal:
+		n = proposalHint(v)
+	case *types.SyncReply:
+		n = 8
+		for _, p := range v.Proposals {
+			n += proposalHint(p)
+		}
+	default:
+		n = m.WireSize()
+	}
+	if n < 0 || n > MaxFrame {
+		// Unencodable garbage; let append growth pay for whatever the
+		// writer actually produces.
+		n = 0
+	}
+	return n + slack
+}
+
+func proposalHint(p *types.Proposal) int {
+	n := 2 + 8 + types.DigestSize + 8 + len(p.Sig) + poaHint(p.ParentPoA)
+	if b := p.Batch; b != nil {
+		n += 48
+		for _, tx := range b.Txs {
+			n += 4 + len(tx)
+		}
+	}
+	return n
+}
+
+func poaHint(p *types.PoA) int {
+	if p == nil {
+		return 1
+	}
+	n := 1 + 2 + 8 + types.DigestSize + 8
+	for _, s := range p.Shares {
+		n += 8 + len(s.Sig)
+	}
+	return n
+}

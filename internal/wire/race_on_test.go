@@ -1,0 +1,7 @@
+//go:build race
+
+package wire
+
+// raceEnabled reports the race detector is active (sync.Pool sheds
+// items under it, so pool-identity assertions must relax).
+const raceEnabled = true

@@ -135,7 +135,16 @@ func (r *reader) bytes() []byte {
 	copy(out, b)
 	return out
 }
-func (r *reader) bool() bool { return r.u8() != 0 }
+// bool accepts only the canonical encodings 0 and 1: anything else is
+// malformed input (the codec must stay a bijection so that re-encoding a
+// decoded message is byte-identical — see FuzzRoundTrip).
+func (r *reader) bool() bool {
+	b := r.u8()
+	if b > 1 {
+		r.fail(fmt.Errorf("wire: non-canonical bool byte %d", b))
+	}
+	return b == 1
+}
 
 func (r *reader) done() error {
 	if r.err != nil {
@@ -457,9 +466,19 @@ func getTicket(r *reader) types.Ticket {
 // --- top-level messages ---
 
 // Encode serializes m as [type byte | payload]. It supports every message
-// in package types; unknown concrete types return an error.
+// in package types; unknown concrete types return an error. Each call
+// allocates a fresh right-sized buffer; hot send paths should prefer
+// EncodeTo with a pooled buffer (see GetBuf).
 func Encode(m types.Message) ([]byte, error) {
-	w := &writer{buf: make([]byte, 0, 256)}
+	return EncodeTo(make([]byte, 0, SizeHint(m)), m)
+}
+
+// EncodeTo appends m's encoding ([type byte | payload]) to buf and
+// returns the extended slice. buf may be nil or recycled (see GetBuf);
+// capacity shortfalls grow it via append as usual. Size the buffer with
+// SizeHint to avoid growth on the hot path.
+func EncodeTo(buf []byte, m types.Message) ([]byte, error) {
+	w := &writer{buf: buf}
 	w.u8(uint8(m.Type()))
 	switch v := m.(type) {
 	case *types.Proposal:
@@ -523,7 +542,9 @@ func Encode(m types.Message) ([]byte, error) {
 			putConsensusProposal(w, &v.Notices[i].Proposal)
 		}
 	default:
-		return nil, fmt.Errorf("wire: cannot encode %T", m)
+		// Return the (unmodified past the type byte) buffer so pooled
+		// callers can still Release it — EncodeTo's contract is append.
+		return buf, fmt.Errorf("wire: cannot encode %T", m)
 	}
 	return w.buf, nil
 }

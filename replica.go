@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mempool"
+	"repro/internal/metrics"
 	"repro/internal/runtime"
 	"repro/internal/storage"
 	"repro/internal/transport"
@@ -77,6 +78,11 @@ func NewReplica(self types.NodeID, addrs map[types.NodeID]string, o Options, log
 	})
 	cfg := o.nodeConfig(self, o.suite(), sink)
 	cfg.Journal = r.journal
+	// With a WAL, journal writes group-commit: records accumulate across
+	// each event-loop burst and one Sync covers them all, with the gated
+	// sends released only after it returns (the transport loop drives
+	// the Flush hook). Without a WAL there is nothing to amortize.
+	cfg.GroupCommit = r.journal != nil
 	r.node = core.NewNode(cfg)
 	r.mesh = transport.NewTCPMesh(self, addrs, r.node, r.epoch, logger)
 	// The node implements runtime.PreVerifier, so the mesh's loop runs
@@ -160,3 +166,9 @@ func (r *Replica) flushLoop() {
 
 // Node exposes the protocol state (stats, orderer) for monitoring.
 func (r *Replica) Node() *core.Node { return r.node }
+
+// TransportStats snapshots the per-peer egress/ingress counters (frames,
+// coalesced flushes, bytes, queue drops per control/data plane).
+func (r *Replica) TransportStats() map[types.NodeID]metrics.TransportSnapshot {
+	return r.mesh.PeerStats()
+}
