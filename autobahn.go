@@ -24,6 +24,7 @@
 package autobahn
 
 import (
+	gort "runtime"
 	"time"
 
 	"repro/internal/core"
@@ -69,6 +70,16 @@ type Options struct {
 	// only; the simulator charges crypto through its network model.
 	VerifyWorkers int
 
+	// DataShards sizes the parallel data plane: lane traffic (cars, lane
+	// votes, sync payloads) is processed on this many worker goroutines —
+	// lane i on shard i mod DataShards, preserving per-lane FIFO — while
+	// consensus stays on the serialized control loop (§4: dissemination
+	// is embarrassingly parallel per lane; agreement is not). 0 = auto
+	// (min(GOMAXPROCS, N); single-core machines stay unsharded), 1 =
+	// disabled. Real-time runtimes only; the simulator always runs
+	// unsharded so fixed-seed runs stay bit-reproducible.
+	DataShards int
+
 	// WALPath, when set, makes a Replica journal its safety-critical
 	// protocol state to this write-ahead log before externalizing it and
 	// recover from it on restart (the paper's RocksDB persistence,
@@ -93,6 +104,21 @@ func (o Options) seedOr(d uint64) uint64 {
 		return d
 	}
 	return o.Seed
+}
+
+// dataShards resolves DataShards for real-time runtimes: 0 = auto-size
+// to the hardware (one shard per core up to the lane count — more shards
+// than lanes would idle). Explicit values are respected, clamped to the
+// committee size by core.Config.
+func (o Options) dataShards() int {
+	if o.DataShards != 0 {
+		return o.DataShards
+	}
+	w := gort.GOMAXPROCS(0)
+	if w > o.N {
+		w = o.N
+	}
+	return w
 }
 
 // nodeConfig translates Options into the internal replica configuration.

@@ -1,7 +1,9 @@
 // Command autobahn-client is the open-loop load generator for TCP
 // deployments (cmd/autobahn-node): it streams newline-delimited random
 // transactions of a fixed size at a constant rate, matching the paper's
-// workload (512-byte no-op transactions, §6).
+// workload (512-byte no-op transactions, §6). With -conns > 1 the rate
+// is split across parallel connections — a single submitter thread
+// cannot saturate a replica whose data plane runs multi-core (-shards).
 package main
 
 import (
@@ -12,40 +14,69 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"sync"
 	"time"
 )
 
 func main() {
 	to := flag.String("to", "127.0.0.1:8000", "replica client address")
-	rate := flag.Float64("rate", 1000, "transactions per second")
+	rate := flag.Float64("rate", 1000, "transactions per second (total across connections)")
 	size := flag.Int("size", 512, "transaction payload bytes (pre-encoding)")
 	duration := flag.Duration("duration", 10*time.Second, "how long to stream")
+	conns := flag.Int("conns", 1, "parallel submission connections")
 	flag.Parse()
 
-	conn, err := net.DialTimeout("tcp", *to, 5*time.Second)
+	if *conns < 1 {
+		*conns = 1
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	total := 0
+	for c := 0; c < *conns; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sent, err := stream(*to, *rate/float64(*conns), *size, *duration)
+			if err != nil {
+				log.Printf("conn: %v", err)
+			}
+			mu.Lock()
+			total += sent
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	log.Printf("sent %d transactions (%.0f tx/s over %d conns) to %s",
+		total, float64(total)/duration.Seconds(), *conns, *to)
+}
+
+// stream feeds one connection at the given rate until the duration
+// elapses, returning the number of transactions sent.
+func stream(to string, rate float64, size int, duration time.Duration) (int, error) {
+	conn, err := net.DialTimeout("tcp", to, 5*time.Second)
 	if err != nil {
-		log.Fatal(err)
+		return 0, err
 	}
 	defer conn.Close()
 	w := bufio.NewWriterSize(conn, 1<<20)
 
 	// Newline framing requires payloads without newlines: base64-encode
 	// random bytes sized so the encoded form hits the target size.
-	raw := make([]byte, (*size*3)/4)
-	interval := time.Duration(float64(time.Second) / *rate)
+	raw := make([]byte, (size*3)/4)
+	interval := time.Duration(float64(time.Second) / rate)
 	if interval <= 0 {
 		interval = time.Microsecond
 	}
-	deadline := time.Now().Add(*duration)
+	deadline := time.Now().Add(duration)
 	sent := 0
 	next := time.Now()
 	for time.Now().Before(deadline) {
 		if _, err := rand.Read(raw); err != nil {
-			log.Fatal(err)
+			return sent, err
 		}
 		line := base64.StdEncoding.EncodeToString(raw)
 		if _, err := fmt.Fprintln(w, line); err != nil {
-			log.Fatalf("send: %v", err)
+			return sent, fmt.Errorf("send: %w", err)
 		}
 		sent++
 		next = next.Add(interval)
@@ -54,8 +85,5 @@ func main() {
 			time.Sleep(d)
 		}
 	}
-	if err := w.Flush(); err != nil {
-		log.Fatal(err)
-	}
-	log.Printf("sent %d transactions (%.0f tx/s) to %s", sent, float64(sent)/duration.Seconds(), *to)
+	return sent, w.Flush()
 }

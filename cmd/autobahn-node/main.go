@@ -46,6 +46,7 @@ func main() {
 	timeout := flag.Duration("view-timeout", time.Second, "consensus view timeout")
 	quiet := flag.Bool("quiet", false, "suppress per-commit output")
 	pprofAddr := flag.String("pprof", "", "listen address for net/http/pprof live profiling, e.g. 127.0.0.1:6060 (optional)")
+	shards := flag.Int("shards", 0, "data-plane worker shards: lane traffic parallelism (0 = auto: one per core up to committee size, 1 = single-threaded)")
 	flag.Parse()
 
 	addrList := strings.Split(*peers, ",")
@@ -65,6 +66,7 @@ func main() {
 		N:           len(addrList),
 		ViewTimeout: *timeout,
 		WALPath:     *walPath,
+		DataShards:  *shards,
 	}, logger)
 	if err != nil {
 		log.Fatal(err)
@@ -123,11 +125,14 @@ func main() {
 			for _, s := range replica.TransportStats() {
 				egress.Add(s)
 			}
-			logger.Printf("committed %d txs in %d batches (slot %d); egress ctl %d frames/%d flushes, data %d frames/%d flushes, %d drops",
+			loop := replica.LoopStats()
+			logger.Printf("committed %d txs in %d batches (slot %d); egress ctl %d frames/%d flushes, data %d frames/%d flushes, %d drops; ingress %d ctl/%d shard events, %d drops",
 				committedTx, committedBatches, c.Slot,
 				egress.Control.Frames, egress.Control.Flushes,
 				egress.Data.Frames, egress.Data.Flushes,
-				egress.Control.Drops+egress.Data.Drops)
+				egress.Control.Drops+egress.Data.Drops,
+				loop.ControlEvents, loop.ShardEvents,
+				loop.InboxDrops+loop.ShardDrops)
 		}
 	}
 }

@@ -1,17 +1,25 @@
 // Command bench regenerates the paper's tables and figures (§6) on the
-// discrete-event simulator. Each experiment prints the same rows/series
-// the paper reports, plus a PASS/FAIL check of the expected comparative
-// shape. See EXPERIMENTS.md for recorded paper-vs-measured values.
+// discrete-event simulator, plus two real-runtime performance probes:
+// `ingress` (wire decode micro-benchmarks: the zero-copy ingress path
+// against the legacy copying decoder) and `scaling` (in-process
+// LiveCluster committed throughput across GOMAXPROCS, exercising the
+// sharded data plane). Each experiment prints the same rows/series the
+// paper reports, plus a PASS/FAIL check of the expected comparative
+// shape.  See EXPERIMENTS.md for recorded paper-vs-measured values.
 //
 // Usage:
 //
-//	bench -exp table1|fig1|fig5|fig6|fig7|fig8|ablation|restart|all [-quick] [-json out.json]
+//	bench -exp table1|fig1|fig5|fig6|fig7|fig8|ablation|restart|ingress|scaling|all [-quick] [-json out.json]
+//
+// -exp accepts a comma-separated list; `all` expands to the simulator
+// experiments only (ingress/scaling measure the real runtime on real
+// time and must be named explicitly, e.g. -exp all,ingress,scaling).
 //
 // With -json, the per-experiment headline metrics (throughput, latency,
 // hangover, recovery — whatever the experiment measures) are written as
 // a machine-readable report, so the repo accumulates a perf trajectory
-// across PRs (see BENCH_pr3.json for the first data point). A failed
-// shape check exits non-zero (CI gates on it).
+// across PRs (see BENCH_pr3.json / BENCH_pr4.json for data points). A
+// failed shape check exits non-zero (CI gates on it).
 package main
 
 import (
@@ -19,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/harness"
@@ -50,7 +59,7 @@ func record(metric string, value float64) {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, fig1, fig5, fig6, fig7, fig8, ablation, restart, all")
+	exp := flag.String("exp", "all", "comma-separated experiments: table1, fig1, fig5, fig6, fig7, fig8, ablation, restart, ingress, scaling, all (= the simulator set)")
 	quick := flag.Bool("quick", false, "reduced sweeps for a fast smoke run")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	jsonPath := flag.String("json", "", "write machine-readable per-experiment metrics to this file")
@@ -58,16 +67,24 @@ func main() {
 	rep.Seed = *seed
 	rep.Quick = *quick
 
+	want := make(map[string]bool)
+	for _, e := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	// `all` covers the deterministic simulator experiments; the
+	// wall-clock-bound real-runtime probes run only when named.
+	realtime := map[string]bool{"ingress": true, "scaling": true}
 	run := func(name string, fn func()) {
-		if *exp == name || *exp == "all" {
-			fmt.Printf("\n=== %s ===\n", name)
-			current = name
-			start := time.Now()
-			fn()
-			wall := time.Since(start)
-			record("wall_clock_s", wall.Seconds())
-			fmt.Printf("--- %s done in %v (wall clock)\n", name, wall.Round(time.Millisecond))
+		if !want[name] && !(want["all"] && !realtime[name]) {
+			return
 		}
+		fmt.Printf("\n=== %s ===\n", name)
+		current = name
+		start := time.Now()
+		fn()
+		wall := time.Since(start)
+		record("wall_clock_s", wall.Seconds())
+		fmt.Printf("--- %s done in %v (wall clock)\n", name, wall.Round(time.Millisecond))
 	}
 
 	run("table1", func() { harness.Table1(os.Stdout) })
@@ -211,6 +228,9 @@ func main() {
 		check(r.Hangover <= time.Second, "journal-backed restart has no hangover beyond the down window")
 		check(r.Total >= 499_000, "the offered transactions commit across the restart")
 	})
+
+	run("ingress", runIngress)
+	run("scaling", func() { runScaling(*quick) })
 
 	if *jsonPath != "" {
 		data, err := json.MarshalIndent(&rep, "", "  ")

@@ -63,6 +63,7 @@ type clusterOpts struct {
 	fastPath       bool
 	optimisticTips bool
 	weakVotes      bool
+	shards         int
 	faults         *sim.FaultSchedule
 	seed           uint64
 	viewTimeout    time.Duration
@@ -112,6 +113,7 @@ func newCluster(o clusterOpts) *cluster {
 			FastPath:       o.fastPath,
 			OptimisticTips: o.optimisticTips,
 			WeakVotes:      o.weakVotes,
+			Shards:         o.shards,
 			ViewTimeout:    o.viewTimeout,
 			Sink:           lc,
 		})

@@ -24,6 +24,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/storage"
 	"repro/internal/types"
@@ -32,8 +33,10 @@ import (
 
 // Journal durably records a replica's safety-critical state before it is
 // externalized and replays it on restart. Implementations must be safe
-// for use from the replica's single-threaded event loop; Recover is
-// called once, before any write.
+// for concurrent use: under the sharded data plane, shard workers append
+// lane records while the control plane appends consensus records, and
+// each caller's FlushShard/Flush barrier Syncs the shared journal.
+// Recover is called once, before any write.
 type Journal interface {
 	// OwnProposal records a newly produced own-lane proposal.
 	OwnProposal(p *types.Proposal)
@@ -159,6 +162,7 @@ const (
 // keeps running, trading the durability guarantee for availability,
 // which mirrors the paper's prototype's crash-durability posture.
 type walJournal struct {
+	mu    sync.Mutex // appends arrive from shard workers and the control loop
 	st    journalStore
 	dirty bool
 	err   error
@@ -178,9 +182,15 @@ func (j *walJournal) fail(err error) {
 }
 
 // Err returns the first write or encode error, if any.
-func (j *walJournal) Err() error { return j.err }
+func (j *walJournal) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
 
 func (j *walJournal) put(key []byte, val []byte) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
 	if err := j.st.Put(key, val); err != nil {
 		j.fail(err)
 		return
@@ -189,8 +199,13 @@ func (j *walJournal) put(key []byte, val []byte) {
 }
 
 // Sync flushes every record appended since the last Sync (no-op when
-// none were): the group-commit barrier.
+// none were): the group-commit barrier. Concurrent callers (shard
+// flushes, the control loop's flush) serialize here; each caller's
+// records are durable once its own Sync returns, regardless of which
+// caller's Flush physically wrote them.
 func (j *walJournal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
 	if !j.dirty {
 		return j.err
 	}

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"sync/atomic"
 	"time"
 
 	"repro/internal/consensus"
@@ -87,9 +88,20 @@ type Config struct {
 	// (§5.5.1; default 1 = disabled, matching the paper's prototype).
 	PipelineCars int
 
+	// Shards enables the parallel data plane (see shard.go): when > 1 and
+	// the runtime honors runtime.Sharder (the TCP/local transport loop
+	// does; the discrete-event simulator does not and must be left at the
+	// 0/1 default), lane traffic is processed on Shards worker goroutines
+	// (lane i → shard i mod Shards) while consensus stays serialized.
+	// Values above the committee size are clamped — a shard without a
+	// lane would never receive an event.
+	Shards int
+
 	// Journal durably records safety-critical protocol state before it is
 	// externalized, and seeds recovery on restart (default: NopJournal —
-	// the replica restarts with amnesia). See journal.go.
+	// the replica restarts with amnesia). See journal.go. Sharded
+	// deployments require a journal that is safe for concurrent appenders
+	// (NewWALJournal/NewMemJournal are).
 	Journal Journal
 	// GroupCommit gates outbound sends behind the journal's group-commit
 	// barrier: during an event handler, sends accumulate instead of going
@@ -116,6 +128,9 @@ func (c *Config) fill() {
 	}
 	if c.Journal == nil {
 		c.Journal = NopJournal{}
+	}
+	if n := c.Committee.Size(); c.Shards > n {
+		c.Shards = n
 	}
 }
 
@@ -171,13 +186,19 @@ type Node struct {
 	gctx    gatedContext
 	pending []pendingSend
 
-	// Stats (exposed for tests and the harness).
-	stats Stats
+	// Sharded data plane (cfg.Shards > 1; see shard.go): per-shard worker
+	// state, and the control plane's notice-fed snapshot of lane tips.
+	sharded bool
+	shards  []*shardState
+	tips    *tipTable
+
+	// Stats (exposed for tests and the harness). Atomic because shard
+	// workers and the control loop count concurrently.
+	stats nodeStats
 
 	ctx runtime.Context // valid during event processing
 }
 
-// Stats counts node-level protocol events.
 type deferredTipFetch struct {
 	leader types.NodeID
 	tip    types.TipRef
@@ -186,6 +207,7 @@ type deferredTipFetch struct {
 	due    time.Duration
 }
 
+// Stats is a point-in-time snapshot of node-level protocol counters.
 type Stats struct {
 	BatchesProposed   uint64
 	ProposalsReceived uint64
@@ -196,6 +218,33 @@ type Stats struct {
 	SyncRequestsSent  uint64
 	SyncRepliesServed uint64
 	TimeoutsSent      uint64
+}
+
+// nodeStats is the live (atomic) counter block behind Stats.
+type nodeStats struct {
+	BatchesProposed   atomic.Uint64
+	ProposalsReceived atomic.Uint64
+	VotesSent         atomic.Uint64
+	SlotsDecided      atomic.Uint64
+	EntriesOrdered    atomic.Uint64
+	TxOrdered         atomic.Uint64
+	SyncRequestsSent  atomic.Uint64
+	SyncRepliesServed atomic.Uint64
+	TimeoutsSent      atomic.Uint64
+}
+
+func (s *nodeStats) snapshot() Stats {
+	return Stats{
+		BatchesProposed:   s.BatchesProposed.Load(),
+		ProposalsReceived: s.ProposalsReceived.Load(),
+		VotesSent:         s.VotesSent.Load(),
+		SlotsDecided:      s.SlotsDecided.Load(),
+		EntriesOrdered:    s.EntriesOrdered.Load(),
+		TxOrdered:         s.TxOrdered.Load(),
+		SyncRequestsSent:  s.SyncRequestsSent.Load(),
+		SyncRepliesServed: s.SyncRepliesServed.Load(),
+		TimeoutsSent:      s.TimeoutsSent.Load(),
+	}
 }
 
 var _ runtime.Protocol = (*Node)(nil)
@@ -253,7 +302,26 @@ func NewNode(cfg Config) *Node {
 		Journal:        consJournal{n},
 		Trace:          cfg.ConsensusTrace,
 	}, (*consensusEnv)(n), (*cutProvider)(n))
+	n.sharded = cfg.Shards > 1
+	if n.sharded {
+		n.tips = newTipTable(cfg.Committee.Size(), cfg.Self)
+		n.shards = make([]*shardState, cfg.Shards)
+		for i := range n.shards {
+			n.shards[i] = &shardState{
+				n:       n,
+				idx:     i,
+				notices: make(map[types.NodeID]*laneNotice),
+			}
+		}
+	}
 	n.recover()
+	if n.sharded {
+		// Recovery may have restored own-lane tips (NewNode runs before
+		// any goroutine exists, so reading lane state here is safe); seed
+		// the control snapshot so the first cut is not blind to them.
+		n.tips.ownTip = n.lanes.OptimisticTip(cfg.Self)
+		n.tips.ownCert = n.lanes.CertifiedTip(cfg.Self)
+	}
 	return n
 }
 
@@ -286,7 +354,7 @@ func (n *Node) recover() {
 }
 
 // Stats returns a snapshot of node counters.
-func (n *Node) Stats() Stats { return n.stats }
+func (n *Node) Stats() Stats { return n.stats.snapshot() }
 
 // Lanes exposes lane state (tests and examples).
 func (n *Node) Lanes() *lane.State { return n.lanes }
@@ -325,19 +393,40 @@ func (n *Node) Init(ctx runtime.Context) {
 }
 
 // OnClientBatch receives a sealed batch from this replica's mempool and
-// feeds it into the replica's own lane (§5.1 step 1).
+// feeds it into the replica's own lane (§5.1 step 1). Sharded runtimes
+// route batches to the own-lane shard instead (OnShardBatch).
 func (n *Node) OnClientBatch(ctx runtime.Context, b *types.Batch) {
+	if n.sharded {
+		// Unsharded runtime despite cfg.Shards > 1 (single-threaded here):
+		// run the shard path inline so state ownership stays consistent.
+		n.OnShardBatch(ctx, n.BatchShard(), b)
+		n.FlushShard(ctx, n.BatchShard())
+		return
+	}
 	ctx = n.enter(ctx)
 	defer n.leave()
 	if p := n.lanes.AddBatch(b); p != nil {
-		n.stats.BatchesProposed++
+		n.stats.BatchesProposed.Add(1)
 		ctx.Broadcast(p)
 		n.engine.OnTipsAdvanced() // own leader tip advanced
 	}
 }
 
-// OnMessage dispatches a peer message.
+// OnMessage dispatches a peer (or internal shard-handoff) message on the
+// control loop.
 func (n *Node) OnMessage(ctx runtime.Context, from types.NodeID, m types.Message) {
+	if n.sharded {
+		if s := n.ShardOf(from, m); s >= 0 {
+			// Data-plane message on the control loop: the runtime does not
+			// honor runtime.Sharder (custom runtimes only — the transport
+			// loop routes these before delivery). Run the shard path
+			// inline, flushing its notices immediately; single-threaded,
+			// so shard-state ownership is vacuously respected.
+			n.OnShardMessage(ctx, s, from, m)
+			n.FlushShard(ctx, s)
+			return
+		}
+	}
 	ctx = n.enter(ctx)
 	defer n.leave()
 	switch msg := m.(type) {
@@ -350,7 +439,7 @@ func (n *Node) OnMessage(ctx runtime.Context, from types.NodeID, m types.Message
 			n.engine.OnTipsAdvanced()
 		}
 	case *types.Prepare:
-		n.stats.ProposalsReceived++
+		n.stats.ProposalsReceived.Add(1)
 		n.engine.OnPrepare(from, msg)
 	case *types.PrepVote:
 		n.engine.OnPrepVote(from, msg)
@@ -372,6 +461,13 @@ func (n *Node) OnMessage(ctx runtime.Context, from types.NodeID, m types.Message
 		for i := range msg.Notices {
 			n.handleCommitNotice(ctx, from, &msg.Notices[i])
 		}
+	case *laneNotice:
+		n.onLaneNotice(ctx, msg)
+	case *ownTipNotice:
+		n.tips.ownTip, n.tips.ownCert = msg.tip, msg.cert
+		n.engine.OnTipsAdvanced() // own leader tip advanced
+	case *syncDone:
+		n.onSyncDone(ctx, msg)
 	}
 }
 
@@ -389,7 +485,7 @@ func (n *Node) OnTimer(ctx runtime.Context, tag runtime.TimerTag) {
 	case tagFetchTick:
 		n.pumpTipFetches(ctx)
 		for _, em := range n.fetcher.Tick(ctx.Now()) {
-			n.stats.SyncRequestsSent++
+			n.stats.SyncRequestsSent.Add(1)
 			ctx.Send(em.To, em.Msg)
 		}
 		// Re-drive stalled execution: abandoned fetches for data a
@@ -400,8 +496,12 @@ func (n *Node) OnTimer(ctx runtime.Context, tag runtime.TimerTag) {
 		ctx.SetTimer(n.cfg.FetchTick, runtime.TimerTag{Kind: tagFetchTick})
 	case tagCarRetx:
 		// An own car that survived a whole tick without certifying has
-		// likely lost its broadcast or its votes: re-broadcast it.
-		if p := n.lanes.OldestOutstanding(); p != nil {
+		// likely lost its broadcast or its votes: re-broadcast it. The
+		// outstanding-car state is shard-owned under the parallel data
+		// plane, so the tick is forwarded there.
+		if n.sharded {
+			ctx.Send(n.cfg.Self, &retxMsg{})
+		} else if p := n.lanes.OldestOutstanding(); p != nil {
 			if p.Position == n.lastRetxPos {
 				ctx.Broadcast(p)
 			}
@@ -421,7 +521,7 @@ func (n *Node) OnTimer(ctx runtime.Context, tag runtime.TimerTag) {
 func (n *Node) enter(ctx runtime.Context) runtime.Context {
 	if n.cfg.GroupCommit {
 		n.gctx.inner = ctx
-		n.gctx.node = n
+		n.gctx.pending = &n.pending
 		n.ctx = &n.gctx
 	} else {
 		n.ctx = ctx
@@ -439,11 +539,12 @@ type pendingSend struct {
 	msg       types.Message
 }
 
-// gatedContext defers Send/Broadcast into the node's pending queue;
-// everything else passes through to the runtime.
+// gatedContext defers Send/Broadcast into a pending queue (the node's
+// for the control loop, a shard's for shard workers); everything else
+// passes through to the runtime.
 type gatedContext struct {
-	inner runtime.Context
-	node  *Node
+	inner   runtime.Context
+	pending *[]pendingSend
 }
 
 func (g *gatedContext) ID() types.NodeID   { return g.inner.ID() }
@@ -454,10 +555,10 @@ func (g *gatedContext) SetTimer(d time.Duration, tag runtime.TimerTag) {
 }
 func (g *gatedContext) CancelTimer(tag runtime.TimerTag) { g.inner.CancelTimer(tag) }
 func (g *gatedContext) Send(to types.NodeID, m types.Message) {
-	g.node.pending = append(g.node.pending, pendingSend{to: to, msg: m})
+	*g.pending = append(*g.pending, pendingSend{to: to, msg: m})
 }
 func (g *gatedContext) Broadcast(m types.Message) {
-	g.node.pending = append(g.node.pending, pendingSend{broadcast: true, msg: m})
+	*g.pending = append(*g.pending, pendingSend{broadcast: true, msg: m})
 }
 
 var _ runtime.Flusher = (*Node)(nil)
@@ -487,11 +588,13 @@ func (n *Node) Flush(ctx runtime.Context) {
 
 // --- data layer handling ---
 
-// handleProposal processes a lane proposal (live broadcast or synced).
+// handleProposal processes a lane proposal (live broadcast or synced) on
+// the classic single-threaded path (shardState.handleProposal is the
+// data-plane counterpart).
 func (n *Node) handleProposal(ctx runtime.Context, from types.NodeID, p *types.Proposal, live bool) {
 	votes, err := n.lanes.OnProposal(p)
 	for _, v := range votes {
-		n.stats.VotesSent++
+		n.stats.VotesSent.Add(1)
 		ctx.Send(p.Lane, v)
 	}
 	if err == lane.ErrMissingParent && live {
@@ -513,7 +616,7 @@ func (n *Node) handleVote(ctx runtime.Context, v *types.Vote) {
 		return
 	}
 	for _, p := range props {
-		n.stats.BatchesProposed++
+		n.stats.BatchesProposed.Add(1)
 		ctx.Broadcast(p)
 	}
 	if poa != nil {
@@ -531,11 +634,18 @@ func (n *Node) handleVote(ctx runtime.Context, v *types.Vote) {
 // partial fill otherwise spawns an overlapping fetch while the previous
 // reply still streams, melting the ingest pipeline.
 func (n *Node) scheduleGapFetch(ctx runtime.Context, l types.NodeID) {
-	if n.fetcher.HasPending(l, fetch.PurposeGap) || n.fetcher.HasPending(l, fetch.PurposeExecute) {
-		return
-	}
 	from, to, anchor, ok := n.lanes.BufferedGap(l)
 	if !ok {
+		return
+	}
+	n.scheduleGapFetchAt(ctx, l, from, to, anchor)
+}
+
+// scheduleGapFetchAt is scheduleGapFetch for an already-localized gap —
+// the form the sharded path uses, because BufferedGap reads shard-owned
+// state and the range therefore rides in the shard's notice.
+func (n *Node) scheduleGapFetchAt(ctx runtime.Context, l types.NodeID, from, to types.Pos, anchor types.TipRef) {
+	if n.fetcher.HasPending(l, fetch.PurposeGap) || n.fetcher.HasPending(l, fetch.PurposeExecute) {
 		return
 	}
 	targets := []types.NodeID{l}
@@ -543,7 +653,7 @@ func (n *Node) scheduleGapFetch(ctx runtime.Context, l types.NodeID) {
 		targets = append(anchor.Cert.Signers(), l)
 	}
 	if em := n.fetcher.Start(ctx.Now(), l, from, to, anchor.Digest, targets, fetch.PurposeGap, 0, 0); em != nil {
-		n.stats.SyncRequestsSent++
+		n.stats.SyncRequestsSent.Add(1)
 		ctx.Send(em.To, em.Msg)
 	}
 }
@@ -561,7 +671,7 @@ func (n *Node) serveSync(ctx runtime.Context, req *types.SyncRequest) {
 		}
 	}
 	for _, rep := range fetch.Serve(n.lanes.Store(), req) {
-		n.stats.SyncRepliesServed++
+		n.stats.SyncRepliesServed.Add(1)
 		ctx.Send(req.Requester, rep)
 	}
 }
@@ -587,7 +697,7 @@ func (n *Node) handleSyncReply(ctx runtime.Context, from types.NodeID, rep *type
 		if n.lanes.Store().Has(rm.Lane, rm.To, rm.TipDigest) {
 			n.fetcher.Cancel(rm.Lane, rm.To)
 		} else {
-			n.stats.SyncRequestsSent++
+			n.stats.SyncRequestsSent.Add(1)
 			ctx.Send(res.Remainder.To, res.Remainder.Msg)
 		}
 	}
@@ -656,14 +766,14 @@ func (n *Node) drainExecution(ctx runtime.Context) {
 		missing = n.orderer.CatchupRanges()
 	}
 	for _, e := range entries {
-		n.stats.EntriesOrdered++
-		n.stats.TxOrdered += uint64(e.Batch.Count)
+		n.stats.EntriesOrdered.Add(1)
+		n.stats.TxOrdered.Add(uint64(e.Batch.Count))
 		n.cfg.Sink.OnCommit(n.cfg.Self, ctx.Now(), runtime.Committed{
 			Lane: e.Lane, Position: e.Position, Slot: e.Slot, Batch: e.Batch,
 		})
 	}
 	if len(executed) > 0 {
-		n.stats.SlotsDecided += uint64(len(executed))
+		n.stats.SlotsDecided.Add(uint64(len(executed)))
 		if n.cfg.Reputation {
 			for _, e := range entries {
 				n.repCommits[e.Lane]++
@@ -676,10 +786,17 @@ func (n *Node) drainExecution(ctx runtime.Context) {
 			}
 		}
 		// Inform the lane layer of new committed frontiers (vote-frontier
-		// adoption + fork GC, §A.4).
+		// adoption + fork GC, §A.4). Under the sharded data plane the
+		// peer-lane views are shard-owned, so the frontier travels there
+		// as a message; applying it asynchronously is safe — it only
+		// advances GC and vote-frontier adoption, both monotonic.
 		for _, l := range n.cfg.Committee.Nodes() {
 			if pos := n.orderer.LastCommit(l); pos > 0 {
-				n.lanes.OnCommitted(l, pos, n.orderer.FrontierDigest(l))
+				if n.sharded {
+					ctx.Send(n.cfg.Self, &frontierMsg{lane: l, pos: pos, digest: n.orderer.FrontierDigest(l)})
+				} else {
+					n.lanes.OnCommitted(l, pos, n.orderer.FrontierDigest(l))
+				}
 			}
 		}
 		// Persist the execution frontier: a restarted replica resumes here
@@ -700,7 +817,7 @@ func (n *Node) drainExecution(ctx runtime.Context) {
 			}
 		}
 		if em := n.fetcher.Start(ctx.Now(), m.Lane, m.From, m.To, m.TipDigest, targets, fetch.PurposeExecute, m.Slot, 0); em != nil {
-			n.stats.SyncRequestsSent++
+			n.stats.SyncRequestsSent.Add(1)
 			ctx.Send(em.To, em.Msg)
 		}
 	}
@@ -716,7 +833,7 @@ func (e *consensusEnv) node() *Node { return (*Node)(e) }
 func (e *consensusEnv) Send(to types.NodeID, m types.Message) {
 	nd := e.node()
 	if _, isTimeout := m.(*types.Timeout); isTimeout {
-		nd.stats.TimeoutsSent++
+		nd.stats.TimeoutsSent.Add(1)
 	}
 	nd.ctx.Send(to, m)
 }
@@ -724,7 +841,7 @@ func (e *consensusEnv) Send(to types.NodeID, m types.Message) {
 func (e *consensusEnv) Broadcast(m types.Message) {
 	nd := e.node()
 	if _, isTimeout := m.(*types.Timeout); isTimeout {
-		nd.stats.TimeoutsSent++
+		nd.stats.TimeoutsSent.Add(1)
 	}
 	nd.ctx.Broadcast(m)
 }
@@ -798,7 +915,7 @@ func (n *Node) pumpTipFetches(ctx runtime.Context) {
 		}
 		targets := []types.NodeID{q.leader, q.tip.Lane}
 		if em := n.fetcher.Start(ctx.Now(), q.tip.Lane, q.tip.Position, q.tip.Position, q.tip.Digest, targets, fetch.PurposeTipVote, q.slot, q.view); em != nil {
-			n.stats.SyncRequestsSent++
+			n.stats.SyncRequestsSent.Add(1)
 			ctx.Send(em.To, em.Msg)
 		}
 	}
@@ -812,15 +929,31 @@ func (c *cutProvider) node() *Node { return (*Node)(c) }
 
 func (c *cutProvider) AssembleCut(optimistic bool) types.Cut {
 	nd := c.node()
+	if nd.sharded {
+		// Cut assembly must not read shard-owned lane state: the control
+		// plane's notice-fed tip snapshot stands in for it.
+		return nd.tips.assemble(nd.cfg.Self, c.optimisticFor(optimistic))
+	}
 	if !optimistic {
 		return nd.lanes.AssembleCut(false)
 	}
 	if !nd.cfg.Reputation {
 		return nd.lanes.AssembleCut(true)
 	}
-	return nd.lanes.AssembleCutFunc(func(l types.NodeID) bool {
-		return nd.reputation[l] > repOptimisticMin
-	})
+	return nd.lanes.AssembleCutFunc(c.optimisticFor(true))
+}
+
+// optimisticFor returns the per-lane optimism predicate (§B.1 reputation
+// downgrades individual lanes to certified tips).
+func (c *cutProvider) optimisticFor(optimistic bool) func(types.NodeID) bool {
+	nd := c.node()
+	if !optimistic {
+		return func(types.NodeID) bool { return false }
+	}
+	if !nd.cfg.Reputation {
+		return func(types.NodeID) bool { return true }
+	}
+	return func(l types.NodeID) bool { return nd.reputation[l] > repOptimisticMin }
 }
 
 func (c *cutProvider) HasTipData(t types.TipRef) bool {
@@ -844,7 +977,12 @@ func (c *cutProvider) ValidateCut(cut types.Cut, leader types.NodeID) error {
 
 func (c *cutProvider) NewTipCount(base []types.Pos) int {
 	nd := c.node()
-	cut := nd.lanes.AssembleCut(nd.cfg.OptimisticTips)
+	var cut types.Cut
+	if nd.sharded {
+		cut = nd.tips.assemble(nd.cfg.Self, c.optimisticFor(nd.cfg.OptimisticTips))
+	} else {
+		cut = nd.lanes.AssembleCut(nd.cfg.OptimisticTips)
+	}
 	return cut.NewTipsVersus(base)
 }
 

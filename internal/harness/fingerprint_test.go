@@ -8,7 +8,10 @@ import (
 
 // TestSimFingerprint pins the deterministic-simulation fingerprint used
 // to validate refactors of the real runtime: the fixed-seed sim path
-// must stay byte-identical across transport/egress changes (only the
+// must stay byte-identical across transport/egress/ingress changes —
+// including with the sharded data plane compiled in (the simulator
+// always runs unsharded, W=1, and digest memoization is value-
+// deterministic), which this test re-verifies on every run (only the
 // real-time runtimes may change behavior). If a PR intentionally
 // changes simulated protocol behavior, it must update these constants
 // and say so.

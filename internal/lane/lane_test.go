@@ -281,18 +281,18 @@ func TestRejectsInvalidProposals(t *testing.T) {
 	states := newStates(t, 4, true)
 	good := states[0].AddBatch(batch(0, 1))
 
-	tampered := *good
+	tampered := good.Clone()
 	tampered.Sig = make([]byte, 64)
-	if _, err := states[1].OnProposal(&tampered); err == nil {
+	if _, err := states[1].OnProposal(tampered); err == nil {
 		t.Fatal("bad signature accepted")
 	}
-	wrongCount := *good
-	badBatch := *good.Batch
+	wrongCount := good.Clone()
+	badBatch := good.Batch.Clone()
 	badBatch.Txs = []types.Transaction{[]byte("x")}
 	badBatch.Count = 5
 	badBatch.Bytes = 1
-	wrongCount.Batch = &badBatch
-	if _, err := states[1].OnProposal(&wrongCount); err == nil {
+	wrongCount.Batch = badBatch
+	if _, err := states[1].OnProposal(wrongCount); err == nil {
 		t.Fatal("inconsistent batch accepted")
 	}
 	if _, err := states[1].OnProposal(&types.Proposal{Lane: 9, Position: 1, Batch: batch(9, 1)}); err == nil {

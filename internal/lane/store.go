@@ -1,6 +1,8 @@
 package lane
 
 import (
+	"sync"
+
 	"repro/internal/types"
 )
 
@@ -8,7 +10,15 @@ import (
 // position and digest (Byzantine lanes may fork, so one position can hold
 // several proposals). It backs ordering (fetching committed payloads),
 // sync serving (walking chain suffixes), and fork garbage collection.
+//
+// The store is safe for concurrent use: under the sharded data plane
+// (core's runtime.Sharder implementation) per-lane shard workers insert
+// proposals while the control plane reads them for ordering and the
+// consensus engine checks tip availability. A single RWMutex suffices —
+// every operation is a few map lookups, orders of magnitude cheaper than
+// the payload hashing and signature work that surrounds it.
 type Store struct {
+	mu    sync.RWMutex
 	lanes map[types.NodeID]map[types.Pos]map[types.Digest]*types.Proposal
 	count int
 }
@@ -21,6 +31,9 @@ func NewStore() *Store {
 // Put stores p; duplicate (lane, pos, digest) entries are ignored.
 // It returns true if the proposal was newly stored.
 func (s *Store) Put(p *types.Proposal) bool {
+	d := p.Digest() // outside the lock: first call hashes the payload
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	byPos, ok := s.lanes[p.Lane]
 	if !ok {
 		byPos = make(map[types.Pos]map[types.Digest]*types.Proposal)
@@ -31,7 +44,6 @@ func (s *Store) Put(p *types.Proposal) bool {
 		byDig = make(map[types.Digest]*types.Proposal)
 		byPos[p.Position] = byDig
 	}
-	d := p.Digest()
 	if _, dup := byDig[d]; dup {
 		return false
 	}
@@ -42,6 +54,8 @@ func (s *Store) Put(p *types.Proposal) bool {
 
 // Get returns the proposal at (lane, pos) with the given digest, or nil.
 func (s *Store) Get(lane types.NodeID, pos types.Pos, digest types.Digest) *types.Proposal {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if byDig, ok := s.lanes[lane][pos]; ok {
 		return byDig[digest]
 	}
@@ -54,7 +68,11 @@ func (s *Store) Has(lane types.NodeID, pos types.Pos, digest types.Digest) bool 
 }
 
 // Len returns the number of stored proposals.
-func (s *Store) Len() int { return s.count }
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.count
+}
 
 // ChainSuffix returns the proposals of `lane` at positions [from, to], in
 // ascending order, walking parent links backward from the proposal with
@@ -68,10 +86,15 @@ func (s *Store) ChainSuffix(lane types.NodeID, from, to types.Pos, tipDigest typ
 	if to < from {
 		return nil, true
 	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make([]*types.Proposal, 0, int(to-from)+1)
 	dig := tipDigest
 	for pos := to; pos >= from; pos-- {
-		p := s.Get(lane, pos, dig)
+		var p *types.Proposal
+		if byDig, ok := s.lanes[lane][pos]; ok {
+			p = byDig[dig]
+		}
 		if p == nil {
 			// reverse what we have and report incompleteness
 			reverse(out)
@@ -91,6 +114,8 @@ func (s *Store) ChainSuffix(lane types.NodeID, from, to types.Pos, tipDigest typ
 // prefixes are garbage collected after ordering; fork siblings below the
 // committed frontier disappear here (§A.4).
 func (s *Store) GCBelow(lane types.NodeID, keep types.Pos) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	removed := 0
 	for pos, byDig := range s.lanes[lane] {
 		if pos < keep {
@@ -104,6 +129,8 @@ func (s *Store) GCBelow(lane types.NodeID, keep types.Pos) int {
 
 // ForksAt returns how many distinct proposals are stored at (lane, pos).
 func (s *Store) ForksAt(lane types.NodeID, pos types.Pos) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return len(s.lanes[lane][pos])
 }
 

@@ -1,0 +1,37 @@
+// Event-loop ingress counters: how many events a replica's runtime
+// accepted, dispatched to data-plane shards, and — critically — dropped
+// because an inbox was full. Drops are silent by design (protocols
+// tolerate loss and recover by retransmission), which historically made
+// overload invisible; these counters make it observable.
+package metrics
+
+import "sync/atomic"
+
+// LoopCounters instruments one transport event loop (control queue plus
+// its data-plane shard queues, if any).
+type LoopCounters struct {
+	// ControlEvents / ShardEvents count events accepted onto the control
+	// queue and the shard queues respectively.
+	ControlEvents atomic.Uint64
+	ShardEvents   atomic.Uint64
+	// InboxDrops counts events discarded because the control inbox was
+	// full; ShardDrops the same for data-plane shard queues. The newest
+	// event is the one dropped (see transport.Loop's queueing contract).
+	InboxDrops atomic.Uint64
+	ShardDrops atomic.Uint64
+}
+
+// LoopSnapshot is a plain-value copy of LoopCounters.
+type LoopSnapshot struct {
+	ControlEvents, ShardEvents, InboxDrops, ShardDrops uint64
+}
+
+// Snapshot copies the counters into plain values.
+func (c *LoopCounters) Snapshot() LoopSnapshot {
+	return LoopSnapshot{
+		ControlEvents: c.ControlEvents.Load(),
+		ShardEvents:   c.ShardEvents.Load(),
+		InboxDrops:    c.InboxDrops.Load(),
+		ShardDrops:    c.ShardDrops.Load(),
+	}
+}

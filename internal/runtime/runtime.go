@@ -102,6 +102,52 @@ type PreVerifier interface {
 	PreVerify(from types.NodeID, m types.Message) error
 }
 
+// Sharder is optionally implemented by protocols whose data-plane
+// message handling is parallelizable across disjoint state partitions —
+// Autobahn's lane layer is the motivating case: car handling, payload
+// hashing and sync serving for different lanes touch disjoint per-lane
+// state and are "embarrassingly parallel" per the paper's §4, while
+// consensus must stay strictly serialized.
+//
+// Runtimes that honor the interface (internal/transport's Loop; the
+// discrete-event simulator does not, and keeps every protocol fully
+// single-threaded) route each inbound message through ShardOf: -1 keeps
+// it on the serialized control loop (the plain Protocol contract), a
+// shard index in [0, DataShards()) dispatches it to that shard's
+// dedicated worker goroutine via OnShardMessage. Messages mapping to the
+// same shard retain their relative order (per-sender FIFO is preserved
+// through the pipeline); messages on different shards run concurrently
+// with each other and with the control loop.
+//
+// Implementations guarantee that OnShardMessage for shard i touches only
+// state owned by shard i (plus thread-safe shared structures), and that
+// cross-shard effects travel by message passing — e.g. a self-addressed
+// control message carrying new lane tips into the consensus engine.
+//
+// ShardOf must be a pure function of the message (it runs on mesh reader
+// goroutines). A protocol whose DataShards() reports <= 1 is treated as
+// unsharded: everything runs on the control loop exactly as before.
+type Sharder interface {
+	// DataShards returns the number of data-plane worker shards (W).
+	DataShards() int
+	// ShardOf classifies a message: -1 = control (serialized), otherwise
+	// a shard index in [0, DataShards()).
+	ShardOf(from types.NodeID, m types.Message) int
+	// BatchShard returns the shard that owns client batch submissions
+	// (own-lane production), or -1 to keep them on the control loop.
+	BatchShard() int
+	// OnShardMessage processes a data-plane message on shard's worker.
+	OnShardMessage(ctx Context, shard int, from types.NodeID, m types.Message)
+	// OnShardBatch processes a client batch on shard's worker (only
+	// called when BatchShard() routed it there).
+	OnShardBatch(ctx Context, shard int, b *types.Batch)
+	// FlushShard is the per-shard counterpart of Flusher.Flush: the
+	// runtime calls it after each burst of events a shard worker
+	// processes, so shard-local deferred effects (group-committed sends,
+	// coalesced control-plane handoffs) are released burst-wise.
+	FlushShard(ctx Context, shard int)
+}
+
 // Committed describes one batch that became execution-ready: the protocol
 // has totally ordered it and the replica possesses its data (the paper's
 // latency endpoint).

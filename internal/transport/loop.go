@@ -4,6 +4,13 @@
 // contract. Two meshes are provided: an in-process bus (local.go) for
 // single-binary clusters and examples, and a TCP mesh (tcp.go) with
 // length-framed wire encoding for real deployments.
+//
+// Protocols that additionally implement runtime.Sharder get a parallel
+// data plane: the loop spawns DataShards() worker goroutines and routes
+// shardable messages (lane cars, lane votes, sync payloads for Autobahn)
+// to them by ShardOf, preserving relative order within a shard, while
+// everything else — consensus, certificates, timers — stays on the
+// single serialized control loop.
 package transport
 
 import (
@@ -11,8 +18,10 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/runtime"
 	"repro/internal/types"
+	"repro/internal/wire"
 )
 
 // Sender abstracts the outbound half of a mesh.
@@ -29,6 +38,19 @@ type event struct {
 	tag   runtime.TimerTag
 	epoch uint64
 	batch *types.Batch
+	// frame backs msg's aliased payload slices (TCP ingress only; nil
+	// for in-process meshes). Dropping the event before delivery must
+	// Release it; delivering abandons the reference to the GC (the
+	// protocol may retain aliased data indefinitely — see wire.Frame).
+	frame *wire.Frame
+}
+
+// release returns the event's backing frame (if any) to the pool — only
+// valid on paths that discard the event without delivering its message.
+func (ev *event) release() {
+	if ev.frame != nil {
+		ev.frame.Release()
+	}
 }
 
 // Loop drives one protocol instance in real time.
@@ -57,21 +79,42 @@ type Loop struct {
 	// flusher is non-nil when the protocol defers gated effects (group
 	// commit): Run calls it after Init and after each event burst.
 	flusher runtime.Flusher
+
+	// sharder is non-nil when the protocol exposes a parallel data plane
+	// (runtime.Sharder with DataShards() > 1): shardQs[i] feeds shard
+	// worker i, spawned by Run after Init. Shard workers share the
+	// stopped signal; Join waits for them through shardsDone.
+	sharder    runtime.Sharder
+	shardQs    []chan event
+	shardsDone sync.WaitGroup
+
+	// ctrs counts accepted and dropped events per queue family — inbox
+	// drops are otherwise silent (protocol retransmission hides them)
+	// and overload would be invisible.
+	ctrs metrics.LoopCounters
 }
 
-// maxBurst bounds how many consecutively available events Run processes
-// before calling the protocol's Flush hook: larger bursts amortize the
-// group-commit barrier (one journal sync covers the whole burst's
-// records) at the cost of holding gated sends longer under saturation.
+// maxBurst bounds how many consecutively available events a loop (and
+// each shard worker) processes before calling the protocol's flush hook:
+// larger bursts amortize the group-commit barrier (one journal sync
+// covers the whole burst's records) at the cost of holding gated sends
+// longer under saturation.
 const maxBurst = 64
 
-// queueDepth bounds a loop's inbox; overload drops oldest-style by
-// blocking briefly then discarding (protocols tolerate loss).
+// queueDepth bounds a loop's inbox. On overload the *incoming* (newest)
+// event is discarded — see enqueueMessage.
 const queueDepth = 1 << 14
+
+// shardQueueDepth bounds one data-plane shard's inbox. Data shards carry
+// bulk payloads; a smaller bound sheds backlog sooner (retransmission
+// and sync recover) instead of buffering gigabytes.
+const shardQueueDepth = 1 << 12
 
 // NewLoop builds a loop for one replica. Call Run to start it. When proto
 // implements runtime.PreVerifier, inbound peer messages pass through the
-// parallel pre-verification stage before entering the event queue.
+// parallel pre-verification stage before entering the event queue; when
+// it implements runtime.Sharder with DataShards() > 1, data-plane
+// messages are dispatched to per-shard worker goroutines.
 func NewLoop(id types.NodeID, proto runtime.Protocol, sender Sender, epoch time.Time) *Loop {
 	l := &Loop{
 		id:      id,
@@ -91,6 +134,13 @@ func NewLoop(id types.NodeID, proto runtime.Protocol, sender Sender, epoch time.
 	if f, ok := proto.(runtime.Flusher); ok {
 		l.flusher = f
 	}
+	if s, ok := proto.(runtime.Sharder); ok && s.DataShards() > 1 {
+		l.sharder = s
+		l.shardQs = make([]chan event, s.DataShards())
+		for i := range l.shardQs {
+			l.shardQs[i] = make(chan event, shardQueueDepth)
+		}
+	}
 	return l
 }
 
@@ -101,6 +151,9 @@ func (l *Loop) SetVerifyWorkers(n int) {
 		l.pool.setWorkers(n)
 	}
 }
+
+// Counters snapshots the loop's event/drop counters.
+func (l *Loop) Counters() metrics.LoopSnapshot { return l.ctrs.Snapshot() }
 
 var _ runtime.Context = (*Loop)(nil)
 
@@ -120,6 +173,7 @@ func (l *Loop) Send(to types.NodeID, m types.Message) { l.sender.Send(l.id, to, 
 func (l *Loop) Broadcast(m types.Message) { l.sender.Broadcast(l.id, m) }
 
 // SetTimer implements runtime.Context: one-shot, same-tag replaces.
+// Timer events always fire on the control loop.
 func (l *Loop) SetTimer(d time.Duration, tag runtime.TimerTag) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -152,39 +206,80 @@ func (l *Loop) CancelTimer(tag runtime.TimerTag) {
 // on the worker pool first (self-deliveries skip it: a replica does not
 // verify its own signatures).
 func (l *Loop) Deliver(from types.NodeID, m types.Message) {
+	l.DeliverFramed(from, m, nil)
+}
+
+// DeliverFramed is Deliver for messages decoded zero-copy out of a
+// pooled ingress frame (wire.DecodeFrom): the frame reference travels
+// with the message and is released if any pipeline stage drops it before
+// delivery. frame may be nil (in-process meshes pass messages by
+// pointer).
+func (l *Loop) DeliverFramed(from types.NodeID, m types.Message, frame *wire.Frame) {
 	if l.pool != nil && from != l.id {
-		l.pool.submit(from, m)
+		l.pool.submit(from, m, frame)
 		return
 	}
-	l.enqueueMessage(from, m)
+	l.enqueueMessage(from, m, frame)
 }
 
-// enqueueMessage places a (verified) message on the event queue.
-func (l *Loop) enqueueMessage(from types.NodeID, m types.Message) {
+// enqueueMessage places a (verified) message on its destination queue:
+// the control inbox, or — for a sharded protocol's data-plane traffic —
+// the ShardOf shard's queue. When the destination is full the *incoming*
+// message is discarded (newest-drop: the queued backlog is older but
+// already ordered; protocol retransmission and sync recover the loss)
+// and the corresponding drop counter is bumped.
+func (l *Loop) enqueueMessage(from types.NodeID, m types.Message, frame *wire.Frame) {
+	ev := event{kind: 0, from: from, msg: m, frame: frame}
+	q := l.events
+	accepted, dropped := &l.ctrs.ControlEvents, &l.ctrs.InboxDrops
+	if l.sharder != nil {
+		if s := l.sharder.ShardOf(from, m); s >= 0 {
+			q = l.shardQs[s%len(l.shardQs)]
+			accepted, dropped = &l.ctrs.ShardEvents, &l.ctrs.ShardDrops
+		}
+	}
 	select {
-	case l.events <- event{kind: 0, from: from, msg: m}:
+	case q <- ev:
+		accepted.Add(1)
 	case <-l.stopped:
+		ev.release()
 	default:
-		// Inbox full: drop. Protocol retransmission recovers.
+		// Queue full: drop the incoming event, observably.
+		dropped.Add(1)
+		ev.release()
 	}
 }
 
-// Submit enqueues a sealed client batch.
+// Submit enqueues a sealed client batch (to the own-lane shard when the
+// protocol shards batch production, else to the control loop).
 func (l *Loop) Submit(b *types.Batch) {
+	q := l.events
+	if l.sharder != nil {
+		if s := l.sharder.BatchShard(); s >= 0 {
+			q = l.shardQs[s%len(l.shardQs)]
+		}
+	}
 	select {
-	case l.events <- event{kind: 2, batch: b}:
+	case q <- event{kind: 2, batch: b}:
 	case <-l.stopped:
 	}
 }
 
-// Run processes events until Stop; call in a dedicated goroutine.
+// Run processes control events until Stop; call in a dedicated goroutine.
 // Consecutively available events are handled in bursts of up to maxBurst
 // before the protocol's Flush hook (if any) runs, so a group-commit
-// protocol amortizes one durability barrier over the whole burst.
+// protocol amortizes one durability barrier over the whole burst. Shard
+// workers (for a runtime.Sharder protocol) are spawned here, strictly
+// after Init returns, and follow the same burst/flush pattern with
+// FlushShard.
 func (l *Loop) Run() {
 	defer close(l.done)
 	l.proto.Init(l)
 	l.flush()
+	for i := range l.shardQs {
+		l.shardsDone.Add(1)
+		go l.runShard(i)
+	}
 	for {
 		select {
 		case <-l.stopped:
@@ -209,7 +304,47 @@ func (l *Loop) Run() {
 	}
 }
 
-// handle processes one event; it reports whether the loop must stop.
+// runShard drives one data-plane worker: same burst shape as Run, with
+// the per-shard flush hook releasing shard-deferred effects.
+func (l *Loop) runShard(shard int) {
+	defer l.shardsDone.Done()
+	ctx := &shardCtx{
+		loop: l,
+		rng:  rand.New(rand.NewPCG(uint64(l.id)+1, 0x5a4d_0001+uint64(shard))),
+	}
+	q := l.shardQs[shard]
+	for {
+		select {
+		case <-l.stopped:
+			return
+		case ev := <-q:
+			l.handleShard(ctx, shard, ev)
+		burst:
+			for n := 1; n < maxBurst; n++ {
+				select {
+				case next := <-q:
+					l.handleShard(ctx, shard, next)
+				default:
+					break burst
+				}
+			}
+			l.sharder.FlushShard(ctx, shard)
+		}
+	}
+}
+
+// handleShard dispatches one event on a shard worker.
+func (l *Loop) handleShard(ctx *shardCtx, shard int, ev event) {
+	switch ev.kind {
+	case 0:
+		l.sharder.OnShardMessage(ctx, shard, ev.from, ev.msg)
+	case 2:
+		l.sharder.OnShardBatch(ctx, shard, ev.batch)
+	}
+}
+
+// handle processes one control event; it reports whether the loop must
+// stop.
 func (l *Loop) handle(ev event) (stop bool) {
 	switch ev.kind {
 	case 0:
@@ -238,13 +373,37 @@ func (l *Loop) flush() {
 	}
 }
 
-// Stop terminates the loop.
+// Stop terminates the loop and its shard workers.
 func (l *Loop) Stop() {
 	l.once.Do(func() { close(l.stopped) })
 }
 
-// Join blocks until Run has returned — i.e. no handler is in flight and
-// none will start. Only valid after Run was started; callers tearing
-// down resources the protocol writes to (e.g. a journal) must Join
-// between Stop and the teardown.
-func (l *Loop) Join() { <-l.done }
+// Join blocks until Run and every shard worker have returned — i.e. no
+// handler is in flight and none will start. Only valid after Run was
+// started; callers tearing down resources the protocol writes to (e.g. a
+// journal) must Join between Stop and the teardown.
+func (l *Loop) Join() {
+	<-l.done
+	l.shardsDone.Wait()
+}
+
+// shardCtx is the runtime.Context a shard worker hands to the protocol.
+// Send/Broadcast/timers delegate to the loop's thread-safe paths; Rand
+// draws from a per-shard deterministic stream (the loop's own stream is
+// owned by the control goroutine).
+type shardCtx struct {
+	loop *Loop
+	rng  *rand.Rand
+}
+
+var _ runtime.Context = (*shardCtx)(nil)
+
+func (c *shardCtx) ID() types.NodeID                      { return c.loop.id }
+func (c *shardCtx) Now() time.Duration                    { return time.Since(c.loop.start) }
+func (c *shardCtx) Rand() uint64                          { return c.rng.Uint64() }
+func (c *shardCtx) Send(to types.NodeID, m types.Message) { c.loop.sender.Send(c.loop.id, to, m) }
+func (c *shardCtx) Broadcast(m types.Message)             { c.loop.sender.Broadcast(c.loop.id, m) }
+func (c *shardCtx) SetTimer(d time.Duration, tag runtime.TimerTag) {
+	c.loop.SetTimer(d, tag)
+}
+func (c *shardCtx) CancelTimer(tag runtime.TimerTag) { c.loop.CancelTimer(tag) }

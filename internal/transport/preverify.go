@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/runtime"
 	"repro/internal/types"
+	"repro/internal/wire"
 )
 
 // verifyPool is the parallel pre-verification stage of the ingress
@@ -41,10 +42,11 @@ const workQueueDepth = 8192
 
 // verifyTask is one message moving through the verification stage.
 type verifyTask struct {
-	from types.NodeID
-	msg  types.Message
-	done chan struct{}
-	ok   bool
+	from  types.NodeID
+	msg   types.Message
+	frame *wire.Frame // backing ingress frame (nil for in-process meshes)
+	done  chan struct{}
+	ok    bool
 }
 
 func (t *verifyTask) run(pv runtime.PreVerifier) {
@@ -54,7 +56,7 @@ func (t *verifyTask) run(pv runtime.PreVerifier) {
 
 type verifyPool struct {
 	pv      runtime.PreVerifier
-	deliver func(from types.NodeID, m types.Message)
+	deliver func(from types.NodeID, m types.Message, frame *wire.Frame)
 	stopped <-chan struct{}
 
 	workers int
@@ -65,7 +67,7 @@ type verifyPool struct {
 	peers map[types.NodeID]chan *verifyTask
 }
 
-func newVerifyPool(pv runtime.PreVerifier, deliver func(types.NodeID, types.Message), stopped <-chan struct{}) *verifyPool {
+func newVerifyPool(pv runtime.PreVerifier, deliver func(types.NodeID, types.Message, *wire.Frame), stopped <-chan struct{}) *verifyPool {
 	return &verifyPool{
 		pv:      pv,
 		deliver: deliver,
@@ -104,14 +106,19 @@ func (p *verifyPool) worker() {
 }
 
 // submit enqueues one decoded message for verification and eventual
-// in-order delivery. Called from the mesh's read path.
-func (p *verifyPool) submit(from types.NodeID, m types.Message) {
+// in-order delivery. Called from the mesh's read path. A backing ingress
+// frame travels with the task; drop paths release it for recycling.
+func (p *verifyPool) submit(from types.NodeID, m types.Message, frame *wire.Frame) {
 	p.start()
-	t := &verifyTask{from: from, msg: m, done: make(chan struct{})}
+	t := &verifyTask{from: from, msg: m, frame: frame, done: make(chan struct{})}
 	select {
 	case p.peerQueue(from) <- t:
 	default:
-		return // peer queue full: drop, retransmission recovers
+		// Peer queue full: drop, retransmission recovers.
+		if frame != nil {
+			frame.Release()
+		}
+		return
 	}
 	select {
 	case p.work <- t:
@@ -147,7 +154,12 @@ func (p *verifyPool) drain(q chan *verifyTask) {
 			case <-t.done:
 			}
 			if t.ok {
-				p.deliver(t.from, t.msg)
+				p.deliver(t.from, t.msg, t.frame)
+			} else if t.frame != nil {
+				// Verification failed: the message dies here, so its
+				// frame can be recycled — under a forgery flood this is
+				// the path that keeps the allocator out of the picture.
+				t.frame.Release()
 			}
 		}
 	}

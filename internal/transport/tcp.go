@@ -262,18 +262,26 @@ func (m *TCPMesh) readLoop(conn net.Conn) {
 			m.logger.Printf("transport: bad frame size %d from %s", n, from)
 			return
 		}
-		payload := make([]byte, n)
-		if _, err := io.ReadFull(conn, payload); err != nil {
+		// Pooled zero-copy ingress: the frame is read into a refcounted
+		// buffer and DecodeFrom aliases the message's payload slices into
+		// it — no per-field copies, no per-frame allocation churn. The
+		// frame reference rides with the message; any pipeline stage that
+		// drops the message releases it, delivery abandons it to the GC
+		// (the protocol may retain aliased data — see wire.Frame).
+		fr := wire.GetFrame(int(n))
+		if _, err := io.ReadFull(conn, fr.Data()); err != nil {
+			fr.Release()
 			return
 		}
 		stats.RecvFrames.Add(1)
 		stats.RecvBytes.Add(uint64(n) + 4)
-		msg, err := wire.Decode(payload)
+		msg, err := wire.DecodeFrom(fr.Data())
 		if err != nil {
+			fr.Release()
 			m.logger.Printf("transport: decode from %s: %v", from, err)
 			continue
 		}
-		m.loop.Deliver(from, msg)
+		m.loop.DeliverFramed(from, msg, fr)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
+	"sync/atomic"
 	"time"
 )
 
@@ -42,6 +43,16 @@ type Batch struct {
 	MeanArrival time.Duration
 	// CreatedAt is when the mempool sealed the batch.
 	CreatedAt time.Duration
+
+	// dig memoizes Digest(): hashing a multi-megabyte payload is the
+	// dominant per-message CPU cost, and the digest is demanded several
+	// times along a batch's life (signature bytes, store indexing, vote
+	// matching). The memo makes the first caller pay — by design the
+	// transport's parallel pre-verification stage, so the single-threaded
+	// event handlers never hash payloads (see runtime.PreVerifier).
+	// Batches are immutable once first hashed; the atomic supports
+	// concurrent readers across pipeline stages.
+	dig atomic.Pointer[Digest]
 }
 
 // NewBatch builds a real batch from transaction payloads.
@@ -74,13 +85,41 @@ func NewSyntheticBatch(origin NodeID, seq uint64, count uint32, size uint64, mea
 	}
 }
 
+// Clone returns a shallow copy (payload slices shared) with a fresh
+// digest memo. Batches must not be copied by value (the memo carries a
+// no-copy atomic); callers constructing variants of an existing batch —
+// tamper tests, speculative edits — clone instead, which also guarantees
+// the variant re-hashes rather than inheriting the original's digest.
+func (b *Batch) Clone() *Batch {
+	return &Batch{
+		Origin:      b.Origin,
+		Seq:         b.Seq,
+		Txs:         b.Txs,
+		Count:       b.Count,
+		Bytes:       b.Bytes,
+		MeanArrival: b.MeanArrival,
+		CreatedAt:   b.CreatedAt,
+	}
+}
+
 // Synthetic reports whether the batch carries no real payloads.
 func (b *Batch) Synthetic() bool { return b.Txs == nil && b.Count > 0 }
 
-// Digest returns the batch's content hash. Real batches hash their
-// payloads; synthetic batches hash their metadata header, which uniquely
-// identifies them ((origin, seq) is unique per honest mempool).
+// Digest returns the batch's content hash, memoized after the first
+// call. Real batches hash their payloads; synthetic batches hash their
+// metadata header, which uniquely identifies them ((origin, seq) is
+// unique per honest mempool). A batch must not be mutated after its
+// first Digest call.
 func (b *Batch) Digest() Digest {
+	if d := b.dig.Load(); d != nil {
+		return *d
+	}
+	d := b.computeDigest()
+	b.dig.Store(&d)
+	return d
+}
+
+func (b *Batch) computeDigest() Digest {
 	h := sha256.New()
 	var hdr [8 + 2 + 8 + 4 + 8 + 8]byte
 	copy(hdr[:8], "batchv1\x00")

@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
+	"sync/atomic"
 )
 
 // SigShare is one replica's signature over a message's signing bytes.
@@ -34,12 +35,28 @@ type Proposal struct {
 	Batch *Batch
 	// Sig is the proposer's signature over SigningBytes().
 	Sig []byte
+
+	// dig memoizes Digest() (see Batch.dig): the proposal digest embeds
+	// the batch digest, so caching both keeps payload hashing entirely on
+	// the first caller — the parallel pre-verification stage.
+	dig atomic.Pointer[Digest]
 }
 
-// Digest returns the proposal's content hash, binding lane, position,
-// parent link and batch contents. PoAs and signatures are excluded: a
-// proposal's identity is its chain position and payload.
+// Digest returns the proposal's content hash (memoized after the first
+// call), binding lane, position, parent link and batch contents. PoAs
+// and signatures are excluded: a proposal's identity is its chain
+// position and payload. A proposal must not be mutated after its first
+// Digest call.
 func (p *Proposal) Digest() Digest {
+	if d := p.dig.Load(); d != nil {
+		return *d
+	}
+	d := p.computeDigest()
+	p.dig.Store(&d)
+	return d
+}
+
+func (p *Proposal) computeDigest() Digest {
 	h := sha256.New()
 	var hdr [8 + 2 + 8]byte
 	copy(hdr[:8], "carv1\x00\x00\x00")
@@ -52,6 +69,20 @@ func (p *Proposal) Digest() Digest {
 	var d Digest
 	h.Sum(d[:0])
 	return d
+}
+
+// Clone returns a shallow copy (batch, PoA and signature shared) with a
+// fresh digest memo — see Batch.Clone for why proposals must not be
+// copied by value.
+func (p *Proposal) Clone() *Proposal {
+	return &Proposal{
+		Lane:      p.Lane,
+		Position:  p.Position,
+		Parent:    p.Parent,
+		ParentPoA: p.ParentPoA,
+		Batch:     p.Batch,
+		Sig:       p.Sig,
+	}
 }
 
 // SigningBytes returns the bytes the proposer signs.

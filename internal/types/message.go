@@ -29,6 +29,12 @@ const (
 	MsgBullsharkBase MsgType = 96
 )
 
+// MsgInternal tags runtime-internal control messages (the sharded data
+// plane's shard↔control handoffs, defined in internal/core). They are
+// only ever self-addressed, never cross the wire, and the codec rejects
+// them.
+const MsgInternal MsgType = 112
+
 // Message is the interface all wire messages implement. WireSize reports
 // the number of bytes the message occupies on the wire; the simulator's
 // bandwidth and processing model is driven by it, and the TCP codec's

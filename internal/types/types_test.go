@@ -84,12 +84,12 @@ func TestBatchValidate(t *testing.T) {
 	if err := good.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	bad := *good
+	bad := good.Clone()
 	bad.Count = 2
 	if err := bad.Validate(); err == nil {
 		t.Fatal("count mismatch must fail validation")
 	}
-	bad2 := *good
+	bad2 := good.Clone()
 	bad2.Bytes = 99
 	if err := bad2.Validate(); err == nil {
 		t.Fatal("byte-sum mismatch must fail validation")

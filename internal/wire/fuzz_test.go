@@ -45,5 +45,35 @@ func FuzzRoundTrip(f *testing.F) {
 		if _, err := Decode(re); err != nil {
 			t.Fatalf("re-encoding failed to decode: %v", err)
 		}
+		// The zero-copy decoder must accept exactly the same inputs and
+		// produce semantically identical messages (checked through the
+		// canonical re-encoding).
+		ma, err := DecodeFrom(data)
+		if err != nil {
+			t.Fatalf("DecodeFrom rejects input Decode accepts: %v", err)
+		}
+		rea, err := Encode(ma)
+		if err != nil {
+			t.Fatalf("aliased decode failed to encode: %v", err)
+		}
+		if !bytes.Equal(rea, data) {
+			t.Fatalf("aliased re-encode differs from accepted input:\n in: %x\nout: %x", data, rea)
+		}
+	})
+}
+
+// FuzzDecodeFromRejects pins the inverse direction: inputs Decode
+// rejects must also be rejected by the aliasing decoder (the two paths
+// share structure validation, but a divergence here would let hostile
+// frames through the hot path only).
+func FuzzDecodeFromRejects(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, errCopy := Decode(data)
+		_, errAlias := DecodeFrom(data)
+		if (errCopy == nil) != (errAlias == nil) {
+			t.Fatalf("decoder divergence: copy err=%v alias err=%v", errCopy, errAlias)
+		}
 	})
 }

@@ -9,6 +9,7 @@ package wire
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/types"
 )
@@ -55,6 +56,58 @@ func (b *Buf) Release() {
 		}
 	}
 	// Smaller than every class (caller-provided slice): drop for GC.
+}
+
+// Frame is a pooled, reference-counted ingress buffer: the transport
+// reads one wire frame's payload into it and DecodeFrom aliases the
+// decoded message's variable-length fields directly into Data, so the
+// ingress path never copies payload bytes (mirroring the egress side's
+// refcounted frames).
+//
+// Lifetime rules: GetFrame returns a frame holding one reference, owned
+// by the caller. Pipeline stages that enqueue the frame's message for
+// another goroutine pass the reference along; stages that DROP the
+// message before delivery (decode error, failed pre-verification, full
+// inbox) must Release — those are the paths where recycling matters,
+// because overload is exactly when allocation pressure hurts. Once the
+// message is DELIVERED to a protocol handler the reference is abandoned
+// instead: the protocol may retain aliased slices indefinitely (stored
+// proposals, certificate shares), so the buffer's storage is reclaimed
+// by the garbage collector when the message itself dies. Release after
+// delivery would recycle memory the protocol still reads.
+type Frame struct {
+	buf  *Buf
+	refs atomic.Int32
+}
+
+var framePool = sync.Pool{New: func() any { return new(Frame) }}
+
+// GetFrame returns a frame with a Data slice of exactly n bytes (drawn
+// from the pooled size classes) and one reference held by the caller.
+func GetFrame(n int) *Frame {
+	f := framePool.Get().(*Frame)
+	f.buf = GetBuf(n)
+	f.buf.B = f.buf.B[:n]
+	f.refs.Store(1)
+	return f
+}
+
+// Data is the frame's payload slice. Valid until the last Release.
+func (f *Frame) Data() []byte { return f.buf.B }
+
+// Retain adds a reference (one per independently-released holder).
+func (f *Frame) Retain() { f.refs.Add(1) }
+
+// Release drops one reference; the last one returns the buffer to the
+// pool. Must not be called for references abandoned to the GC (see the
+// type comment) — releasing memory a decoded message still aliases is a
+// use-after-free in spirit, even though Go keeps it type-safe.
+func (f *Frame) Release() {
+	if f.refs.Add(-1) == 0 {
+		f.buf.Release()
+		f.buf = nil
+		framePool.Put(f)
+	}
 }
 
 // SizeHint estimates m's encoded size, for pre-sizing encode buffers.

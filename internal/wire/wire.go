@@ -63,6 +63,11 @@ type reader struct {
 	buf []byte
 	off int
 	err error
+	// alias makes bytes() return sub-slices of buf instead of copies
+	// (zero-copy ingress decode, see DecodeFrom). Aliased slices are
+	// capacity-clamped so appending to one can never scribble into the
+	// backing frame.
+	alias bool
 }
 
 func (r *reader) fail(err error) {
@@ -131,10 +136,14 @@ func (r *reader) bytes() []byte {
 	if b == nil {
 		return nil
 	}
+	if r.alias {
+		return b[:n:n]
+	}
 	out := make([]byte, n)
 	copy(out, b)
 	return out
 }
+
 // bool accepts only the canonical encodings 0 and 1: anything else is
 // malformed input (the codec must stay a bijection so that re-encoding a
 // decoded message is byte-identical — see FuzzRoundTrip).
@@ -549,12 +558,37 @@ func EncodeTo(buf []byte, m types.Message) ([]byte, error) {
 	return w.buf, nil
 }
 
-// Decode parses a message previously produced by Encode.
+// Decode parses a message previously produced by Encode. Every
+// variable-length field is copied out of data, so the caller may recycle
+// the input buffer immediately (journal recovery does).
 func Decode(data []byte) (types.Message, error) {
+	return decode(data, false)
+}
+
+// DecodeFrom parses a message previously produced by Encode without
+// copying: every variable-length field (transaction payloads, signatures,
+// signature shares) aliases a sub-slice of data. It exists for the
+// transport ingress hot path, where data is a pooled, reference-counted
+// frame (see Frame) and copying multi-megabyte car payloads out of it
+// would dominate the decode cost.
+//
+// Lifetime contract: the caller must keep data immutable and alive for
+// as long as the decoded message — or anything extracted from it (stored
+// proposals, retained signature shares) — is reachable. With a Frame
+// that means dropping a message before delivery must Release the frame,
+// and a delivered message's frame reference must be abandoned to the
+// garbage collector rather than recycled (the protocol may legitimately
+// retain pieces of it indefinitely). See transport's read loop for the
+// canonical use.
+func DecodeFrom(data []byte) (types.Message, error) {
+	return decode(data, true)
+}
+
+func decode(data []byte, alias bool) (types.Message, error) {
 	if len(data) == 0 {
 		return nil, ErrTruncated
 	}
-	r := &reader{buf: data, off: 1}
+	r := &reader{buf: data, off: 1, alias: alias}
 	var m types.Message
 	switch types.MsgType(data[0]) {
 	case types.MsgProposal:

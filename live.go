@@ -59,7 +59,11 @@ func NewLiveCluster(o Options) (*LiveCluster, error) {
 		}
 	})
 	for i := 0; i < o.N; i++ {
-		nd := core.NewNode(o.nodeConfig(types.NodeID(i), suite, sink))
+		cfg := o.nodeConfig(types.NodeID(i), suite, sink)
+		// Parallel data plane (auto-sized to the hardware): lane traffic
+		// runs on per-shard workers, consensus stays serialized.
+		cfg.Shards = o.dataShards()
+		nd := core.NewNode(cfg)
 		lc.nodes = append(lc.nodes, nd)
 		// Nodes implement runtime.PreVerifier: each loop signature-checks
 		// inbound messages on a parallel worker stage before delivery.

@@ -91,6 +91,15 @@ func freeAddrs(t *testing.T, n int) map[types.NodeID]string {
 // stops and is rebuilt from its -wal journal, and it rejoins — resuming
 // from its committed frontier and committing new slots with its peers.
 func TestReplicaRestartRecoversFromWAL(t *testing.T) {
+	// Single-threaded data plane and the sharded one (4 workers per
+	// replica): crash-restart recovery must hold in both, and the sharded
+	// run additionally exercises per-shard group commit + concurrent
+	// journal appends under -race.
+	t.Run("shards=1", func(t *testing.T) { testReplicaRestartRecoversFromWAL(t, 1) })
+	t.Run("shards=4", func(t *testing.T) { testReplicaRestartRecoversFromWAL(t, 4) })
+}
+
+func testReplicaRestartRecoversFromWAL(t *testing.T, shards int) {
 	if testing.Short() {
 		t.Skip("TCP e2e")
 	}
@@ -101,6 +110,7 @@ func TestReplicaRestartRecoversFromWAL(t *testing.T) {
 			N:             4,
 			MaxBatchDelay: 20 * time.Millisecond,
 			WALPath:       filepath.Join(dir, fmt.Sprintf("r%d.wal", id)),
+			DataShards:    shards,
 		}
 	}
 	replicas := make([]*Replica, 4)

@@ -78,6 +78,9 @@ func NewReplica(self types.NodeID, addrs map[types.NodeID]string, o Options, log
 	})
 	cfg := o.nodeConfig(self, o.suite(), sink)
 	cfg.Journal = r.journal
+	// Parallel data plane (auto-sized to the hardware): lane traffic runs
+	// on per-shard workers, consensus stays serialized.
+	cfg.Shards = o.dataShards()
 	// With a WAL, journal writes group-commit: records accumulate across
 	// each event-loop burst and one Sync covers them all, with the gated
 	// sends released only after it returns (the transport loop drives
@@ -171,4 +174,11 @@ func (r *Replica) Node() *core.Node { return r.node }
 // coalesced flushes, bytes, queue drops per control/data plane).
 func (r *Replica) TransportStats() map[types.NodeID]metrics.TransportSnapshot {
 	return r.mesh.PeerStats()
+}
+
+// LoopStats snapshots the event-loop ingress counters (events accepted
+// on the control loop and data-plane shards, and inbox/shard drops —
+// the overload signal).
+func (r *Replica) LoopStats() metrics.LoopSnapshot {
+	return r.mesh.Loop().Counters()
 }
