@@ -24,12 +24,14 @@
 package autobahn
 
 import (
+	"fmt"
 	gort "runtime"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/crypto"
 	"repro/internal/runtime"
+	"repro/internal/transport"
 	"repro/internal/types"
 )
 
@@ -80,6 +82,26 @@ type Options struct {
 	// unsharded so fixed-seed runs stay bit-reproducible.
 	DataShards int
 
+	// Adversaries marks replicas as Byzantine in real-time deployments:
+	// each named replica is wrapped with the internal/adversary behavior
+	// of that name (active for the deployment's lifetime), exercising the
+	// protocol against hostile — not just crashed — participants. Shipped
+	// behaviors: equivocate, withhold-votes, conflict-votes, bogus-sync,
+	// suppress-tips, timeout-spam. At most f replicas may be adversarial
+	// for the protocol's guarantees to hold. Real-time runtimes only;
+	// simulations schedule behaviors (with time windows) through
+	// SimOptions.Faults (sim.FaultSchedule.AddBehavior). Adversarial
+	// replicas always run unsharded: behaviors are single-threaded.
+	Adversaries map[types.NodeID]string
+
+	// LinkFaults, when set, injects transport-level faults — drop, delay,
+	// duplicate, reorder, per peer and priority plane — into this
+	// deployment's egress (LiveCluster: the in-process mesh; Replica: this
+	// replica's TCP mesh). Composes with Adversaries: behaviors decide
+	// what a replica sends, LinkFaults decides what the network does to
+	// it. See transport.NewLinkFaults.
+	LinkFaults *transport.LinkFaults
+
 	// WALPath, when set, makes a Replica journal its safety-critical
 	// protocol state to this write-ahead log before externalizing it and
 	// recover from it on restart (the paper's RocksDB persistence,
@@ -91,6 +113,26 @@ type Options struct {
 }
 
 func (o Options) committee() types.Committee { return types.NewCommittee(o.N) }
+
+// validateAdversaries enforces the ≤ f bound at configuration time:
+// every quorum argument (PoA f+1, consensus 2f+1, mutiny f+1) assumes
+// at most f Byzantine replicas, so a scenario exceeding it would report
+// protocol "violations" that are really misconfigurations.
+func (o Options) validateAdversaries() error {
+	if len(o.Adversaries) == 0 {
+		return nil
+	}
+	f := (o.N - 1) / 3
+	if len(o.Adversaries) > f {
+		return fmt.Errorf("autobahn: %d adversaries exceeds f=%d for n=%d", len(o.Adversaries), f, o.N)
+	}
+	for id := range o.Adversaries {
+		if int(id) >= o.N {
+			return fmt.Errorf("autobahn: adversary %s outside committee of %d", id, o.N)
+		}
+	}
+	return nil
+}
 
 func (o Options) suite() crypto.Suite {
 	if o.VerifySignatures {

@@ -8,7 +8,11 @@
 //
 // See EXPERIMENTS.md for recorded paper-vs-measured values and cmd/bench
 // for the full-fidelity sweeps.
-package autobahn
+//
+// External test package: internal/harness imports the root package (the
+// shared live-cell runner builds real Replicas), so in-package tests
+// cannot import harness without a cycle.
+package autobahn_test
 
 import (
 	"testing"

@@ -1,0 +1,140 @@
+package autobahn_test
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	autobahn "repro"
+	"repro/internal/harness"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// runTCPByzantineCell drives one 4-replica TCP loopback cell (replica 2
+// running the named behavior, optional link faults) through the shared
+// harness runner and asserts the safety oracle plus the honest-load
+// commit floor — the same verdicts the CI fault matrix enforces.
+func runTCPByzantineCell(t *testing.T, behavior string, rule *transport.LinkRule, dur time.Duration, rate float64) {
+	t.Helper()
+	cfg := harness.LiveCellConfig{
+		Adversary: behavior, Seed: 7, Rate: rate, Duration: dur,
+	}
+	if rule != nil {
+		cfg.Rule = *rule
+	}
+	res := harness.RunLiveTCPCell(cfg)
+	if res.Err != nil {
+		t.Fatalf("cell setup: %v", res.Err)
+	}
+	if res.Violation != "" {
+		t.Fatalf("safety violation under %q: %s", behavior, res.Violation)
+	}
+	if res.MinCommitted < res.Floor {
+		t.Fatalf("liveness under %q: per-replica committed %v < floor %d (submitted %d, honest %d, elapsed %v)",
+			behavior, res.PerReplica, res.Floor, res.Submitted, res.SubmittedHonest, res.Elapsed)
+	}
+	t.Logf("submitted=%d min=%d floor=%d elapsed=%v", res.Submitted, res.MinCommitted, res.Floor, res.Elapsed)
+}
+
+// TestLiveClusterByzantine runs every shipped behavior on an in-process
+// LiveCluster (channel mesh, real signatures, sharded honest replicas):
+// all replicas — behind the observer, not just replica 0 — must keep
+// committing an identical order with replica 2 hostile.
+func TestLiveClusterByzantine(t *testing.T) {
+	for _, behavior := range []string{"equivocate", "withhold-votes", "conflict-votes", "bogus-sync", "suppress-tips", "timeout-spam"} {
+		t.Run(behavior, func(t *testing.T) {
+			const n, txs = 4, 800
+			lc, err := autobahn.NewLiveCluster(autobahn.Options{
+				N: n, Seed: 9, MaxBatchDelay: 10 * time.Millisecond,
+				Adversaries: map[types.NodeID]string{2: behavior},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ci := harness.NewCommitInterceptor()
+			var committed [n]atomic.Uint64
+			lc.SetCommitObserver(func(c autobahn.Committed) {
+				ci.Record(c.Replica, c.Lane, c.Position, c.Batch.Digest())
+				// Honest lanes only, to match the honest-submitted floor
+				// (see harness.RunLiveTCPCell).
+				if c.Lane == 2 {
+					return
+				}
+				committed[c.Replica].Add(uint64(c.Batch.Count))
+			})
+			lc.Start()
+			defer lc.Stop()
+			tx := make([]byte, 64)
+			honest := 0
+			for k := 0; k < txs; k++ {
+				to := types.NodeID(k % n)
+				if err := lc.Submit(to, tx); err != nil {
+					t.Fatal(err)
+				}
+				if to != 2 {
+					honest++
+				}
+				time.Sleep(time.Millisecond)
+			}
+			// Floor on honest-submitted load only — see
+			// harness.LiveCellResult.SubmittedHonest.
+			floor := uint64(float64(honest) * 0.9)
+			deadline := time.Now().Add(20 * time.Second)
+			for time.Now().Before(deadline) {
+				done := true
+				for i := 0; i < n; i++ {
+					if committed[i].Load() < floor {
+						done = false
+					}
+				}
+				if done {
+					break
+				}
+				time.Sleep(20 * time.Millisecond)
+			}
+			if v := ci.Violation(); v != "" {
+				t.Fatalf("safety violation under %q: %s", behavior, v)
+			}
+			for i := 0; i < n; i++ {
+				if got := committed[i].Load(); got < floor {
+					t.Errorf("replica %d committed %d < floor %d under %q", i, got, floor, behavior)
+				}
+			}
+		})
+	}
+}
+
+// TestTCPByzantineEquivocate: an equivocating lane owner over real
+// sockets — every replica (fork receivers included) must keep committing
+// the honest load and no two replicas may commit contradictory batches.
+func TestTCPByzantineEquivocate(t *testing.T) {
+	runTCPByzantineCell(t, "equivocate", nil, 6*time.Second, 1000)
+}
+
+// TestTCPByzantineSuppressTips: a tip-suppressing consensus leader over
+// real sockets.
+func TestTCPByzantineSuppressTips(t *testing.T) {
+	runTCPByzantineCell(t, "suppress-tips", nil, time.Second, 600)
+}
+
+// TestTCPLossyLinks: an honest cluster over a dropping, duplicating,
+// reordering network still commits (the seamlessness substrate).
+func TestTCPLossyLinks(t *testing.T) {
+	rule := transport.LinkRule{DropP: 0.05, DupP: 0.02, Delay: time.Millisecond, Jitter: 10 * time.Millisecond}
+	runTCPByzantineCell(t, "", &rule, time.Second, 600)
+}
+
+// TestAdversaryBoundEnforced: more than f adversaries must be rejected
+// at configuration time — quorum arguments assume ≤ f, and a scenario
+// exceeding it would report protocol "violations" that are really
+// misconfigurations.
+func TestAdversaryBoundEnforced(t *testing.T) {
+	_, err := autobahn.NewLiveCluster(autobahn.Options{
+		N:           4,
+		Adversaries: map[types.NodeID]string{1: "equivocate", 2: "equivocate"},
+	})
+	if err == nil {
+		t.Fatal("2 adversaries at n=4 (f=1) accepted")
+	}
+}

@@ -9,11 +9,16 @@
 //
 // Usage:
 //
-//	bench -exp table1|fig1|fig5|fig6|fig7|fig8|ablation|restart|ingress|scaling|all [-quick] [-json out.json]
+//	bench -exp table1|fig1|fig5|fig6|fig7|fig8|ablation|restart|byzantine|ingress|scaling|faultmatrix|all [-quick] [-json out.json]
 //
 // -exp accepts a comma-separated list; `all` expands to the simulator
-// experiments only (ingress/scaling measure the real runtime on real
-// time and must be named explicitly, e.g. -exp all,ingress,scaling).
+// figure experiments only (ingress/scaling/faultmatrix measure the real
+// runtime on real time, and byzantine — though deterministic — is owned
+// by the CI fault-matrix job; all four must be named explicitly, e.g.
+// -exp all,faultmatrix). `byzantine` runs every shipped adversary
+// behavior on the simulator; `faultmatrix` runs the same behaviors plus
+// lossy-link profiles over real TCP loopback clusters (see
+// faultmatrix.go).
 //
 // With -json, the per-experiment headline metrics (throughput, latency,
 // hangover, recovery — whatever the experiment measures) are written as
@@ -59,7 +64,7 @@ func record(metric string, value float64) {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiments: table1, fig1, fig5, fig6, fig7, fig8, ablation, restart, ingress, scaling, all (= the simulator set)")
+	exp := flag.String("exp", "all", "comma-separated experiments: table1, fig1, fig5, fig6, fig7, fig8, ablation, restart, byzantine, ingress, scaling, faultmatrix, all (= the simulator set)")
 	quick := flag.Bool("quick", false, "reduced sweeps for a fast smoke run")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	jsonPath := flag.String("json", "", "write machine-readable per-experiment metrics to this file")
@@ -71,11 +76,13 @@ func main() {
 	for _, e := range strings.Split(*exp, ",") {
 		want[strings.TrimSpace(e)] = true
 	}
-	// `all` covers the deterministic simulator experiments; the
-	// wall-clock-bound real-runtime probes run only when named.
-	realtime := map[string]bool{"ingress": true, "scaling": true}
+	// `all` covers the deterministic simulator figure experiments; the
+	// wall-clock-bound real-runtime probes run only when named, and so
+	// does `byzantine` (deterministic, but owned by the CI fault-matrix
+	// job — including it in `all` would run the whole suite twice per PR).
+	notInAll := map[string]bool{"ingress": true, "scaling": true, "faultmatrix": true, "byzantine": true}
 	run := func(name string, fn func()) {
-		if !want[name] && !(want["all"] && !realtime[name]) {
+		if !want[name] && !(want["all"] && !notInAll[name]) {
 			return
 		}
 		fmt.Printf("\n=== %s ===\n", name)
@@ -229,8 +236,10 @@ func main() {
 		check(r.Total >= 499_000, "the offered transactions commit across the restart")
 	})
 
+	run("byzantine", func() { runByzantine(*quick, *seed) })
 	run("ingress", runIngress)
 	run("scaling", func() { runScaling(*quick) })
+	run("faultmatrix", func() { runFaultMatrix(*quick, *seed) })
 
 	if *jsonPath != "" {
 		data, err := json.MarshalIndent(&rep, "", "  ")

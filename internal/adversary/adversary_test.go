@@ -1,0 +1,141 @@
+package adversary_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// TestBehaviorsSafeAndLive runs every shipped behavior as a windowed
+// fault on the deterministic simulator and asserts the three properties
+// the CI fault matrix enforces: no contradictory commits (interceptor-
+// observed), committed throughput within a bound of the fault-free run,
+// and hangover ~ 0 past the behavior window.
+func TestBehaviorsSafeAndLive(t *testing.T) {
+	for _, name := range harness.AdversaryNames() {
+		t.Run(name, func(t *testing.T) {
+			r := harness.RunByzantine(harness.ByzantineConfig{
+				Behavior: name, Load: 10e3, Seed: 3,
+				From: 3 * time.Second, To: 9 * time.Second,
+				Duration:       14 * time.Second,
+				CompanionCrash: name == "bogus-sync",
+			})
+			if r.Violation != "" {
+				t.Fatalf("safety violation: %s", r.Violation)
+			}
+			if float64(r.Total) < 0.9*float64(r.FaultFreeTotal) {
+				t.Fatalf("liveness: committed %d vs fault-free %d", r.Total, r.FaultFreeTotal)
+			}
+			if r.Hangover > 2*time.Second {
+				t.Fatalf("hangover %v past the behavior window", r.Hangover)
+			}
+			t.Logf("total=%d/%d hangover=%v peak=%v", r.Total, r.FaultFreeTotal, r.Hangover, r.PeakLat)
+		})
+	}
+}
+
+// TestBehaviorsDeterministic: behaviors must derive all nondeterminism
+// from the engine (ctx.Rand, event order) — two runs from one seed must
+// produce identical outcomes, or the simulator's reproducibility promise
+// is broken for adversarial schedules.
+func TestBehaviorsDeterministic(t *testing.T) {
+	run := func() harness.ByzantineResult {
+		return harness.RunByzantine(harness.ByzantineConfig{
+			Behavior: "equivocate", Load: 8e3, Seed: 17,
+			From: 2 * time.Second, To: 6 * time.Second, Duration: 10 * time.Second,
+		})
+	}
+	a, b := run(), run()
+	if a.Total != b.Total || a.Violation != b.Violation || a.Hangover != b.Hangover {
+		t.Fatalf("nondeterministic adversarial run: %+v vs %+v", a, b)
+	}
+	if len(a.Series) != len(b.Series) {
+		t.Fatalf("series length differs: %d vs %d", len(a.Series), len(b.Series))
+	}
+	for i := range a.Series {
+		if a.Series[i] != b.Series[i] {
+			t.Fatalf("series differs at %d: %+v vs %+v", i, a.Series[i], b.Series[i])
+		}
+	}
+}
+
+// TestEquivocatingLanePenalizedAlone is the §B.1 interceptor test: an
+// equivocating lane leader must never cause two honest replicas to
+// commit contradictory batches at the same (lane, position), and the
+// reputation mechanism must penalize only the equivocator's lane — the
+// forks it sends to half the committee force critical-path tip syncs for
+// its lane, each of which costs standing, while honest lanes stay clean.
+func TestEquivocatingLanePenalizedAlone(t *testing.T) {
+	const n, adv = 4, types.NodeID(2)
+	faults := (&sim.FaultSchedule{}).AddBehavior(adv, "equivocate", 2*time.Second, 0)
+	ci := harness.NewCommitInterceptor()
+	c := harness.Build(harness.ClusterConfig{
+		System: harness.Autobahn, N: n, Seed: 11, VerifySigs: true,
+		Reputation: true, Faults: faults, WrapSink: ci.Wrap,
+	})
+	c.RunLoad(8e3, 0, 10*time.Second, 14*time.Second)
+
+	if v := ci.Violation(); v != "" {
+		t.Fatalf("safety violation: %s", v)
+	}
+	// Honest lanes carry 3/4 of the load and must commit in full.
+	if c.Recorder.Total() < 8000*10*3/4 {
+		t.Fatalf("committed only %d txs under an equivocating lane", c.Recorder.Total())
+	}
+
+	// Reputation: somewhere in the committee the equivocator's lane lost
+	// standing (a replica served a critical-path tip sync for it), and no
+	// honest lane lost any, anywhere.
+	penalized := false
+	for _, id := range []types.NodeID{0, 1, 3} {
+		nd := nodeOf(t, c, id)
+		repAdv := nd.Reputation(adv)
+		for _, h := range []types.NodeID{0, 1, 3} {
+			if repH := nd.Reputation(h); repH < 8 { // repMax
+				t.Fatalf("honest lane %s penalized at replica %s (rep=%d)", h, id, repH)
+			} else if repAdv < repH {
+				penalized = true
+			}
+		}
+	}
+	if !penalized {
+		t.Fatal("equivocating lane was never penalized at any honest replica")
+	}
+}
+
+// TestBehaviorWindowInactive: outside its window a wrapped replica is
+// byte-for-byte honest — the run must match the unwrapped deployment
+// exactly (the wrapper may intercept, but the behavior passes through).
+func TestBehaviorWindowInactive(t *testing.T) {
+	run := func(withWrapper bool) (uint64, time.Duration) {
+		var faults *sim.FaultSchedule
+		if withWrapper {
+			// Window opens long after the run ends.
+			faults = (&sim.FaultSchedule{}).AddBehavior(2, "equivocate", time.Hour, 0)
+		}
+		c := harness.Build(harness.ClusterConfig{System: harness.Autobahn, N: 4, Seed: 5, Faults: faults})
+		c.RunLoad(5e3, 0, 5*time.Second, 8*time.Second)
+		return c.Recorder.Total(), c.Recorder.MeanLatency(time.Second, 4*time.Second)
+	}
+	t1, l1 := run(false)
+	t2, l2 := run(true)
+	if t1 != t2 || l1 != l2 {
+		t.Fatalf("dormant wrapper changed the run: %d/%v vs %d/%v", t1, l1, t2, l2)
+	}
+}
+
+// nodeOf unwraps a cluster replica to its honest core node.
+func nodeOf(t *testing.T, c *harness.Cluster, id types.NodeID) *core.Node {
+	t.Helper()
+	switch nd := c.Nodes[id].(type) {
+	case *core.Node:
+		return nd
+	default:
+		t.Fatalf("replica %s is not a core node: %T", id, nd)
+		return nil
+	}
+}

@@ -1,0 +1,234 @@
+package adversary
+
+import (
+	"time"
+
+	"repro/internal/runtime"
+	"repro/internal/types"
+)
+
+// forkSeqBit marks equivocation-fork batches: their (origin, seq) must
+// differ from every honest batch or the fork would hash identically.
+const forkSeqBit = uint64(1) << 63
+
+// --- lane equivocation (§A.4) ---
+
+// equivocate forks this replica's own lane: every second car broadcast is
+// split — half the peers receive the honest proposal, the other half a
+// conflicting proposal at the same position (same parent link, different
+// batch, validly signed). Honest replicas FIFO-vote for whichever fork
+// arrives first; at most one fork can certify or commit per position, and
+// commit-time fork resolution (§A.4) keeps the total order consistent.
+type equivocate struct {
+	env *Env
+	seq uint64
+}
+
+func (b *equivocate) Name() string                              { return "equivocate" }
+func (b *equivocate) Init(runtime.Context)                      {}
+func (b *equivocate) OnTimer(runtime.Context, runtime.TimerTag) {}
+
+func (b *equivocate) Outbound(ctx runtime.Context, d runtime.Directed) []runtime.Directed {
+	p, ok := d.Msg.(*types.Proposal)
+	if !ok || !d.Broadcast || p.Lane != b.env.Self || !b.env.Active(ctx.Now()) {
+		return pass(d)
+	}
+	b.seq++
+	if b.seq%2 != 0 {
+		return pass(d)
+	}
+	fork := p.Clone()
+	fork.Batch = types.NewSyntheticBatch(b.env.Self, p.Batch.Seq|forkSeqBit,
+		p.Batch.Count, p.Batch.Bytes, p.Batch.MeanArrival, p.Batch.CreatedAt)
+	fork.Sig = b.env.Signer.Sign(fork.SigningBytes())
+	out := make([]runtime.Directed, 0, b.env.Committee.Size()-1)
+	for _, id := range b.env.Committee.Nodes() {
+		if id == b.env.Self {
+			continue
+		}
+		m := d.Msg
+		if id%2 == 1 {
+			m = fork
+		}
+		out = append(out, runtime.Directed{To: id, Msg: m})
+	}
+	return out
+}
+
+// --- lane-vote withholding / conflicting votes ---
+
+// laneVotes attacks peer lanes' certification: the replica withholds its
+// FIFO lane votes (starving PoAs of one share) or, in the conflict
+// variant, answers every proposal with a validly signed vote for a
+// fabricated digest — the worst a Byzantine voter can do, since it cannot
+// forge other replicas' shares. With <= f such voters every honest lane
+// still certifies from the remaining n-f honest votes.
+type laneVotes struct {
+	env      *Env
+	conflict bool
+}
+
+func (b *laneVotes) Name() string {
+	if b.conflict {
+		return "conflict-votes"
+	}
+	return "withhold-votes"
+}
+func (b *laneVotes) Init(runtime.Context)                      {}
+func (b *laneVotes) OnTimer(runtime.Context, runtime.TimerTag) {}
+
+func (b *laneVotes) Outbound(ctx runtime.Context, d runtime.Directed) []runtime.Directed {
+	v, ok := d.Msg.(*types.Vote)
+	if !ok || !b.env.Active(ctx.Now()) {
+		return pass(d)
+	}
+	if !b.conflict {
+		return nil // withhold
+	}
+	cv := &types.Vote{Lane: v.Lane, Position: v.Position, Digest: v.Digest, Voter: v.Voter}
+	cv.Digest[0] ^= 0xFF // vote for a digest nobody proposed
+	cv.Sig = b.env.Signer.Sign(cv.SigningBytes())
+	return replace(d, cv)
+}
+
+// --- bogus / stale sync replies (§5.2.2) ---
+
+// bogusSync corrupts this replica's sync serving: requests it is asked to
+// answer are met (round-robin) with silence, a stale strict prefix of the
+// requested range, or a chain whose newest proposal was swapped for a
+// forgery whose signature cannot verify. Requesters must detect each case
+// and recover by re-targeting the fetch at another holder — the paper's
+// non-blocking sync never trusts a single responder.
+type bogusSync struct {
+	env *Env
+	n   uint64
+}
+
+func (b *bogusSync) Name() string                              { return "bogus-sync" }
+func (b *bogusSync) Init(runtime.Context)                      {}
+func (b *bogusSync) OnTimer(runtime.Context, runtime.TimerTag) {}
+
+func (b *bogusSync) Outbound(ctx runtime.Context, d runtime.Directed) []runtime.Directed {
+	rep, ok := d.Msg.(*types.SyncReply)
+	if !ok || !b.env.Active(ctx.Now()) {
+		return pass(d)
+	}
+	b.n++
+	switch b.n % 3 {
+	case 0:
+		return nil // silent: the requester's retry rotates targets
+	case 1:
+		// Stale: serve a strict prefix and claim that is all there is.
+		if len(rep.Proposals) < 2 {
+			return nil
+		}
+		stale := &types.SyncReply{
+			Lane:      rep.Lane,
+			Proposals: rep.Proposals[:len(rep.Proposals)/2],
+			Complete:  false,
+		}
+		return replace(d, stale)
+	default:
+		// Bogus: swap the newest proposal for a forgery (same position,
+		// different batch, stale signature — it cannot verify).
+		last := rep.Proposals[len(rep.Proposals)-1]
+		forged := last.Clone()
+		forged.Batch = types.NewSyntheticBatch(last.Lane, last.Batch.Seq|forkSeqBit,
+			last.Batch.Count, last.Batch.Bytes, last.Batch.MeanArrival, last.Batch.CreatedAt)
+		props := make([]*types.Proposal, len(rep.Proposals))
+		copy(props, rep.Proposals)
+		props[len(props)-1] = forged
+		return replace(d, &types.SyncReply{Lane: rep.Lane, Proposals: props, Complete: rep.Complete})
+	}
+}
+
+// --- tip suppression in cuts (§B.1) ---
+
+// suppressTips attacks consensus leadership: whenever this replica leads
+// a slot, the cut it broadcasts reports every peer lane at genesis,
+// denying their progress. The Prepare is re-signed, so it is structurally
+// valid — but honest replicas vote for the suppressed digest while the
+// adversary's own engine awaits votes for the honest one, so its tenure
+// times out and the next (honest) leader's cut commits the lanes' real
+// tips. The cost is bounded by the view timeout per adversary-led slot,
+// which is exactly the paper's crash-leader blip shape.
+type suppressTips struct {
+	env *Env
+}
+
+func (b *suppressTips) Name() string                              { return "suppress-tips" }
+func (b *suppressTips) Init(runtime.Context)                      {}
+func (b *suppressTips) OnTimer(runtime.Context, runtime.TimerTag) {}
+
+func (b *suppressTips) Outbound(ctx runtime.Context, d runtime.Directed) []runtime.Directed {
+	prep, ok := d.Msg.(*types.Prepare)
+	if !ok || prep.Leader != b.env.Self || !b.env.Active(ctx.Now()) {
+		return pass(d)
+	}
+	tips := make([]types.TipRef, len(prep.Proposal.Cut.Tips))
+	for i, t := range prep.Proposal.Cut.Tips {
+		if t.Lane == b.env.Self {
+			tips[i] = t // keep own lane: pure victim suppression
+			continue
+		}
+		tips[i] = types.TipRef{Lane: t.Lane} // genesis: lane "has nothing"
+	}
+	mod := &types.Prepare{
+		Leader: prep.Leader,
+		Proposal: types.ConsensusProposal{
+			Slot: prep.Proposal.Slot,
+			View: prep.Proposal.View,
+			Cut:  types.Cut{Tips: tips},
+		},
+		Ticket: prep.Ticket,
+	}
+	mod.Sig = b.env.Signer.Sign(mod.SigningBytes())
+	return replace(d, mod)
+}
+
+// --- timeout spam (§5.3) ---
+
+// spamTag is the behavior-owned recurring timer.
+var spamTag = runtime.TimerTag{Kind: runtime.BehaviorTagBase + 1}
+
+// spamEvery is the spam cadence.
+const spamEvery = 250 * time.Millisecond
+
+// timeoutSpam floods the committee with validly signed Timeout complaints
+// for the active consensus slots (current and next view), trying to force
+// spurious view changes. A single Byzantine complainer is harmless by
+// design: honest replicas join a mutiny only at f+1 complaints and form a
+// TC only at 2f+1, so <= f spammers can never manufacture either.
+type timeoutSpam struct {
+	env *Env
+}
+
+func (b *timeoutSpam) Name() string { return "timeout-spam" }
+
+func (b *timeoutSpam) Init(ctx runtime.Context) {
+	ctx.SetTimer(spamEvery, spamTag)
+}
+
+func (b *timeoutSpam) Outbound(ctx runtime.Context, d runtime.Directed) []runtime.Directed {
+	return pass(d)
+}
+
+func (b *timeoutSpam) OnTimer(ctx runtime.Context, tag runtime.TimerTag) {
+	if tag != spamTag {
+		return
+	}
+	ctx.SetTimer(spamEvery, spamTag) // keep the chain alive across windows
+	if !b.env.Active(ctx.Now()) {
+		return
+	}
+	eng := b.env.Node.Engine()
+	next := b.env.Node.Orderer().NextExec()
+	for s := next; s < next+4; s++ {
+		v := eng.CurrentView(s)
+		for dv := types.View(0); dv < 2; dv++ {
+			t := &types.Timeout{Slot: s, View: v + dv, Voter: b.env.Self}
+			t.Sig = b.env.Signer.Sign(t.SigningBytes())
+			ctx.Broadcast(t)
+		}
+	}
+}

@@ -11,6 +11,7 @@
 package consensus
 
 import (
+	"sort"
 	"time"
 
 	"repro/internal/types"
@@ -237,6 +238,7 @@ type Engine struct {
 
 	slots      map[types.Slot]*slotState
 	frontier   types.Slot // highest slot we have begun tracking
+	maxDecided types.Slot // highest slot ever decided locally
 	lastDecide map[types.Slot]*types.CommitQC
 	// contiguous committed prefix (for ticket GC only; ordering is
 	// handled by the order package).
@@ -368,6 +370,12 @@ func (e *Engine) DebugSlot(s types.Slot) (view types.View, timeouts map[types.Vi
 
 // Frontier returns the highest slot the engine tracks.
 func (e *Engine) Frontier() types.Slot { return e.frontier }
+
+// MaxDecided returns the highest slot this replica has ever decided (0
+// if none). Unlike Decided it is not subject to slot-state GC, so the
+// execution layer can detect "a later slot decided while my frontier
+// slot's commit certificate never arrived" however wide the gap is.
+func (e *Engine) MaxDecided() types.Slot { return e.maxDecided }
 
 // Restore re-marks this replica's pre-crash consensus votes from a
 // journal snapshot so the restarted replica can never contradict them:
@@ -644,9 +652,20 @@ func (e *Engine) TipDataArrived(s types.Slot, v types.View) {
 
 // RetryPendingVotes re-attempts every vote blocked on tip data. The node
 // calls this whenever lane data arrives through the live path (which can
-// race with — and cancel — the explicit tip fetch).
+// race with — and cancel — the explicit tip fetch). Slots are visited in
+// ascending order — never map order: retries emit votes (sends), and
+// send order must be a deterministic function of the event history for
+// fixed-seed simulations to stay reproducible.
 func (e *Engine) RetryPendingVotes() {
-	for _, st := range e.slots {
+	slots := make([]types.Slot, 0, len(e.slots))
+	for s, st := range e.slots {
+		if st.pendingVote != nil && !st.decided && st.pendingVote.Proposal.View == st.view {
+			slots = append(slots, s)
+		}
+	}
+	sort.Slice(slots, func(i, j int) bool { return slots[i] < slots[j] })
+	for _, s := range slots {
+		st := e.slots[s]
 		if st.pendingVote != nil && !st.decided && st.pendingVote.Proposal.View == st.view {
 			e.tryPrepVote(st, st.pendingVote)
 		}
@@ -917,6 +936,9 @@ func (e *Engine) deliverCommit(st *slotState, qc *types.CommitQC, prop *types.Co
 	st.committed = prop
 	st.pendingVote = nil
 	e.lastDecide[st.slot] = qc
+	if st.slot > e.maxDecided {
+		e.maxDecided = st.slot
+	}
 	e.lastCommitPos = cutPositions(prop.Cut)
 	e.observeStarted(st.slot)
 	// Cancel interest in this slot's timers (they become no-ops).

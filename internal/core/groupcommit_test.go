@@ -121,7 +121,7 @@ func TestGroupCommitPreservesSendOrder(t *testing.T) {
 	nd.Init(ctx)
 	nd.Flush(ctx)
 	ctx.sends = nil
-	nd.OnMessage(ctx, 0, prop)                                                       // lane vote (gated)
+	nd.OnMessage(ctx, 0, prop)                                                      // lane vote (gated)
 	nd.OnClientBatch(ctx, types.NewBatch(1, 1, []types.Transaction{{1, 2, 3}}, 50)) // own proposal (gated)
 	if len(ctx.sends) != 0 {
 		t.Fatal("sends escaped before Flush")

@@ -163,6 +163,11 @@ type Node struct {
 	// retransmit tick (rebroadcast only if still stuck a tick later).
 	lastRetxPos types.Pos
 
+	// stuckSlot tracks an undecided execution-frontier slot seen at the
+	// previous fetch tick while a later slot was already decided — the
+	// signature of a lost CommitNotice (see retryMissingDecision).
+	stuckSlot types.Slot
+
 	// reputation tracks per-lane standing for the §B.1 mechanism: serving
 	// a critical-path tip sync for a lane costs repPenalty points; every
 	// repRegainEvery committed cars of the lane restore one.
@@ -493,6 +498,7 @@ func (n *Node) OnTimer(ctx runtime.Context, tag runtime.TimerTag) {
 		if n.orderer.PendingSlot(n.orderer.NextExec()) {
 			n.drainExecution(ctx)
 		}
+		n.retryMissingDecision(ctx)
 		ctx.SetTimer(n.cfg.FetchTick, runtime.TimerTag{Kind: tagFetchTick})
 	case tagCarRetx:
 		// An own car that survived a whole tick without certifying has
@@ -592,6 +598,17 @@ func (n *Node) Flush(ctx runtime.Context) {
 // the classic single-threaded path (shardState.handleProposal is the
 // data-plane counterpart).
 func (n *Node) handleProposal(ctx runtime.Context, from types.NodeID, p *types.Proposal, live bool) {
+	if p.Lane == n.cfg.Self {
+		// Own-lane data arriving from outside: meaningless on the live
+		// path (peers do not re-broadcast our cars), but sync deliveries
+		// must be ingested store-only so execution of a committed own-lane
+		// chain this replica no longer (amnesia) or never (a lost
+		// self-fork) possessed can proceed — see lane.IngestOwn.
+		if !live && n.lanes.IngestOwn(p) == nil {
+			n.drainExecution(ctx)
+		}
+		return
+	}
 	votes, err := n.lanes.OnProposal(p)
 	for _, v := range votes {
 		n.stats.VotesSent.Add(1)
@@ -756,6 +773,47 @@ func (n *Node) serveCommitRequest(ctx runtime.Context, req *types.CommitRequest)
 	}
 }
 
+// retryMissingDecision re-requests a lost commit certificate. Slots
+// decide out of order within the parallel window, so the execution
+// frontier being undecided while a later slot is decided normally
+// resolves in milliseconds; handleCommitNotice additionally issues a
+// one-shot catch-up request when it learns of a commit above a gap. But
+// if the frontier slot's CommitNotice broadcast AND that catch-up
+// exchange are all lost (inbox overflow, lossy links, a Byzantine
+// sender), nothing retried and execution wedged for good. Re-request
+// from a rotating peer once the gap has survived two consecutive fetch
+// ticks — quiet in healthy runs, where the gap clears within one.
+func (n *Node) retryMissingDecision(ctx runtime.Context) {
+	next := n.orderer.NextExec()
+	if n.orderer.PendingSlot(next) || n.engine.Decided(next) {
+		n.stuckSlot = 0
+		return
+	}
+	// MaxDecided, not a window scan over Decided: several consecutive
+	// notices can be lost at once, leaving the nearest decided slot
+	// arbitrarily far above the frontier.
+	hi := n.engine.MaxDecided()
+	if hi <= next {
+		n.stuckSlot = 0
+		return
+	}
+	if hi > next+256 {
+		hi = next + 256 // bounded request; repeat ticks walk the rest
+	}
+	if n.stuckSlot != next {
+		n.stuckSlot = next // first sighting: give the normal paths a tick
+		return
+	}
+	// Rotate the target so a single unresponsive (or hostile) peer
+	// cannot stall the retry forever.
+	size := uint64(n.cfg.Committee.Size())
+	peer := types.NodeID(ctx.Rand() % size)
+	if peer == n.cfg.Self {
+		peer = types.NodeID((uint64(peer) + 1) % size)
+	}
+	ctx.Send(peer, &types.CommitRequest{From: next, To: hi, Requester: n.cfg.Self})
+}
+
 // drainExecution advances the total order as far as data allows, emits
 // committed entries to the sink, and fetches whatever is missing —
 // coalesced across every decided slot, so an arbitrarily long backlog
@@ -763,7 +821,24 @@ func (n *Node) serveCommitRequest(ctx runtime.Context, req *types.CommitRequest)
 func (n *Node) drainExecution(ctx runtime.Context) {
 	entries, missing, executed := n.orderer.TryExecute()
 	if len(missing) > 0 {
-		missing = n.orderer.CatchupRanges()
+		// Coalesce across every decided slot (one range per lane), but
+		// keep the precise ranges for lanes the coalescing dropped: the
+		// per-lane "best tip" anchor assumes a lane's pending tips lie on
+		// one chain, and an equivocating lane violates that — the first
+		// blocked slot can need a fork sibling that no later (locally
+		// complete) chain covers, which would otherwise never be fetched
+		// and wedge execution forever.
+		coalesced := n.orderer.CatchupRanges()
+		covered := make(map[types.NodeID]bool, len(coalesced))
+		for _, m := range coalesced {
+			covered[m.Lane] = true
+		}
+		for _, m := range missing {
+			if !covered[m.Lane] {
+				coalesced = append(coalesced, m)
+			}
+		}
+		missing = coalesced
 	}
 	for _, e := range entries {
 		n.stats.EntriesOrdered.Add(1)

@@ -352,6 +352,17 @@ func (sh *shardState) flushNotices(ctx runtime.Context) {
 // retries, execution draining, gap fetches) ride the coalesced notice.
 func (sh *shardState) handleProposal(ctx runtime.Context, p *types.Proposal, live bool) {
 	n := sh.n
+	if p.Lane == n.cfg.Self {
+		// Own-lane sync delivery (amnesia catch-up / lost self-fork): it
+		// routes to the own-lane shard (ShardOf keys on the lane), so the
+		// production state read in flushNotices stays shard-owned; the
+		// ingest itself is store-only. dataArrived makes the control plane
+		// re-drain execution, which is what the data was fetched for.
+		if !live && n.lanes.IngestOwn(p) == nil {
+			sh.note(p.Lane).dataArrived = true
+		}
+		return
+	}
 	votes, err := n.lanes.OnProposal(p)
 	for _, v := range votes {
 		n.stats.VotesSent.Add(1)

@@ -10,8 +10,10 @@
 package fetch
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/types"
@@ -184,10 +186,14 @@ func (m *Manager) retryDeadline(req *Request) time.Duration {
 
 // Tick re-issues requests that have waited longer than their retry
 // deadline, rotating through targets; requests exceeding MaxAttempts are
-// dropped. The node calls this from a coarse timer.
+// dropped. The node calls this from a coarse timer. Requests are visited
+// in a canonical order — never map order: the emits become sends, and
+// send order must be a deterministic function of the event history or
+// fixed-seed simulations of recovery scenarios stop being reproducible.
 func (m *Manager) Tick(now time.Duration) []*Emit {
 	var out []*Emit
-	for k, req := range m.pending {
+	for _, k := range m.sortedKeys() {
+		req := m.pending[k]
 		if now-req.lastSend >= m.retryDeadline(req) {
 			req.attempt++
 			if req.attempt >= m.cfg.MaxAttempts {
@@ -199,6 +205,25 @@ func (m *Manager) Tick(now time.Duration) []*Emit {
 		}
 	}
 	return out
+}
+
+// sortedKeys returns the pending-request keys in canonical (lane, to,
+// digest) order. Pending sets are tiny (a handful of ranges).
+func (m *Manager) sortedKeys() []key {
+	keys := make([]key, 0, len(m.pending))
+	for k := range m.pending {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].lane != keys[j].lane {
+			return keys[i].lane < keys[j].lane
+		}
+		if keys[i].to != keys[j].to {
+			return keys[i].to < keys[j].to
+		}
+		return bytes.Compare(keys[i].dig[:], keys[j].dig[:]) < 0
+	})
+	return keys
 }
 
 // Result is a validated reply: the proposals (ascending, hash-chained,
@@ -232,15 +257,17 @@ func (m *Manager) OnReply(now time.Duration, from types.NodeID, rep *types.SyncR
 		// A windowed reply: the server bounded its stream, so the top is
 		// mid-chain rather than the requested tip. Advance the matching
 		// outstanding request past the window and immediately chase the
-		// next one (self-clocked streaming).
-		for wk, wreq := range m.pending {
+		// next one (self-clocked streaming). Canonical key order, so which
+		// request a reply matches (and hence the follow-up send) is a
+		// deterministic function of the event history.
+		for _, wk := range m.sortedKeys() {
+			wreq := m.pending[wk]
 			if wk.lane == rep.Lane && wreq.From == low0.Position && top.Position < wreq.To {
 				wreq.From = top.Position + 1
 				wreq.attempt = 0
 				wreq.lastSend = now
 				return &Result{Request: *wreq, Proposals: rep.Proposals, Remainder: m.emit(wreq)}, nil
 			}
-			_ = wk
 		}
 		// Otherwise: late reply to an abandoned or superseded request —
 		// still useful (the caller ingests idempotently).

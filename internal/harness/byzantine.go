@@ -1,0 +1,272 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/adversary"
+	"repro/internal/metrics"
+	"repro/internal/runtime"
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// AdversaryNames lists the shipped Byzantine behaviors in reporting
+// order (mirrors internal/adversary).
+func AdversaryNames() []string { return adversary.Names() }
+
+// --- commit interceptor: the safety oracle ---
+
+// CommitInterceptor observes every replica's commit stream and checks the
+// protocol's safety invariants from outside the protocol: no replica
+// commits two batches at one (lane, position); no two replicas commit
+// different batches at the same (lane, position) — the §A.4 equivocation
+// hazard; and all replica logs agree on their common prefix (identical
+// total order). It is safe for concurrent use, so the same oracle runs
+// under the single-threaded simulator and the real-time clusters.
+type CommitInterceptor struct {
+	mu     sync.Mutex
+	logs   map[types.NodeID][]CommitRecord
+	byPos  map[[2]uint64]types.Digest // (lane, position) -> digest, across all replicas
+	seen   map[[3]uint64]struct{}     // (replica, lane, position): per-replica duplicate check
+	broken string                     // first violation, sticky
+}
+
+// CommitRecord is one observed commit.
+type CommitRecord struct {
+	Lane     types.NodeID
+	Position types.Pos
+	Digest   types.Digest
+}
+
+// NewCommitInterceptor builds an empty oracle.
+func NewCommitInterceptor() *CommitInterceptor {
+	return &CommitInterceptor{
+		logs:  make(map[types.NodeID][]CommitRecord),
+		byPos: make(map[[2]uint64]types.Digest),
+		seen:  make(map[[3]uint64]struct{}),
+	}
+}
+
+// Wrap interposes the oracle on a commit sink (ClusterConfig.WrapSink).
+func (ci *CommitInterceptor) Wrap(inner runtime.CommitSink) runtime.CommitSink {
+	return runtime.CommitSinkFunc(func(node types.NodeID, now time.Duration, c runtime.Committed) {
+		ci.Record(node, c.Lane, c.Position, c.Batch.Digest())
+		inner.OnCommit(node, now, c)
+	})
+}
+
+// Record observes one commit (live harnesses feed their observers here).
+func (ci *CommitInterceptor) Record(replica, lane types.NodeID, pos types.Pos, digest types.Digest) {
+	ci.mu.Lock()
+	defer ci.mu.Unlock()
+	// Intra-replica: a position must commit at most once.
+	rk := [3]uint64{uint64(replica), uint64(lane), uint64(pos)}
+	if _, dup := ci.seen[rk]; dup && ci.broken == "" {
+		ci.broken = fmt.Sprintf("replica %s committed lane %s position %d twice", replica, lane, pos)
+	}
+	ci.seen[rk] = struct{}{}
+	// Cross-replica: one batch per (lane, position), everywhere.
+	k := [2]uint64{uint64(lane), uint64(pos)}
+	if d, ok := ci.byPos[k]; ok {
+		if d != digest && ci.broken == "" {
+			ci.broken = fmt.Sprintf("contradictory commits at lane %s position %d", lane, pos)
+		}
+	} else {
+		ci.byPos[k] = digest
+	}
+	ci.logs[replica] = append(ci.logs[replica], CommitRecord{Lane: lane, Position: pos, Digest: digest})
+}
+
+// Violation returns the first safety violation observed ("" if none),
+// after additionally checking cross-replica prefix agreement.
+func (ci *CommitInterceptor) Violation() string {
+	ci.mu.Lock()
+	defer ci.mu.Unlock()
+	if ci.broken != "" {
+		return ci.broken
+	}
+	ids := make([]types.NodeID, 0, len(ci.logs))
+	for id := range ci.logs {
+		ids = append(ids, id)
+	}
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			a, b := ci.logs[ids[i]], ci.logs[ids[j]]
+			n := len(a)
+			if len(b) < n {
+				n = len(b)
+			}
+			for k := 0; k < n; k++ {
+				if a[k] != b[k] {
+					return fmt.Sprintf("log divergence between %s and %s at index %d: %v vs %v",
+						ids[i], ids[j], k, a[k], b[k])
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// Commits returns how many commits replica reported (liveness floor
+// checks).
+func (ci *CommitInterceptor) Commits(replica types.NodeID) int {
+	ci.mu.Lock()
+	defer ci.mu.Unlock()
+	return len(ci.logs[replica])
+}
+
+// --- Byzantine blip experiment ---
+
+// ByzantineConfig parameterizes one simulated Byzantine scenario: a
+// cluster under load with `Adversaries` replicas running the named
+// behavior during [From, To).
+type ByzantineConfig struct {
+	Behavior    string
+	N           int
+	Adversaries int // how many replicas misbehave (must stay <= f)
+	Load        float64
+	From, To    time.Duration
+	Duration    time.Duration
+	Seed        uint64
+	// CompanionCrash additionally crashes one honest replica for 2s
+	// inside the behavior window. Sync-corruption behaviors are otherwise
+	// barely exercised — a healthy cluster rarely fetches — whereas a
+	// recovering replica must catch up through sync requests, some of
+	// which land on the adversary and must be survived.
+	CompanionCrash bool
+}
+
+func (c *ByzantineConfig) fill() {
+	if c.N == 0 {
+		c.N = 4
+	}
+	if c.Adversaries == 0 {
+		c.Adversaries = 1
+	}
+	if c.Load == 0 {
+		c.Load = 20e3
+	}
+	if c.From == 0 {
+		c.From = 5 * time.Second
+	}
+	if c.To == 0 {
+		c.To = 15 * time.Second
+	}
+	if c.Duration == 0 {
+		c.Duration = 25 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if f := (c.N - 1) / 3; c.Adversaries > f {
+		panic(fmt.Sprintf("harness: %d adversaries exceeds f=%d for n=%d", c.Adversaries, f, c.N))
+	}
+}
+
+// AdversaryIDs returns the replica IDs the scenario corrupts: spread
+// through the committee starting at 2 (avoiding replica 0, whose commit
+// stream doubles as several harnesses' canonical log).
+func (c *ByzantineConfig) AdversaryIDs() []types.NodeID {
+	out := make([]types.NodeID, 0, c.Adversaries)
+	for i := 0; i < c.Adversaries; i++ {
+		out = append(out, types.NodeID((2+3*i)%c.N))
+	}
+	return out
+}
+
+// ByzantineResult captures one scenario: the safety verdict from the
+// commit interceptor, the liveness/throughput outcome versus the same
+// fault-free deployment, and the seamlessness (hangover) analysis.
+type ByzantineResult struct {
+	Behavior    string
+	N           int
+	Adversaries int
+	// Baseline is the pre-window steady-state mean latency.
+	Baseline time.Duration
+	// Hangover is how long past the behavior window latency stayed above
+	// 2x baseline (the paper's seamlessness measure; ~0 for a seamless
+	// system).
+	Hangover time.Duration
+	// PeakLat is the worst per-second latency over the run.
+	PeakLat time.Duration
+	// P99 is the run's 99th-percentile commit latency.
+	P99 time.Duration
+	// Total is the committed transaction count; FaultFreeTotal the same
+	// deployment's count with no adversary (same seed).
+	Total, FaultFreeTotal uint64
+	// Violation is the interceptor's safety verdict ("" = safe).
+	Violation string
+	Series    []metrics.SeriesPoint
+}
+
+// RunByzantine executes one Byzantine scenario on the deterministic
+// simulator and, for the throughput comparison, the matching fault-free
+// run. Reputation (§B.1) is enabled: the experiments double as coverage
+// of the paper's lane-reputation defense.
+func RunByzantine(cfg ByzantineConfig) ByzantineResult {
+	cfg.fill()
+	ci := NewCommitInterceptor()
+	faults := &sim.FaultSchedule{}
+	for _, id := range cfg.AdversaryIDs() {
+		faults.AddBehavior(id, cfg.Behavior, cfg.From, cfg.To)
+	}
+	if cfg.CompanionCrash {
+		// Replica 1 is honest in every scenario (AdversaryIDs starts at 2).
+		faults.AddDown(1, cfg.From+time.Second, cfg.From+3*time.Second)
+	}
+	c := Build(ClusterConfig{
+		System: Autobahn, N: cfg.N, Seed: cfg.Seed,
+		Reputation: true,
+		Faults:     faults,
+		WrapSink:   ci.Wrap,
+	})
+	c.RunLoad(cfg.Load, 0, cfg.Duration, cfg.Duration+15*time.Second)
+
+	ff := Build(ClusterConfig{System: Autobahn, N: cfg.N, Seed: cfg.Seed, Reputation: true})
+	ff.RunLoad(cfg.Load, 0, cfg.Duration, cfg.Duration+15*time.Second)
+
+	rec := c.Recorder
+	// Steady-state window: after warmup, strictly before the behavior
+	// window opens (From may be as low as ~2s in quick configurations).
+	warm := time.Second
+	if cfg.From > 3*time.Second {
+		warm = 2 * time.Second
+	}
+	baseline := rec.MeanLatency(warm, cfg.From)
+	res := ByzantineResult{
+		Behavior:       cfg.Behavior,
+		N:              cfg.N,
+		Adversaries:    cfg.Adversaries,
+		Baseline:       baseline,
+		P99:            rec.Percentile(0.99),
+		Hangover:       rec.Hangover(cfg.To, baseline, 2.0),
+		Total:          rec.Total(),
+		FaultFreeTotal: ff.Recorder.Total(),
+		Violation:      ci.Violation(),
+		Series:         rec.ArrivalSeries(),
+	}
+	for _, p := range res.Series {
+		if p.MeanLat > res.PeakLat {
+			res.PeakLat = p.MeanLat
+		}
+	}
+	return res
+}
+
+// PrintByzantine renders one scenario like the blip experiments.
+func PrintByzantine(w io.Writer, r ByzantineResult) {
+	safety := "safe"
+	if r.Violation != "" {
+		safety = "VIOLATION: " + r.Violation
+	}
+	ratio := 0.0
+	if r.FaultFreeTotal > 0 {
+		ratio = float64(r.Total) / float64(r.FaultFreeTotal)
+	}
+	fmt.Fprintf(w, "%-15s n=%d adv=%d baseline=%6.1fms p99=%7.1fms peak=%7.1fms hangover=%4.1fs tput=%5.1f%% of fault-free (%d/%d) %s\n",
+		r.Behavior, r.N, r.Adversaries, ms(r.Baseline), ms(r.P99), ms(r.PeakLat),
+		r.Hangover.Seconds(), 100*ratio, r.Total, r.FaultFreeTotal, safety)
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/adversary"
 	"repro/internal/bullshark"
 	"repro/internal/core"
 	"repro/internal/crypto"
@@ -53,8 +54,16 @@ type ClusterConfig struct {
 	WeakVotes         bool
 	// HotStuff leader regime (default Rotating).
 	StableLeaders bool
-	// Faults to inject (nil = fault-free).
+	// Reputation enables the §B.1 lane-reputation defense (Autobahn only;
+	// requires optimistic tips, the default).
+	Reputation bool
+	// Faults to inject (nil = fault-free). Byzantine behavior windows in
+	// the schedule (FaultSchedule.AddBehavior) wrap the named replicas
+	// with internal/adversary before the run (Autobahn only).
 	Faults *sim.FaultSchedule
+	// WrapSink, when set, interposes on every replica's commit stream
+	// (e.g. the Byzantine experiments' no-contradiction interceptor).
+	WrapSink func(runtime.CommitSink) runtime.CommitSink
 	// Horizon bounds the recorder's time series (default 5 min).
 	Horizon time.Duration
 	// Net overrides the network model (default: paper's GCP intra-US).
@@ -105,6 +114,11 @@ func Build(cfg ClusterConfig) *Cluster {
 	}
 	eng := sim.NewEngine(sim.Config{Net: net, Faults: cfg.Faults, Seed: cfg.Seed})
 
+	if cfg.Faults != nil {
+		if nb := len(cfg.Faults.Behaviors()); nb > committee.F() {
+			panic(fmt.Sprintf("harness: %d Byzantine behaviors exceeds f=%d for n=%d", nb, committee.F(), cfg.N))
+		}
+	}
 	c := &Cluster{Config: cfg, Engine: eng, Recorder: rec}
 	// Restart faults tear protocol state down mid-run and rebuild it from
 	// a journal (crash-restart recovery). Only Autobahn wires journals;
@@ -118,10 +132,15 @@ func Build(cfg ClusterConfig) *Cluster {
 			c.Journals[i] = core.NewMemJournal()
 		}
 	}
+	sink := runtime.CommitSink(rec.Sink())
+	if cfg.WrapSink != nil {
+		sink = cfg.WrapSink(sink)
+	}
 	for i := 0; i < cfg.N; i++ {
 		id := types.NodeID(i)
 		c.IDs = append(c.IDs, id)
-		nd := buildNode(cfg, committee, id, suite, rec.Sink(), c.journal(id))
+		nd := buildNode(cfg, committee, id, suite, sink, c.journal(id))
+		nd = wrapAdversary(cfg, committee, id, suite, nd)
 		c.Nodes = append(c.Nodes, nd)
 		eng.AddNode(nd)
 	}
@@ -130,12 +149,39 @@ func Build(cfg ClusterConfig) *Cluster {
 			if amnesia {
 				c.Journals[id] = core.NewMemJournal()
 			}
-			nd := buildNode(cfg, committee, id, suite, rec.Sink(), c.Journals[id])
+			nd := buildNode(cfg, committee, id, suite, sink, c.Journals[id])
 			c.Nodes[id] = nd
 			return nd
 		})
 	}
 	return c
+}
+
+// wrapAdversary wraps a replica with its scheduled Byzantine behavior, if
+// the fault schedule names one (Autobahn only — the baselines have no
+// adversary story in this reproduction).
+func wrapAdversary(cfg ClusterConfig, committee types.Committee, id types.NodeID, suite crypto.Suite, nd runtime.Protocol) runtime.Protocol {
+	if cfg.Faults == nil {
+		return nd
+	}
+	bw, ok := cfg.Faults.BehaviorFor(id)
+	if !ok {
+		return nd
+	}
+	cn, isAutobahn := nd.(*core.Node)
+	if !isAutobahn {
+		panic(fmt.Sprintf("harness: Byzantine behaviors are only supported for Autobahn, not %s", cfg.System))
+	}
+	for _, r := range cfg.Faults.Restarts() {
+		if r.Node == id {
+			panic(fmt.Sprintf("harness: node %s has both a Restart and a behavior (rebuild would drop the adversary)", id))
+		}
+	}
+	wrapped, err := adversary.WrapNode(cn, committee, id, suite.Signer(id), bw.Behavior, bw.From, bw.To)
+	if err != nil {
+		panic(err)
+	}
+	return wrapped
 }
 
 func (c *Cluster) journal(id types.NodeID) core.Journal {
@@ -156,6 +202,7 @@ func buildNode(cfg ClusterConfig, committee types.Committee, id types.NodeID, su
 			FastPath:       !cfg.FastPathOff,
 			OptimisticTips: !cfg.OptimisticTipsOff,
 			WeakVotes:      cfg.WeakVotes,
+			Reputation:     cfg.Reputation,
 			ViewTimeout:    cfg.ViewTimeout,
 			Journal:        journal,
 			Sink:           sink,

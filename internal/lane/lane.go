@@ -377,6 +377,36 @@ func (s *State) fifoOK(pv *peerView, p *types.Proposal) bool {
 	return prev == p.Parent
 }
 
+// IngestOwn stores an own-lane proposal learned back from peers (sync
+// delivery only). A replica normally never re-ingests its own lane —
+// everything it produces is stored at production time — but two recovery
+// cases must accept committed own-lane data from outside: an amnesiac
+// restart (the journal was lost, yet pre-crash cars committed and must be
+// re-fetched to execute), and a self-equivocated fork losing the commit
+// race to the copy sent elsewhere (§A.4 — only a Byzantine replica can
+// be in this position, but its execution wedging forever on its own lie
+// would make every local commit observer stall with it). Production
+// state (positions, outstanding cars, votes, tips) is untouched: this is
+// store-only, for execution.
+func (s *State) IngestOwn(p *types.Proposal) error {
+	if p.Lane != s.cfg.Self {
+		return fmt.Errorf("lane: IngestOwn of lane %s at %s", p.Lane, s.cfg.Self)
+	}
+	if p.Position == 0 {
+		return fmt.Errorf("lane: proposal at position 0")
+	}
+	if err := p.Batch.Validate(); err != nil {
+		return err
+	}
+	if s.cfg.VerifyProposals {
+		if err := VerifyProposalSigs(s.cfg.Committee, s.cfg.Verifier, p); err != nil {
+			return err
+		}
+	}
+	s.store.Put(p)
+	return nil
+}
+
 // OnPoA ingests a standalone PoA broadcast (flushed when a lane goes
 // idle) or a PoA learned from a consensus cut. The data need not be
 // present locally — certified tips are usable for cuts without it.

@@ -10,6 +10,7 @@ package order
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/types"
 )
@@ -209,9 +210,19 @@ func (o *Orderer) CatchupRanges() []Missing {
 		tip  types.TipRef
 		slot types.Slot
 	}
+	// Slots (and, below, lanes) are visited in ascending order — never
+	// map order: on position ties the chosen anchor slot, and the order
+	// of the emitted ranges (which become sends), must be deterministic
+	// functions of the event history for fixed-seed simulations to stay
+	// reproducible.
+	slots := make([]types.Slot, 0, len(o.pendingSlots))
+	for s := range o.pendingSlots {
+		slots = append(slots, s)
+	}
+	sort.Slice(slots, func(i, j int) bool { return slots[i] < slots[j] })
 	best := make(map[types.NodeID]bestTip)
-	for s, prop := range o.pendingSlots {
-		for _, tip := range prop.Cut.Tips {
+	for _, s := range slots {
+		for _, tip := range o.pendingSlots[s].Cut.Tips {
 			if tip.Position <= o.lastCommit[tip.Lane] {
 				continue
 			}
@@ -221,7 +232,11 @@ func (o *Orderer) CatchupRanges() []Missing {
 		}
 	}
 	var out []Missing
-	for l, b := range best {
+	for l := types.NodeID(0); int(l) < len(o.lastCommit); l++ {
+		b, ok := best[l]
+		if !ok {
+			continue
+		}
 		from := o.lastCommit[l] + 1
 		props, complete := o.src.ChainSuffix(l, from, b.tip.Position, b.tip.Digest)
 		if complete {

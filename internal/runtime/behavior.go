@@ -1,0 +1,51 @@
+package runtime
+
+import "repro/internal/types"
+
+// BehaviorTagBase splits the TimerTag.Kind space between a protocol and a
+// Behavior wrapped around it: kinds at or above this value are owned by
+// the wrapper's behavior, everything below belongs to the protocol. The
+// wrapper routes OnTimer accordingly, so an adversary can run its own
+// recurring schedule (e.g. timeout spam) without forking the protocol's
+// timer plumbing.
+const BehaviorTagBase uint8 = 0xC0
+
+// Directed is one outbound transmission: either a point-to-point send or
+// a broadcast. Behaviors receive the honest node's sends in this form and
+// return the sends to perform instead — the identity transformation is
+// []Directed{d}, suppression is nil, and equivocation returns divergent
+// per-peer sends.
+type Directed struct {
+	// To is the destination (meaningful only when Broadcast is false).
+	To types.NodeID
+	// Broadcast sends to every other replica.
+	Broadcast bool
+	// Msg is the message to transmit.
+	Msg types.Message
+}
+
+// Behavior is a Byzantine adversary strategy layered over an honest
+// protocol node by a runtime wrapper (internal/adversary.Node). The
+// wrapper intercepts the node's outbound traffic and hands each send to
+// Outbound; the behavior may pass it through, suppress it, rewrite it, or
+// replace it with divergent per-peer sends (signed with the replica's own
+// key — a Byzantine replica controls its identity, not others').
+//
+// Behaviors run under both runtimes: the deterministic discrete-event
+// simulator (where they must derive all randomness from ctx.Rand so
+// fixed-seed runs stay reproducible) and the real-time transports. They
+// are single-threaded per node, like the protocols they wrap.
+type Behavior interface {
+	// Name identifies the behavior (registry key, logs, reports).
+	Name() string
+	// Init is called once, after the wrapped protocol's own Init. The
+	// behavior may arm timers (tag kinds >= BehaviorTagBase) and send.
+	Init(ctx Context)
+	// Outbound intercepts one outbound transmission of the wrapped node
+	// and returns the transmissions to perform instead. Returning the
+	// input unchanged (in a one-element slice) keeps the node honest for
+	// this message; returning nil suppresses it.
+	Outbound(ctx Context, d Directed) []Directed
+	// OnTimer fires a behavior-owned timer (Kind >= BehaviorTagBase).
+	OnTimer(ctx Context, tag TimerTag)
+}

@@ -25,6 +25,20 @@ type FaultSchedule struct {
 	mutes      []nodeWindow
 	partitions []partitionWindow
 	restarts   []RestartEvent
+	behaviors  []BehaviorWindow
+}
+
+// BehaviorWindow schedules a Byzantine behavior (internal/adversary) on
+// one replica during [From, To). Unlike the benign faults above, behavior
+// windows are not enforced by the engine: the cluster builder reads them
+// and wraps the named replicas with adversary wrappers before the run
+// (behaviors are protocol-level, not network-level). To <= 0 means "until
+// the run ends". At most one behavior per node; at most f adversaries per
+// schedule for the protocol's guarantees to hold.
+type BehaviorWindow struct {
+	Node     types.NodeID
+	Behavior string
+	From, To time.Duration
 }
 
 // RestartEvent describes one scheduled protocol restart.
@@ -115,6 +129,35 @@ func (f *FaultSchedule) Restart(node types.NodeID, at time.Duration, amnesia boo
 	f.restarts = append(f.restarts, RestartEvent{Node: node, At: at, Amnesia: amnesia})
 	return f
 }
+
+// AddBehavior schedules Byzantine behavior `name` on node during
+// [from, to). Cluster builders (harness.Build, autobahn.NewSimCluster)
+// honor the window by wrapping the node with internal/adversary; the
+// engine itself is unaffected, so fault-free fixed-seed runs stay
+// byte-identical. Behaviors cannot be combined with a Restart of the same
+// node (the rebuild hook re-creates the node honestly), and cluster
+// builders reject schedules with more than f behaviors — the protocol's
+// quorum arguments assume ≤ f Byzantine replicas.
+func (f *FaultSchedule) AddBehavior(node types.NodeID, name string, from, to time.Duration) *FaultSchedule {
+	f.behaviors = append(f.behaviors, BehaviorWindow{Node: node, Behavior: name, From: from, To: to})
+	return f
+}
+
+// Behaviors returns the scheduled behavior windows.
+func (f *FaultSchedule) Behaviors() []BehaviorWindow { return f.behaviors }
+
+// BehaviorFor returns the behavior window scheduled for a node, if any.
+func (f *FaultSchedule) BehaviorFor(node types.NodeID) (BehaviorWindow, bool) {
+	for _, b := range f.behaviors {
+		if b.Node == node {
+			return b, true
+		}
+	}
+	return BehaviorWindow{}, false
+}
+
+// HasBehaviors reports whether any Byzantine behavior is scheduled.
+func (f *FaultSchedule) HasBehaviors() bool { return len(f.behaviors) > 0 }
 
 // Restarts returns the scheduled restart events.
 func (f *FaultSchedule) Restarts() []RestartEvent { return f.restarts }

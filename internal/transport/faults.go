@@ -1,0 +1,153 @@
+package transport
+
+import (
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/types"
+)
+
+// LinkRule describes the fault profile of one directed peer link (per
+// plane): each outbound frame is independently dropped, duplicated and/or
+// delayed. Reordering emerges from randomized per-frame delay — a frame
+// delayed by more than the gap to its successor arrives after it.
+type LinkRule struct {
+	// DropP is the probability [0,1] a frame is silently discarded.
+	DropP float64
+	// DupP is the probability [0,1] a frame is transmitted twice.
+	DupP float64
+	// Delay is a fixed extra latency added to every frame.
+	Delay time.Duration
+	// Jitter adds a uniform random extra delay in [0, Jitter) per frame;
+	// any Jitter larger than the inter-frame gap reorders traffic.
+	Jitter time.Duration
+}
+
+// Zero reports whether the rule injects nothing.
+func (r LinkRule) Zero() bool {
+	return r.DropP <= 0 && r.DupP <= 0 && r.Delay <= 0 && r.Jitter <= 0
+}
+
+// LinkFaultStats counts injected faults (observability for tests and the
+// fault-matrix harness).
+type LinkFaultStats struct {
+	Dropped    uint64
+	Duplicated uint64
+	Delayed    uint64
+}
+
+// LinkFaults injects transport-level faults — drop, delay, duplicate,
+// reorder, per peer and priority plane — into a real-time mesh's egress
+// (TCPMesh.SetLinkFaults, LocalMesh.Faults). It models the lossy,
+// reordering network the paper's seamlessness claim must survive, and
+// composes with protocol-level Byzantine behaviors (internal/adversary):
+// behaviors decide WHAT a replica sends, LinkFaults decides what the
+// network DOES to it.
+//
+// Rules are consulted on the sender's hot path, so decisions are a single
+// mutex-guarded PRNG draw; delayed frames re-enter the mesh from a timer
+// goroutine (exactly how a real network hands late packets back). Safe
+// for concurrent use.
+type LinkFaults struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	all   LinkRule
+	rules map[linkKey]LinkRule
+
+	dropped    atomic.Uint64
+	duplicated atomic.Uint64
+	delayed    atomic.Uint64
+}
+
+type linkKey struct {
+	to    types.NodeID
+	plane int
+}
+
+// NewLinkFaults builds an injector with no rules; seed drives every
+// probabilistic decision.
+func NewLinkFaults(seed uint64) *LinkFaults {
+	return &LinkFaults{
+		rng:   rand.New(rand.NewPCG(seed, seed^0xabcdef12345)),
+		rules: make(map[linkKey]LinkRule),
+	}
+}
+
+// SetAll installs a default rule applied to every peer and plane that has
+// no more specific rule.
+func (f *LinkFaults) SetAll(r LinkRule) *LinkFaults {
+	f.mu.Lock()
+	f.all = r
+	f.mu.Unlock()
+	return f
+}
+
+// SetRule installs a rule for one directed peer link and plane
+// (PlaneControl or PlaneData), overriding the SetAll default.
+func (f *LinkFaults) SetRule(to types.NodeID, plane int, r LinkRule) *LinkFaults {
+	f.mu.Lock()
+	f.rules[linkKey{to, plane}] = r
+	f.mu.Unlock()
+	return f
+}
+
+// Exported plane selectors for rule targeting (values match the mesh's
+// internal plane indices).
+const (
+	PlaneControl = planeControl
+	PlaneData    = planeData
+)
+
+// Stats snapshots the injected-fault counters.
+func (f *LinkFaults) Stats() LinkFaultStats {
+	return LinkFaultStats{
+		Dropped:    f.dropped.Load(),
+		Duplicated: f.duplicated.Load(),
+		Delayed:    f.delayed.Load(),
+	}
+}
+
+// verdict is one frame's fate: drop, or deliver `copies` times after
+// `delay`.
+type verdict struct {
+	drop   bool
+	copies int
+	delay  time.Duration
+}
+
+// decide rolls one frame's fate for the given link.
+func (f *LinkFaults) decide(to types.NodeID, plane int) verdict {
+	f.mu.Lock()
+	r, ok := f.rules[linkKey{to, plane}]
+	if !ok {
+		r = f.all
+	}
+	if r.Zero() {
+		f.mu.Unlock()
+		return verdict{copies: 1}
+	}
+	v := verdict{copies: 1}
+	if r.DropP > 0 && f.rng.Float64() < r.DropP {
+		v.drop = true
+		f.mu.Unlock()
+		f.dropped.Add(1)
+		return v
+	}
+	if r.DupP > 0 && f.rng.Float64() < r.DupP {
+		v.copies = 2
+	}
+	v.delay = r.Delay
+	if r.Jitter > 0 {
+		v.delay += time.Duration(f.rng.Int64N(int64(r.Jitter)))
+	}
+	f.mu.Unlock()
+	if v.copies > 1 {
+		f.duplicated.Add(1)
+	}
+	if v.delay > 0 {
+		f.delayed.Add(1)
+	}
+	return v
+}

@@ -1,0 +1,77 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/types"
+)
+
+// TestLinkFaultsDeterministic: one seed, one decision sequence — the
+// fault matrix must be reproducible run to run.
+func TestLinkFaultsDeterministic(t *testing.T) {
+	mk := func() []verdict {
+		f := NewLinkFaults(42).SetAll(LinkRule{DropP: 0.3, DupP: 0.2, Delay: time.Millisecond, Jitter: 5 * time.Millisecond})
+		out := make([]verdict, 200)
+		for i := range out {
+			out[i] = f.decide(1, PlaneData)
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestLinkFaultsRules: per-link rules override the default, zero rules
+// inject nothing, and the counters observe what was injected.
+func TestLinkFaultsRules(t *testing.T) {
+	f := NewLinkFaults(7).SetAll(LinkRule{DropP: 1})
+	f.SetRule(2, PlaneControl, LinkRule{}) // clean control link to 2
+
+	for i := 0; i < 50; i++ {
+		if v := f.decide(1, PlaneData); !v.drop {
+			t.Fatal("DropP=1 link delivered a frame")
+		}
+		if v := f.decide(2, PlaneControl); v.drop || v.copies != 1 || v.delay != 0 {
+			t.Fatalf("clean link injected faults: %+v", v)
+		}
+	}
+	if s := f.Stats(); s.Dropped != 50 {
+		t.Fatalf("dropped counter = %d, want 50", s.Dropped)
+	}
+
+	dup := NewLinkFaults(7).SetAll(LinkRule{DupP: 1, Delay: 2 * time.Millisecond})
+	v := dup.decide(0, PlaneData)
+	if v.drop || v.copies != 2 || v.delay != 2*time.Millisecond {
+		t.Fatalf("dup+delay verdict: %+v", v)
+	}
+	if s := dup.Stats(); s.Duplicated != 1 || s.Delayed != 1 {
+		t.Fatalf("counters: %+v", s)
+	}
+}
+
+// TestLinkFaultsConcurrent: decisions race from every sender goroutine
+// in a real mesh; the injector must tolerate that (run with -race).
+func TestLinkFaultsConcurrent(t *testing.T) {
+	f := NewLinkFaults(3).SetAll(LinkRule{DropP: 0.5, DupP: 0.5, Jitter: time.Millisecond})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				f.decide(types.NodeID(g%4), i%planeCount)
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := f.Stats()
+	if s.Dropped == 0 || s.Duplicated == 0 {
+		t.Fatalf("expected faults under p=0.5: %+v", s)
+	}
+}

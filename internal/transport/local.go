@@ -15,6 +15,11 @@ type LocalMesh struct {
 	// Delay, if set, adds a fixed artificial latency to every delivery
 	// (rough WAN emulation for demos).
 	Delay time.Duration
+	// Faults, if set, injects drop/delay/duplicate/reorder per peer and
+	// plane into every delivery (see LinkFaults; the plane is derived
+	// from the message type exactly as the TCP mesh does). Set before
+	// Start.
+	Faults *LinkFaults
 }
 
 // NewLocalMesh builds an empty mesh; attach loops with AddNode.
@@ -50,12 +55,24 @@ func (m *LocalMesh) Send(from, to types.NodeID, msg types.Message) {
 	if int(to) >= len(m.loops) {
 		return
 	}
-	if m.Delay > 0 {
-		target := m.loops[to]
-		time.AfterFunc(m.Delay, func() { target.Deliver(from, msg) })
-		return
+	target := m.loops[to]
+	delay := m.Delay
+	copies := 1
+	if m.Faults != nil && from != to {
+		v := m.Faults.decide(to, planeOf(msg.Type()))
+		if v.drop {
+			return
+		}
+		copies = v.copies
+		delay += v.delay
 	}
-	m.loops[to].Deliver(from, msg)
+	for i := 0; i < copies; i++ {
+		if delay > 0 {
+			time.AfterFunc(delay, func() { target.Deliver(from, msg) })
+		} else {
+			target.Deliver(from, msg)
+		}
+	}
 }
 
 // Broadcast implements Sender.

@@ -41,7 +41,7 @@ func (c *orderCollector) OnMessage(_ runtime.Context, _ types.NodeID, m types.Me
 	c.arrived = append(c.arrived, m.Type())
 	c.mu.Unlock()
 }
-func (c *orderCollector) OnTimer(runtime.Context, runtime.TimerTag)    {}
+func (c *orderCollector) OnTimer(runtime.Context, runtime.TimerTag)   {}
 func (c *orderCollector) OnClientBatch(runtime.Context, *types.Batch) {}
 
 func (c *orderCollector) snapshot() []types.MsgType {

@@ -46,6 +46,10 @@ type TCPMesh struct {
 	stopped  chan struct{}
 	once     sync.Once
 	logger   *log.Logger
+
+	// faults, when set, injects drop/delay/duplicate/reorder per
+	// peer-plane into egress (fault-matrix harness; see LinkFaults).
+	faults *LinkFaults
 }
 
 // Priority planes. Every peer link is two TCP connections, one per
@@ -313,6 +317,39 @@ func (m *TCPMesh) encodeFrame(msg types.Message) *frame {
 	return f
 }
 
+// SetLinkFaults installs a fault injector on this mesh's egress (call
+// before Start; nil disables). Loopback (self) deliveries are unaffected
+// — a real network cannot touch them.
+func (m *TCPMesh) SetLinkFaults(f *LinkFaults) { m.faults = f }
+
+// deliverFrame routes one frame to a peer through the fault injector (if
+// any): it may be dropped, duplicated, or re-enter the queue later from a
+// timer goroutine (delay/reorder).
+func (m *TCPMesh) deliverFrame(to types.NodeID, f *frame, plane int) {
+	if m.faults == nil {
+		m.enqueueFrame(to, f, plane)
+		return
+	}
+	v := m.faults.decide(to, plane)
+	if v.drop {
+		return
+	}
+	if v.delay <= 0 {
+		for i := 0; i < v.copies; i++ {
+			m.enqueueFrame(to, f, plane)
+		}
+		return
+	}
+	f.refs.Add(1) // hold the frame for the timer
+	copies := v.copies
+	time.AfterFunc(v.delay, func() {
+		for i := 0; i < copies; i++ {
+			m.enqueueFrame(to, f, plane)
+		}
+		f.release()
+	})
+}
+
 // enqueueFrame hands a frame (adding a reference) to one peer's plane.
 func (m *TCPMesh) enqueueFrame(to types.NodeID, f *frame, plane int) {
 	st := m.peer(to).streams[plane]
@@ -333,7 +370,7 @@ func (m *TCPMesh) Send(_, to types.NodeID, msg types.Message) {
 		return
 	}
 	if f := m.encodeFrame(msg); f != nil {
-		m.enqueueFrame(to, f, planeOf(msg.Type()))
+		m.deliverFrame(to, f, planeOf(msg.Type()))
 		f.release()
 	}
 }
@@ -349,7 +386,7 @@ func (m *TCPMesh) Broadcast(_ types.NodeID, msg types.Message) {
 	plane := planeOf(msg.Type())
 	for id := range m.addrs {
 		if id != m.self {
-			m.enqueueFrame(id, f, plane)
+			m.deliverFrame(id, f, plane)
 		}
 	}
 	f.release()

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/adversary"
 	"repro/internal/core"
 	"repro/internal/mempool"
 	"repro/internal/runtime"
@@ -27,16 +28,29 @@ type LiveCluster struct {
 	// canonical copy of the total order; all replicas agree).
 	Commits chan Committed
 
+	// observer, when set (SetCommitObserver), additionally receives every
+	// replica's commits — the fault-matrix harness cross-checks replica
+	// logs against each other through it.
+	observer func(Committed)
+
 	epoch   time.Time
 	started bool
 	done    chan struct{} // closed by Stop; terminates flushLoop
 }
+
+// SetCommitObserver registers fn to receive every replica's commits (not
+// just replica 0's), called from replica event-loop goroutines. Must be
+// called before Start; fn must be fast and thread-safe.
+func (c *LiveCluster) SetCommitObserver(fn func(Committed)) { c.observer = fn }
 
 // NewLiveCluster builds (but does not start) an in-process cluster.
 // Signatures are always verified in live mode.
 func NewLiveCluster(o Options) (*LiveCluster, error) {
 	if o.N < 1 || (o.N > 1 && o.N < 4) {
 		return nil, fmt.Errorf("autobahn: committee size %d cannot tolerate any fault (need n >= 4)", o.N)
+	}
+	if err := o.validateAdversaries(); err != nil {
+		return nil, err
 	}
 	o.VerifySignatures = true
 	lc := &LiveCluster{
@@ -45,29 +59,50 @@ func NewLiveCluster(o Options) (*LiveCluster, error) {
 		Commits: make(chan Committed, 4096),
 		epoch:   time.Now(),
 	}
+	lc.mesh.Faults = o.LinkFaults
 	suite := o.suite()
 	sink := runtime.CommitSinkFunc(func(node types.NodeID, now time.Duration, cm runtime.Committed) {
+		c := Committed{
+			Replica: node, Lane: cm.Lane, Position: cm.Position,
+			Slot: cm.Slot, Batch: cm.Batch, At: now,
+		}
+		if obs := lc.observer; obs != nil {
+			obs(c)
+		}
 		if node != 0 {
 			return // one canonical stream; replicas agree by safety
 		}
 		select {
-		case lc.Commits <- Committed{
-			Replica: node, Lane: cm.Lane, Position: cm.Position,
-			Slot: cm.Slot, Batch: cm.Batch, At: now,
-		}:
+		case lc.Commits <- c:
 		default: // consumer not keeping up: drop delivery notifications
 		}
 	})
 	for i := 0; i < o.N; i++ {
-		cfg := o.nodeConfig(types.NodeID(i), suite, sink)
+		id := types.NodeID(i)
+		cfg := o.nodeConfig(id, suite, sink)
 		// Parallel data plane (auto-sized to the hardware): lane traffic
 		// runs on per-shard workers, consensus stays serialized.
 		cfg.Shards = o.dataShards()
+		behavior := o.Adversaries[id]
+		if behavior != "" {
+			cfg.Shards = 1 // adversary wrappers are single-threaded
+		}
 		nd := core.NewNode(cfg)
 		lc.nodes = append(lc.nodes, nd)
+		// A Byzantine replica is the honest node behind the adversary
+		// wrapper; it joins the mesh through the wrapper so its behavior
+		// intercepts every outbound message.
+		var proto runtime.Protocol = nd
+		if behavior != "" {
+			w, err := adversary.WrapNode(nd, o.committee(), id, suite.Signer(id), behavior, 0, 0)
+			if err != nil {
+				return nil, err
+			}
+			proto = w
+		}
 		// Nodes implement runtime.PreVerifier: each loop signature-checks
 		// inbound messages on a parallel worker stage before delivery.
-		lc.mesh.AddNode(nd, lc.epoch).SetVerifyWorkers(o.VerifyWorkers)
+		lc.mesh.AddNode(proto, lc.epoch).SetVerifyWorkers(o.VerifyWorkers)
 		lc.pools = append(lc.pools, mempool.NewPool(mempool.Config{
 			Self:          types.NodeID(i),
 			MaxBatchTxs:   o.MaxBatchTxs,

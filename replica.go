@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/adversary"
 	"repro/internal/core"
 	"repro/internal/mempool"
 	"repro/internal/metrics"
@@ -35,7 +36,20 @@ type Replica struct {
 	// Commits delivers this replica's totally ordered, execution-ready
 	// batches.
 	Commits chan Committed
+
+	// observer, when set (SetCommitObserver), synchronously receives
+	// every commit before the Commits channel — which drops under
+	// backpressure. Harnesses that cross-check replica logs (the fault
+	// matrix's safety oracle) must use the observer: a dropped channel
+	// delivery would misalign an index-based log comparison.
+	observer func(Committed)
 }
+
+// SetCommitObserver registers fn to synchronously receive every commit
+// (never dropped, unlike the Commits channel). Must be called before
+// Start; fn runs on the replica's event loop and must be fast and
+// thread-safe.
+func (r *Replica) SetCommitObserver(fn func(Committed)) { r.observer = fn }
 
 // NewReplica builds replica `self` of a committee whose members listen at
 // the given addresses (all replicas must share the same Options and
@@ -50,6 +64,9 @@ type Replica struct {
 func NewReplica(self types.NodeID, addrs map[types.NodeID]string, o Options, logger *log.Logger) (*Replica, error) {
 	if len(addrs) != o.N {
 		return nil, fmt.Errorf("autobahn: %d addresses for committee of %d", len(addrs), o.N)
+	}
+	if err := o.validateAdversaries(); err != nil {
+		return nil, err
 	}
 	o.VerifySignatures = true
 	r := &Replica{
@@ -68,26 +85,49 @@ func NewReplica(self types.NodeID, addrs map[types.NodeID]string, o Options, log
 		r.journal = core.NewWALJournal(st)
 	}
 	sink := runtime.CommitSinkFunc(func(node types.NodeID, now time.Duration, cm runtime.Committed) {
-		select {
-		case r.Commits <- Committed{
+		c := Committed{
 			Replica: node, Lane: cm.Lane, Position: cm.Position,
 			Slot: cm.Slot, Batch: cm.Batch, At: now,
-		}:
+		}
+		if obs := r.observer; obs != nil {
+			obs(c)
+		}
+		select {
+		case r.Commits <- c:
 		default:
 		}
 	})
-	cfg := o.nodeConfig(self, o.suite(), sink)
+	suite := o.suite()
+	cfg := o.nodeConfig(self, suite, sink)
 	cfg.Journal = r.journal
 	// Parallel data plane (auto-sized to the hardware): lane traffic runs
 	// on per-shard workers, consensus stays serialized.
 	cfg.Shards = o.dataShards()
+	behavior := o.Adversaries[self]
+	if behavior != "" {
+		cfg.Shards = 1 // adversary wrappers are single-threaded
+	}
 	// With a WAL, journal writes group-commit: records accumulate across
 	// each event-loop burst and one Sync covers them all, with the gated
 	// sends released only after it returns (the transport loop drives
 	// the Flush hook). Without a WAL there is nothing to amortize.
 	cfg.GroupCommit = r.journal != nil
 	r.node = core.NewNode(cfg)
-	r.mesh = transport.NewTCPMesh(self, addrs, r.node, r.epoch, logger)
+	// A Byzantine replica joins the mesh behind its adversary wrapper,
+	// which intercepts every outbound message (fault-matrix testing over
+	// real sockets).
+	var proto runtime.Protocol = r.node
+	if behavior != "" {
+		w, err := adversary.WrapNode(r.node, o.committee(), self, suite.Signer(self), behavior, 0, 0)
+		if err != nil {
+			return nil, err
+		}
+		proto = w
+	}
+	r.mesh = transport.NewTCPMesh(self, addrs, proto, r.epoch, logger)
+	if o.LinkFaults != nil {
+		r.mesh.SetLinkFaults(o.LinkFaults)
+	}
 	// The node implements runtime.PreVerifier, so the mesh's loop runs
 	// inbound signature checks on a parallel worker stage.
 	r.mesh.Loop().SetVerifyWorkers(o.VerifyWorkers)

@@ -1,8 +1,10 @@
 package autobahn
 
 import (
+	"fmt"
 	"time"
 
+	"repro/internal/adversary"
 	"repro/internal/core"
 	"repro/internal/mempool"
 	"repro/internal/metrics"
@@ -55,6 +57,11 @@ func NewSimCluster(o SimOptions) *SimCluster {
 		Faults: o.Faults,
 		Seed:   o.seedOr(1),
 	})
+	if o.Faults != nil {
+		if nb := len(o.Faults.Behaviors()); nb > o.committee().F() {
+			panic(fmt.Sprintf("autobahn: %d Byzantine behaviors exceeds f=%d for n=%d", nb, o.committee().F(), o.N))
+		}
+	}
 	c := &SimCluster{Engine: eng, Recorder: rec, opts: o.Options}
 	sink := rec.Sink()
 	if o.OnCommit != nil {
@@ -87,10 +94,31 @@ func NewSimCluster(o SimOptions) *SimCluster {
 		return core.NewNode(cfg)
 	}
 	for i := 0; i < o.N; i++ {
-		nd := build(types.NodeID(i))
+		id := types.NodeID(i)
+		nd := build(id)
 		c.nodes = append(c.nodes, nd)
-		c.ids = append(c.ids, types.NodeID(i))
-		eng.AddNode(nd)
+		c.ids = append(c.ids, id)
+		// Byzantine behavior windows in the fault schedule wrap the node
+		// with the adversary layer (protocol-level misbehavior; the engine
+		// itself only models benign network faults).
+		var proto runtime.Protocol = nd
+		if o.Faults != nil {
+			if bw, ok := o.Faults.BehaviorFor(id); ok {
+				if withJournals {
+					for _, r := range o.Faults.Restarts() {
+						if r.Node == id {
+							panic(fmt.Sprintf("autobahn: replica %s has both a Restart and a behavior", id))
+						}
+					}
+				}
+				w, err := adversary.WrapNode(nd, o.committee(), id, suite.Signer(id), bw.Behavior, bw.From, bw.To)
+				if err != nil {
+					panic(err)
+				}
+				proto = w
+			}
+		}
+		eng.AddNode(proto)
 	}
 	if withJournals {
 		eng.SetRebuild(func(id types.NodeID, amnesia bool) runtime.Protocol {
