@@ -102,6 +102,29 @@ type Options struct {
 	// it. See transport.NewLinkFaults.
 	LinkFaults *transport.LinkFaults
 
+	// GossipFanout, when > 0, replaces full-mesh car broadcast with
+	// fanout-k gossip on real-time transports (LiveCluster, Replica):
+	// origins send each car to k random peers and every replica relays
+	// it once on first sight, cutting per-node data-plane egress from
+	// O(n·payload) to O(k·payload). k ≈ log2(N)+1 reaches everyone with
+	// overwhelming probability; the lane retransmission timer and sync
+	// fetches backstop the tail. Real-time runtimes only — the simulator
+	// models full-mesh dissemination and ignores this.
+	GossipFanout int
+
+	// DeltaCuts makes real-time transports delta-compress cut-bearing
+	// consensus frames (Prepare, CommitNotice) against each connection's
+	// previously sent cut, re-encoding only changed tips. Receivers need
+	// no flag (delta decoding is always on), and any gap or reconnect
+	// falls back to full frames. Real-time runtimes only.
+	DeltaCuts bool
+
+	// SequentialCerts is the large-committee benchmark baseline: disable
+	// certificate batch verification, whole-certificate memoization and
+	// the share memo, paying one raw signature verification per share on
+	// every certificate arrival. Requires VerifySignatures.
+	SequentialCerts bool
+
 	// WALPath, when set, makes a Replica journal its safety-critical
 	// protocol state to this write-ahead log before externalizing it and
 	// recover from it on restart (the paper's RocksDB persistence,
@@ -166,16 +189,17 @@ func (o Options) dataShards() int {
 // nodeConfig translates Options into the internal replica configuration.
 func (o Options) nodeConfig(self types.NodeID, suite crypto.Suite, sink runtime.CommitSink) core.Config {
 	return core.Config{
-		Committee:      o.committee(),
-		Self:           self,
-		Suite:          suite,
-		VerifySigs:     o.VerifySignatures,
-		FastPath:       !o.DisableFastPath,
-		OptimisticTips: !o.DisableOptimisticTips,
-		ViewTimeout:    o.ViewTimeout,
-		MaxParallel:    o.MaxParallelSlots,
-		Coverage:       o.Coverage,
-		Sink:           sink,
+		Committee:        o.committee(),
+		Self:             self,
+		Suite:            suite,
+		VerifySigs:       o.VerifySignatures,
+		SequentialVerify: o.SequentialCerts,
+		FastPath:         !o.DisableFastPath,
+		OptimisticTips:   !o.DisableOptimisticTips,
+		ViewTimeout:      o.ViewTimeout,
+		MaxParallel:      o.MaxParallelSlots,
+		Coverage:         o.Coverage,
+		Sink:             sink,
 	}
 }
 

@@ -47,6 +47,8 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress per-commit output")
 	pprofAddr := flag.String("pprof", "", "listen address for net/http/pprof live profiling, e.g. 127.0.0.1:6060 (optional)")
 	shards := flag.Int("shards", 0, "data-plane worker shards: lane traffic parallelism (0 = auto: one per core up to committee size, 1 = single-threaded)")
+	gossip := flag.Int("gossip", 0, "car gossip fanout k (0 = full-mesh broadcast); try log2(committee)+1 for large committees")
+	deltaCuts := flag.Bool("delta-cuts", false, "delta-compress cut-bearing consensus frames against each connection's previous cut")
 	flag.Parse()
 
 	addrList := strings.Split(*peers, ",")
@@ -63,10 +65,12 @@ func main() {
 
 	logger := log.New(os.Stderr, fmt.Sprintf("r%d ", *id), log.Ltime|log.Lmicroseconds)
 	replica, err := autobahn.NewReplica(types.NodeID(*id), addrs, autobahn.Options{
-		N:           len(addrList),
-		ViewTimeout: *timeout,
-		WALPath:     *walPath,
-		DataShards:  *shards,
+		N:            len(addrList),
+		ViewTimeout:  *timeout,
+		WALPath:      *walPath,
+		DataShards:   *shards,
+		GossipFanout: *gossip,
+		DeltaCuts:    *deltaCuts,
 	}, logger)
 	if err != nil {
 		log.Fatal(err)
@@ -126,13 +130,14 @@ func main() {
 				egress.Add(s)
 			}
 			loop := replica.LoopStats()
-			logger.Printf("committed %d txs in %d batches (slot %d); egress ctl %d frames/%d flushes, data %d frames/%d flushes, %d drops; ingress %d ctl/%d shard events, %d drops",
+			logger.Printf("committed %d txs in %d batches (slot %d); egress ctl %d frames/%d flushes (%d delta), data %d frames/%d flushes, %d drops; ingress %d ctl/%d shard events, %d drops; gossip %d origin/%d relayed/%d dup-dropped",
 				committedTx, committedBatches, c.Slot,
-				egress.Control.Frames, egress.Control.Flushes,
+				egress.Control.Frames, egress.Control.Flushes, egress.Control.DeltaFrames,
 				egress.Data.Frames, egress.Data.Flushes,
 				egress.Control.Drops+egress.Data.Drops,
 				loop.ControlEvents, loop.ShardEvents,
-				loop.InboxDrops+loop.ShardDrops)
+				loop.InboxDrops+loop.ShardDrops,
+				loop.GossipOrigin, loop.GossipRelays, loop.GossipDupDrops)
 		}
 	}
 }

@@ -9,12 +9,12 @@
 //
 // Usage:
 //
-//	bench -exp table1|fig1|fig5|fig6|fig7|fig8|ablation|restart|byzantine|ingress|scaling|faultmatrix|all [-quick] [-json out.json]
+//	bench -exp table1|fig1|fig5|fig6|fig7|fig8|ablation|restart|byzantine|ingress|scaling|committee|faultmatrix|all [-quick] [-json out.json]
 //
 // -exp accepts a comma-separated list; `all` expands to the simulator
-// figure experiments only (ingress/scaling/faultmatrix measure the real
-// runtime on real time, and byzantine — though deterministic — is owned
-// by the CI fault-matrix job; all four must be named explicitly, e.g.
+// figure experiments only (ingress/scaling/committee/faultmatrix measure
+// the real runtime on real time, and byzantine — though deterministic —
+// is owned by the CI fault-matrix job; all must be named explicitly, e.g.
 // -exp all,faultmatrix). `byzantine` runs every shipped adversary
 // behavior on the simulator; `faultmatrix` runs the same behaviors plus
 // lossy-link profiles over real TCP loopback clusters (see
@@ -64,7 +64,7 @@ func record(metric string, value float64) {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiments: table1, fig1, fig5, fig6, fig7, fig8, ablation, restart, byzantine, ingress, scaling, faultmatrix, all (= the simulator set)")
+	exp := flag.String("exp", "all", "comma-separated experiments: table1, fig1, fig5, fig6, fig7, fig8, ablation, restart, byzantine, ingress, scaling, committee, faultmatrix, all (= the simulator set)")
 	quick := flag.Bool("quick", false, "reduced sweeps for a fast smoke run")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	jsonPath := flag.String("json", "", "write machine-readable per-experiment metrics to this file")
@@ -80,7 +80,7 @@ func main() {
 	// wall-clock-bound real-runtime probes run only when named, and so
 	// does `byzantine` (deterministic, but owned by the CI fault-matrix
 	// job — including it in `all` would run the whole suite twice per PR).
-	notInAll := map[string]bool{"ingress": true, "scaling": true, "faultmatrix": true, "byzantine": true}
+	notInAll := map[string]bool{"ingress": true, "scaling": true, "faultmatrix": true, "byzantine": true, "committee": true}
 	run := func(name string, fn func()) {
 		if !want[name] && !(want["all"] && !notInAll[name]) {
 			return
@@ -239,6 +239,7 @@ func main() {
 	run("byzantine", func() { runByzantine(*quick, *seed) })
 	run("ingress", runIngress)
 	run("scaling", func() { runScaling(*quick) })
+	run("committee", func() { runCommittee(*quick, *seed) })
 	run("faultmatrix", func() { runFaultMatrix(*quick, *seed) })
 
 	if *jsonPath != "" {

@@ -68,5 +68,8 @@ func verifyCert(committee types.Committee, v crypto.Verifier, c *Cert) error {
 	for _, sh := range c.Shares {
 		bv.Add(sh.Signer, msg, sh.Sig)
 	}
-	return bv.Verify()
+	// Whole-cert verdict memoized (VerifyCache verifiers): a DAG cert is
+	// re-verified once per child header that references it, which the
+	// memo collapses to one lookup per re-arrival.
+	return bv.VerifyCert("bullshark-cert")
 }

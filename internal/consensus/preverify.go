@@ -79,15 +79,19 @@ func verifyPrepareSigs(committee types.Committee, v crypto.Verifier, prep *types
 			return err
 		}
 	}
-	bv := crypto.NewBatchVerifier(v)
+	// Each tip's PoA verifies as its own memoized certificate rather than
+	// one merged share batch: the same PoA re-appears across consecutive
+	// cuts (slow lanes keep their tip for many slots) and in standalone
+	// broadcasts, so per-cert memoization turns the n-tips-×-f+1-shares
+	// cost of a repeat Prepare into n lookups.
 	for i := range prep.Proposal.Cut.Tips {
 		if cert := prep.Proposal.Cut.Tips[i].Cert; cert != nil {
-			if err := bv.AddPoA(committee, cert); err != nil {
+			if err := crypto.VerifyPoA(v, committee, cert); err != nil {
 				return err
 			}
 		}
 	}
-	return bv.Verify()
+	return nil
 }
 
 func verifyTimeoutSigs(committee types.Committee, v crypto.Verifier, optimisticTips bool, t *types.Timeout) error {

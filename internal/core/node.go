@@ -97,6 +97,13 @@ type Config struct {
 	// lane would never receive an event.
 	Shards int
 
+	// SequentialVerify is the large-committee baseline switch: the
+	// verifier is used raw — no share memo, no whole-certificate memo,
+	// no parallel striping — so every certificate costs its full
+	// per-share signature-verification bill on every arrival. Benchmarks
+	// only; requires VerifySigs.
+	SequentialVerify bool
+
 	// Journal durably records safety-critical protocol state before it is
 	// externalized, and seeds recovery on restart (default: NopJournal —
 	// the replica restarts with amnesia). See journal.go. Sharded
@@ -264,8 +271,15 @@ func NewNode(cfg Config) *Node {
 		recentNotices: make(map[types.Slot]*types.CommitNotice),
 	}
 	if cfg.VerifySigs {
-		n.vcache = crypto.NewVerifyCache(n.verifier, 0)
-		n.verifier = n.vcache
+		if cfg.SequentialVerify {
+			// Benchmark baseline: the marker wrapper pins quorum helpers
+			// and BatchVerifier to one raw Verify per share — no memo, no
+			// batching, no striping.
+			n.verifier = crypto.Sequential(n.verifier)
+		} else {
+			n.vcache = crypto.NewVerifyCache(n.verifier, 0)
+			n.verifier = n.vcache
+		}
 	}
 	n.lanePV = lane.PreVerifier{Committee: cfg.Committee, Verifier: n.verifier}
 	n.consPV = consensus.PreVerifier{
@@ -360,6 +374,16 @@ func (n *Node) recover() {
 
 // Stats returns a snapshot of node counters.
 func (n *Node) Stats() Stats { return n.stats.snapshot() }
+
+// CertCacheStats reports the whole-certificate verdict memo's hit/miss
+// counters — the observability hook for the batch-verification fast
+// path. Zero without VerifySigs, and with SequentialVerify (no memo).
+func (n *Node) CertCacheStats() (hits, misses uint64) {
+	if n.vcache == nil {
+		return 0, 0
+	}
+	return n.vcache.CertStats()
+}
 
 // Lanes exposes lane state (tests and examples).
 func (n *Node) Lanes() *lane.State { return n.lanes }

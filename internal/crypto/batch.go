@@ -65,11 +65,25 @@ type VerifyCache struct {
 	young    map[memoKey]struct{}
 	old      map[memoKey]struct{}
 
+	// Whole-certificate verdict memo (same two-generation scheme,
+	// separate maps): a key here attests that an entire cert — every
+	// share, threshold and distinctness included — verified under one of
+	// the quorum helpers. Certificates re-arrive constantly (a PoA rides
+	// in its car, then standalone, then in every cut that includes the
+	// tip; a CommitQC rides the notice, the ticket and the commit-reply
+	// path), and at large committees each re-arrival would otherwise
+	// cost n share-memo lookups; the cert memo collapses it to one.
+	certYoung map[[32]byte]struct{}
+	certOld   map[[32]byte]struct{}
+
 	// Counters are atomic: the hit path must stay lock-free beyond the
 	// read lock — it is shared between the event loop and every
 	// pre-verification worker.
 	hits   atomic.Uint64
 	misses atomic.Uint64
+
+	certHits   atomic.Uint64
+	certMisses atomic.Uint64
 }
 
 // NewVerifyCache wraps v with a memo holding at least capacity verified
@@ -79,10 +93,12 @@ func NewVerifyCache(v Verifier, capacity int) *VerifyCache {
 		capacity = 1 << 14
 	}
 	return &VerifyCache{
-		inner:    v,
-		capacity: capacity,
-		young:    make(map[memoKey]struct{}),
-		old:      make(map[memoKey]struct{}),
+		inner:     v,
+		capacity:  capacity,
+		young:     make(map[memoKey]struct{}),
+		old:       make(map[memoKey]struct{}),
+		certYoung: make(map[[32]byte]struct{}),
+		certOld:   make(map[[32]byte]struct{}),
 	}
 }
 
@@ -134,6 +150,60 @@ func (c *VerifyCache) Cached(signer types.NodeID, msg, sig []byte) bool {
 // Stats returns the memo hit/miss counters.
 func (c *VerifyCache) Stats() (hits, misses uint64) {
 	return c.hits.Load(), c.misses.Load()
+}
+
+// CertStats returns the whole-certificate verdict memo counters.
+func (c *VerifyCache) CertStats() (hits, misses uint64) {
+	return c.certHits.Load(), c.certMisses.Load()
+}
+
+// certHit reports (and counts) whether a whole-cert verdict is memoized.
+func (c *VerifyCache) certHit(k [32]byte) bool {
+	c.mu.RLock()
+	_, ok := c.certYoung[k]
+	if !ok {
+		_, ok = c.certOld[k]
+	}
+	c.mu.RUnlock()
+	if ok {
+		c.certHits.Add(1)
+	}
+	return ok
+}
+
+// certInsert memoizes a whole-cert verdict. Only certificates whose every
+// share verified may be inserted — a forged cert must never be cached.
+func (c *VerifyCache) certInsert(k [32]byte) {
+	c.certMisses.Add(1)
+	c.mu.Lock()
+	if len(c.certYoung) >= c.capacity {
+		c.certOld = c.certYoung
+		c.certYoung = make(map[[32]byte]struct{}, c.capacity)
+	}
+	c.certYoung[k] = struct{}{}
+	c.mu.Unlock()
+}
+
+// SequentialVerifier marks the legacy certificate-verification path: the
+// quorum helpers and BatchVerifier check every share with one inline
+// Verify call each — no batching, no parallel striping, and no memo of
+// either shares or whole-cert verdicts. It exists as the measured
+// baseline for the committee-scaling benchmark (`bench -exp committee`),
+// so the batch/memo speedup is quantified against the naive path rather
+// than asserted.
+type SequentialVerifier struct {
+	inner Verifier
+}
+
+// Sequential wraps v so certificate verification takes the sequential
+// baseline path: the quorum helpers see the wrapper type and fall back
+// to one inline Verify per share. Wrap the suite's raw verifier (not a
+// VerifyCache) to measure the fully un-memoized baseline.
+func Sequential(v Verifier) *SequentialVerifier { return &SequentialVerifier{inner: v} }
+
+// Verify implements Verifier by delegating to the wrapped verifier.
+func (s *SequentialVerifier) Verify(signer types.NodeID, msg, sig []byte) bool {
+	return s.inner.Verify(signer, msg, sig)
 }
 
 // batchItem is one queued signature check.
@@ -205,18 +275,135 @@ func (b *BatchVerifier) Verify() error {
 	if len(items) == 0 {
 		return nil
 	}
-	workers := gort.GOMAXPROCS(0)
-	if workers > len(items) {
-		workers = len(items)
+	if bad := verifyRange(b.v, items); bad >= 0 {
+		return fmt.Errorf("crypto: invalid signature from %s in batch of %d", items[bad].signer, len(items))
 	}
-	if len(items) < parallelThreshold || workers < 2 {
+	return nil
+}
+
+// VerifyCert is Verify for the queued shares of ONE certificate, with
+// whole-cert amortization on top of the per-share path: when the
+// underlying verifier is a VerifyCache, the cert's verdict — keyed by a
+// digest over domain and every (signer, msg, sig) triple — is memoized,
+// so a re-arriving certificate costs one hash and one map lookup instead
+// of n share checks. domain separates certificate kinds that could
+// otherwise collide on identical share sets (PoA vs QC framings).
+//
+// The happy path is one batched verification of all shares (parallel
+// striping, pass/fail only). Only when that batch REJECTS does the
+// per-share bisection run, to name the forged share in the error — the
+// attribution cost is paid exclusively by invalid certificates.
+//
+// A *SequentialVerifier forces the legacy path instead: one inline check
+// per share, no memo, no batching (the committee-scaling baseline).
+func (b *BatchVerifier) VerifyCert(domain string) error {
+	items := b.items
+	b.items = nil
+	if len(items) == 0 {
+		return nil
+	}
+	if sv, ok := b.v.(*SequentialVerifier); ok {
 		for i := range items {
 			it := &items[i]
-			if !b.v.Verify(it.signer, it.msg, it.sig) {
+			if !sv.inner.Verify(it.signer, it.msg, it.sig) {
 				return fmt.Errorf("crypto: invalid signature from %s in batch of %d", it.signer, len(items))
 			}
 		}
 		return nil
+	}
+	cache, _ := b.v.(*VerifyCache)
+	var key [32]byte
+	if cache != nil {
+		key = certFingerprint(domain, items)
+		if cache.certHit(key) {
+			return nil
+		}
+	}
+	if !allValid(b.v, items) {
+		// Batch failure: bisect to attribute the forgery. The valid
+		// shares checked along the way still land in the share memo (when
+		// cached), so an attacker padding real shares with one forgery
+		// cannot make honest replicas re-pay for the real ones.
+		bad := bisect(b.v, items)
+		return fmt.Errorf("crypto: invalid signature from %s in batch of %d", items[bad].signer, len(items))
+	}
+	if cache != nil {
+		cache.certInsert(key)
+	}
+	return nil
+}
+
+// certFingerprint digests one certificate's identity for the verdict
+// memo: the domain tag plus every queued (signer, msg, sig) triple, all
+// length-prefixed. Any change to any share — content, signature, order,
+// count — yields a different key.
+func certFingerprint(domain string, items []batchItem) [32]byte {
+	h := sha256.New()
+	var n [8]byte
+	binary.LittleEndian.PutUint32(n[:4], uint32(len(domain)))
+	binary.LittleEndian.PutUint32(n[4:], uint32(len(items)))
+	h.Write(n[:])
+	h.Write([]byte(domain))
+	for i := range items {
+		it := &items[i]
+		binary.LittleEndian.PutUint32(n[:4], uint32(it.signer))
+		binary.LittleEndian.PutUint32(n[4:], uint32(len(it.msg)))
+		h.Write(n[:])
+		h.Write(it.msg)
+		binary.LittleEndian.PutUint32(n[:4], uint32(len(it.sig)))
+		h.Write(n[:4])
+		h.Write(it.sig)
+	}
+	var key [32]byte
+	h.Sum(key[:0])
+	return key
+}
+
+// allValid runs one batched pass over items — pass/fail only, with the
+// curve arithmetic striped across cores above parallelThreshold.
+func allValid(v Verifier, items []batchItem) bool {
+	return verifyRange(v, items) < 0
+}
+
+// bisect locates one invalid share in a batch that failed its all-or-
+// nothing check: verify halves as sub-batches and descend into a failing
+// half until a single share remains. With one forgery among n shares
+// this is O(log n) sub-batch passes over shares that (under a
+// VerifyCache) are mostly memo hits by the second level; with multiple
+// forgeries it attributes the first one found. items must contain at
+// least one invalid share.
+func bisect(v Verifier, items []batchItem) int {
+	lo, hi := 0, len(items)
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if !allValid(v, items[lo:mid]) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return lo
+}
+
+// verifyRange checks every item, returning the lowest invalid index or
+// -1. Small batches (or single-core hosts) run inline; larger ones
+// stripe the work across GOMAXPROCS goroutines.
+func verifyRange(v Verifier, items []batchItem) int {
+	workers := gort.GOMAXPROCS(0)
+	if workers > len(items) {
+		workers = len(items)
+	}
+	if _, seq := v.(*SequentialVerifier); seq {
+		workers = 1 // baseline path: no parallel striping either
+	}
+	if len(items) < parallelThreshold || workers < 2 {
+		for i := range items {
+			it := &items[i]
+			if !v.Verify(it.signer, it.msg, it.sig) {
+				return i
+			}
+		}
+		return -1
 	}
 	var (
 		mu  sync.Mutex
@@ -232,7 +419,7 @@ func (b *BatchVerifier) Verify() error {
 			defer wg.Done()
 			for i := w; i < len(items); i += workers {
 				it := &items[i]
-				if !b.v.Verify(it.signer, it.msg, it.sig) {
+				if !v.Verify(it.signer, it.msg, it.sig) {
 					mu.Lock()
 					if bad < 0 || i < bad {
 						bad = i
@@ -244,8 +431,5 @@ func (b *BatchVerifier) Verify() error {
 		}(w)
 	}
 	wg.Wait()
-	if bad >= 0 {
-		return fmt.Errorf("crypto: invalid signature from %s in batch of %d", items[bad].signer, len(items))
-	}
-	return nil
+	return bad
 }

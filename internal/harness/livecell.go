@@ -20,6 +20,14 @@ import (
 // semantics, drain behavior and observer wiring cannot diverge between
 // them.
 type LiveCellConfig struct {
+	// N is the committee size (default 4). Larger committees exercise
+	// the large-committee fast path (gossip, delta cuts) end to end.
+	N int
+	// GossipFanout, when > 0, enables fanout-k car gossip on every
+	// replica (Options.GossipFanout).
+	GossipFanout int
+	// DeltaCuts enables delta-compressed cut frames on every replica.
+	DeltaCuts bool
 	// Adversary names the behavior replica 2 runs ("" = all honest).
 	Adversary string
 	// Rule, when non-zero, is installed on every replica's egress.
@@ -67,7 +75,10 @@ type LinkFaultStats = transport.LinkFaultStats
 
 // RunLiveTCPCell executes one cell; see LiveCellConfig.
 func RunLiveTCPCell(cfg LiveCellConfig) LiveCellResult {
-	const n = 4
+	n := cfg.N
+	if n == 0 {
+		n = 4
+	}
 	if cfg.DrainTimeout == 0 {
 		cfg.DrainTimeout = 30 * time.Second
 	}
@@ -77,7 +88,10 @@ func RunLiveTCPCell(cfg LiveCellConfig) LiveCellResult {
 		res.Err = err
 		return res
 	}
-	opts := autobahn.Options{N: n, Seed: cfg.Seed, MaxBatchDelay: 10 * time.Millisecond}
+	opts := autobahn.Options{
+		N: n, Seed: cfg.Seed, MaxBatchDelay: 10 * time.Millisecond,
+		GossipFanout: cfg.GossipFanout, DeltaCuts: cfg.DeltaCuts,
+	}
 	if cfg.Adversary != "" {
 		opts.Adversaries = map[types.NodeID]string{2: cfg.Adversary}
 	}
@@ -88,7 +102,7 @@ func RunLiveTCPCell(cfg LiveCellConfig) LiveCellResult {
 	}
 
 	ci := NewCommitInterceptor()
-	var perReplica [n]atomic.Uint64
+	perReplica := make([]atomic.Uint64, n)
 	replicas := make([]*autobahn.Replica, n)
 	defer func() {
 		for _, r := range replicas {

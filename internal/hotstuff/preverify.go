@@ -64,5 +64,8 @@ func verifyQC(committee types.Committee, v crypto.Verifier, qc *QC) error {
 	for _, sh := range qc.Shares {
 		bv.Add(sh.Signer, msg, sh.Sig)
 	}
-	return bv.Verify()
+	// Whole-QC verdict memoized (VerifyCache verifiers): the same justify
+	// QC arrives in the proposal and again in every NewView that carries
+	// it, and the inline re-check is then a single lookup.
+	return bv.VerifyCert("hotstuff-qc")
 }

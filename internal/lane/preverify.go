@@ -25,24 +25,18 @@ type PreVerifier struct {
 // PreVerify implements the runtime.PreVerifier contract for *Proposal,
 // *Vote and *PoA; other message types pass through untouched.
 func (pv *PreVerifier) PreVerify(_ types.NodeID, m types.Message) error {
-	bv := crypto.NewBatchVerifier(pv.Verifier)
 	switch msg := m.(type) {
 	case *types.Proposal:
-		if err := CollectProposalSigs(pv.Committee, bv, msg); err != nil {
-			return err
-		}
+		return VerifyProposalSigs(pv.Committee, pv.Verifier, msg)
 	case *types.Vote:
-		if err := CollectVoteSig(pv.Committee, bv, msg); err != nil {
-			return err
-		}
+		return VerifyVoteSig(pv.Committee, pv.Verifier, msg)
 	case *types.PoA:
-		if err := bv.AddPoA(pv.Committee, msg); err != nil {
-			return err
-		}
-	default:
-		return nil
+		// The standalone-PoA broadcast takes the memoized whole-cert
+		// path: the state machine's inline re-check (lane.OnPoA,
+		// ValidateCut) then resolves to one cert-memo lookup.
+		return crypto.VerifyPoA(pv.Verifier, pv.Committee, msg)
 	}
-	return bv.Verify()
+	return nil
 }
 
 // CollectProposalSigs queues a proposal's signature checks — the
@@ -64,14 +58,24 @@ func CollectProposalSigs(committee types.Committee, bv *crypto.BatchVerifier, p 
 	return nil
 }
 
-// VerifyProposalSigs runs CollectProposalSigs to completion on its own
-// batch — the inline form used by the state machine.
+// VerifyProposalSigs is the inline form used by the state machine and
+// the single-proposal pre-verification path: the proposer's signature is
+// checked directly (one share-memo hit on re-check) and the parent PoA
+// as a memoized whole certificate.
 func VerifyProposalSigs(committee types.Committee, v crypto.Verifier, p *types.Proposal) error {
-	bv := crypto.NewBatchVerifier(v)
-	if err := CollectProposalSigs(committee, bv, p); err != nil {
-		return err
+	if !committee.Valid(p.Lane) {
+		return fmt.Errorf("lane: proposal for unknown lane %s", p.Lane)
 	}
-	return bv.Verify()
+	if !v.Verify(p.Lane, p.SigningBytes(), p.Sig) {
+		return fmt.Errorf("lane: bad proposal signature from %s", p.Lane)
+	}
+	if p.ParentPoA != nil {
+		if p.Position <= 1 || p.ParentPoA.Lane != p.Lane || p.ParentPoA.Position != p.Position-1 || p.ParentPoA.Digest != p.Parent {
+			return fmt.Errorf("lane: parent PoA does not certify parent")
+		}
+		return crypto.VerifyPoA(v, committee, p.ParentPoA)
+	}
+	return nil
 }
 
 // CollectVoteSig queues a lane vote's signature check. Stateless.

@@ -18,6 +18,10 @@ type PlaneCounters struct {
 	Bytes atomic.Uint64
 	// Drops counts frames discarded because the peer's queue was full.
 	Drops atomic.Uint64
+	// DeltaFrames counts frames written delta-compressed against the
+	// connection's previous cut instead of full-size (subset of Frames;
+	// zero unless delta cuts are enabled).
+	DeltaFrames atomic.Uint64
 }
 
 // PeerTransport instruments one peer link across both planes.
@@ -31,7 +35,7 @@ type PeerTransport struct {
 
 // PlaneSnapshot is a plain-value copy of PlaneCounters.
 type PlaneSnapshot struct {
-	Frames, Flushes, Bytes, Drops uint64
+	Frames, Flushes, Bytes, Drops, DeltaFrames uint64
 }
 
 // TransportSnapshot is a plain-value copy of PeerTransport.
@@ -42,10 +46,11 @@ type TransportSnapshot struct {
 
 func (p *PlaneCounters) snapshot() PlaneSnapshot {
 	return PlaneSnapshot{
-		Frames:  p.Frames.Load(),
-		Flushes: p.Flushes.Load(),
-		Bytes:   p.Bytes.Load(),
-		Drops:   p.Drops.Load(),
+		Frames:      p.Frames.Load(),
+		Flushes:     p.Flushes.Load(),
+		Bytes:       p.Bytes.Load(),
+		Drops:       p.Drops.Load(),
+		DeltaFrames: p.DeltaFrames.Load(),
 	}
 }
 
@@ -72,4 +77,5 @@ func (p *PlaneSnapshot) add(o PlaneSnapshot) {
 	p.Flushes += o.Flushes
 	p.Bytes += o.Bytes
 	p.Drops += o.Drops
+	p.DeltaFrames += o.DeltaFrames
 }

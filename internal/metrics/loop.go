@@ -19,19 +19,32 @@ type LoopCounters struct {
 	// event is the one dropped (see transport.Loop's queueing contract).
 	InboxDrops atomic.Uint64
 	ShardDrops atomic.Uint64
+	// Gossip car-dissemination counters (zero unless the mesh runs with
+	// gossip enabled). GossipOrigin counts cars this replica originated
+	// through the fanout sampler (instead of full-mesh broadcast);
+	// GossipRelays counts inbound cars re-forwarded to sampled peers;
+	// GossipDupDrops counts duplicate arrivals suppressed by the
+	// relay-once dedup before delivery.
+	GossipOrigin   atomic.Uint64
+	GossipRelays   atomic.Uint64
+	GossipDupDrops atomic.Uint64
 }
 
 // LoopSnapshot is a plain-value copy of LoopCounters.
 type LoopSnapshot struct {
 	ControlEvents, ShardEvents, InboxDrops, ShardDrops uint64
+	GossipOrigin, GossipRelays, GossipDupDrops         uint64
 }
 
 // Snapshot copies the counters into plain values.
 func (c *LoopCounters) Snapshot() LoopSnapshot {
 	return LoopSnapshot{
-		ControlEvents: c.ControlEvents.Load(),
-		ShardEvents:   c.ShardEvents.Load(),
-		InboxDrops:    c.InboxDrops.Load(),
-		ShardDrops:    c.ShardDrops.Load(),
+		ControlEvents:  c.ControlEvents.Load(),
+		ShardEvents:    c.ShardEvents.Load(),
+		InboxDrops:     c.InboxDrops.Load(),
+		ShardDrops:     c.ShardDrops.Load(),
+		GossipOrigin:   c.GossipOrigin.Load(),
+		GossipRelays:   c.GossipRelays.Load(),
+		GossipDupDrops: c.GossipDupDrops.Load(),
 	}
 }

@@ -1,0 +1,126 @@
+package transport
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/types"
+)
+
+func deltaTestCut(n int, round int) types.Cut {
+	cut := types.NewEmptyCut(n)
+	for i := 0; i < n; i++ {
+		sig := make([]byte, 64)
+		sig[0] = byte(i)
+		cut.Tips[i] = types.TipRef{
+			Lane: types.NodeID(i), Position: 3, Digest: types.Digest{byte(i + 1)},
+			Cert: &types.PoA{
+				Lane: types.NodeID(i), Position: 3, Digest: types.Digest{byte(i + 1)},
+				Shares: []types.SigShare{
+					{Signer: 0, Sig: sig},
+					{Signer: 1, Sig: append([]byte(nil), sig...)},
+				},
+			},
+		}
+	}
+	// Later rounds advance one lane's tip, the typical slot-over-slot
+	// overlap a delta exploits.
+	if round > 0 {
+		cut.Tips[0].Position = types.Pos(3 + round)
+		cut.Tips[0].Digest = types.Digest{0xf0, byte(round)}
+		cut.Tips[0].Cert = nil // optimistic tip
+	}
+	return cut
+}
+
+// TestTCPMeshDeltaCuts drives cut-bearing Prepares through a delta-
+// enabled sender: the receiver must reconstruct every message intact
+// (stream-order state, no flag needed on its side) and the sender's
+// DeltaFrames counter must show the compression actually engaged.
+func TestTCPMeshDeltaCuts(t *testing.T) {
+	ports := freePorts(t, 2)
+	addrs := map[types.NodeID]string{0: ports[0], 1: ports[1]}
+	epoch := time.Now()
+	a, b := &collector{}, &collector{}
+	ma := NewTCPMesh(0, addrs, a, epoch, nil)
+	ma.EnableDeltaCuts()
+	mb := NewTCPMesh(1, addrs, b, epoch, nil)
+	if err := ma.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer ma.Stop()
+	if err := mb.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer mb.Stop()
+
+	const msgs = 6
+	sent := make([]*types.Prepare, msgs)
+	for i := 0; i < msgs; i++ {
+		// Rounds 0-2 repeat one cut (the CommitNotice-after-Prepare case:
+		// pure 36-byte deltas); rounds 3-5 advance one tip per slot.
+		round := 0
+		if i >= 3 {
+			round = i - 2
+		}
+		sent[i] = &types.Prepare{
+			Leader:   0,
+			Proposal: types.ConsensusProposal{Slot: types.Slot(i + 1), View: 0, Cut: deltaTestCut(4, round)},
+			Ticket:   types.Ticket{Kind: types.TicketCommit},
+			Sig:      make([]byte, 64),
+		}
+		ma.Send(0, 1, sent[i])
+	}
+	waitFor(t, func() bool { return b.count() == msgs }, "delta-framed delivery")
+
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i, m := range b.msgs {
+		got, ok := m.(*types.Prepare)
+		if !ok {
+			t.Fatalf("message %d: %T, want *types.Prepare", i, m)
+		}
+		if !reflect.DeepEqual(sent[i], got) {
+			t.Fatalf("message %d reconstructed wrong:\n in: %#v\nout: %#v", i, sent[i], got)
+		}
+	}
+	deltas := ma.PeerStats()[1].Control.DeltaFrames
+	if deltas == 0 {
+		t.Fatal("no delta frames on the wire despite overlapping consecutive cuts")
+	}
+	t.Logf("delta frames: %d of %d", deltas, msgs)
+}
+
+// TestTCPMeshDeltaDisabledByDefault: without EnableDeltaCuts the sender
+// must emit only full frames — the knob gates the sender, never the
+// receiver.
+func TestTCPMeshDeltaDisabledByDefault(t *testing.T) {
+	ports := freePorts(t, 2)
+	addrs := map[types.NodeID]string{0: ports[0], 1: ports[1]}
+	epoch := time.Now()
+	a, b := &collector{}, &collector{}
+	ma := NewTCPMesh(0, addrs, a, epoch, nil)
+	mb := NewTCPMesh(1, addrs, b, epoch, nil)
+	if err := ma.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer ma.Stop()
+	if err := mb.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer mb.Stop()
+
+	for i := 0; i < 3; i++ {
+		ma.Send(0, 1, &types.Prepare{
+			Leader:   0,
+			Proposal: types.ConsensusProposal{Slot: types.Slot(i + 1), View: 0, Cut: deltaTestCut(4, 0)},
+			Ticket:   types.Ticket{Kind: types.TicketCommit},
+			Sig:      make([]byte, 64),
+		})
+	}
+	waitFor(t, func() bool { return b.count() == 3 }, "full-frame delivery")
+	if deltas := ma.PeerStats()[1].Control.DeltaFrames; deltas != 0 {
+		t.Fatalf("%d delta frames emitted without EnableDeltaCuts", deltas)
+	}
+}

@@ -1,0 +1,115 @@
+package transport
+
+import (
+	"math/rand/v2"
+	"sort"
+	"sync"
+
+	"repro/internal/types"
+)
+
+// Gossip car dissemination. Full-mesh broadcast of cars costs every
+// replica O(n·payload) egress per car it originates — the data-plane
+// bill that dominates at large committees. With gossip enabled, the
+// origin sends each car to a random fanout-k sample of peers, and every
+// replica relays a car exactly once (on first sight, to a fresh random
+// sample that excludes the sender, the origin and itself). Expected
+// per-replica data-plane egress drops to O(k·payload) while the relay
+// graph — a random k-out digraph re-sampled per car — reaches all n
+// replicas with overwhelming probability for k ≥ ~log n.
+//
+// Delivery is probabilistic, not guaranteed, and the protocol already
+// tolerates that: the lane layer's car-retransmission timer re-gossips
+// an uncertified tip to a fresh sample each tick, and the gap/execute
+// sync paths fetch anything a cut references that never arrived. Those
+// are the liveness backstops; gossip only needs to make them rare.
+//
+// Only cars (MsgProposal) gossip. PoA votes, consensus traffic and sync
+// replies stay point-to-point on their usual planes: they are small,
+// latency-critical, and their recipients are determined by the protocol
+// rather than by coverage.
+//
+// Relaying happens after dedup but before signature verification: a
+// forged car costs the network k extra copies per first-sight hop
+// before the verifier kills it at every honest replica. That bounded
+// amplification (the standard gossip trade-off) buys cut-through
+// latency — a car crosses the network in hash-check time per hop, not
+// signature-check time.
+type gossipState struct {
+	mu     sync.Mutex
+	fanout int
+	rng    *rand.Rand
+	// Two-generation seen-set over car digests (same scheme as
+	// crypto.VerifyCache): inserts go to young; when young fills, old is
+	// discarded and young becomes old. Bounded memory, and an entry
+	// survives at least `cap` and at most 2·`cap` distinct inserts —
+	// far longer than any duplicate window the retransmission timer or
+	// link-fault duplication can produce.
+	young, old map[types.Digest]struct{}
+	cap        int
+}
+
+func newGossipState(fanout int, seed uint64) *gossipState {
+	const defaultCap = 1 << 14
+	return &gossipState{
+		fanout: fanout,
+		rng:    rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)),
+		young:  make(map[types.Digest]struct{}, defaultCap),
+		old:    make(map[types.Digest]struct{}),
+		cap:    defaultCap,
+	}
+}
+
+// firstSeen reports whether d is new, marking it seen.
+func (g *gossipState) firstSeen(d types.Digest) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.young[d]; ok {
+		return false
+	}
+	if _, ok := g.old[d]; ok {
+		return false
+	}
+	if len(g.young) >= g.cap {
+		g.old = g.young
+		g.young = make(map[types.Digest]struct{}, g.cap)
+	}
+	g.young[d] = struct{}{}
+	return true
+}
+
+// sample picks up to fanout distinct peers from candidates, excluding
+// any ID for which skip returns true. candidates is never mutated.
+func (g *gossipState) sample(candidates []types.NodeID, skip func(types.NodeID) bool) []types.NodeID {
+	eligible := make([]types.NodeID, 0, len(candidates))
+	for _, id := range candidates {
+		if !skip(id) {
+			eligible = append(eligible, id)
+		}
+	}
+	k := g.fanout
+	if k >= len(eligible) {
+		return eligible
+	}
+	// Partial Fisher-Yates: k draws, O(k), unbiased.
+	g.mu.Lock()
+	for i := 0; i < k; i++ {
+		j := i + int(g.rng.IntN(len(eligible)-i))
+		eligible[i], eligible[j] = eligible[j], eligible[i]
+	}
+	g.mu.Unlock()
+	return eligible[:k]
+}
+
+// sortedPeers returns the committee IDs in addrs except self, sorted —
+// the stable candidate list gossip samples from.
+func sortedPeers(addrs map[types.NodeID]string, self types.NodeID) []types.NodeID {
+	peers := make([]types.NodeID, 0, len(addrs))
+	for id := range addrs {
+		if id != self {
+			peers = append(peers, id)
+		}
+	}
+	sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
+	return peers
+}

@@ -1,0 +1,250 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/runtime"
+	"repro/internal/types"
+)
+
+// digestCounter is a Protocol counting proposal arrivals per digest —
+// the exactly-once oracle for the gossip tests.
+type digestCounter struct {
+	mu  sync.Mutex
+	got map[types.Digest]int
+}
+
+func newDigestCounter() *digestCounter {
+	return &digestCounter{got: make(map[types.Digest]int)}
+}
+
+func (c *digestCounter) Init(runtime.Context) {}
+func (c *digestCounter) OnMessage(_ runtime.Context, _ types.NodeID, m types.Message) {
+	if p, ok := m.(*types.Proposal); ok {
+		c.mu.Lock()
+		c.got[p.Digest()]++
+		c.mu.Unlock()
+	}
+}
+func (c *digestCounter) OnTimer(runtime.Context, runtime.TimerTag)   {}
+func (c *digestCounter) OnClientBatch(runtime.Context, *types.Batch) {}
+
+func (c *digestCounter) distinct() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.got)
+}
+
+func (c *digestCounter) maxCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	max := 0
+	for _, n := range c.got {
+		if n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+func gossipCars(n int) []*types.Proposal {
+	cars := make([]*types.Proposal, n)
+	for i := range cars {
+		pos := types.Pos(i + 1)
+		cars[i] = &types.Proposal{
+			Lane: 0, Position: pos,
+			Batch: types.NewBatch(0, uint64(pos), []types.Transaction{[]byte(fmt.Sprintf("car-%03d", i))}, 0),
+			Sig:   make([]byte, 64),
+		}
+	}
+	return cars
+}
+
+// TestGossipStateSample pins the sampler: k distinct targets, the skip
+// predicate honored, degenerate fanout covering everyone.
+func TestGossipStateSample(t *testing.T) {
+	ids := []types.NodeID{0, 1, 2, 3, 4, 5, 6, 7}
+	g := newGossipState(3, 42)
+	for round := 0; round < 50; round++ {
+		s := g.sample(ids, func(id types.NodeID) bool { return id == 0 || id == 3 })
+		if len(s) != 3 {
+			t.Fatalf("sample size %d, want 3", len(s))
+		}
+		seen := make(map[types.NodeID]bool)
+		for _, id := range s {
+			if id == 0 || id == 3 {
+				t.Fatalf("sample included skipped id %s", id)
+			}
+			if seen[id] {
+				t.Fatalf("sample repeated id %s", id)
+			}
+			seen[id] = true
+		}
+	}
+	// Fanout at or above the eligible count degenerates to everyone.
+	wide := newGossipState(10, 1)
+	if s := wide.sample(ids, func(id types.NodeID) bool { return id == 7 }); len(s) != 7 {
+		t.Fatalf("degenerate sample covered %d of 7 eligible", len(s))
+	}
+}
+
+// TestGossipFirstSeen: the dedup memo admits a digest once, across the
+// two-generation rotation.
+func TestGossipFirstSeen(t *testing.T) {
+	g := newGossipState(2, 7)
+	d := types.Digest{1}
+	if !g.firstSeen(d) {
+		t.Fatal("fresh digest reported as seen")
+	}
+	if g.firstSeen(d) {
+		t.Fatal("repeated digest reported as first sight")
+	}
+}
+
+// TestLocalMeshGossipExactlyOnceUnderFaults floods a duplicating,
+// reordering in-process mesh with gossip-disseminated cars: with the
+// origin retransmitting (the protocol's carRetransmit backstop), every
+// peer must receive every car EXACTLY once at the protocol layer — the
+// dedup memo absorbs link duplicates, relay overlap and retransmissions
+// alike — and the relay/dup counters must advance.
+func TestLocalMeshGossipExactlyOnceUnderFaults(t *testing.T) {
+	const n, cars = 8, 24
+	mesh := NewLocalMesh()
+	mesh.Faults = NewLinkFaults(11).SetAll(LinkRule{DupP: 0.5, Jitter: 2 * time.Millisecond})
+	cols := make([]*digestCounter, n)
+	for i := range cols {
+		cols[i] = newDigestCounter()
+		mesh.AddNode(cols[i], time.Now())
+	}
+	mesh.EnableGossip(3, 17)
+	mesh.Start()
+	defer mesh.Stop()
+
+	proposals := gossipCars(cars)
+	covered := func() bool {
+		for i := 1; i < n; i++ {
+			if cols[i].distinct() < cars {
+				return false
+			}
+		}
+		return true
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for !covered() && time.Now().Before(deadline) {
+		// Retransmission draws a fresh sample per car (gossip.go); peers
+		// that already have the car dedup it.
+		for _, p := range proposals {
+			mesh.Loop(0).Broadcast(p)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !covered() {
+		for i := 1; i < n; i++ {
+			t.Logf("node %d: %d/%d cars", i, cols[i].distinct(), cars)
+		}
+		t.Fatal("gossip never covered the committee")
+	}
+	// One more full round: every target has every car now, so each send
+	// lands in the dedup memo — duplicates must be dropped, not delivered.
+	for _, p := range proposals {
+		mesh.Loop(0).Broadcast(p)
+	}
+	time.Sleep(100 * time.Millisecond) // drain jittered in-flight copies
+
+	for i := 1; i < n; i++ {
+		if got := cols[i].distinct(); got != cars {
+			t.Errorf("node %d received %d distinct cars, want %d", i, got, cars)
+		}
+		if max := cols[i].maxCount(); max != 1 {
+			t.Errorf("node %d saw a car %d times, want exactly once", i, max)
+		}
+	}
+	var relays, dups uint64
+	for i := 0; i < n; i++ {
+		c := mesh.Loop(types.NodeID(i)).Counters()
+		relays += c.GossipRelays
+		dups += c.GossipDupDrops
+	}
+	if relays == 0 {
+		t.Error("no gossip relays recorded")
+	}
+	if dups == 0 {
+		t.Error("no gossip dup-drops recorded despite duplicating links and retransmission")
+	}
+}
+
+// TestTCPMeshGossipExactlyOnce runs fanout-2 gossip over real sockets:
+// the origin's car reaches every peer exactly once (readLoop dedup),
+// with relays carrying part of the dissemination.
+func TestTCPMeshGossipExactlyOnce(t *testing.T) {
+	const n, cars = 4, 12
+	ports := freePorts(t, n)
+	addrs := make(map[types.NodeID]string, n)
+	for i, a := range ports {
+		addrs[types.NodeID(i)] = a
+	}
+	epoch := time.Now()
+	cols := make([]*digestCounter, n)
+	meshes := make([]*TCPMesh, n)
+	for i := 0; i < n; i++ {
+		cols[i] = newDigestCounter()
+		meshes[i] = NewTCPMesh(types.NodeID(i), addrs, cols[i], epoch, nil)
+		meshes[i].EnableGossip(2, 23+uint64(i)*0x9e3779b97f4a7c15)
+		if err := meshes[i].Start(); err != nil {
+			t.Fatal(err)
+		}
+		defer meshes[i].Stop()
+	}
+
+	proposals := gossipCars(cars)
+	covered := func() bool {
+		for i := 1; i < n; i++ {
+			if cols[i].distinct() < cars {
+				return false
+			}
+		}
+		return true
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for !covered() && time.Now().Before(deadline) {
+		for _, p := range proposals {
+			meshes[0].Broadcast(0, p)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !covered() {
+		t.Fatal("gossip never covered the committee over TCP")
+	}
+	// A final round against fully-covered peers: all dedup drops.
+	for _, p := range proposals {
+		meshes[0].Broadcast(0, p)
+	}
+	time.Sleep(200 * time.Millisecond)
+
+	for i := 1; i < n; i++ {
+		if got := cols[i].distinct(); got != cars {
+			t.Errorf("node %d received %d distinct cars, want %d", i, got, cars)
+		}
+		if max := cols[i].maxCount(); max != 1 {
+			t.Errorf("node %d saw a car %d times, want exactly once", i, max)
+		}
+	}
+	if origin := meshes[0].Loop().Counters().GossipOrigin; origin == 0 {
+		t.Error("origin counter never advanced")
+	}
+	var relays, dups uint64
+	for i := 0; i < n; i++ {
+		c := meshes[i].Loop().Counters()
+		relays += c.GossipRelays
+		dups += c.GossipDupDrops
+	}
+	if relays == 0 {
+		t.Error("no relays recorded: fanout-2 at n=4 must lean on relays for coverage")
+	}
+	if dups == 0 {
+		t.Error("no dup-drops recorded despite a full retransmission round")
+	}
+}

@@ -1,0 +1,227 @@
+// Delta-compressed cut frames. Cut-bearing control messages (Prepare,
+// CommitNotice) dominate consensus bandwidth at large committees: a cut
+// carries one TipRef per lane, each with an f+1-share PoA, so the full
+// encoding grows O(n²) in signature bytes while consecutive cuts on one
+// connection overlap almost entirely (slow lanes keep their tips for
+// many slots, and a slot's CommitNotice usually repeats its Prepare's
+// cut verbatim). A delta frame re-encodes only the tips that changed
+// since the previous cut sent on the same TCP connection, identified by
+// the base cut's digest; everything else the receiver reconstructs from
+// its connection-local copy.
+//
+// The frames are a transport-level encoding, not protocol messages: the
+// sender's stream writer chooses per connection between the full frame
+// and a delta (whichever is smaller), and the receiver's read loop
+// reconstructs the full message before delivery — the protocol layers
+// never see a delta. The generic Decode/DecodeFrom reject the delta type
+// bytes, so a delta frame can never smuggle past a decoder that lacks
+// the base state. Any base mismatch (reconnect raced a state reset, or a
+// hostile peer lied) fails the decode loudly; the connection closes and
+// the fresh connection restarts from full encodings — the gap/reconnect
+// fallback.
+package wire
+
+import (
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// Delta frame type bytes, deliberately outside every types.MsgType range
+// (data 1-31, consensus 32-63, sync 64-79, baselines 80-111, internal
+// 112): the generic decoder must reject them as unknown.
+const (
+	deltaPrepareByte      = 0xF4
+	deltaCommitNoticeByte = 0xF5
+)
+
+// IsDeltaFrame reports whether a frame payload is delta-encoded (and so
+// must be decoded with DecodeDeltaFrom against connection state).
+func IsDeltaFrame(data []byte) bool {
+	return len(data) > 0 && (data[0] == deltaPrepareByte || data[0] == deltaCommitNoticeByte)
+}
+
+// CutCarrier returns the cut a delta-eligible message carries, reporting
+// eligibility. Only the cut-bearing broadcast control messages qualify;
+// sync/commit-reply payloads keep their full encodings (they are
+// explicitly requested catch-up data, where the requester has no base).
+func CutCarrier(m types.Message) (types.Cut, bool) {
+	switch v := m.(type) {
+	case *types.Prepare:
+		return v.Proposal.Cut, true
+	case *types.CommitNotice:
+		return v.Proposal.Cut, true
+	}
+	return types.Cut{}, false
+}
+
+// EncodeDeltaTo appends m's delta encoding relative to prev (the last
+// cut sent on the same connection) and returns the extended slice. It
+// fails — callers fall back to the full frame — when m is not
+// delta-eligible or the cuts are structurally incomparable (committee
+// mismatch; never happens within one deployment).
+func EncodeDeltaTo(buf []byte, m types.Message, prev types.Cut) ([]byte, error) {
+	cut, ok := CutCarrier(m)
+	if !ok {
+		return buf, fmt.Errorf("wire: %T is not delta-eligible", m)
+	}
+	if len(cut.Tips) != len(prev.Tips) || len(prev.Tips) == 0 {
+		return buf, fmt.Errorf("wire: cut delta base has %d tips, message %d", len(prev.Tips), len(cut.Tips))
+	}
+	w := &writer{buf: buf}
+	switch v := m.(type) {
+	case *types.Prepare:
+		w.u8(deltaPrepareByte)
+		w.node(v.Leader)
+		w.u64(uint64(v.Proposal.Slot))
+		w.u64(uint64(v.Proposal.View))
+		putCutDelta(w, prev, cut)
+		putTicket(w, v.Ticket)
+		w.bytes(v.Sig)
+	case *types.CommitNotice:
+		w.u8(deltaCommitNoticeByte)
+		putCommitQC(w, &v.QC)
+		w.u64(uint64(v.Proposal.Slot))
+		w.u64(uint64(v.Proposal.View))
+		putCutDelta(w, prev, cut)
+	}
+	return w.buf, nil
+}
+
+// DecodeDeltaFrom reconstructs a delta frame against prev (the last cut
+// received on the same connection), aliasing variable-length fields into
+// data like DecodeFrom. havePrev false (nothing cut-bearing received yet
+// on this connection — the sender should not have emitted a delta) and
+// any base-digest mismatch are errors; the caller closes the connection
+// and recovery is the reconnect's full-encoding restart.
+func DecodeDeltaFrom(data []byte, prev types.Cut, havePrev bool) (types.Message, error) {
+	if len(data) == 0 {
+		return nil, ErrTruncated
+	}
+	r := &reader{buf: data, off: 1, alias: true}
+	var m types.Message
+	switch data[0] {
+	case deltaPrepareByte:
+		p := &types.Prepare{Leader: r.node()}
+		p.Proposal.Slot = types.Slot(r.u64())
+		p.Proposal.View = types.View(r.u64())
+		p.Proposal.Cut = getCutDelta(r, prev, havePrev)
+		p.Ticket = getTicket(r)
+		p.Sig = r.bytes()
+		m = p
+	case deltaCommitNoticeByte:
+		cn := &types.CommitNotice{}
+		if qc := getCommitQC(r); qc != nil {
+			cn.QC = *qc
+		} else {
+			r.fail(fmt.Errorf("wire: delta commit notice without QC"))
+		}
+		cn.Proposal.Slot = types.Slot(r.u64())
+		cn.Proposal.View = types.View(r.u64())
+		cn.Proposal.Cut = getCutDelta(r, prev, havePrev)
+		m = cn
+	default:
+		return nil, fmt.Errorf("wire: unknown delta frame type %d", data[0])
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// putCutDelta encodes cur as changes against prev: the base digest (the
+// receiver's integrity check), then the changed tips as strictly
+// ascending (index, TipRef) pairs. Identical consecutive cuts — the
+// CommitNotice-after-Prepare case — cost 36 bytes total.
+func putCutDelta(w *writer, prev, cur types.Cut) {
+	w.digest(prev.Digest())
+	changed := 0
+	for i := range cur.Tips {
+		if !tipEqual(&prev.Tips[i], &cur.Tips[i]) {
+			changed++
+		}
+	}
+	w.u32(uint32(changed))
+	for i := range cur.Tips {
+		t := &cur.Tips[i]
+		if tipEqual(&prev.Tips[i], t) {
+			continue
+		}
+		w.u32(uint32(i))
+		w.node(t.Lane)
+		w.u64(uint64(t.Position))
+		w.digest(t.Digest)
+		putPoA(w, t.Cert)
+	}
+}
+
+// getCutDelta reconstructs a full cut from prev plus the encoded
+// changes. The reconstructed tips are a fresh slice; unchanged entries
+// share prev's PoA pointers, which the protocol treats as immutable
+// (certificates are never modified after assembly).
+func getCutDelta(r *reader, prev types.Cut, havePrev bool) types.Cut {
+	base := r.digest()
+	if r.err != nil {
+		return types.Cut{}
+	}
+	if !havePrev {
+		r.fail(fmt.Errorf("wire: cut delta without a base cut on this connection"))
+		return types.Cut{}
+	}
+	if got := prev.Digest(); base != got {
+		r.fail(fmt.Errorf("wire: cut delta base %s does not match connection state %s", base, got))
+		return types.Cut{}
+	}
+	n := int(r.u32())
+	if n > len(prev.Tips) {
+		r.fail(fmt.Errorf("wire: cut delta changes %d of %d tips", n, len(prev.Tips)))
+		return types.Cut{}
+	}
+	tips := make([]types.TipRef, len(prev.Tips))
+	copy(tips, prev.Tips)
+	last := -1
+	for i := 0; i < n && r.err == nil; i++ {
+		idx := int(r.u32())
+		if idx <= last || idx >= len(tips) {
+			r.fail(fmt.Errorf("wire: cut delta index %d out of order or range", idx))
+			return types.Cut{}
+		}
+		last = idx
+		tips[idx] = types.TipRef{
+			Lane:     r.node(),
+			Position: types.Pos(r.u64()),
+			Digest:   r.digest(),
+			Cert:     getPoA(r),
+		}
+	}
+	return types.Cut{Tips: tips}
+}
+
+// tipEqual reports deep equality of two tip references, shares included:
+// a tip that gained (or swapped) its certificate must re-encode even at
+// the same position. Byte comparison is orders of magnitude cheaper than
+// the signature verification the receiver would otherwise repeat.
+func tipEqual(a, b *types.TipRef) bool {
+	if a.Lane != b.Lane || a.Position != b.Position || a.Digest != b.Digest {
+		return false
+	}
+	return poaEqual(a.Cert, b.Cert)
+}
+
+func poaEqual(a, b *types.PoA) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a == b {
+		return true
+	}
+	if a.Lane != b.Lane || a.Position != b.Position || a.Digest != b.Digest || len(a.Shares) != len(b.Shares) {
+		return false
+	}
+	for i := range a.Shares {
+		if a.Shares[i].Signer != b.Shares[i].Signer || string(a.Shares[i].Sig) != string(b.Shares[i].Sig) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,198 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/types"
+)
+
+// deltaCuts returns a base cut and a successor differing in exactly one
+// tip (lane 3 advanced and gained a certificate).
+func deltaCuts() (prev, cur types.Cut) {
+	prev = sampleCut()
+	cur = prev.Clone()
+	cur.Tips[3] = types.TipRef{Lane: 3, Position: 7, Digest: types.Digest{9}, Cert: samplePoA()}
+	return prev, cur
+}
+
+func samplePrepareWith(cut types.Cut) *types.Prepare {
+	return &types.Prepare{
+		Leader:   2,
+		Proposal: types.ConsensusProposal{Slot: 9, View: 1, Cut: cut},
+		Ticket:   types.Ticket{Kind: types.TicketCommit, Commit: &types.CommitQC{Slot: 8, View: 1, Digest: types.Digest{3}, Shares: []types.SigShare{{Signer: 1, Sig: sig(4)}}}},
+		Sig:      sig(5),
+	}
+}
+
+func sampleCommitNoticeWith(cut types.Cut) *types.CommitNotice {
+	return &types.CommitNotice{
+		QC:       types.CommitQC{Slot: 9, View: 1, Digest: types.Digest{6}, Shares: []types.SigShare{{Signer: 0, Sig: sig(12)}}},
+		Proposal: types.ConsensusProposal{Slot: 9, View: 1, Cut: cut},
+	}
+}
+
+// TestDeltaRoundTrip: EncodeDeltaTo∘DecodeDeltaFrom is the identity for
+// both cut-bearing message kinds, against the same base cut.
+func TestDeltaRoundTrip(t *testing.T) {
+	prev, cur := deltaCuts()
+	for _, m := range []types.Message{samplePrepareWith(cur), sampleCommitNoticeWith(cur)} {
+		data, err := EncodeDeltaTo(nil, m, prev)
+		if err != nil {
+			t.Fatalf("%T: encode delta: %v", m, err)
+		}
+		if !IsDeltaFrame(data) {
+			t.Fatalf("%T: delta frame not recognized by IsDeltaFrame", m)
+		}
+		got, err := DecodeDeltaFrom(data, prev, true)
+		if err != nil {
+			t.Fatalf("%T: decode delta: %v", m, err)
+		}
+		if !reflect.DeepEqual(m, got) {
+			t.Fatalf("%T: delta round trip mismatch:\n in: %#v\nout: %#v", m, m, got)
+		}
+	}
+}
+
+// TestDeltaSmallerThanFull: the point of the exercise. An identical
+// consecutive cut (the CommitNotice-after-Prepare case) encodes its cut
+// section in 36 bytes; a one-tip change still undercuts the full frame.
+func TestDeltaSmallerThanFull(t *testing.T) {
+	prev, cur := deltaCuts()
+
+	// Identical cut: the whole cut section is base digest + zero count.
+	same := sampleCommitNoticeWith(prev.Clone())
+	full, err := Encode(same)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta, err := EncodeDeltaTo(nil, same, prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(delta) >= len(full) {
+		t.Fatalf("identical-cut delta (%d B) not smaller than full frame (%d B)", len(delta), len(full))
+	}
+	// The delta replaces the full cut encoding with 36 bytes (32-byte base
+	// digest + 4-byte change count), modulo the 1-byte type tag and the
+	// cut-length prefix the full frame carries.
+	if got, err := DecodeDeltaFrom(delta, prev, true); err != nil || !reflect.DeepEqual(same, got) {
+		t.Fatalf("identical-cut delta round trip: err=%v", err)
+	}
+
+	one := sampleCommitNoticeWith(cur)
+	full, _ = Encode(one)
+	delta, err = EncodeDeltaTo(nil, one, prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(delta) >= len(full) {
+		t.Fatalf("one-tip delta (%d B) not smaller than full frame (%d B)", len(delta), len(full))
+	}
+}
+
+// TestDeltaBaseMismatch: decoding against the wrong base cut must fail
+// loudly (the caller closes the connection), never reconstruct silently.
+func TestDeltaBaseMismatch(t *testing.T) {
+	prev, cur := deltaCuts()
+	data, err := EncodeDeltaTo(nil, sampleCommitNoticeWith(cur), prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := prev.Clone()
+	wrong.Tips[0] = types.TipRef{Lane: 0, Position: 1, Digest: types.Digest{0xde}}
+	if _, err := DecodeDeltaFrom(data, wrong, true); err == nil {
+		t.Fatal("delta decoded against a mismatched base cut")
+	}
+	if _, err := DecodeDeltaFrom(data, types.Cut{}, false); err == nil {
+		t.Fatal("delta decoded with no base cut on the connection")
+	}
+}
+
+// TestDeltaIneligible: only cut-bearing broadcast control messages may
+// delta-encode; everything else falls back to the full frame.
+func TestDeltaIneligible(t *testing.T) {
+	prev, _ := deltaCuts()
+	if _, err := EncodeDeltaTo(nil, &types.Vote{Lane: 1, Position: 3, Voter: 2, Sig: sig(2)}, prev); err == nil {
+		t.Fatal("non-cut-bearing message delta-encoded")
+	}
+	// Structurally incomparable cuts (committee mismatch / empty base).
+	if _, err := EncodeDeltaTo(nil, sampleCommitNoticeWith(sampleCut()), types.Cut{}); err == nil {
+		t.Fatal("delta encoded against an empty base cut")
+	}
+	if m, ok := CutCarrier(&types.Vote{}); ok {
+		t.Fatalf("Vote reported as cut carrier: %v", m)
+	}
+}
+
+// TestGenericDecodeRejectsDelta: the delta type bytes live outside every
+// MsgType range, so a delta frame can never sneak past a decoder that
+// lacks the connection's base state.
+func TestGenericDecodeRejectsDelta(t *testing.T) {
+	prev, cur := deltaCuts()
+	data, err := EncodeDeltaTo(nil, sampleCommitNoticeWith(cur), prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(data); err == nil {
+		t.Fatal("generic Decode accepted a delta frame")
+	}
+	if _, err := DecodeFrom(data); err == nil {
+		t.Fatal("generic DecodeFrom accepted a delta frame")
+	}
+}
+
+// TestDeltaTrailingBytes: a delta frame with trailing garbage must fail
+// the end-of-buffer check like any other frame.
+func TestDeltaTrailingBytes(t *testing.T) {
+	prev, cur := deltaCuts()
+	data, err := EncodeDeltaTo(nil, sampleCommitNoticeWith(cur), prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeDeltaFrom(append(data, 0xff), prev, true); err == nil {
+		t.Fatal("delta frame with trailing bytes accepted")
+	}
+	if _, err := DecodeDeltaFrom(data[:len(data)-1], prev, true); err == nil {
+		t.Fatal("truncated delta frame accepted")
+	}
+}
+
+// TestDeltaIndexOrder: change records must arrive strictly ascending —
+// a hostile peer repeating or reordering indices must fail the decode.
+func TestDeltaIndexOrder(t *testing.T) {
+	prev, _ := deltaCuts()
+	tip := types.TipRef{Lane: 1, Position: 9, Digest: types.Digest{7}}
+	w := &writer{}
+	w.digest(prev.Digest())
+	w.u32(2)
+	for _, idx := range []uint32{2, 1} { // descending: must be rejected
+		w.u32(idx)
+		w.node(tip.Lane)
+		w.u64(uint64(tip.Position))
+		w.digest(tip.Digest)
+		putPoA(w, nil)
+	}
+	r := &reader{buf: w.buf, alias: true}
+	getCutDelta(r, prev, true)
+	if r.err == nil {
+		t.Fatal("out-of-order delta indices accepted")
+	}
+
+	// Duplicate index is the same violation.
+	w = &writer{}
+	w.digest(prev.Digest())
+	w.u32(2)
+	for _, idx := range []uint32{1, 1} {
+		w.u32(idx)
+		w.node(tip.Lane)
+		w.u64(uint64(tip.Position))
+		w.digest(tip.Digest)
+		putPoA(w, nil)
+	}
+	r = &reader{buf: w.buf, alias: true}
+	getCutDelta(r, prev, true)
+	if r.err == nil {
+		t.Fatal("duplicate delta index accepted")
+	}
+}
