@@ -1,0 +1,33 @@
+# Developer entry points; CI runs the same commands (.github/workflows).
+
+GOMAXPROCS ?= 4
+
+.PHONY: build test race vet fmt tidy-check check
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	GOMAXPROCS=$(GOMAXPROCS) go test -race ./...
+
+# The protocol-invariant analyzer suite (internal/analysis, DESIGN.md
+# §1.10): standalone first for fast feedback, then through go vet's
+# -vettool protocol, which is what covers in-package test files and
+# composes with the build cache.
+vet:
+	go vet ./...
+	go run ./cmd/autobahn-vet ./...
+	go build -o $(CURDIR)/bin/autobahn-vet ./cmd/autobahn-vet
+	go vet -vettool=$(CURDIR)/bin/autobahn-vet ./...
+
+fmt:
+	gofmt -l -w .
+
+tidy-check:
+	go mod tidy -diff
+	go mod verify
+
+check: build vet test tidy-check

@@ -1,0 +1,314 @@
+// Command autobahn-vet runs the repository's protocol-invariant
+// analyzer suite (internal/analysis): detrange, noclock, bufrelease,
+// nocopydigest, journalorder. See DESIGN.md §1.10 for the invariants
+// and their originating bugs.
+//
+// Two modes:
+//
+//	autobahn-vet ./...            # standalone: load from source, check
+//	go vet -vettool=$(which autobahn-vet) ./...
+//
+// The second form speaks the `go vet` unitchecker protocol (-V=full,
+// -flags, unit.cfg) using the compiler's export data, so it composes
+// with vet's build cache and covers in-package test files. The
+// standalone form needs nothing but the source tree and is what `make
+// vet` and CI use.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	listFlag := flag.Bool("list", false, "list analyzers and exit")
+	jsonFlag := flag.Bool("json", false, "emit diagnostics as JSON")
+	flagsFlag := flag.Bool("flags", false, "print analyzer flags in JSON (go vet protocol)")
+	vFlag := flag.String("V", "", "print version and exit (-V=full, go vet protocol)")
+	flag.Parse()
+
+	if *vFlag != "" {
+		printVersion(*vFlag)
+		return
+	}
+	if *flagsFlag {
+		// No analyzer-specific flags; report the standard set so
+		// `go vet` knows what it may pass.
+		fmt.Println(`[{"Name":"V","Bool":true,"Usage":"print version and exit"},{"Name":"flags","Bool":true,"Usage":"print analyzer flags in JSON"},{"Name":"json","Bool":true,"Usage":"emit JSON output"}]`)
+		return
+	}
+	if *listFlag {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runUnit(args[0]))
+	}
+	os.Exit(runStandalone(args, *jsonFlag))
+}
+
+// --- standalone mode ---
+
+func runStandalone(patterns []string, asJSON bool) int {
+	root, module, err := findModule()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "autobahn-vet:", err)
+		return 2
+	}
+	loader := analysis.NewLoader(root, module)
+
+	var pkgs []*analysis.Package
+	load := func(p *analysis.Package, err error) bool {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "autobahn-vet:", err)
+			return false
+		}
+		pkgs = append(pkgs, p)
+		return true
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "all":
+			all, err := loader.LoadAll()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "autobahn-vet:", err)
+				return 2
+			}
+			pkgs = append(pkgs, all...)
+		case strings.HasPrefix(pat, module):
+			if !load(loader.Load(pat)) {
+				return 2
+			}
+		default:
+			// A directory path: map onto the module.
+			abs, err := filepath.Abs(strings.TrimSuffix(pat, "/..."))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "autobahn-vet:", err)
+				return 2
+			}
+			rel, err := filepath.Rel(root, abs)
+			if err != nil || strings.HasPrefix(rel, "..") {
+				fmt.Fprintf(os.Stderr, "autobahn-vet: %s is outside module %s\n", pat, module)
+				return 2
+			}
+			ip := module
+			if rel != "." {
+				ip = module + "/" + filepath.ToSlash(rel)
+			}
+			if !load(loader.Load(ip)) {
+				return 2
+			}
+		}
+	}
+
+	var diags []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		diags = append(diags, analysis.Run(pkg, analysis.All())...)
+	}
+	return report(diags, asJSON)
+}
+
+func report(diags []analysis.Diagnostic, asJSON bool) int {
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "\t")
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(os.Stderr, "autobahn-vet:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+		}
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// findModule walks up from the working directory to the enclosing
+// go.mod and returns the module root and path.
+func findModule() (root, module string, err error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("no module line in %s/go.mod", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod found above working directory")
+		}
+		dir = parent
+	}
+}
+
+// --- go vet unitchecker protocol ---
+
+// unitConfig mirrors the JSON config `go vet` writes for each
+// compilation unit (the fields this tool needs).
+type unitConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func runUnit(cfgFile string) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "autobahn-vet:", err)
+		return 2
+	}
+	var cfg unitConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "autobahn-vet:", err)
+		return 2
+	}
+	// Facts protocol: this suite exports none, but go vet expects the
+	// output file to exist for caching.
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			os.WriteFile(cfg.VetxOutput, nil, 0o666)
+		}
+	}
+	// Dependency units are analyzed only for facts; with no facts to
+	// compute, they are free.
+	if cfg.VetxOnly {
+		writeVetx()
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				writeVetx()
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, "autobahn-vet:", err)
+			return 2
+		}
+		files = append(files, f)
+	}
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	tconf := types.Config{
+		Importer: importerFunc(func(importPath string) (*types.Package, error) {
+			path, ok := cfg.ImportMap[importPath]
+			if !ok {
+				return nil, fmt.Errorf("can't resolve import %q", importPath)
+			}
+			return compilerImporter.Import(path)
+		}),
+		GoVersion: cfg.GoVersion,
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	tpkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "autobahn-vet:", err)
+		return 2
+	}
+	pkg := &analysis.Package{
+		Path:  cfg.ImportPath,
+		Dir:   cfg.Dir,
+		Fset:  fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}
+	diags := analysis.Run(pkg, analysis.All())
+	writeVetx()
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", d.Pos, d.Message)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// printVersion implements -V=full: `go vet` hashes the reported
+// buildID into its action cache key so tool changes invalidate cached
+// results.
+func printVersion(mode string) {
+	if mode != "full" {
+		fmt.Println("autobahn-vet version devel")
+		return
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "autobahn-vet:", err)
+		os.Exit(2)
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "autobahn-vet:", err)
+		os.Exit(2)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		fmt.Fprintln(os.Stderr, "autobahn-vet:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("autobahn-vet version devel buildID=%x\n", h.Sum(nil))
+}

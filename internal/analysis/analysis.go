@@ -1,0 +1,188 @@
+// Package analysis is autobahn-vet: a suite of protocol-invariant
+// static checks for this repository, with a miniature driver framework
+// mirroring the shape of golang.org/x/tools/go/analysis (which is not
+// vendored here; the toolchain image carries no module proxy, so the
+// framework is reimplemented on the standard library's go/ast and
+// go/types).
+//
+// Each analyzer machine-checks a convention that an earlier PR learned
+// the hard way (see DESIGN.md §1.10):
+//
+//   - detrange:     no map-order iteration where order reaches sends,
+//     timers, or deterministic aggregates (PR 5's
+//     nondeterminism class).
+//   - noclock:      no wall clock / global RNG in sim-deterministic
+//     packages (injected clocks and seeded RNGs only).
+//   - bufrelease:   every wire.GetBuf/GetFrame acquire reaches Release
+//     or an ownership transfer on all paths (PR 3/4's
+//     hand-audited leak class).
+//   - nocopydigest: types.Batch/types.Proposal must not be copied by
+//     value (their digest memo is a no-copy atomic);
+//     Clone() instead.
+//   - journalorder: journal the message before externalizing it
+//     (PR 2's write-before-externalize rule).
+//
+// A finding can be suppressed — with justification — by an allowlist
+// directive comment on the offending line or the line above it:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// Directives without a reason are themselves reported: the escape
+// hatch must leave an audit trail.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:allow directives.
+	Name string
+	// Doc is a one-paragraph description of the invariant.
+	Doc string
+	// Run performs the check, reporting findings via pass.Reportf.
+	Run func(*Pass)
+}
+
+// A Pass provides one analyzer with one type-checked package and
+// collects its diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags  []Diagnostic
+	allows allowIndex
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// Reportf records a finding at pos unless an allowlist directive
+// covers it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.allows.covers(p.Analyzer.Name, position) {
+		return
+	}
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// SkipTestFiles strips _test.go files from the pass. Determinism
+// analyzers call it: tests legitimately busy-wait on the wall clock
+// and iterate maps in assertion order.
+func (p *Pass) SkipTestFiles() {
+	kept := p.Files[:0:0]
+	for _, f := range p.Files {
+		if !strings.HasSuffix(p.Fset.Position(f.FileStart).Filename, "_test.go") {
+			kept = append(kept, f)
+		}
+	}
+	p.Files = kept
+}
+
+// --- allowlist directives ---
+
+var allowRe = regexp.MustCompile(`^//\s*lint:allow\s+([a-z]+)\s*(.*)$`)
+
+// allowIndex maps filename -> line -> analyzer names allowed there.
+type allowIndex map[string]map[int][]string
+
+func (ai allowIndex) covers(name string, pos token.Position) bool {
+	for _, n := range ai[pos.Filename][pos.Line] {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// indexAllows scans comments for //lint:allow directives. A directive
+// covers its own source line and the line below it (so it works both
+// as a trailing comment and as a standalone comment above the
+// offending statement). Directives with no stated reason are reported
+// as findings of the "allowdoc" pseudo-analyzer.
+func indexAllows(fset *token.FileSet, files []*ast.File) (allowIndex, []Diagnostic) {
+	idx := make(allowIndex)
+	var bare []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := idx[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]string)
+					idx[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], m[1])
+				lines[pos.Line+1] = append(lines[pos.Line+1], m[1])
+				if strings.TrimSpace(m[2]) == "" {
+					bare = append(bare, Diagnostic{
+						Analyzer: "allowdoc",
+						Pos:      pos,
+						Message:  fmt.Sprintf("lint:allow %s directive needs a reason", m[1]),
+					})
+				}
+			}
+		}
+	}
+	return idx, bare
+}
+
+// Run applies the analyzers to pkg and returns their findings sorted
+// by position.
+func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	allows, diags := indexAllows(pkg.Fset, pkg.Files)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			allows:    allows,
+		}
+		a.Run(pass)
+		diags = append(diags, pass.diags...)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags
+}

@@ -1,0 +1,176 @@
+package analysis
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The golden-file convention mirrors x/tools' analysistest: a comment
+//
+//	// want `regex` `regex` ...
+//
+// on an offending line declares the diagnostics the analyzer must
+// report there (one regex per expected diagnostic, matched against the
+// message). Lines without a want comment must produce no diagnostics.
+var (
+	wantRe  = regexp.MustCompile("//\\s*want\\s+(.*)")
+	quoteRe = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+)
+
+type wantKey struct {
+	file string
+	line int
+}
+
+// testAnalyzer loads each package from testdata/<dir> (module path
+// "repro"), runs the single analyzer, and compares its diagnostics
+// against the want comments.
+func testAnalyzer(t *testing.T, a *Analyzer, dir string, pkgPaths ...string) {
+	t.Helper()
+	loader := NewLoader(filepath.Join("testdata", dir), "repro")
+	for _, ip := range pkgPaths {
+		pkg, err := loader.Load(ip)
+		if err != nil {
+			t.Fatalf("load %s: %v", ip, err)
+		}
+
+		wants := map[wantKey][]*regexp.Regexp{}
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					k := wantKey{pos.Filename, pos.Line}
+					for _, q := range quoteRe.FindAllStringSubmatch(m[1], -1) {
+						pat := q[1]
+						if pat == "" {
+							pat = q[2]
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+						}
+						wants[k] = append(wants[k], re)
+					}
+					if len(wants[k]) == 0 {
+						t.Fatalf("%s: want comment with no pattern", pos)
+					}
+				}
+			}
+		}
+
+		for _, d := range Run(pkg, []*Analyzer{a}) {
+			k := wantKey{d.Pos.Filename, d.Pos.Line}
+			matched := false
+			for i, re := range wants[k] {
+				if re.MatchString(d.Message) {
+					wants[k] = append(wants[k][:i], wants[k][i+1:]...)
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				t.Errorf("%s: unexpected diagnostic: %s [%s]", d.Pos, d.Message, d.Analyzer)
+			}
+		}
+		for k, res := range wants {
+			for _, re := range res {
+				t.Errorf("%s:%d: no diagnostic matching %q", k.file, k.line, re)
+			}
+		}
+	}
+}
+
+func TestDetrange(t *testing.T) {
+	testAnalyzer(t, Detrange, "detrange", "repro/internal/order", "repro/internal/consensus")
+}
+
+func TestNoclock(t *testing.T) {
+	testAnalyzer(t, Noclock, "noclock", "repro/internal/sim")
+}
+
+func TestBufrelease(t *testing.T) {
+	testAnalyzer(t, Bufrelease, "bufrelease", "repro/internal/transport")
+}
+
+func TestNocopydigest(t *testing.T) {
+	testAnalyzer(t, Nocopydigest, "nocopydigest", "repro/internal/mempool")
+}
+
+func TestJournalorder(t *testing.T) {
+	testAnalyzer(t, Journalorder, "journalorder", "repro/internal/consensus")
+}
+
+// TestAllowDirectiveNeedsReason: a bare //lint:allow suppresses its
+// finding but is itself reported by the allowdoc pseudo-analyzer.
+func TestAllowDirectiveNeedsReason(t *testing.T) {
+	loader := NewLoader(filepath.Join("testdata", "allowdoc"), "repro")
+	pkg, err := loader.Load("repro/internal/sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(pkg, []*Analyzer{Noclock})
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want exactly 1 (the allowdoc finding): %v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Analyzer != "allowdoc" {
+		t.Errorf("diagnostic analyzer = %q, want allowdoc", d.Analyzer)
+	}
+	if !strings.Contains(d.Message, "needs a reason") {
+		t.Errorf("diagnostic message = %q, want a needs-a-reason report", d.Message)
+	}
+}
+
+// TestVetCleanTree runs the full suite over the real repository and
+// requires it to be clean: every finding in the tree has been fixed or
+// annotated with a justified //lint:allow (ISSUE 7 satellite 1). New
+// violations fail this test before they fail CI's vet step.
+func TestVetCleanTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole repository")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := NewLoader(root, "repro")
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages from %s; loader lost the tree?", len(pkgs), root)
+	}
+	for _, pkg := range pkgs {
+		for _, d := range Run(pkg, All()) {
+			t.Errorf("%s", d)
+		}
+	}
+}
+
+// TestAnalyzerMetadata keeps the suite well-formed: unique names (the
+// //lint:allow directive keys on them) and documented invariants.
+func TestAnalyzerMetadata(t *testing.T) {
+	if len(All()) < 5 {
+		t.Fatalf("suite has %d analyzers, want at least 5", len(All()))
+	}
+	seen := map[string]bool{}
+	for _, a := range All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v missing name, doc, or run", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if ok, _ := regexp.MatchString(`^[a-z]+$`, a.Name); !ok {
+			t.Errorf("analyzer name %q is not all-lowercase (the allow directive grammar requires it)", a.Name)
+		}
+	}
+}

@@ -1,0 +1,488 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Bufrelease checks that every pooled buffer acquired from
+// wire.GetBuf/wire.GetFrame reaches a Release (or an ownership
+// transfer) on every path out of the acquiring function. PR 3/4
+// audited this by hand when pooling the hot paths; a leaked buffer is
+// invisible in tests (the GC cleans up) but silently removes the
+// pooling win under load, which is exactly when it matters.
+//
+// Accepted ways for an acquire to be resolved on a path:
+//
+//   - v.Release() on the buffer or any alias of it;
+//   - defer v.Release() (covers every exit);
+//   - ownership transfer: the *Buf/*Frame pointer itself passed to a
+//     call, returned, sent on a channel, stored into a field, map,
+//     slice element, or composite literal, or handed to a goroutine.
+//
+// Passing the payload (v.B, f.Data()) to a call is a read, not a
+// transfer — the caller keeps ownership and still owes a Release.
+// Deliberate abandonment to the GC (the delivered-message path in the
+// transport; see wire.Frame's lifetime rules) is annotated with
+// //lint:allow bufrelease.
+var Bufrelease = &Analyzer{
+	Name: "bufrelease",
+	Doc:  "pooled wire buffers must be Released or ownership-transferred on all paths",
+	Run:  runBufrelease,
+}
+
+const wirePkgPath = "repro/internal/wire"
+
+func runBufrelease(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFuncBuffers(pass, fd)
+		}
+	}
+}
+
+// isAcquire reports whether call is wire.GetBuf(...) or
+// wire.GetFrame(...), including unqualified calls inside the wire
+// package itself.
+func isAcquire(pass *Pass, call *ast.CallExpr) bool {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.Ident:
+		id = fun
+	default:
+		return false
+	}
+	obj, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != wirePkgPath {
+		return false
+	}
+	return obj.Name() == "GetBuf" || obj.Name() == "GetFrame"
+}
+
+func checkFuncBuffers(pass *Pass, fd *ast.FuncDecl) {
+	// Collect acquires bound to a single variable: v := wire.GetBuf(n).
+	// Acquires used directly as a call argument, return value, or
+	// composite element are transfers at birth; a bare expression
+	// statement discards the pointer and leaks immediately.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok && isAcquire(pass, call) {
+				pass.Reportf(call.Pos(), "result of %s is discarded: the pooled buffer can never be Released", callName(call))
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isAcquire(pass, call) || i >= len(n.Lhs) {
+					continue
+				}
+				id, ok := n.Lhs[i].(*ast.Ident)
+				if !ok {
+					// Acquired straight into a field, slice, or map
+					// element: ownership transferred at birth.
+					continue
+				}
+				if id.Name == "_" {
+					pass.Reportf(call.Pos(), "result of %s is discarded: the pooled buffer can never be Released", callName(call))
+					continue
+				}
+				obj := pass.TypesInfo.Defs[id]
+				if obj == nil {
+					obj = pass.TypesInfo.Uses[id]
+				}
+				if obj == nil {
+					continue
+				}
+				checkAcquire(pass, fd, n, call, obj)
+			}
+		}
+		return true
+	})
+}
+
+func callName(call *ast.CallExpr) string {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if x, ok := sel.X.(*ast.Ident); ok {
+			return x.Name + "." + sel.Sel.Name
+		}
+		return sel.Sel.Name
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		return id.Name
+	}
+	return "acquire"
+}
+
+// checkAcquire runs a may-leak path walk for one acquire site.
+func checkAcquire(pass *Pass, fd *ast.FuncDecl, acq *ast.AssignStmt, call *ast.CallExpr, obj types.Object) {
+	tr := &bufTrack{pass: pass, objs: map[types.Object]bool{obj: true}}
+	// A deferred release anywhere in the function covers all exits.
+	deferred := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if ds, ok := n.(*ast.DeferStmt); ok && tr.resolvesExpr(ds.Call) {
+			deferred = true
+		}
+		return true
+	})
+	if deferred {
+		return
+	}
+	// Walk the statement lists enclosing the acquire, from the
+	// statement after it outwards, asking: does a path exist to a
+	// function exit on which the buffer is still live?
+	path := enclosingStmtLists(fd.Body, acq)
+	if path == nil {
+		return
+	}
+	live := true
+	var leakPos token.Pos
+	for level := len(path) - 1; level >= 0 && live; level-- {
+		lst := path[level]
+		start := lst.index + 1
+		live, leakPos = tr.flowStmts(lst.list.List[start:], live, leakPos)
+		if level > 0 {
+			// Re-entering an enclosing loop body does not re-acquire;
+			// leaving a loop or branch continues the walk in the outer
+			// list. Nothing extra to model at the seam.
+			continue
+		}
+	}
+	// Two ways to leak: still live when the walk falls off the end of
+	// the function, or an early exit recorded while live (leakPos).
+	if live || leakPos.IsValid() {
+		note := "function end"
+		if leakPos.IsValid() {
+			note = "the exit at " + pass.Fset.Position(leakPos).String()
+		}
+		pass.Reportf(call.Pos(), "%s may reach %s without Release or ownership transfer of %q", callName(call), note, obj.Name())
+	}
+}
+
+// stmtListRef is one level of the block nesting around the acquire.
+type stmtListRef struct {
+	list  *ast.BlockStmt
+	index int // index of the child (or the acquire) within list
+}
+
+// enclosingStmtLists returns the chain of block statements from the
+// function body down to the block directly containing target, with the
+// index of the statement on the path at each level. Returns nil if the
+// acquire is inside a construct the walker does not model (select,
+// function literal); those sites use the allow directive.
+func enclosingStmtLists(body *ast.BlockStmt, target ast.Stmt) []stmtListRef {
+	var path []stmtListRef
+	var find func(b *ast.BlockStmt) bool
+	find = func(b *ast.BlockStmt) bool {
+		for i, s := range b.List {
+			if s == target {
+				path = append(path, stmtListRef{b, i})
+				return true
+			}
+			found := false
+			ast.Inspect(s, func(n ast.Node) bool {
+				if found {
+					return false
+				}
+				if n == target {
+					found = true
+					return false
+				}
+				// Don't descend into nested function literals: their
+				// bodies run at another time.
+				if _, ok := n.(*ast.FuncLit); ok {
+					return false
+				}
+				return true
+			})
+			if !found {
+				continue
+			}
+			// Target is somewhere under s; recurse into s's blocks.
+			blocks := childBlocks(s)
+			for _, cb := range blocks {
+				mark := len(path)
+				path = append(path, stmtListRef{b, i})
+				if find(cb) {
+					return true
+				}
+				path = path[:mark]
+			}
+			return false
+		}
+		return false
+	}
+	if !find(body) {
+		return nil
+	}
+	return path
+}
+
+// childBlocks lists the block statements directly owned by s.
+func childBlocks(s ast.Stmt) []*ast.BlockStmt {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return []*ast.BlockStmt{s}
+	case *ast.IfStmt:
+		out := []*ast.BlockStmt{s.Body}
+		if eb, ok := s.Else.(*ast.BlockStmt); ok {
+			out = append(out, eb)
+		} else if ei, ok := s.Else.(*ast.IfStmt); ok {
+			out = append(out, childBlocks(ei)...)
+		}
+		return out
+	case *ast.ForStmt:
+		return []*ast.BlockStmt{s.Body}
+	case *ast.RangeStmt:
+		return []*ast.BlockStmt{s.Body}
+	case *ast.SwitchStmt:
+		var out []*ast.BlockStmt
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			out = append(out, &ast.BlockStmt{List: cc.Body})
+		}
+		return out
+	case *ast.TypeSwitchStmt:
+		var out []*ast.BlockStmt
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			out = append(out, &ast.BlockStmt{List: cc.Body})
+		}
+		return out
+	case *ast.LabeledStmt:
+		return childBlocks(s.Stmt)
+	default:
+		return nil
+	}
+}
+
+// bufTrack carries the alias set for one acquire.
+type bufTrack struct {
+	pass *Pass
+	objs map[types.Object]bool
+}
+
+// isRef reports whether e is a direct reference to the tracked pointer
+// (bare identifier, optionally parenthesized or address-taken — not a
+// field selection like v.B, which reads the payload without moving
+// ownership).
+func (tr *bufTrack) isRef(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return tr.objs[tr.pass.TypesInfo.Uses[e]]
+	case *ast.ParenExpr:
+		return tr.isRef(e.X)
+	case *ast.UnaryExpr:
+		return e.Op == token.AND && tr.isRef(e.X)
+	}
+	return false
+}
+
+// resolvesExpr reports whether e releases or transfers the buffer.
+func (tr *bufTrack) resolvesExpr(e ast.Expr) bool {
+	resolved := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if resolved {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// v.Release() — the canonical resolution.
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Release" && tr.isRef(sel.X) {
+				resolved = true
+				return false
+			}
+			// f(v) — ownership transfer of the pointer itself.
+			for _, arg := range n.Args {
+				if tr.isRef(arg) {
+					resolved = true
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					if tr.isRef(kv.Value) {
+						resolved = true
+						return false
+					}
+				} else if tr.isRef(el) {
+					resolved = true
+					return false
+				}
+			}
+		case *ast.FuncLit:
+			// A closure that mentions the buffer keeps it reachable;
+			// if it releases or passes it, count that.
+			inner := false
+			ast.Inspect(n.Body, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && tr.objs[tr.pass.TypesInfo.Uses[id]] {
+					inner = true
+					return false
+				}
+				return true
+			})
+			if inner {
+				resolved = true
+			}
+			return false
+		}
+		return true
+	})
+	return resolved
+}
+
+// resolvesStmt reports whether the (non-compound) statement releases or
+// transfers the buffer, also updating the alias set for w := v.
+func (tr *bufTrack) resolvesStmt(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		for i, rhs := range s.Rhs {
+			if tr.isRef(rhs) && i < len(s.Lhs) {
+				switch lhs := s.Lhs[i].(type) {
+				case *ast.Ident:
+					// Alias: w := v. Ownership stays in the function.
+					obj := tr.pass.TypesInfo.Defs[lhs]
+					if obj == nil {
+						obj = tr.pass.TypesInfo.Uses[lhs]
+					}
+					if obj != nil {
+						tr.objs[obj] = true
+					}
+				default:
+					// Stored into a field, slice, or map: transferred.
+					return true
+				}
+			}
+		}
+		// Calls on the RHS may still transfer: buf.B, err = enc(buf) etc.
+		for _, rhs := range s.Rhs {
+			if !tr.isRef(rhs) && tr.resolvesExpr(rhs) {
+				return true
+			}
+		}
+		return false
+	case *ast.ExprStmt:
+		return tr.resolvesExpr(s.X)
+	case *ast.SendStmt:
+		return tr.isRef(s.Value) || tr.resolvesExpr(s.Value)
+	case *ast.GoStmt:
+		return tr.resolvesExpr(s.Call)
+	case *ast.DeferStmt:
+		return tr.resolvesExpr(s.Call)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			if tr.isRef(r) || tr.resolvesExpr(r) {
+				return true
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// flowStmts walks a statement list with may-live state, returning
+// whether the buffer may still be live at the end of the list and the
+// position of the first leaking exit found.
+func (tr *bufTrack) flowStmts(stmts []ast.Stmt, live bool, leakPos token.Pos) (bool, token.Pos) {
+	for _, s := range stmts {
+		if !live {
+			return false, leakPos
+		}
+		live, leakPos = tr.flowStmt(s, live, leakPos)
+	}
+	return live, leakPos
+}
+
+func (tr *bufTrack) flowStmt(s ast.Stmt, live bool, leakPos token.Pos) (bool, token.Pos) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return tr.flowStmts(s.List, live, leakPos)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			live, leakPos = tr.flowStmt(s.Init, live, leakPos)
+		}
+		if tr.resolvesExpr(s.Cond) {
+			return false, leakPos
+		}
+		tLive, tLeak := tr.flowStmts(s.Body.List, live, leakPos)
+		eLive, eLeak := live, tLeak
+		if s.Else != nil {
+			eLive, eLeak = tr.flowStmt(s.Else, live, tLeak)
+		}
+		return tLive || eLive, firstValid(tLeak, eLeak)
+	case *ast.ForStmt:
+		bLive, bLeak := tr.flowStmts(s.Body.List, live, leakPos)
+		// Zero-iteration path keeps the pre-loop state.
+		return live || bLive, bLeak
+	case *ast.RangeStmt:
+		bLive, bLeak := tr.flowStmts(s.Body.List, live, leakPos)
+		return live || bLive, bLeak
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		var body *ast.BlockStmt
+		hasDefault := false
+		if sw, ok := s.(*ast.SwitchStmt); ok {
+			body = sw.Body
+		} else {
+			body = s.(*ast.TypeSwitchStmt).Body
+		}
+		anyLive := false
+		lp := leakPos
+		for _, c := range body.List {
+			cc := c.(*ast.CaseClause)
+			if cc.List == nil {
+				hasDefault = true
+			}
+			cLive, cLeak := tr.flowStmts(cc.Body, live, leakPos)
+			anyLive = anyLive || cLive
+			lp = firstValid(lp, cLeak)
+		}
+		if !hasDefault {
+			anyLive = anyLive || live
+		}
+		return anyLive, lp
+	case *ast.SelectStmt:
+		anyLive := false
+		lp := leakPos
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			cLive, cLeak := tr.flowStmts(cc.Body, live, leakPos)
+			anyLive = anyLive || cLive
+			lp = firstValid(lp, cLeak)
+		}
+		return anyLive, lp
+	case *ast.ReturnStmt:
+		if tr.resolvesStmt(s) {
+			return false, leakPos
+		}
+		// Exiting while live: record the leaking return. The path
+		// ends here, so downstream statements see a dead state.
+		return false, firstValid(leakPos, s.Pos())
+	case *ast.LabeledStmt:
+		return tr.flowStmt(s.Stmt, live, leakPos)
+	case *ast.BranchStmt:
+		// break/continue/goto approximated as falling through; this
+		// can only under-report (a skipped Release still counts), never
+		// false-positive.
+		return live, leakPos
+	default:
+		if tr.resolvesStmt(s) {
+			return false, leakPos
+		}
+		return live, leakPos
+	}
+}
+
+func firstValid(a, b token.Pos) token.Pos {
+	if a.IsValid() {
+		return a
+	}
+	return b
+}

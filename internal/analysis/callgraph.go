@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// emitNames are the method names through which protocol code
+// externalizes state: message sends, broadcasts, and timer
+// registrations (a timer's firing order is part of the simulated event
+// schedule, so registering one is as order-sensitive as a send).
+var emitNames = map[string]bool{
+	"Send":      true,
+	"Broadcast": true,
+	"SetTimer":  true,
+}
+
+// sendReach computes, per function declaration in the package, whether
+// the function transitively (through same-package calls) emits sends or
+// timer registrations. fetch-style packages that hand emission requests
+// back to the caller as values are covered too: constructing a
+// composite literal of a type named "Emit" counts as emitting.
+//
+// Function literals are attributed to their enclosing declaration.
+type sendReach struct {
+	emits  map[*types.Func]bool
+	byDecl map[*ast.FuncDecl]*types.Func
+}
+
+func newSendReach(pass *Pass) *sendReach {
+	sr := &sendReach{
+		emits:  map[*types.Func]bool{},
+		byDecl: map[*ast.FuncDecl]*types.Func{},
+	}
+	// calls[f] = same-package functions f calls directly.
+	calls := map[*types.Func][]*types.Func{}
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			sr.byDecl[fd] = obj
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					switch fun := n.Fun.(type) {
+					case *ast.SelectorExpr:
+						if emitNames[fun.Sel.Name] {
+							sr.emits[obj] = true
+						}
+						if callee := calleeOf(pass, fun.Sel); callee != nil {
+							calls[obj] = append(calls[obj], callee)
+						}
+					case *ast.Ident:
+						if callee := calleeOf(pass, fun); callee != nil {
+							calls[obj] = append(calls[obj], callee)
+						}
+					}
+				case *ast.CompositeLit:
+					if named, ok := pass.TypesInfo.TypeOf(n).(*types.Named); ok && named.Obj().Name() == "Emit" {
+						sr.emits[obj] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	// Propagate emission through the same-package call graph to a
+	// fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for caller, callees := range calls {
+			if sr.emits[caller] {
+				continue
+			}
+			for _, callee := range callees {
+				if sr.emits[callee] {
+					sr.emits[caller] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return sr
+}
+
+// calleeOf resolves a call target identifier to a function declared in
+// the package under analysis, or nil.
+func calleeOf(pass *Pass, id *ast.Ident) *types.Func {
+	obj, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	if obj == nil || obj.Pkg() != pass.Pkg {
+		return nil
+	}
+	return obj
+}
+
+// reaches reports whether the declaration transitively emits sends or
+// timer registrations.
+func (sr *sendReach) reaches(fd *ast.FuncDecl) bool {
+	obj := sr.byDecl[fd]
+	return obj != nil && sr.emits[obj]
+}

@@ -1,0 +1,462 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// simDeterministic lists the packages whose behavior must be a pure
+// function of the event history: the protocol state machines and the
+// simulator that replays them under a fixed seed, plus the harness and
+// metrics layers whose aggregates feed the byte-stable sim fingerprint
+// (harness.TestSimFingerprint) and the bench shape checks.
+var simDeterministic = map[string]bool{
+	"repro/internal/consensus": true,
+	"repro/internal/order":     true,
+	"repro/internal/fetch":     true,
+	"repro/internal/lane":      true,
+	"repro/internal/core":      true,
+	"repro/internal/sim":       true,
+	"repro/internal/harness":   true,
+	"repro/internal/metrics":   true,
+}
+
+// Detrange flags `range` over a map unless the loop body is provably
+// iteration-order-insensitive. PR 5's adversarial schedules exposed
+// this class three times (fetch retries, pending-vote retries, catch-up
+// ranges): a map-order loop that feeds sends, timers, or returned
+// aggregates makes fixed-seed simulation non-reproducible and replica
+// behavior schedule-dependent.
+//
+// A map loop is accepted only when its body is one of the canonical
+// order-insensitive shapes:
+//
+//   - key/value collection: appends to local slices that are sorted
+//     later in the same function (collect-then-sort idiom);
+//   - commutative accumulation: ++, --, +=, -=, |=, ^=, *=;
+//   - map rebuild keyed by the range key (out[k] = f(v)): every
+//     iteration writes its own key;
+//   - strict extremum over the (unique) range keys:
+//     if k < best { best, bestVal = k, v };
+//   - existence checks that return only constants (return true);
+//   - idempotent constant stores (x = true), delete(m, k), continue,
+//     and if/for/block wrappers around the above with call-free
+//     conditions.
+//
+// Anything else — map writes under value-derived keys, non-sorted
+// appends, method calls, sends, non-constant returns — needs
+// canonical-order iteration or a justified //lint:allow detrange
+// directive.
+var Detrange = &Analyzer{
+	Name: "detrange",
+	Doc:  "flags order-sensitive iteration over maps in sim-deterministic packages",
+	Run:  runDetrange,
+}
+
+func runDetrange(pass *Pass) {
+	if !simDeterministic[pass.Pkg.Path()] {
+		return
+	}
+	pass.SkipTestFiles()
+	sr := newSendReach(pass)
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok || !isMapRange(pass, rs) {
+					return true
+				}
+				if ok, why := orderInsensitive(pass, fd, rs); !ok {
+					kind := "deterministic aggregates (sim fingerprint)"
+					if sr.reaches(fd) {
+						kind = "message sends or timer registrations"
+					}
+					pass.Reportf(rs.Pos(), "map iteration order reaches %s: %s; collect keys and sort, or //lint:allow detrange with a reason", kind, why)
+				}
+				return true
+			})
+		}
+	}
+}
+
+func isMapRange(pass *Pass, rs *ast.RangeStmt) bool {
+	t := pass.TypesInfo.TypeOf(rs.X)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// loopCtx carries the state of one map-loop exemption check.
+type loopCtx struct {
+	pass *Pass
+	// key is the range key variable's object (nil for `range m`
+	// without a key or with _).
+	key types.Object
+	// collected maps local slices appended to inside the loop to the
+	// position of the first append; each must be sorted after the loop.
+	collected map[types.Object]token.Pos
+}
+
+func (lc *loopCtx) identObj(e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := lc.pass.TypesInfo.Uses[id]; obj != nil {
+		return obj
+	}
+	return lc.pass.TypesInfo.Defs[id]
+}
+
+// orderInsensitive reports whether the loop body is one of the accepted
+// shapes; when it is not, why describes the first offending construct.
+func orderInsensitive(pass *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt) (bool, string) {
+	lc := &loopCtx{pass: pass, collected: map[types.Object]token.Pos{}}
+	if id, ok := rs.Key.(*ast.Ident); ok && id.Name != "_" {
+		lc.key = lc.identObj(id)
+	}
+	ok, why := lc.stmts(rs.Body.List)
+	if !ok {
+		return false, why
+	}
+	for obj, pos := range lc.collected {
+		if !sortedAfter(pass, fd, obj, rs.End()) {
+			return false, "appends to " + obj.Name() + " which is never sorted afterwards (" + pass.Fset.Position(pos).String() + ")"
+		}
+	}
+	return true, ""
+}
+
+func (lc *loopCtx) stmts(stmts []ast.Stmt) (bool, string) {
+	for _, s := range stmts {
+		if ok, why := lc.stmt(s); !ok {
+			return false, why
+		}
+	}
+	return true, ""
+}
+
+func (lc *loopCtx) stmt(s ast.Stmt) (bool, string) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return lc.stmts(s.List)
+	case *ast.IfStmt:
+		if lc.extremumByKey(s) {
+			return true, ""
+		}
+		if s.Init != nil {
+			if ok, why := lc.stmt(s.Init); !ok {
+				return false, why
+			}
+		}
+		if !callFree(lc.pass, s.Cond) {
+			return false, "condition calls a function inside the loop"
+		}
+		if ok, why := lc.stmt(s.Body); !ok {
+			return false, why
+		}
+		if s.Else != nil {
+			return lc.stmt(s.Else)
+		}
+		return true, ""
+	case *ast.ForStmt:
+		if !callFree(lc.pass, s.Cond) {
+			return false, "condition calls a function inside the loop"
+		}
+		return lc.stmt(s.Body)
+	case *ast.RangeStmt:
+		// A nested map range is judged on its own by the outer walk;
+		// for the enclosing loop's purposes, judge the nested body
+		// against the nested loop's own key.
+		saved := lc.key
+		if id, ok := s.Key.(*ast.Ident); ok && id.Name != "_" {
+			lc.key = lc.identObj(id)
+		} else {
+			lc.key = nil
+		}
+		ok, why := lc.stmt(s.Body)
+		lc.key = saved
+		return ok, why
+	case *ast.SwitchStmt:
+		if !callFree(lc.pass, s.Tag) {
+			return false, "switch tag calls a function inside the loop"
+		}
+		for _, c := range s.Body.List {
+			if ok, why := lc.stmts(c.(*ast.CaseClause).Body); !ok {
+				return false, why
+			}
+		}
+		return true, ""
+	case *ast.BranchStmt:
+		if s.Tok == token.CONTINUE || s.Tok == token.BREAK {
+			return true, ""
+		}
+		return false, "goto inside a map loop"
+	case *ast.IncDecStmt:
+		return true, ""
+	case *ast.ReturnStmt:
+		// Existence checks: returning only constants is the same
+		// result no matter which iteration triggers it.
+		for _, r := range s.Results {
+			if !isConstExpr(lc.pass, r) && !isNilIdent(lc.pass, r) {
+				return false, "returns a loop-dependent value (which iteration returns depends on map order)"
+			}
+		}
+		return true, ""
+	case *ast.AssignStmt:
+		return lc.assign(s)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						if !callFree(lc.pass, v) {
+							return false, "declaration calls a function inside the loop"
+						}
+					}
+				}
+			}
+			return true, ""
+		}
+		return false, "unsupported declaration in a map loop"
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "delete" && lc.pass.TypesInfo.Uses[id] == types.Universe.Lookup("delete") {
+				return true, ""
+			}
+		}
+		return false, "calls or side effects in the loop body"
+	default:
+		return false, "order-sensitive statement in the loop body"
+	}
+}
+
+// assign accepts commutative op-assignments, the collect idiom
+// x = append(x, ...), map rebuilds keyed by the range key, idempotent
+// constant stores, and fresh := bindings.
+func (lc *loopCtx) assign(s *ast.AssignStmt) (bool, string) {
+	switch s.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN, token.MUL_ASSIGN, token.AND_ASSIGN:
+		for _, r := range s.Rhs {
+			if !callFree(lc.pass, r) {
+				return false, "accumulation operand calls a function"
+			}
+		}
+		return true, ""
+	case token.ASSIGN, token.DEFINE:
+		for i, r := range s.Rhs {
+			// x = append(x, ...): record the collected slice for the
+			// sorted-later requirement.
+			if call, ok := r.(*ast.CallExpr); ok && isBuiltin(lc.pass, call, "append") {
+				obj := lc.identObj(s.Lhs[i])
+				if obj == nil {
+					return false, "append target is not a simple variable"
+				}
+				for _, arg := range call.Args[1:] {
+					if !callFree(lc.pass, arg) {
+						return false, "append argument calls a function"
+					}
+				}
+				lc.collected[obj] = s.Pos()
+				continue
+			}
+			if !callFree(lc.pass, r) {
+				return false, "calls a function inside the loop"
+			}
+			// := introduces a fresh per-iteration binding — harmless.
+			if s.Tok == token.DEFINE {
+				continue
+			}
+			// out[k] = v keyed by the range key: every iteration
+			// writes its own slot.
+			if ix, ok := s.Lhs[i].(*ast.IndexExpr); ok {
+				if lc.key != nil && lc.identObj(ix.Index) == lc.key {
+					continue
+				}
+				return false, "writes a map/slice slot under a value-derived key (collisions resolve in map order)"
+			}
+			// Plain stores to variables that outlive the loop must be
+			// idempotent (constants): overwriting with loop-dependent
+			// values means last-in-map-order wins.
+			if !isConstExpr(lc.pass, r) {
+				return false, "stores a loop-dependent value (last write in map order wins)"
+			}
+		}
+		return true, ""
+	default:
+		return false, "order-sensitive assignment in the loop body"
+	}
+}
+
+// extremumByKey recognizes the strict min/max-over-keys idiom:
+//
+//	if best == 0 || k < best { best, bestVal = k, v }
+//
+// Map keys are unique, so a strict comparison against the range key
+// can never tie and the winner is order-independent (companion
+// assignments guarded by the same comparison ride along).
+func (lc *loopCtx) extremumByKey(s *ast.IfStmt) bool {
+	if lc.key == nil || s.Init != nil || s.Else != nil || !callFree(lc.pass, s.Cond) {
+		return false
+	}
+	// The body may contain only plain assignments, one of which stores
+	// the range key into a variable compared against it in the cond.
+	var stored []types.Object
+	for _, st := range s.Body.List {
+		as, ok := st.(*ast.AssignStmt)
+		if !ok || (as.Tok != token.ASSIGN && as.Tok != token.DEFINE) {
+			return false
+		}
+		for i, r := range as.Rhs {
+			if !callFree(lc.pass, r) {
+				return false
+			}
+			if lc.identObj(r) == lc.key {
+				// best = k: remember which variable holds the extremum.
+				if tgt := lc.assignTarget(as.Lhs[i]); tgt != nil {
+					stored = append(stored, tgt)
+				}
+			}
+		}
+	}
+	if len(stored) == 0 {
+		return false
+	}
+	// The condition must strictly compare the range key with a stored
+	// variable (k < best, best > k, ...).
+	strict := false
+	ast.Inspect(s.Cond, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.LSS && be.Op != token.GTR) {
+			return true
+		}
+		x, y := lc.extremumOperand(be.X), lc.extremumOperand(be.Y)
+		for _, tgt := range stored {
+			if (x == lc.key && y == tgt) || (x == tgt && y == lc.key) {
+				strict = true
+				return false
+			}
+		}
+		return true
+	})
+	return strict
+}
+
+// assignTarget resolves an extremum store target: a simple variable or
+// a field selection (pv.votedPos = pos).
+func (lc *loopCtx) assignTarget(e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return lc.identObj(e)
+	case *ast.SelectorExpr:
+		if sel := lc.pass.TypesInfo.Selections[e]; sel != nil {
+			return sel.Obj()
+		}
+	}
+	return nil
+}
+
+func (lc *loopCtx) extremumOperand(e ast.Expr) types.Object {
+	return lc.assignTarget(e)
+}
+
+func isBuiltin(pass *Pass, call *ast.CallExpr, name string) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == name && pass.TypesInfo.Uses[id] == types.Universe.Lookup(name)
+}
+
+func isConstExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}
+
+func isNilIdent(pass *Pass, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && pass.TypesInfo.Uses[id] == types.Universe.Lookup("nil")
+}
+
+// callFree reports whether e contains no function calls other than the
+// pure builtins len/cap and type conversions.
+func callFree(pass *Pass, e ast.Expr) bool {
+	if e == nil {
+		return true
+	}
+	free := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok {
+			switch pass.TypesInfo.Uses[id] {
+			case types.Universe.Lookup("len"), types.Universe.Lookup("cap"):
+				return true
+			}
+		}
+		if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+			return true
+		}
+		free = false
+		return false
+	})
+	return free
+}
+
+// sortedAfter reports whether obj is passed to a sorting call (the
+// sort or slices packages, or a local helper whose name contains
+// "sort") lexically after pos within the function.
+func sortedAfter(pass *Pass, fd *ast.FuncDecl, obj types.Object, pos token.Pos) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		if !isSortCall(pass, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			mentioned := false
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+					mentioned = true
+					return false
+				}
+				return true
+			})
+			if mentioned {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func isSortCall(pass *Pass, call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if pkgID, ok := fun.X.(*ast.Ident); ok {
+			if pn, ok := pass.TypesInfo.Uses[pkgID].(*types.PkgName); ok {
+				p := pn.Imported().Path()
+				return p == "sort" || p == "slices"
+			}
+		}
+		return strings.Contains(strings.ToLower(fun.Sel.Name), "sort")
+	case *ast.Ident:
+		return strings.Contains(strings.ToLower(fun.Name), "sort")
+	}
+	return false
+}

@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// journaledPkgs are the packages that write the WAL: the node shell,
+// the lane state machines, and the consensus engine.
+var journaledPkgs = map[string]bool{
+	"repro/internal/core":      true,
+	"repro/internal/lane":      true,
+	"repro/internal/consensus": true,
+}
+
+// Journalorder enforces PR 2's write-before-externalize rule: a
+// message must hit the journal before it is sent or broadcast. If the
+// send happens first and the replica crashes in between, it has
+// externalized state (a vote, an ack, a commit notice) it no longer
+// remembers after restart — the amnesia double-vote the recovery tests
+// exist to prevent.
+//
+// The check is per function and per message: a Send/Broadcast whose
+// argument is later journaled in the same function means the
+// externalize happened before the record. Handlers that journal in one
+// function and send from another are out of scope (order is then a
+// protocol-level property the adversary harness covers).
+var Journalorder = &Analyzer{
+	Name: "journalorder",
+	Doc:  "journal a message before sending it (write-before-externalize)",
+	Run:  runJournalorder,
+}
+
+func runJournalorder(pass *Pass) {
+	if !journaledPkgs[pass.Pkg.Path()] {
+		return
+	}
+	pass.SkipTestFiles()
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkJournalOrder(pass, fd)
+		}
+	}
+}
+
+type callRec struct {
+	call *ast.CallExpr
+	args map[types.Object]bool
+}
+
+func checkJournalOrder(pass *Pass, fd *ast.FuncDecl) {
+	var sends, journals []callRec
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch {
+		case sel.Sel.Name == "Send" || sel.Sel.Name == "Broadcast":
+			sends = append(sends, callRec{call, argObjs(pass, call)})
+		case onJournal(pass, sel):
+			journals = append(journals, callRec{call, argObjs(pass, call)})
+		}
+		return true
+	})
+	for _, s := range sends {
+		for _, j := range journals {
+			if j.call.Pos() <= s.call.Pos() {
+				continue // journaled first (lexically): the good order
+			}
+			for obj := range s.args {
+				if j.args[obj] {
+					pass.Reportf(s.call.Pos(), "%q is sent before it is journaled (journal write at %s): journal before externalizing, or //lint:allow journalorder with a reason",
+						obj.Name(), pass.Fset.Position(j.call.Pos()))
+				}
+			}
+		}
+	}
+}
+
+// onJournal reports whether the call selector is a method on something
+// reached through a Journal-named field or variable (e.cfg.Journal.X,
+// n.journal.X, ...).
+func onJournal(pass *Pass, sel *ast.SelectorExpr) bool {
+	switch x := sel.X.(type) {
+	case *ast.SelectorExpr:
+		return x.Sel.Name == "Journal" || x.Sel.Name == "journal"
+	case *ast.Ident:
+		return x.Name == "journal" || x.Name == "jrn" ||
+			(pass.TypesInfo.Uses[x] != nil && isJournalType(pass.TypesInfo.Uses[x].Type()))
+	}
+	return false
+}
+
+// isJournalType reports whether t names a Journal interface or
+// implementation.
+func isJournalType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Journal"
+}
+
+// argObjs collects the identifier objects appearing directly as call
+// arguments (the journaled/sent message values).
+func argObjs(pass *Pass, call *ast.CallExpr) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	for _, arg := range call.Args {
+		if id, ok := arg.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Uses[id]; obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}

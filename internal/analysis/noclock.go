@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// wallClock lists the time package's ambient-time entry points. The
+// sim-deterministic packages receive time exclusively through injected
+// clocks (runtime.Context.Now, sim virtual time), so any of these in
+// protocol code silently forks simulated and live behavior.
+var wallClock = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"Tick":      true,
+	"Sleep":     true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"AfterFunc": true,
+}
+
+// randConstructors are the math/rand entry points that build a
+// seeded, locally-owned generator; everything else in the package
+// reads process-global state and is banned.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+// Noclock bans wall-clock reads, ambient timers, and the global RNG in
+// sim-deterministic packages. The deterministic simulator replays a
+// fixed-seed schedule; one time.Now() or rand.Intn() in a shared code
+// path and the byte-stable fingerprint (harness.TestSimFingerprint)
+// only holds on the machines where the scheduler cooperates. Live-only
+// edges (wall-clock pacing in harness live cells) annotate with
+// //lint:allow noclock and a reason.
+var Noclock = &Analyzer{
+	Name: "noclock",
+	Doc:  "bans time.Now/timers and global math/rand in sim-deterministic packages",
+	Run:  runNoclock,
+}
+
+func runNoclock(pass *Pass) {
+	if !simDeterministic[pass.Pkg.Path()] {
+		return
+	}
+	pass.SkipTestFiles()
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgID, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.TypesInfo.Uses[pkgID].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			// Referring to a package-level *type* (rand.Rand in a
+			// declaration, time.Duration in a conversion) is fine; only
+			// ambient-state entry points are banned.
+			if _, isType := pass.TypesInfo.Uses[sel.Sel].(*types.TypeName); isType {
+				return true
+			}
+			switch pn.Imported().Path() {
+			case "time":
+				if wallClock[sel.Sel.Name] {
+					pass.Reportf(sel.Pos(), "time.%s in a sim-deterministic package: use the injected clock (runtime.Context / sim time), or //lint:allow noclock with a reason", sel.Sel.Name)
+				}
+			case "math/rand", "math/rand/v2":
+				if !randConstructors[sel.Sel.Name] {
+					pass.Reportf(sel.Pos(), "global math/rand.%s in a sim-deterministic package: use a seeded *rand.Rand owned by the component, or //lint:allow noclock with a reason", sel.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+const typesPkgPath = "repro/internal/types"
+
+// noCopyTypes are the digest-memoized message types: both embed an
+// atomic.Pointer[Digest] memo, so a by-value copy silently duplicates
+// the memo cell — the copy and the original stop agreeing on whether a
+// digest has been computed, and a tampered copy can inherit a stale
+// digest that no longer matches its contents (the exact bug class the
+// PR 5 tamper tests exercise). Clone() is the supported way to derive
+// a variant: shallow payload sharing, fresh memo.
+var noCopyTypes = map[string]bool{
+	"Batch":    true,
+	"Proposal": true,
+}
+
+// Nocopydigest forbids by-value copies of types.Batch and
+// types.Proposal: assignments, dereferences, value arguments, value
+// returns, range values, channel sends, and value-typed declarations
+// (parameters, struct fields) all copy the no-copy digest memo.
+var Nocopydigest = &Analyzer{
+	Name: "nocopydigest",
+	Doc:  "types.Batch/types.Proposal must be handled by pointer (Clone(), not copy)",
+	Run:  runNocopydigest,
+}
+
+func isNoCopyValue(t types.Type) (string, bool) {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != typesPkgPath || !noCopyTypes[obj.Name()] {
+		return "", false
+	}
+	return obj.Name(), true
+}
+
+func runNocopydigest(pass *Pass) {
+	// copiesValue reports a copy when e is a value of a no-copy type
+	// arriving from an existing value (anything but a composite
+	// literal, which constructs in place).
+	copiesValue := func(e ast.Expr) (string, bool) {
+		if e == nil {
+			return "", false
+		}
+		t := pass.TypesInfo.TypeOf(e)
+		if t == nil {
+			return "", false
+		}
+		name, ok := isNoCopyValue(t)
+		if !ok {
+			return "", false
+		}
+		if _, lit := e.(*ast.CompositeLit); lit {
+			return "", false // in-place construction
+		}
+		return name, true
+	}
+
+	report := func(pos ast.Node, name, how string) {
+		pass.Reportf(pos.Pos(), "%s of types.%s copies its no-copy digest memo; use a *types.%s (Clone() for variants)", how, name, name)
+	}
+
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, rhs := range n.Rhs {
+					if name, ok := copiesValue(rhs); ok {
+						report(rhs, name, "assignment")
+					}
+				}
+			case *ast.CallExpr:
+				// Conversions like types.Batch(x) don't arise; any
+				// argument of bare value type is a copy at the call
+				// boundary.
+				if tv, ok := pass.TypesInfo.Types[n.Fun]; ok && tv.IsType() {
+					return true
+				}
+				for _, arg := range n.Args {
+					if name, ok := copiesValue(arg); ok {
+						report(arg, name, "passing a value argument")
+					}
+				}
+			case *ast.ReturnStmt:
+				for _, r := range n.Results {
+					if name, ok := copiesValue(r); ok {
+						report(r, name, "returning a value")
+					}
+				}
+			case *ast.RangeStmt:
+				if n.Value != nil {
+					if t := pass.TypesInfo.TypeOf(n.Value); t != nil {
+						if name, ok := isNoCopyValue(t); ok {
+							report(n.Value, name, "ranging with a value variable")
+						}
+					}
+				}
+			case *ast.SendStmt:
+				if name, ok := copiesValue(n.Value); ok {
+					report(n.Value, name, "sending a value")
+				}
+			case *ast.CompositeLit:
+				for _, el := range n.Elts {
+					e := el
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						e = kv.Value
+					}
+					if name, ok := copiesValue(e); ok {
+						report(e, name, "embedding a value in a composite literal")
+					}
+				}
+			case *ast.Field:
+				// Value-typed parameters, results, and struct fields
+				// invite copies at every use site.
+				if t := pass.TypesInfo.TypeOf(n.Type); t != nil {
+					if name, ok := isNoCopyValue(t); ok {
+						report(n.Type, name, "declaring a value-typed field or parameter")
+					}
+				}
+			case *ast.ValueSpec:
+				if n.Type != nil {
+					if t := pass.TypesInfo.TypeOf(n.Type); t != nil {
+						if name, ok := isNoCopyValue(t); ok {
+							report(n.Type, name, "declaring a value-typed variable")
+						}
+					}
+				}
+				for _, v := range n.Values {
+					if name, ok := copiesValue(v); ok {
+						report(v, name, "assignment")
+					}
+				}
+			}
+			return true
+		})
+	}
+}

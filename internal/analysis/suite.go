@@ -1,0 +1,12 @@
+package analysis
+
+// All returns the autobahn-vet analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Detrange,
+		Noclock,
+		Bufrelease,
+		Nocopydigest,
+		Journalorder,
+	}
+}

@@ -1,0 +1,10 @@
+package sim
+
+import "time"
+
+// The directive below suppresses the noclock finding but carries no
+// reason, which is itself reported (allowdoc): escape hatches must
+// leave an audit trail.
+func pace() {
+	time.Sleep(time.Millisecond) //lint:allow noclock
+}

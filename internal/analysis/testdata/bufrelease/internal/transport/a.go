@@ -1,0 +1,120 @@
+package transport
+
+import (
+	"errors"
+
+	"repro/internal/wire"
+)
+
+var errEmpty = errors.New("empty")
+
+type frame struct{ buf *wire.Buf }
+
+type sink struct{ ch chan *wire.Buf }
+
+func deliver(b *wire.Buf) {}
+
+// Leak on the early error exit: the happy path releases, the n == 0
+// path returns with the buffer still live.
+func encodeLeaky(n int) ([]byte, error) {
+	buf := wire.GetBuf(n) // want `may reach .* without Release`
+	if n == 0 {
+		return nil, errEmpty
+	}
+	out := append([]byte(nil), buf.B...)
+	buf.Release()
+	return out, nil
+}
+
+// Leak at function end: never released, never transferred. Reading the
+// payload (buf.B) is not a transfer.
+func sumLeaky(n int) int {
+	buf := wire.GetBuf(n) // want `may reach .* without Release`
+	total := 0
+	for _, b := range buf.B {
+		total += int(b)
+	}
+	return total
+}
+
+// Discarding the acquire outright can never be released: flagged.
+func discard(n int) {
+	wire.GetBuf(n) // want `result of wire.GetBuf is discarded`
+}
+
+func discardBlank(n int) {
+	_ = wire.GetBuf(n) // want `result of wire.GetBuf is discarded`
+}
+
+// Release on every path: ok.
+func encodeOK(n int) ([]byte, error) {
+	buf := wire.GetBuf(n)
+	if n == 0 {
+		buf.Release()
+		return nil, errEmpty
+	}
+	out := append([]byte(nil), buf.B...)
+	buf.Release()
+	return out, nil
+}
+
+// defer covers every exit: ok.
+func encodeDeferred(n int) ([]byte, error) {
+	buf := wire.GetBuf(n)
+	defer buf.Release()
+	if n == 0 {
+		return nil, errEmpty
+	}
+	return append([]byte(nil), buf.B...), nil
+}
+
+// Passing the pointer itself transfers ownership: ok.
+func handOff(n int) {
+	buf := wire.GetBuf(n)
+	deliver(buf)
+}
+
+// Returning the pointer transfers ownership to the caller: ok.
+func acquireFor(n int) *wire.Buf {
+	buf := wire.GetBuf(n)
+	return buf
+}
+
+// Storing into a field transfers ownership to the struct: ok.
+func wrap(n int) *frame {
+	f := &frame{}
+	f.buf = wire.GetBuf(n)
+	return f
+}
+
+// A channel send transfers ownership to the receiver: ok.
+func enqueue(s *sink, n int) {
+	buf := wire.GetBuf(n)
+	s.ch <- buf
+}
+
+// An alias release resolves the original acquire: ok.
+func aliased(n int) {
+	buf := wire.GetBuf(n)
+	b2 := buf
+	b2.Release()
+}
+
+// Frames follow the same rules; the error path releases and delivery
+// transfers: ok.
+func ingest(n int, ok bool) {
+	fr := wire.GetFrame(n)
+	if !ok {
+		fr.Release()
+		return
+	}
+	deliverFrame(fr)
+}
+
+func deliverFrame(f *wire.Frame) {}
+
+// Deliberate abandonment to the GC is annotated: ok.
+func abandon(n int) []byte {
+	fr := wire.GetFrame(n) //lint:allow bufrelease returned slice aliases the frame; the GC owns it from here
+	return fr.Data()
+}

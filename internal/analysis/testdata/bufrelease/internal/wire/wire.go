@@ -1,0 +1,17 @@
+// Package wire is a minimal mirror of the real pool API: the analyzer
+// keys on the package path and the GetBuf/GetFrame function names.
+package wire
+
+type Buf struct{ B []byte }
+
+func GetBuf(n int) *Buf { return &Buf{B: make([]byte, 0, n)} }
+
+func (b *Buf) Release() {}
+
+type Frame struct{ data []byte }
+
+func GetFrame(n int) *Frame { return &Frame{data: make([]byte, n)} }
+
+func (f *Frame) Data() []byte { return f.data }
+
+func (f *Frame) Release() {}

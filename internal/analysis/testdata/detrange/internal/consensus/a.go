@@ -1,0 +1,115 @@
+package consensus
+
+type NodeID int
+
+type Env interface {
+	Send(to NodeID, msg any)
+	SetTimer(d int64)
+}
+
+type engine struct {
+	env     Env
+	pending map[NodeID]int
+}
+
+// Raw map order decides send order: flagged with the send wording.
+func (e *engine) retryAll() {
+	for id, v := range e.pending { // want `message sends or timer registrations`
+		e.env.Send(id, v)
+	}
+}
+
+// Map order reaches a send transitively through a same-package call.
+func (e *engine) retryVia() {
+	for id, v := range e.pending { // want `message sends or timer registrations`
+		e.sendOne(id, v)
+	}
+}
+
+func (e *engine) sendOne(id NodeID, v int) {
+	e.env.Send(id, v)
+}
+
+// Commutative accumulation is order-insensitive: ok.
+func (e *engine) total() int {
+	sum := 0
+	for _, v := range e.pending {
+		sum += v
+	}
+	return sum
+}
+
+// Rebuilding a map under the range key writes disjoint slots: ok.
+func (e *engine) sizes(in map[NodeID][]int) map[NodeID]int {
+	out := make(map[NodeID]int, len(in))
+	for k, v := range in {
+		out[k] = len(v)
+	}
+	return out
+}
+
+// Strict extremum over the unique range keys can never tie: ok.
+func (e *engine) minKey() NodeID {
+	best := NodeID(-1)
+	for k := range e.pending {
+		if best == -1 || k < best {
+			best = k
+		}
+	}
+	return best
+}
+
+// Existence checks returning constants give the same answer no matter
+// which iteration fires: ok.
+func (e *engine) hasPending() bool {
+	for _, v := range e.pending {
+		if v > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// delete(m, k) during iteration is order-insensitive: ok.
+func (e *engine) clearNegative() {
+	for k, v := range e.pending {
+		if v < 0 {
+			delete(e.pending, k)
+		}
+	}
+}
+
+// Last write in map order wins: flagged.
+func (e *engine) anyValue() int {
+	last := 0
+	for _, v := range e.pending { // want `map iteration order`
+		last = v
+	}
+	return last
+}
+
+// Collecting without sorting leaks map order into the result: flagged.
+func (e *engine) keysUnsorted() []NodeID {
+	var out []NodeID
+	for k := range e.pending { // want `never sorted afterwards`
+		out = append(out, k)
+	}
+	return out
+}
+
+// A value-derived key can collide, and collisions resolve in map
+// order: flagged.
+func (e *engine) invert(in map[NodeID]int) map[int]NodeID {
+	out := map[int]NodeID{}
+	for k, v := range in { // want `value-derived key`
+		out[v] = k
+	}
+	return out
+}
+
+// A justified allow directive suppresses the finding.
+func (e *engine) debugDump(log func(NodeID, int)) {
+	for k, v := range e.pending { //lint:allow detrange debug output, order not observable by the protocol
+		log(k, v)
+	}
+}

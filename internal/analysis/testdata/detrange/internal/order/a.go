@@ -1,0 +1,64 @@
+package order
+
+import "sort"
+
+type NodeID int
+
+type Pos int
+
+type TipRef struct {
+	Lane     NodeID
+	Position Pos
+}
+
+type Range struct {
+	Lane     NodeID
+	From, To Pos
+}
+
+// catchupRangesReverted mirrors order.CatchupRanges with the PR 5
+// determinism fix reverted: raw map iteration decides which tip wins
+// best[lane], so two replicas with the same tip set can compute
+// different catch-up plans.
+func catchupRangesReverted(tips map[NodeID]TipRef, have map[NodeID]Pos) map[NodeID]Range {
+	best := map[NodeID]Range{}
+	for _, tip := range tips { // want `map iteration order`
+		if have[tip.Lane] < tip.Position {
+			best[tip.Lane] = Range{Lane: tip.Lane, From: have[tip.Lane], To: tip.Position}
+		}
+	}
+	return best
+}
+
+// catchupRangesFixed is the shipped shape: collect keys, sort, then
+// iterate in canonical order.
+func catchupRangesFixed(tips map[NodeID]TipRef, have map[NodeID]Pos) []Range {
+	lanes := make([]NodeID, 0, len(tips))
+	for l := range tips {
+		lanes = append(lanes, l)
+	}
+	sort.Slice(lanes, func(i, j int) bool { return lanes[i] < lanes[j] })
+	out := make([]Range, 0, len(lanes))
+	for _, l := range lanes {
+		tip := tips[l]
+		if have[l] < tip.Position {
+			out = append(out, Range{Lane: l, From: have[l], To: tip.Position})
+		}
+	}
+	return out
+}
+
+// localSortHelper checks that a package-local sorting helper counts as
+// the sort in collect-then-sort.
+func localSortHelper(tips map[NodeID]TipRef) []NodeID {
+	lanes := make([]NodeID, 0, len(tips))
+	for l := range tips {
+		lanes = append(lanes, l)
+	}
+	sortLanes(lanes)
+	return lanes
+}
+
+func sortLanes(lanes []NodeID) {
+	sort.Slice(lanes, func(i, j int) bool { return lanes[i] < lanes[j] })
+}

@@ -1,0 +1,53 @@
+package consensus
+
+type NodeID int
+
+type Vote struct {
+	Slot  int
+	Voter NodeID
+}
+
+type Journal struct{}
+
+func (j *Journal) RecordVote(v *Vote) error { return nil }
+
+type Env interface {
+	Send(to NodeID, msg any)
+	Broadcast(msg any)
+}
+
+type engine struct {
+	env     Env
+	Journal *Journal
+}
+
+// Sending before journaling externalizes state the replica forgets on
+// crash: flagged.
+func (e *engine) voteBad(to NodeID, v *Vote) {
+	e.env.Send(to, v) // want `sent before it is journaled`
+	e.Journal.RecordVote(v)
+}
+
+func (e *engine) broadcastBad(v *Vote) {
+	e.env.Broadcast(v) // want `sent before it is journaled`
+	e.Journal.RecordVote(v)
+}
+
+// Journal first, then externalize: ok.
+func (e *engine) voteGood(to NodeID, v *Vote) {
+	e.Journal.RecordVote(v)
+	e.env.Send(to, v)
+}
+
+// Unrelated messages are not confused with the journaled one: ok.
+func (e *engine) mixed(to NodeID, v, other *Vote) {
+	e.env.Send(to, other)
+	e.Journal.RecordVote(v)
+	e.env.Send(to, v)
+}
+
+// The escape hatch (e.g. idempotent re-sends during recovery): ok.
+func (e *engine) resend(to NodeID, v *Vote) {
+	e.env.Send(to, v) //lint:allow journalorder idempotent re-send of an already-journaled vote
+	e.Journal.RecordVote(v)
+}

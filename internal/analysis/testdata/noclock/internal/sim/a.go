@@ -1,0 +1,39 @@
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Wall-clock reads fork simulated and live behavior: flagged.
+func elapsed() time.Duration {
+	start := time.Now()      // want `time.Now in a sim-deterministic package`
+	return time.Since(start) // want `time.Since in a sim-deterministic package`
+}
+
+// Ambient timers are wall-clock too: flagged.
+func waitABit() {
+	time.Sleep(time.Millisecond) // want `time.Sleep in a sim-deterministic package`
+}
+
+// The global RNG is process-shared state: flagged.
+func jitter() int {
+	return rand.Intn(10) // want `global math/rand.Intn`
+}
+
+// Seeded, locally-owned generators are the supported pattern: ok.
+func seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Type and constant references are not ambient state: ok.
+func window(d time.Duration) time.Duration {
+	var t time.Time
+	_ = t
+	return d + 5*time.Second
+}
+
+// Live-only edges annotate with a reason: ok.
+func paceLive() {
+	time.Sleep(time.Millisecond) //lint:allow noclock live pacing helper, not reachable from the simulator
+}

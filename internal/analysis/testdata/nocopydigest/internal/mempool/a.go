@@ -1,0 +1,59 @@
+package mempool
+
+import "repro/internal/types"
+
+// Dereference copies duplicate the digest memo: flagged.
+func derefCopy(b *types.Batch) {
+	cp := *b // want `assignment of types.Batch copies its no-copy digest memo`
+	_ = cp.Payload
+}
+
+// Value parameters copy at every call site: flagged.
+func byValueParam(b types.Batch) { // want `declaring a value-typed field or parameter`
+	_ = b.Payload
+}
+
+// Value-typed struct fields invite copies at every use: flagged.
+type store struct {
+	head types.Proposal // want `declaring a value-typed field or parameter`
+}
+
+// Ranging with a value variable copies each element: flagged.
+func scan(batches []types.Batch) int {
+	n := 0
+	for _, b := range batches { // want `ranging with a value variable`
+		n += len(b.Payload)
+	}
+	return n
+}
+
+// Passing a value argument copies at the call boundary: flagged.
+func forward(b *types.Batch) {
+	byValueParam(*b) // want `passing a value argument`
+}
+
+// Returning a value copies on the way out, and the value-typed result
+// declaration is flagged in its own right: both reported.
+func head(p *types.Proposal) types.Proposal { // want `declaring a value-typed field or parameter`
+	return *p // want `returning a value`
+}
+
+// Channel sends copy into the channel buffer: flagged.
+func publish(ch chan types.Batch, b *types.Batch) {
+	ch <- *b // want `sending a value`
+}
+
+// Pointers and Clone() are the supported idioms: ok.
+func clone(b *types.Batch) *types.Batch {
+	return b.Clone()
+}
+
+func viaPointer(b *types.Batch) int {
+	return len(b.Payload)
+}
+
+// Composite literals construct in place, not copy: ok.
+func build(payload []byte) *types.Batch {
+	b := types.Batch{Payload: payload}
+	return &b
+}

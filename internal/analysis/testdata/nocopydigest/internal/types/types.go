@@ -1,0 +1,19 @@
+// Package types is a minimal mirror of the real message types: the
+// analyzer keys on the package path and the Batch/Proposal type names.
+package types
+
+type Digest [32]byte
+
+type Batch struct {
+	Payload []byte
+	memo    *Digest
+}
+
+func (b *Batch) Clone() *Batch { return &Batch{Payload: b.Payload} }
+
+type Proposal struct {
+	Batches []*Batch
+	memo    *Digest
+}
+
+func (p *Proposal) Clone() *Proposal { return &Proposal{Batches: p.Batches} }

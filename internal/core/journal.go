@@ -129,8 +129,15 @@ func (s *memStore) Put(key, val []byte) error {
 }
 
 func (s *memStore) Range(fn func(key, val []byte) bool) {
-	for k, v := range s.m {
-		if !fn([]byte(k), v) {
+	// Canonical key order: recovery replays through Range, so iteration
+	// order must not depend on map layout (detrange).
+	keys := make([]string, 0, len(s.m))
+	for k := range s.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if !fn([]byte(k), s.m[k]) {
 			return
 		}
 	}

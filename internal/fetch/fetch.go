@@ -386,11 +386,12 @@ func Serve(store interface {
 	return out
 }
 
-// Pending returns snapshots of outstanding requests (tests).
+// Pending returns snapshots of outstanding requests in canonical key
+// order (tests).
 func (m *Manager) Pending() []Request {
 	out := make([]Request, 0, len(m.pending))
-	for _, r := range m.pending {
-		out = append(out, *r)
+	for _, k := range m.sortedKeys() {
+		out = append(out, *m.pending[k])
 	}
 	return out
 }

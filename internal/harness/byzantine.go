@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"time"
 
@@ -92,6 +93,9 @@ func (ci *CommitInterceptor) Violation() string {
 	for id := range ci.logs {
 		ids = append(ids, id)
 	}
+	// Pairwise comparison below reports the first divergence it sees:
+	// canonical id order keeps the violation string deterministic.
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for i := 0; i < len(ids); i++ {
 		for j := i + 1; j < len(ids); j++ {
 			a, b := ci.logs[ids[i]], ci.logs[ids[j]]

@@ -142,7 +142,7 @@ func RunLiveTCPCell(cfg LiveCellConfig) LiveCellResult {
 	// Open-loop load, round-robin across replicas.
 	tx := make([]byte, 128)
 	interval := time.Duration(float64(time.Second) / cfg.Rate)
-	start := time.Now()
+	start := time.Now() //lint:allow noclock live cell measures wall-clock throughput by design
 	for time.Since(start) < cfg.Duration {
 		to := res.Submitted % n
 		replicas[to].Submit(tx)
@@ -150,12 +150,12 @@ func RunLiveTCPCell(cfg LiveCellConfig) LiveCellResult {
 		if cfg.Adversary == "" || to != 2 {
 			res.SubmittedHonest++
 		}
-		time.Sleep(interval)
+		time.Sleep(interval) //lint:allow noclock open-loop pacing needs real time
 	}
 
 	// Drain until every replica reaches the floor or the deadline.
 	res.Floor = uint64(float64(res.SubmittedHonest) * 0.9)
-	deadline := time.Now().Add(cfg.DrainTimeout)
+	deadline := time.Now().Add(cfg.DrainTimeout) //lint:allow noclock drain deadline is wall-clock
 	for time.Now().Before(deadline) {
 		done := true
 		for i := 0; i < n; i++ {
@@ -167,9 +167,9 @@ func RunLiveTCPCell(cfg LiveCellConfig) LiveCellResult {
 		if done {
 			break
 		}
-		time.Sleep(50 * time.Millisecond)
+		time.Sleep(50 * time.Millisecond) //lint:allow noclock drain polling is wall-clock
 	}
-	res.Elapsed = time.Since(start)
+	res.Elapsed = time.Since(start) //lint:allow noclock elapsed wall time is the measurement
 	res.MinCommitted = perReplica[0].Load()
 	for i := 0; i < n; i++ {
 		res.PerReplica[i] = perReplica[i].Load()

@@ -256,11 +256,12 @@ func (s *State) OnVote(v *types.Vote) ([]*types.Proposal, *types.PoA, error) {
 		if len(headSet) < s.cfg.Committee.PoAQuorum() {
 			break
 		}
-		poa := &types.PoA{Lane: s.cfg.Self, Position: head.Position, Digest: head.Digest()}
+		shares := make([]types.SigShare, 0, len(headSet))
 		for _, sh := range headSet {
-			poa.Shares = append(poa.Shares, sh)
+			shares = append(shares, sh)
 		}
-		sortShares(poa.Shares)
+		sortShares(shares)
+		poa := &types.PoA{Lane: s.cfg.Self, Position: head.Position, Digest: head.Digest(), Shares: shares}
 		delete(s.votes, head.Position)
 		s.outstanding = s.outstanding[1:]
 		s.ownCert = types.TipRef{Lane: s.cfg.Self, Position: poa.Position, Digest: poa.Digest, Cert: poa}
@@ -613,7 +614,13 @@ func (s *State) Restore(own []*types.Proposal, ownCommitted types.Pos, votes map
 		s.votes[p.Position] = map[types.NodeID]types.SigShare{s.cfg.Self: share}
 		s.outstanding = append(s.outstanding, p)
 	}
-	for l, m := range votes {
+	lanes := make([]types.NodeID, 0, len(votes))
+	for l := range votes {
+		lanes = append(lanes, l)
+	}
+	sortLanes(lanes)
+	for _, l := range lanes {
+		m := votes[l]
 		if !s.cfg.Committee.Valid(l) || l == s.cfg.Self {
 			continue
 		}
@@ -636,6 +643,15 @@ func maxPos(a, b types.Pos) types.Pos {
 		return a
 	}
 	return b
+}
+
+func sortLanes(lanes []types.NodeID) {
+	// insertion sort: committee sizes are small
+	for i := 1; i < len(lanes); i++ {
+		for j := i; j > 0 && lanes[j] < lanes[j-1]; j-- {
+			lanes[j], lanes[j-1] = lanes[j-1], lanes[j]
+		}
+	}
 }
 
 func sortShares(shares []types.SigShare) {
