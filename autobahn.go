@@ -31,6 +31,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/crypto"
 	"repro/internal/runtime"
+	"repro/internal/storage"
 	"repro/internal/transport"
 	"repro/internal/types"
 )
@@ -133,6 +134,20 @@ type Options struct {
 	// WALSyncEvery fsyncs the journal after this many records (0 = rely
 	// on OS flush; each record is still written out immediately).
 	WALSyncEvery int
+	// WALFaults, when set, routes the replica's WAL file operations
+	// through a seeded fault plan (write errors, short writes, failed
+	// fsyncs, a crash point) — the storage half of the chaos harness. A
+	// journal failure is replica-fatal: the replica halts and shuts
+	// itself down, reporting through Replica.Fatal. Requires WALPath.
+	WALFaults *storage.FaultPlan
+
+	// StallTimeout, when > 0, arms the TCP mesh's per-peer stall
+	// detector: a peer this replica keeps sending to without hearing
+	// anything back for the timeout (or that holds an egress write
+	// blocked that long) has its connections torn down and redialed with
+	// jittered backoff, instead of wedging silently behind an open but
+	// dead TCP session. Replica (TCP) runtimes only; 0 disables.
+	StallTimeout time.Duration
 }
 
 func (o Options) committee() types.Committee { return types.NewCommittee(o.N) }

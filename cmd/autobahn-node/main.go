@@ -49,6 +49,7 @@ func main() {
 	shards := flag.Int("shards", 0, "data-plane worker shards: lane traffic parallelism (0 = auto: one per core up to committee size, 1 = single-threaded)")
 	gossip := flag.Int("gossip", 0, "car gossip fanout k (0 = full-mesh broadcast); try log2(committee)+1 for large committees")
 	deltaCuts := flag.Bool("delta-cuts", false, "delta-compress cut-bearing consensus frames against each connection's previous cut")
+	stallTimeout := flag.Duration("stall-timeout", 10*time.Second, "tear down and redial peer connections that accept but make no progress for this long (0 disables the stall detector)")
 	flag.Parse()
 
 	addrList := strings.Split(*peers, ",")
@@ -71,6 +72,7 @@ func main() {
 		DataShards:   *shards,
 		GossipFanout: *gossip,
 		DeltaCuts:    *deltaCuts,
+		StallTimeout: *stallTimeout,
 	}, logger)
 	if err != nil {
 		log.Fatal(err)
@@ -78,6 +80,13 @@ func main() {
 	if err := replica.Start(); err != nil {
 		log.Fatal(err)
 	}
+	// A journal barrier failure is unrecoverable: the replica has already
+	// halted itself (un-journaled state must never externalize) — exit
+	// loudly so the operator restarts the process against the durable WAL.
+	go func() {
+		err := <-replica.Fatal()
+		logger.Fatalf("replica halted: journal failure: %v (restart with the same -wal to recover)", err)
+	}()
 	logger.Printf("replica %d listening on %s (committee of %d)", *id, addrs[types.NodeID(*id)], len(addrList))
 
 	var wal *storage.Store
@@ -130,14 +139,15 @@ func main() {
 				egress.Add(s)
 			}
 			loop := replica.LoopStats()
-			logger.Printf("committed %d txs in %d batches (slot %d); egress ctl %d frames/%d flushes (%d delta), data %d frames/%d flushes, %d drops; ingress %d ctl/%d shard events, %d drops; gossip %d origin/%d relayed/%d dup-dropped",
+			logger.Printf("committed %d txs in %d batches (slot %d); egress ctl %d frames/%d flushes (%d delta), data %d frames/%d flushes, %d drops; ingress %d ctl/%d shard events, %d drops; gossip %d origin/%d relayed/%d dup-dropped; links %d dials/%d redials/%d stalls",
 				committedTx, committedBatches, c.Slot,
 				egress.Control.Frames, egress.Control.Flushes, egress.Control.DeltaFrames,
 				egress.Data.Frames, egress.Data.Flushes,
 				egress.Control.Drops+egress.Data.Drops,
 				loop.ControlEvents, loop.ShardEvents,
 				loop.InboxDrops+loop.ShardDrops,
-				loop.GossipOrigin, loop.GossipRelays, loop.GossipDupDrops)
+				loop.GossipOrigin, loop.GossipRelays, loop.GossipDupDrops,
+				loop.PeerDials, loop.PeerRedials, loop.PeerStalls)
 		}
 	}
 }

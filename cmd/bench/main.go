@@ -9,7 +9,7 @@
 //
 // Usage:
 //
-//	bench -exp table1|fig1|fig5|fig6|fig7|fig8|ablation|restart|byzantine|ingress|scaling|committee|faultmatrix|all [-quick] [-json out.json]
+//	bench -exp table1|fig1|fig5|fig6|fig7|fig8|ablation|restart|byzantine|ingress|scaling|committee|faultmatrix|soak|all [-quick] [-json out.json]
 //
 // -exp accepts a comma-separated list; `all` expands to the simulator
 // figure experiments only (ingress/scaling/committee/faultmatrix measure
@@ -18,7 +18,9 @@
 // -exp all,faultmatrix). `byzantine` runs every shipped adversary
 // behavior on the simulator; `faultmatrix` runs the same behaviors plus
 // lossy-link profiles over real TCP loopback clusters (see
-// faultmatrix.go).
+// faultmatrix.go); `soak` drives the long-haul churn soak — restart
+// churn, stall windows, storage faults, Byzantine behaviors — on both
+// runtimes with the safety oracle and leak watermarks armed (soak.go).
 //
 // With -json, the per-experiment headline metrics (throughput, latency,
 // hangover, recovery — whatever the experiment measures) are written as
@@ -64,7 +66,7 @@ func record(metric string, value float64) {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiments: table1, fig1, fig5, fig6, fig7, fig8, ablation, restart, byzantine, ingress, scaling, committee, faultmatrix, all (= the simulator set)")
+	exp := flag.String("exp", "all", "comma-separated experiments: table1, fig1, fig5, fig6, fig7, fig8, ablation, restart, byzantine, ingress, scaling, committee, faultmatrix, soak, all (= the simulator set)")
 	quick := flag.Bool("quick", false, "reduced sweeps for a fast smoke run")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	jsonPath := flag.String("json", "", "write machine-readable per-experiment metrics to this file")
@@ -80,7 +82,7 @@ func main() {
 	// wall-clock-bound real-runtime probes run only when named, and so
 	// does `byzantine` (deterministic, but owned by the CI fault-matrix
 	// job — including it in `all` would run the whole suite twice per PR).
-	notInAll := map[string]bool{"ingress": true, "scaling": true, "faultmatrix": true, "byzantine": true, "committee": true}
+	notInAll := map[string]bool{"ingress": true, "scaling": true, "faultmatrix": true, "byzantine": true, "committee": true, "soak": true}
 	run := func(name string, fn func()) {
 		if !want[name] && !(want["all"] && !notInAll[name]) {
 			return
@@ -241,6 +243,7 @@ func main() {
 	run("scaling", func() { runScaling(*quick) })
 	run("committee", func() { runCommittee(*quick, *seed) })
 	run("faultmatrix", func() { runFaultMatrix(*quick, *seed) })
+	run("soak", func() { runSoak(*quick, *seed) })
 
 	if *jsonPath != "" {
 		data, err := json.MarshalIndent(&rep, "", "  ")

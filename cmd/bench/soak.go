@@ -1,0 +1,126 @@
+// Long-haul churn soak: `soak` drives the self-healing runtime through a
+// seeded chaos schedule — rolling restarts (with an amnesia mix), stall
+// windows, storage faults, Byzantine behaviors — on both runtimes. The
+// simulated cell replays a minutes-long schedule deterministically and
+// asserts the safety oracle (no contradictions, no duplicate commits,
+// gap-free lanes, prefix agreement) plus per-window seamless recovery;
+// the live TCP cell applies the same schedule operationally (real
+// teardowns and WAL rebuilds, link-level stalls that the transport stall
+// detector must catch and redial through, poisoned WALs whose journal
+// barrier failure halts the replica fatally) and additionally watches
+// goroutine/fd watermarks for leaks across the churn. Quick mode is the
+// CI cell; the full run is the nightly soak.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/harness"
+	"repro/internal/types"
+)
+
+func runSoak(quick bool, seed uint64) {
+	// --- simulated churn soak (deterministic: same seed, same run) ---
+	cfg := harness.SoakConfig{Seed: seed}
+	if quick {
+		cfg.Load = 15e3
+		cfg.Duration = 30 * time.Second
+		cfg.Chaos.Start = 5 * time.Second
+		cfg.Chaos.End = 25 * time.Second
+	} else {
+		cfg.N = 7
+		cfg.Load = 20e3
+		cfg.Duration = 3 * time.Minute
+		cfg.Chaos = chaos.Params{
+			Start: 10 * time.Second, End: 160 * time.Second,
+			Restarts: 8, DownFor: 2 * time.Second, AmnesiaMix: 0.34,
+			Stalls: 5, StallFor: 1500 * time.Millisecond,
+			StorageFaults: 3,
+			Behaviors: []chaos.Behavior{
+				{Node: 6, Name: "equivocate", From: 10 * time.Second, To: 160 * time.Second},
+			},
+		}
+	}
+	res, err := harness.RunSimSoak(cfg)
+	if err != nil {
+		fmt.Printf("sim soak: %v\n", err)
+		check(false, "soak(sim): schedule generation and run")
+		return
+	}
+	harness.PrintSoak(os.Stdout, res)
+	record("sim_windows", float64(len(res.Windows)))
+	record("sim_total_committed", float64(res.Total))
+	record("sim_baseline_ms", float64(res.Baseline.Milliseconds()))
+	record("sim_max_hangover_s", res.MaxHangover.Seconds())
+	check(res.Violation == "",
+		"soak(sim): no safety violation across churn (contradiction, dup, lane gap, prefix)")
+	check(res.Recovered,
+		"soak(sim): latency returns under 2x baseline inside every recovery gap")
+	check(res.Total > 0, "soak(sim): the cluster commits under churn")
+
+	// --- live TCP churn soak ---
+	lcfg := harness.LiveSoakConfig{
+		Seed:   seed,
+		Logger: log.New(os.Stderr, "soak ", 0),
+	}
+	if quick {
+		lcfg.Duration = 12 * time.Second
+		lcfg.Chaos.Start = 3 * time.Second
+		lcfg.Chaos.End = 9 * time.Second
+	} else {
+		lcfg.N = 7
+		lcfg.Rate = 1000
+		lcfg.Duration = 60 * time.Second
+		lcfg.Rule = lossy
+		lcfg.DrainTimeout = 60 * time.Second
+		lcfg.Chaos = chaos.Params{
+			Start: 5 * time.Second, End: 50 * time.Second,
+			Restarts: 3, DownFor: 2 * time.Second, AmnesiaMix: 0.4,
+			Stalls: 2, StallFor: 2 * time.Second,
+			StorageFaults: 2,
+			Behaviors: []chaos.Behavior{
+				{Node: types.NodeID(6), Name: "equivocate", From: 5 * time.Second, To: 50 * time.Second},
+			},
+		}
+	}
+	lres := harness.RunLiveSoak(lcfg)
+	if lres.Err != nil {
+		fmt.Printf("live soak SKIP: %v\n", lres.Err)
+		return
+	}
+	harness.PrintLiveSoak(os.Stdout, lres)
+	record("live_min_committed", float64(lres.MinCommitted))
+	record("live_floor", float64(lres.Floor))
+	record("live_operator_restarts", float64(lres.OperatorRestarts))
+	record("live_journal_fatals", float64(lres.JournalFatals))
+	record("live_stalls", float64(lres.Stalls))
+	record("live_redials", float64(lres.Redials))
+	record("live_goroutine_growth", float64(lres.GoroutineGrowth))
+	record("live_fd_growth", float64(lres.FDGrowth))
+	storageFaults := 0
+	stallWindows := 0
+	for _, ev := range lres.Schedule.Events {
+		switch ev.Kind {
+		case chaos.KindStorage:
+			storageFaults++
+		case chaos.KindStall:
+			stallWindows++
+		}
+	}
+	check(lres.Violation == "",
+		"soak(live): no safety violation across operational churn over real sockets")
+	check(lres.MinCommitted >= lres.Floor,
+		"soak(live): every replica commits >= 90% of the eligible load despite churn")
+	check(lres.JournalFatals >= uint64(storageFaults),
+		"soak(live): every poisoned WAL halted its replica loudly (journal-fatal)")
+	check(stallWindows == 0 || (lres.Stalls >= 1 && lres.Redials >= 1),
+		"soak(live): stalled-but-connected peers were detected and redialed")
+	check(lres.GoroutineGrowth <= 20,
+		"soak(live): no goroutine leak across the churn (watermark)")
+	check(lres.FDGrowth <= 16,
+		"soak(live): no fd leak across the churn (watermark)")
+}

@@ -21,6 +21,7 @@ var simDeterministic = map[string]bool{
 	"repro/internal/sim":       true,
 	"repro/internal/harness":   true,
 	"repro/internal/metrics":   true,
+	"repro/internal/chaos":     true,
 }
 
 // Detrange flags `range` over a map unless the loop body is provably

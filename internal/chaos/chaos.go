@@ -1,0 +1,280 @@
+// Package chaos generates seeded, composable fault schedules for the
+// soak harness: restart churn (rolling, with an amnesia mix), stall
+// windows (a replica turns accepted-but-silent), storage faults (a
+// replica's WAL goes bad and the process dies loudly), and Byzantine
+// behavior windows, spread over a minutes-long run.
+//
+// One Schedule drives both runtimes. The simulator consumes it through
+// CompileSim (restarts become Down+Restart events, stall windows become
+// Mute windows — the sim has no sockets to wedge); the live TCP soak
+// (internal/harness) interprets the same events operationally: real
+// process-style replica teardowns, link-level silence, and WAL fault
+// plans with operator restarts.
+//
+// Everything here is a pure function of Params — no wall clock, no
+// global randomness — so a failing soak replays from its seed.
+package chaos
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// Kind classifies one scheduled fault event.
+type Kind int
+
+const (
+	// KindRestart crashes the node for [From, To) and restarts it at To,
+	// with or without its journal (Amnesia).
+	KindRestart Kind = iota
+	// KindStall makes the node accepted-but-silent during [From, To): it
+	// keeps receiving but sends nothing, the failure mode the transport
+	// stall detector exists for.
+	KindStall
+	// KindStorage poisons the node's WAL at From: the journal barrier
+	// fails, the replica halts fatally, and the operator restarts it at
+	// To from whatever the log durably holds.
+	KindStorage
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindRestart:
+		return "restart"
+	case KindStall:
+		return "stall"
+	case KindStorage:
+		return "storage"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Event is one scheduled fault: node suffers Kind during [From, To).
+type Event struct {
+	Kind     Kind
+	Node     types.NodeID
+	From, To time.Duration
+	// Amnesia (restarts only) discards the journal at restart.
+	Amnesia bool
+}
+
+// Behavior schedules a Byzantine behavior window (internal/adversary
+// name) on one replica.
+type Behavior struct {
+	Node     types.NodeID
+	Name     string
+	From, To time.Duration
+}
+
+// Schedule is a composed chaos plan: benign fault events (sorted by
+// From, pairwise non-overlapping in time — at most one event is active
+// at any instant, keeping the concurrent-fault count ≤ f alongside the
+// behaviors) plus Byzantine behavior windows.
+type Schedule struct {
+	N         int
+	Seed      uint64
+	Events    []Event
+	Behaviors []Behavior
+}
+
+// Params configures Generate. Counts of zero skip that fault class.
+type Params struct {
+	// N is the committee size (3f+1; required).
+	N int
+	// Seed drives every random choice (node selection, jitter, amnesia
+	// mix); the same Params generate the same Schedule.
+	Seed uint64
+	// Start/End bound the fault activity: events are spread over
+	// [Start, End) with recovery gaps between them, so invariant
+	// checkers can measure hangover after each window.
+	Start, End time.Duration
+	// Restarts is the number of rolling crash+restart events; DownFor is
+	// each crash window's length; AmnesiaMix the fraction ([0,1]) of
+	// restarts that discard the journal (capped so an amnesiac node is
+	// never the behavior node).
+	Restarts   int
+	DownFor    time.Duration
+	AmnesiaMix float64
+	// Stalls is the number of accepted-but-silent windows of StallFor.
+	Stalls   int
+	StallFor time.Duration
+	// StorageFaults is the number of WAL-poisoning events; each keeps
+	// the replica down for DownFor before its operator restart.
+	StorageFaults int
+	// Behaviors assigns full- or part-run Byzantine behaviors. They are
+	// copied into the schedule after validation (≤ f total, no overlap
+	// with event nodes is NOT required — a stalled adversary is legal —
+	// but restarts avoid behavior nodes, mirroring sim.AddBehavior's
+	// restart restriction).
+	Behaviors []Behavior
+}
+
+// Generate builds a seeded Schedule from Params. Events are laid out in
+// equal slots over [Start, End), one event per slot with jittered onset,
+// so no two events overlap and every event is followed by a recovery
+// gap inside its own slot.
+func Generate(p Params) (*Schedule, error) {
+	if p.N < 4 {
+		return nil, fmt.Errorf("chaos: committee of %d (need >= 4)", p.N)
+	}
+	f := (p.N - 1) / 3
+	if len(p.Behaviors) > f {
+		return nil, fmt.Errorf("chaos: %d behaviors exceeds f=%d", len(p.Behaviors), f)
+	}
+	total := p.Restarts + p.Stalls + p.StorageFaults
+	if total == 0 && len(p.Behaviors) == 0 {
+		return nil, fmt.Errorf("chaos: empty plan")
+	}
+	if total > 0 && p.End <= p.Start {
+		return nil, fmt.Errorf("chaos: empty window [%v, %v)", p.Start, p.End)
+	}
+	rng := rand.New(rand.NewPCG(p.Seed, p.Seed^0x6a09e667f3bcc909))
+
+	// Nodes eligible for restarts/storage faults: behavior nodes are
+	// excluded (an adversary restarting honestly would end its behavior;
+	// the sim builder rejects the combination outright).
+	behaviorNode := make([]bool, p.N)
+	for _, b := range p.Behaviors {
+		if int(b.Node) >= p.N {
+			return nil, fmt.Errorf("chaos: behavior node %d outside committee", b.Node)
+		}
+		if behaviorNode[b.Node] {
+			return nil, fmt.Errorf("chaos: node %d has two behaviors", b.Node)
+		}
+		behaviorNode[b.Node] = true
+	}
+	var restartable []types.NodeID
+	for i := 0; i < p.N; i++ {
+		if !behaviorNode[i] {
+			restartable = append(restartable, types.NodeID(i))
+		}
+	}
+	if (p.Restarts > 0 || p.StorageFaults > 0) && len(restartable) == 0 {
+		return nil, fmt.Errorf("chaos: no restartable nodes")
+	}
+
+	// Deterministic event-kind sequence, shuffled so kinds interleave.
+	kinds := make([]Kind, 0, total)
+	for i := 0; i < p.Restarts; i++ {
+		kinds = append(kinds, KindRestart)
+	}
+	for i := 0; i < p.Stalls; i++ {
+		kinds = append(kinds, KindStall)
+	}
+	for i := 0; i < p.StorageFaults; i++ {
+		kinds = append(kinds, KindStorage)
+	}
+	rng.Shuffle(len(kinds), func(i, j int) { kinds[i], kinds[j] = kinds[j], kinds[i] })
+
+	s := &Schedule{N: p.N, Seed: p.Seed}
+	s.Behaviors = append(s.Behaviors, p.Behaviors...)
+	if total == 0 {
+		return s, nil
+	}
+	slot := (p.End - p.Start) / time.Duration(total)
+	rollIdx := rng.IntN(max(len(restartable), 1)) // rolling cursor
+	for i, kind := range kinds {
+		slotStart := p.Start + time.Duration(i)*slot
+		width := p.DownFor
+		if kind == KindStall {
+			width = p.StallFor
+		}
+		if width <= 0 || width > slot/2 {
+			// Keep at least half the slot as recovery gap.
+			width = slot / 2
+		}
+		// Jitter the onset inside the slack this slot leaves.
+		slack := slot - width
+		from := slotStart
+		if slack > 0 {
+			from += time.Duration(rng.Int64N(int64(slack) / 2))
+		}
+		ev := Event{Kind: kind, From: from, To: from + width}
+		switch kind {
+		case KindStall:
+			ev.Node = types.NodeID(rng.IntN(p.N))
+		default:
+			// Rolling: cycle the restartable nodes so churn spreads
+			// instead of hammering one replica.
+			ev.Node = restartable[rollIdx%len(restartable)]
+			rollIdx++
+			if kind == KindRestart {
+				ev.Amnesia = rng.Float64() < p.AmnesiaMix
+			}
+		}
+		s.Events = append(s.Events, ev)
+	}
+	sort.Slice(s.Events, func(i, j int) bool { return s.Events[i].From < s.Events[j].From })
+	return s, nil
+}
+
+// Validate checks structural invariants: events sorted and pairwise
+// non-overlapping, nodes in range, behaviors ≤ f and restart-disjoint.
+func (s *Schedule) Validate() error {
+	f := (s.N - 1) / 3
+	if len(s.Behaviors) > f {
+		return fmt.Errorf("chaos: %d behaviors exceeds f=%d", len(s.Behaviors), f)
+	}
+	behaviorNode := make([]bool, s.N)
+	for _, b := range s.Behaviors {
+		if int(b.Node) >= s.N {
+			return fmt.Errorf("chaos: behavior node %d outside committee", b.Node)
+		}
+		behaviorNode[b.Node] = true
+	}
+	var prevTo time.Duration
+	for i, ev := range s.Events {
+		if int(ev.Node) >= s.N {
+			return fmt.Errorf("chaos: event %d node %d outside committee", i, ev.Node)
+		}
+		if ev.To <= ev.From {
+			return fmt.Errorf("chaos: event %d empty window [%v, %v)", i, ev.From, ev.To)
+		}
+		if ev.From < prevTo {
+			return fmt.Errorf("chaos: event %d overlaps previous (starts %v, previous ends %v)", i, ev.From, prevTo)
+		}
+		prevTo = ev.To
+		if ev.Kind != KindStall && behaviorNode[ev.Node] {
+			return fmt.Errorf("chaos: event %d restarts behavior node %d", i, ev.Node)
+		}
+	}
+	return nil
+}
+
+// CompileSim lowers the schedule onto the simulator's fault model:
+// restarts become Down windows ending in Restart events; storage
+// faults become crash+recover (the WAL's durable prefix survives, so
+// no amnesia); stall windows become Mute windows — the sim's network
+// has no TCP sessions to wedge, so "receives but sends nothing" is the
+// faithful projection.
+func (s *Schedule) CompileSim() (*sim.FaultSchedule, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	fs := &sim.FaultSchedule{}
+	for _, ev := range s.Events {
+		switch ev.Kind {
+		case KindRestart:
+			fs.AddDown(ev.Node, ev.From, ev.To).Restart(ev.Node, ev.To, ev.Amnesia)
+		case KindStorage:
+			fs.AddDown(ev.Node, ev.From, ev.To).Restart(ev.Node, ev.To, false)
+		case KindStall:
+			fs.AddMute(ev.Node, ev.From, ev.To)
+		}
+	}
+	for _, b := range s.Behaviors {
+		fs.AddBehavior(b.Node, b.Name, b.From, b.To)
+	}
+	return fs, nil
+}
+
+// Windows returns the half-open fault windows ([From, To) per event, in
+// order — the intervals after which invariant checkers measure
+// hangover.
+func (s *Schedule) Windows() []Event { return s.Events }

@@ -1,0 +1,150 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+)
+
+func soakParams(seed uint64) Params {
+	return Params{
+		N:             7,
+		Seed:          seed,
+		Start:         2 * time.Second,
+		End:           30 * time.Second,
+		Restarts:      3,
+		DownFor:       800 * time.Millisecond,
+		AmnesiaMix:    0.5,
+		Stalls:        2,
+		StallFor:      600 * time.Millisecond,
+		StorageFaults: 1,
+		Behaviors:     []Behavior{{Node: 6, Name: "equivocate", From: 0, To: 0}},
+	}
+}
+
+// Same params, same schedule — a failing soak replays from its seed.
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(soakParams(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(soakParams(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Events) != len(b.Events) {
+		t.Fatalf("event counts differ: %d vs %d", len(a.Events), len(b.Events))
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a.Events[i], b.Events[i])
+		}
+	}
+	c, err := Generate(soakParams(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := len(a.Events) == len(c.Events)
+	if same {
+		for i := range a.Events {
+			if a.Events[i] != c.Events[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds generated identical schedules")
+	}
+}
+
+// Generated schedules must satisfy their own invariants: full event
+// count, sorted non-overlapping windows inside [Start, End), behavior
+// nodes never restarted, and the whole thing Validate- and
+// CompileSim-clean.
+func TestGenerateStructure(t *testing.T) {
+	p := soakParams(7)
+	s, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(s.Events), p.Restarts+p.Stalls+p.StorageFaults; got != want {
+		t.Fatalf("generated %d events, want %d", got, want)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	kinds := make(map[Kind]int)
+	for _, ev := range s.Events {
+		kinds[ev.Kind]++
+		if ev.From < p.Start || ev.To > p.End {
+			t.Fatalf("event %+v outside [%v, %v)", ev, p.Start, p.End)
+		}
+		if ev.Kind != KindStall && ev.Node == 6 {
+			t.Fatalf("behavior node restarted: %+v", ev)
+		}
+	}
+	if kinds[KindRestart] != p.Restarts || kinds[KindStall] != p.Stalls || kinds[KindStorage] != p.StorageFaults {
+		t.Fatalf("kind mix %v does not match params", kinds)
+	}
+	fs, err := s.CompileSim()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(fs.Restarts()); got != p.Restarts+p.StorageFaults {
+		t.Fatalf("sim schedule has %d restarts, want %d", got, p.Restarts+p.StorageFaults)
+	}
+	if !fs.HasBehaviors() {
+		t.Fatal("behavior window lost in compilation")
+	}
+	// The compiled Down windows must match the benign events: the node
+	// is down inside its window, up outside every window.
+	for _, ev := range s.Events {
+		if ev.Kind == KindStall {
+			continue
+		}
+		mid := ev.From + (ev.To-ev.From)/2
+		if !fs.Down(mid, ev.Node) {
+			t.Fatalf("node %d not down at %v (event %+v)", ev.Node, mid, ev)
+		}
+	}
+}
+
+// Degenerate and invalid params must be rejected, not silently shrunk.
+func TestGenerateRejectsInvalid(t *testing.T) {
+	cases := []Params{
+		{N: 3, Seed: 1, Restarts: 1, Start: 0, End: time.Second},
+		{N: 4, Seed: 1},
+		{N: 4, Seed: 1, Restarts: 1, Start: time.Second, End: time.Second},
+		{N: 4, Seed: 1, Restarts: 1, End: time.Second, Behaviors: []Behavior{
+			{Node: 1, Name: "equivocate"}, {Node: 2, Name: "equivocate"}}},
+		{N: 7, Seed: 1, Restarts: 1, End: time.Second, Behaviors: []Behavior{
+			{Node: 9, Name: "equivocate"}}},
+	}
+	for i, p := range cases {
+		if _, err := Generate(p); err == nil {
+			t.Fatalf("case %d: invalid params accepted: %+v", i, p)
+		}
+	}
+}
+
+// Validate must reject hand-built schedules that break the one-at-a-time
+// discipline the soak's ≤ f argument rests on.
+func TestValidateRejectsOverlap(t *testing.T) {
+	s := &Schedule{N: 4, Events: []Event{
+		{Kind: KindRestart, Node: 1, From: time.Second, To: 3 * time.Second},
+		{Kind: KindStall, Node: 2, From: 2 * time.Second, To: 4 * time.Second},
+	}}
+	if err := s.Validate(); err == nil {
+		t.Fatal("overlapping events validated")
+	}
+	s2 := &Schedule{N: 4,
+		Events:    []Event{{Kind: KindRestart, Node: 1, From: 1 * time.Second, To: 2 * time.Second}},
+		Behaviors: []Behavior{{Node: 1, Name: "equivocate"}},
+	}
+	if err := s2.Validate(); err == nil {
+		t.Fatal("restart of a behavior node validated")
+	}
+	if _, err := s2.CompileSim(); err == nil {
+		t.Fatal("CompileSim accepted an invalid schedule")
+	}
+}

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -119,6 +120,14 @@ type Config struct {
 	// transport's loop does; the simulator does not — simulated
 	// deployments must leave this off).
 	GroupCommit bool
+	// OnFatal, when set, is invoked (once, from its own goroutine) when
+	// the replica halts on an unrecoverable journal failure: a Sync error
+	// means write-before-externalize can no longer be guaranteed, so the
+	// node drops its gated sends and stops externalizing instead of
+	// silently running without durability. The callback typically stops
+	// the hosting replica. Nil falls back to halting silently (the sticky
+	// journal error still reports via Journal state).
+	OnFatal func(error)
 	// Sink receives the totally ordered, execution-ready batches.
 	Sink runtime.CommitSink
 	// ConsensusTrace, when non-nil, receives verbose consensus engine
@@ -203,6 +212,13 @@ type Node struct {
 	sharded bool
 	shards  []*shardState
 	tips    *tipTable
+
+	// Fatal-halt state: once the journal barrier fails, the node stops
+	// releasing gated sends (nothing un-journaled may externalize) and
+	// reports through cfg.OnFatal exactly once. Atomic/once because
+	// Flush (control loop) and FlushShard (shard workers) race.
+	halted    atomic.Bool
+	fatalOnce sync.Once
 
 	// Stats (exposed for tests and the harness). Atomic because shard
 	// workers and the control loop count concurrently.
@@ -362,7 +378,9 @@ func (n *Node) recover() {
 	n.orderer.Restore(rec.NextExec, rec.Frontier, rec.FrontierDigests)
 	if len(rec.Frontier) == n.cfg.Committee.Size() {
 		// Vote frontiers adopt the committed chains (fork GC, §A.4), as
-		// drainExecution would have done before the crash.
+		// drainExecution would have done before the crash. No proposals
+		// can come back: Restore already excluded own cars at or below
+		// the journaled frontier, and the mempool is empty before Init.
 		for _, l := range n.cfg.Committee.Nodes() {
 			if pos := n.orderer.LastCommit(l); pos > 0 {
 				n.lanes.OnCommitted(l, pos, n.orderer.FrontierDigest(l))
@@ -599,8 +617,18 @@ var _ runtime.Flusher = (*Node)(nil)
 // sends released (in original order) through the real context —
 // write-before-externalize, amortized over the burst. Without
 // cfg.GroupCommit the journal syncs but no sends were gated.
+//
+// A Sync failure is replica-fatal: the gated sends are DROPPED, never
+// released — an un-journaled vote that externalizes could contradict
+// this replica after a restart — and cfg.OnFatal fires once.
 func (n *Node) Flush(ctx runtime.Context) {
-	_ = n.cfg.Journal.Sync() // errors are sticky in the journal (see Err)
+	if err := n.cfg.Journal.Sync(); err != nil {
+		n.fatal(err)
+	}
+	if n.halted.Load() {
+		n.dropPending(&n.pending)
+		return
+	}
 	if len(n.pending) == 0 {
 		return
 	}
@@ -613,6 +641,30 @@ func (n *Node) Flush(ctx runtime.Context) {
 			ctx.Send(pend[i].to, pend[i].msg)
 		}
 		pend[i] = pendingSend{} // release the message reference
+	}
+}
+
+// fatal records a journal-barrier failure: the node stops externalizing
+// and reports once through cfg.OnFatal, asynchronously — the callback
+// may stop the hosting replica, which joins the very loop this runs on.
+func (n *Node) fatal(err error) {
+	n.halted.Store(true)
+	n.fatalOnce.Do(func() {
+		if n.cfg.OnFatal != nil {
+			go n.cfg.OnFatal(err)
+		}
+	})
+}
+
+// Halted reports whether the node halted on a journal failure.
+func (n *Node) Halted() bool { return n.halted.Load() }
+
+// dropPending discards gated sends without releasing them.
+func (n *Node) dropPending(pending *[]pendingSend) {
+	pend := *pending
+	*pending = pend[:0]
+	for i := range pend {
+		pend[i] = pendingSend{}
 	}
 }
 
@@ -894,7 +946,14 @@ func (n *Node) drainExecution(ctx runtime.Context) {
 				if n.sharded {
 					ctx.Send(n.cfg.Self, &frontierMsg{lane: l, pos: pos, digest: n.orderer.FrontierDigest(l)})
 				} else {
-					n.lanes.OnCommitted(l, pos, n.orderer.FrontierDigest(l))
+					// Own-lane commits can retire wedged outstanding cars
+					// (commit overtaking certification after a restart) and
+					// unblock fresh proposals — broadcast them like any
+					// other production.
+					for _, p := range n.lanes.OnCommitted(l, pos, n.orderer.FrontierDigest(l)) {
+						n.stats.BatchesProposed.Add(1)
+						ctx.Broadcast(p)
+					}
 				}
 			}
 		}

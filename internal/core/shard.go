@@ -282,7 +282,15 @@ func (n *Node) OnShardMessage(ctx runtime.Context, shard int, from types.NodeID,
 	case *types.SyncReply:
 		sh.handleSyncReply(ctx, from, msg)
 	case *frontierMsg:
-		n.lanes.OnCommitted(msg.lane, msg.pos, msg.digest)
+		// An own-lane frontier rides to the own-lane shard (ShardOf keys
+		// on the lane), where retiring commit-overtaken outstanding cars
+		// may unblock fresh proposals — broadcast them from here, exactly
+		// as handleVote does on this shard.
+		for _, p := range n.lanes.OnCommitted(msg.lane, msg.pos, msg.digest) {
+			n.stats.BatchesProposed.Add(1)
+			ctx.Broadcast(p)
+			sh.ownDirty = true
+		}
 	case *retxMsg:
 		sh.retransmit(ctx)
 	}
@@ -306,7 +314,15 @@ func (n *Node) OnShardBatch(ctx runtime.Context, shard int, b *types.Batch) {
 func (n *Node) FlushShard(ctx runtime.Context, shard int) {
 	sh := n.shards[shard]
 	if n.cfg.GroupCommit {
-		_ = n.cfg.Journal.Sync() // errors are sticky in the journal
+		// A failed barrier is replica-fatal, exactly as in Flush: this
+		// shard's gated sends are dropped, never released.
+		if err := n.cfg.Journal.Sync(); err != nil {
+			n.fatal(err)
+		}
+	}
+	if n.halted.Load() {
+		n.dropPending(&sh.pending)
+		return
 	}
 	if len(sh.pending) > 0 {
 		pend := sh.pending

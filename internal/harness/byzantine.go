@@ -24,15 +24,19 @@ func AdversaryNames() []string { return adversary.Names() }
 // protocol's safety invariants from outside the protocol: no replica
 // commits two batches at one (lane, position); no two replicas commit
 // different batches at the same (lane, position) — the §A.4 equivocation
-// hazard; and all replica logs agree on their common prefix (identical
-// total order). It is safe for concurrent use, so the same oracle runs
-// under the single-threaded simulator and the real-time clusters.
+// hazard; every replica commits each lane gap-free (positions 1, 2, 3, …
+// in delivery order — committed lane prefixes admit no holes); and all
+// replica logs agree on their common prefix (identical total order). It
+// is safe for concurrent use, so the same oracle runs under the
+// single-threaded simulator and the real-time clusters.
 type CommitInterceptor struct {
-	mu     sync.Mutex
-	logs   map[types.NodeID][]CommitRecord
-	byPos  map[[2]uint64]types.Digest // (lane, position) -> digest, across all replicas
-	seen   map[[3]uint64]struct{}     // (replica, lane, position): per-replica duplicate check
-	broken string                     // first violation, sticky
+	mu        sync.Mutex
+	logs      map[types.NodeID][]CommitRecord
+	byPos     map[[2]uint64]types.Digest // (lane, position) -> digest, across all replicas
+	seen      map[[3]uint64]struct{}     // (replica, lane, position): per-replica duplicate check
+	next      map[[2]uint64]types.Pos    // (replica, lane) -> next expected position (gap check)
+	recovered map[types.NodeID]bool      // NoteRecovery: replay of recorded commits is legal
+	broken    string                     // first violation, sticky
 }
 
 // CommitRecord is one observed commit.
@@ -45,10 +49,27 @@ type CommitRecord struct {
 // NewCommitInterceptor builds an empty oracle.
 func NewCommitInterceptor() *CommitInterceptor {
 	return &CommitInterceptor{
-		logs:  make(map[types.NodeID][]CommitRecord),
-		byPos: make(map[[2]uint64]types.Digest),
-		seen:  make(map[[3]uint64]struct{}),
+		logs:      make(map[types.NodeID][]CommitRecord),
+		byPos:     make(map[[2]uint64]types.Digest),
+		seen:      make(map[[3]uint64]struct{}),
+		next:      make(map[[2]uint64]types.Pos),
+		recovered: make(map[types.NodeID]bool),
 	}
+}
+
+// NoteRecovery marks a replica as crash-recovered (the soak harness
+// calls it on every restart). A recovering replica legitimately
+// re-delivers commits it already externalized — an amnesiac re-executes
+// the whole total order, and a crash can land between a commit delivery
+// and the persisted execution-frontier record that would skip it on
+// replay. After NoteRecovery, a re-delivery of an already-recorded
+// (lane, position) is verified against the pinned digest (a differing
+// batch is still a violation) and then dropped, instead of being flagged
+// as an intra-replica double commit.
+func (ci *CommitInterceptor) NoteRecovery(replica types.NodeID) {
+	ci.mu.Lock()
+	defer ci.mu.Unlock()
+	ci.recovered[replica] = true
 }
 
 // Wrap interposes the oracle on a commit sink (ClusterConfig.WrapSink).
@@ -63,12 +84,31 @@ func (ci *CommitInterceptor) Wrap(inner runtime.CommitSink) runtime.CommitSink {
 func (ci *CommitInterceptor) Record(replica, lane types.NodeID, pos types.Pos, digest types.Digest) {
 	ci.mu.Lock()
 	defer ci.mu.Unlock()
-	// Intra-replica: a position must commit at most once.
+	// Intra-replica: a position must commit at most once — except on a
+	// crash-recovered replica, where replay of already-recorded commits
+	// is legal as long as the batch matches the pin.
 	rk := [3]uint64{uint64(replica), uint64(lane), uint64(pos)}
-	if _, dup := ci.seen[rk]; dup && ci.broken == "" {
-		ci.broken = fmt.Sprintf("replica %s committed lane %s position %d twice", replica, lane, pos)
+	if _, dup := ci.seen[rk]; dup {
+		if ci.recovered[replica] {
+			if d, ok := ci.byPos[[2]uint64{uint64(lane), uint64(pos)}]; ok && d != digest && ci.broken == "" {
+				ci.broken = fmt.Sprintf("replica %s replayed lane %s position %d with a different batch", replica, lane, pos)
+			}
+			return
+		}
+		if ci.broken == "" {
+			ci.broken = fmt.Sprintf("replica %s committed lane %s position %d twice", replica, lane, pos)
+		}
 	}
 	ci.seen[rk] = struct{}{}
+	// Intra-replica: each lane must commit gap-free, positions 1, 2, 3, …
+	// in delivery order (a committed lane prefix admits no holes).
+	lk := [2]uint64{uint64(replica), uint64(lane)}
+	if want := ci.next[lk] + 1; pos != want && ci.broken == "" {
+		ci.broken = fmt.Sprintf("replica %s lane %s gap: committed position %d, expected %d", replica, lane, pos, want)
+	}
+	if pos > ci.next[lk] {
+		ci.next[lk] = pos
+	}
 	// Cross-replica: one batch per (lane, position), everywhere.
 	k := [2]uint64{uint64(lane), uint64(pos)}
 	if d, ok := ci.byPos[k]; ok {

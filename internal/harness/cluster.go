@@ -64,6 +64,11 @@ type ClusterConfig struct {
 	// WrapSink, when set, interposes on every replica's commit stream
 	// (e.g. the Byzantine experiments' no-contradiction interceptor).
 	WrapSink func(runtime.CommitSink) runtime.CommitSink
+	// OnRebuild, when set, is invoked whenever a Restart fault rebuilds a
+	// replica, before it rejoins. The soak harness uses it to tell the
+	// safety oracle about recoveries (whose re-delivered commits are
+	// replay, not duplicates — CommitInterceptor.NoteRecovery).
+	OnRebuild func(id types.NodeID, amnesia bool)
 	// Horizon bounds the recorder's time series (default 5 min).
 	Horizon time.Duration
 	// Net overrides the network model (default: paper's GCP intra-US).
@@ -146,6 +151,9 @@ func Build(cfg ClusterConfig) *Cluster {
 	}
 	if c.Journals != nil {
 		eng.SetRebuild(func(id types.NodeID, amnesia bool) runtime.Protocol {
+			if cfg.OnRebuild != nil {
+				cfg.OnRebuild(id, amnesia)
+			}
 			if amnesia {
 				c.Journals[id] = core.NewMemJournal()
 			}

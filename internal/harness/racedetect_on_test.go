@@ -1,0 +1,9 @@
+//go:build race
+
+package harness
+
+// raceDetector reports whether this test binary runs under the race
+// detector, which slows signature verification and the event loops
+// roughly an order of magnitude; timing-sensitive live cells scale
+// their load and stall thresholds proportionately.
+const raceDetector = true

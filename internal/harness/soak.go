@@ -1,0 +1,718 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	gort "runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	autobahn "repro"
+	"repro/internal/chaos"
+	"repro/internal/storage"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// --- simulated churn soak ---
+
+// SoakConfig parameterizes one simulated churn soak: a cluster under
+// sustained load while a seeded chaos.Schedule rolls restarts (with an
+// amnesia mix), stall windows, storage faults and Byzantine behaviors
+// through the committee. The zero value yields the quick CI cell; the
+// nightly cell stretches Duration and the event counts.
+type SoakConfig struct {
+	N        int
+	Seed     uint64
+	Load     float64
+	Duration time.Duration
+	// Chaos overrides the generated schedule's parameters. Zero fault
+	// counts select the default mix; N/Seed/Start/End default from the
+	// fields above.
+	Chaos chaos.Params
+}
+
+func (c *SoakConfig) fill() {
+	if c.N == 0 {
+		c.N = 7
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Load == 0 {
+		c.Load = 20e3
+	}
+	if c.Duration == 0 {
+		c.Duration = 40 * time.Second
+	}
+	ch := &c.Chaos
+	if ch.N == 0 {
+		ch.N = c.N
+	}
+	if ch.Seed == 0 {
+		ch.Seed = c.Seed
+	}
+	if ch.Start == 0 {
+		ch.Start = 6 * time.Second
+	}
+	if ch.End == 0 {
+		ch.End = c.Duration - 8*time.Second
+	}
+	if ch.Restarts == 0 && ch.Stalls == 0 && ch.StorageFaults == 0 && len(ch.Behaviors) == 0 {
+		ch.Restarts = 3
+		ch.DownFor = 1500 * time.Millisecond
+		ch.AmnesiaMix = 0.34
+		ch.Stalls = 2
+		ch.StallFor = 1200 * time.Millisecond
+		ch.StorageFaults = 1
+		// With f >= 2 there is quorum headroom for a full-run equivocator
+		// alongside each benign one-at-a-time fault window.
+		if f := (c.N - 1) / 3; f >= 2 {
+			ch.Behaviors = []chaos.Behavior{{Node: types.NodeID(c.N - 1), Name: "equivocate", From: ch.Start, To: ch.End}}
+		}
+	}
+}
+
+// SoakWindow reports one fault window's seamlessness verdict.
+type SoakWindow struct {
+	Event chaos.Event
+	// Hangover is how long past the window's end per-second latency
+	// stayed above 2x the pre-chaos baseline, measured only inside this
+	// window's own recovery gap (unlike Recorder.Hangover, later fault
+	// windows cannot bleed into the figure).
+	Hangover time.Duration
+	// Recovered reports whether latency returned under the threshold
+	// strictly before the next fault window opened.
+	Recovered bool
+}
+
+// SoakResult is one soak's outcome.
+type SoakResult struct {
+	Schedule *chaos.Schedule
+	Total    uint64
+	Baseline time.Duration
+	// Violation is the safety oracle's verdict: contradictions,
+	// per-replica duplicate commits, per-lane gaps, prefix divergence
+	// ("" = safe).
+	Violation   string
+	Windows     []SoakWindow
+	MaxHangover time.Duration
+	// Recovered is the conjunction over windows: after every fault the
+	// cluster returned to steady state inside the recovery gap.
+	Recovered bool
+}
+
+// RunSimSoak executes one churn soak on the deterministic simulator: the
+// same seed replays the same schedule against the same event timeline.
+func RunSimSoak(cfg SoakConfig) (SoakResult, error) {
+	cfg.fill()
+	sched, err := chaos.Generate(cfg.Chaos)
+	if err != nil {
+		return SoakResult{}, err
+	}
+	fs, err := sched.CompileSim()
+	if err != nil {
+		return SoakResult{}, err
+	}
+	ci := NewCommitInterceptor()
+	c := Build(ClusterConfig{
+		System:     Autobahn,
+		N:          cfg.N,
+		Seed:       cfg.Seed,
+		Reputation: true,
+		Faults:     fs,
+		WrapSink:   ci.Wrap,
+		OnRebuild:  func(id types.NodeID, _ bool) { ci.NoteRecovery(id) },
+	})
+	c.RunLoad(cfg.Load, 0, cfg.Duration, cfg.Duration+15*time.Second)
+
+	rec := c.Recorder
+	warm := 2 * time.Second
+	if cfg.Chaos.Start <= 3*time.Second {
+		warm = time.Second
+	}
+	baseline := rec.MeanLatency(warm, cfg.Chaos.Start)
+	res := SoakResult{
+		Schedule:  sched,
+		Total:     rec.Total(),
+		Baseline:  baseline,
+		Violation: ci.Violation(),
+		Recovered: true,
+	}
+	threshold := time.Duration(float64(baseline) * 2.0)
+	series := rec.ArrivalSeries()
+	for i, ev := range sched.Events {
+		endSec := int((ev.To + time.Second - 1) / time.Second)
+		gapEnd := int(cfg.Duration / time.Second)
+		if i+1 < len(sched.Events) {
+			gapEnd = int(sched.Events[i+1].From / time.Second)
+		}
+		last := endSec
+		for _, p := range series {
+			if p.Second < endSec || p.Second >= gapEnd || p.Committed == 0 {
+				continue
+			}
+			if p.MeanLat > threshold {
+				last = p.Second + 1
+			}
+		}
+		w := SoakWindow{
+			Event:     ev,
+			Hangover:  time.Duration(last-endSec) * time.Second,
+			Recovered: last < gapEnd || gapEnd <= endSec,
+		}
+		if w.Hangover > res.MaxHangover {
+			res.MaxHangover = w.Hangover
+		}
+		res.Recovered = res.Recovered && w.Recovered
+		res.Windows = append(res.Windows, w)
+	}
+	return res, nil
+}
+
+// PrintSoak renders one simulated soak.
+func PrintSoak(w io.Writer, r SoakResult) {
+	safety := "safe"
+	if r.Violation != "" {
+		safety = "VIOLATION: " + r.Violation
+	}
+	recovered := "recovered"
+	if !r.Recovered {
+		recovered = "NOT RECOVERED"
+	}
+	fmt.Fprintf(w, "sim soak n=%d seed=%d: %d fault windows, total=%d baseline=%.1fms max-hangover=%.1fs %s %s\n",
+		r.Schedule.N, r.Schedule.Seed, len(r.Windows), r.Total, ms(r.Baseline),
+		r.MaxHangover.Seconds(), recovered, safety)
+	for _, win := range r.Windows {
+		fmt.Fprintf(w, "  %-8s node %s [%5.1fs,%5.1fs) amnesia=%-5v hangover=%.1fs\n",
+			win.Event.Kind, win.Event.Node, win.Event.From.Seconds(), win.Event.To.Seconds(),
+			win.Event.Amnesia, win.Hangover.Seconds())
+	}
+}
+
+// --- live TCP churn soak ---
+
+// LiveSoakConfig parameterizes one real-runtime churn soak: a WAL-backed
+// TCP loopback cluster with the stall detector armed, under open-loop
+// load, while the chaos schedule is applied operationally — restarts are
+// real replica teardowns and rebuilds from the same WAL (amnesia deletes
+// it), stall windows silence a replica's egress at the link layer (it
+// keeps receiving — the failure mode the stall detector exists for), and
+// storage faults poison a replica's WAL so its journal barrier fails,
+// the process halts fatally, and the operator restarts it from the
+// durable log.
+type LiveSoakConfig struct {
+	N    int
+	Seed uint64
+	// Rate is the submission rate (tx/s); load runs for Duration.
+	Rate     float64
+	Duration time.Duration
+	// Chaos overrides the generated schedule (defaults mirror the quick
+	// cell: one restart, one stall, one storage fault).
+	Chaos chaos.Params
+	// StallTimeout arms every replica's stall detector (default 400ms;
+	// must be shorter than the stall windows for the detector to fire).
+	StallTimeout time.Duration
+	// HazardSlack widens each fault window's mempool-loss hazard to
+	// [From-HazardSlack, To): a submission within it is not counted
+	// eligible, because it may still be in the victim's in-memory
+	// pipeline (mempool batching, lane propose, journal barrier) when
+	// the teardown hits. Default 1s; raise it when the whole process
+	// runs slowed (e.g. under the race detector).
+	HazardSlack time.Duration
+	// Rule, when non-zero, is the steady background link-fault profile on
+	// every replica (the soak composes chaos with a lossy network).
+	Rule transport.LinkRule
+	// Dir is the WAL directory ("" = a fresh temp dir, removed on return).
+	Dir string
+	// DrainTimeout bounds the post-load wait for the commit floor
+	// (default 30s).
+	DrainTimeout time.Duration
+	Logger       *log.Logger
+}
+
+func (c *LiveSoakConfig) fill() {
+	if c.N == 0 {
+		c.N = 4
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Rate == 0 {
+		c.Rate = 400
+	}
+	if c.Duration == 0 {
+		c.Duration = 15 * time.Second
+	}
+	if c.StallTimeout == 0 {
+		c.StallTimeout = 400 * time.Millisecond
+	}
+	if c.DrainTimeout == 0 {
+		c.DrainTimeout = 30 * time.Second
+	}
+	if c.HazardSlack == 0 {
+		c.HazardSlack = time.Second
+	}
+	ch := &c.Chaos
+	if ch.N == 0 {
+		ch.N = c.N
+	}
+	if ch.Seed == 0 {
+		ch.Seed = c.Seed
+	}
+	if ch.Start == 0 {
+		ch.Start = 3 * time.Second
+	}
+	if ch.End == 0 {
+		ch.End = c.Duration - 3*time.Second
+	}
+	if ch.Restarts == 0 && ch.Stalls == 0 && ch.StorageFaults == 0 && len(ch.Behaviors) == 0 {
+		ch.Restarts = 1
+		ch.DownFor = 1500 * time.Millisecond
+		ch.Stalls = 1
+		ch.StallFor = 1500 * time.Millisecond
+		ch.StorageFaults = 1
+	}
+}
+
+// LiveSoakResult reports one live soak. Err is non-nil only for
+// infrastructure failures (ports, replica construction) — protocol
+// verdicts live in Violation / MinCommitted / Recovered fields.
+type LiveSoakResult struct {
+	Schedule  *chaos.Schedule
+	Submitted int
+	// Eligible counts submissions the commit floor covers: entrusted to
+	// honest replicas whose lanes survive the whole schedule (no amnesia
+	// — an amnesiac's own lane halts at its pre-crash tip) and outside
+	// every fault window's mempool-loss hazard (in-memory transactions
+	// accepted just before a teardown die with the process; real clients
+	// time out and resubmit elsewhere).
+	Eligible int
+	Floor    uint64
+	// PerReplica is each replica's committed count over eligible lanes;
+	// MinCommitted the minimum (liveness verdict: MinCommitted >= Floor).
+	PerReplica   []uint64
+	MinCommitted uint64
+	// Violation is the safety oracle's verdict ("" = safe).
+	Violation string
+	// Stalls/Redials/Dials aggregate every incarnation's transport
+	// counters: the stall windows must show up as detector teardowns
+	// followed by successful redials.
+	Stalls, Redials, Dials uint64
+	// JournalFatals counts incarnations that halted on a failed journal
+	// barrier (one per scheduled storage fault).
+	JournalFatals uint64
+	// OperatorRestarts counts scheduled replica rebuilds.
+	OperatorRestarts int
+	// GoroutineGrowth / FDGrowth are end-minus-start watermarks after
+	// full teardown (leak detection; FDGrowth is 0 where /proc is
+	// unavailable).
+	GoroutineGrowth int
+	FDGrowth        int
+	Elapsed         time.Duration
+	Err             error
+}
+
+// liveSoakRun is the mutable state one live soak threads through its
+// load loop, fault timeline and fatal watchers.
+type liveSoakRun struct {
+	cfg   LiveSoakConfig
+	sched *chaos.Schedule
+	addrs map[types.NodeID]string
+	dir   string
+	opts  autobahn.Options
+	link  []*transport.LinkFaults
+	ci    *CommitInterceptor
+	start time.Time
+
+	mu       sync.Mutex
+	replicas []*autobahn.Replica
+	alive    []bool
+	retired  []bool // amnesiac lanes: clients gave up permanently
+	err      error
+
+	perReplica []atomic.Uint64
+	dials      atomic.Uint64
+	redials    atomic.Uint64
+	stalls     atomic.Uint64
+	fatals     atomic.Uint64
+	restarts   atomic.Uint64
+
+	eligibleLane []bool
+	hazardOf     [][][2]time.Duration // per-node teardown hazard windows [From-HazardSlack, To)
+
+	done    chan struct{}
+	wg      sync.WaitGroup // the fault timeline
+	watchWg sync.WaitGroup // per-incarnation fatal watchers (exit on done)
+}
+
+// RunLiveSoak executes one live TCP churn soak; see LiveSoakConfig.
+func RunLiveSoak(cfg LiveSoakConfig) LiveSoakResult {
+	cfg.fill()
+	res := LiveSoakResult{PerReplica: make([]uint64, cfg.N)}
+	sched, err := chaos.Generate(cfg.Chaos)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	res.Schedule = sched
+	goroutines0 := gort.NumGoroutine()
+	fd0 := openFDs()
+
+	dir := cfg.Dir
+	if dir == "" {
+		dir, err = os.MkdirTemp("", "autobahn-soak-*")
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		defer os.RemoveAll(dir)
+	}
+	addrs, err := freeLoopbackAddrs(cfg.N)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	s := &liveSoakRun{
+		cfg:          cfg,
+		sched:        sched,
+		addrs:        addrs,
+		dir:          dir,
+		ci:           NewCommitInterceptor(),
+		replicas:     make([]*autobahn.Replica, cfg.N),
+		alive:        make([]bool, cfg.N),
+		retired:      make([]bool, cfg.N),
+		perReplica:   make([]atomic.Uint64, cfg.N),
+		eligibleLane: make([]bool, cfg.N),
+		hazardOf:     make([][][2]time.Duration, cfg.N),
+		link:         make([]*transport.LinkFaults, cfg.N),
+		done:         make(chan struct{}),
+	}
+	s.opts = autobahn.Options{
+		N: cfg.N, Seed: cfg.Seed, MaxBatchDelay: 10 * time.Millisecond,
+		StallTimeout: cfg.StallTimeout,
+	}
+	adversary := make(map[types.NodeID]string)
+	for _, b := range sched.Behaviors {
+		// Live adversaries run for the deployment's lifetime; the
+		// schedule's behavior windows are honored by the simulator only.
+		adversary[b.Node] = b.Name
+	}
+	if len(adversary) > 0 {
+		s.opts.Adversaries = adversary
+	}
+	for i := 0; i < cfg.N; i++ {
+		s.link[i] = transport.NewLinkFaults(cfg.Seed + uint64(i)).SetAll(cfg.Rule)
+	}
+	// Floor accounting: a lane is eligible unless Byzantine or doomed to
+	// amnesia; a submission is eligible when its lane is and it lands
+	// outside every teardown hazard window [From-HazardSlack, To) of its
+	// replica (the slack covers batching plus the journal barrier, after
+	// which the transaction survives restarts in the WAL).
+	for i := 0; i < cfg.N; i++ {
+		_, byz := adversary[types.NodeID(i)]
+		s.eligibleLane[i] = !byz
+	}
+	for _, ev := range sched.Events {
+		if ev.Kind == chaos.KindRestart && ev.Amnesia {
+			s.eligibleLane[ev.Node] = false
+		}
+		from := ev.From - cfg.HazardSlack
+		if from < 0 {
+			from = 0
+		}
+		s.hazardOf[ev.Node] = append(s.hazardOf[ev.Node], [2]time.Duration{from, ev.To})
+	}
+
+	defer func() {
+		s.mu.Lock()
+		rs := append([]*autobahn.Replica(nil), s.replicas...)
+		s.mu.Unlock()
+		for i, r := range rs {
+			if r != nil {
+				s.retireIncarnation(i, r)
+			}
+		}
+	}()
+	for i := 0; i < cfg.N; i++ {
+		if err := s.startReplica(i, nil, false); err != nil {
+			res.Err = err
+			return res
+		}
+	}
+
+	s.start = time.Now() //lint:allow noclock the live soak schedules real faults on wall time
+	s.wg.Add(1)
+	go s.timeline()
+
+	// Open-loop load, round-robin over currently-submittable replicas.
+	tx := make([]byte, 128)
+	interval := time.Duration(float64(time.Second) / cfg.Rate)
+	cursor := 0
+	for {
+		now := time.Since(s.start) //lint:allow noclock open-loop pacing needs real time
+		if now >= cfg.Duration {
+			break
+		}
+		if i, r := s.pickTarget(&cursor); r != nil {
+			r.Submit(tx)
+			res.Submitted++
+			if s.eligibleSubmission(i, now) {
+				res.Eligible++
+			}
+		}
+		time.Sleep(interval) //lint:allow noclock open-loop pacing needs real time
+	}
+	s.wg.Wait() // all fault windows closed (schedule ends before the load)
+
+	// Drain until every replica reaches the floor or the deadline.
+	res.Floor = uint64(float64(res.Eligible) * 0.9)
+	deadline := time.Now().Add(cfg.DrainTimeout) //lint:allow noclock drain deadline is wall-clock
+	for time.Now().Before(deadline) {            //lint:allow noclock drain deadline is wall-clock
+		done := true
+		for i := 0; i < cfg.N; i++ {
+			if s.perReplica[i].Load() < res.Floor {
+				done = false
+				break
+			}
+		}
+		if done {
+			break
+		}
+		time.Sleep(50 * time.Millisecond) //lint:allow noclock drain polling is wall-clock
+	}
+	res.Elapsed = time.Since(s.start) //lint:allow noclock elapsed wall time is the measurement
+
+	// Full teardown before the leak watermarks.
+	s.mu.Lock()
+	rs := append([]*autobahn.Replica(nil), s.replicas...)
+	s.mu.Unlock()
+	for i, r := range rs {
+		if r != nil {
+			s.retireIncarnation(i, r)
+		}
+	}
+	close(s.done)
+	s.watchWg.Wait()
+	time.Sleep(300 * time.Millisecond) //lint:allow noclock settle before the goroutine watermark
+
+	res.MinCommitted = s.perReplica[0].Load()
+	for i := 0; i < cfg.N; i++ {
+		res.PerReplica[i] = s.perReplica[i].Load()
+		if res.PerReplica[i] < res.MinCommitted {
+			res.MinCommitted = res.PerReplica[i]
+		}
+	}
+	res.Violation = s.ci.Violation()
+	res.Dials = s.dials.Load()
+	res.Redials = s.redials.Load()
+	res.Stalls = s.stalls.Load()
+	res.JournalFatals = s.fatals.Load()
+	res.OperatorRestarts = int(s.restarts.Load())
+	res.GoroutineGrowth = gort.NumGoroutine() - goroutines0
+	if fd1 := openFDs(); fd0 >= 0 && fd1 >= 0 {
+		res.FDGrowth = fd1 - fd0
+	}
+	s.mu.Lock()
+	res.Err = s.err
+	s.mu.Unlock()
+	return res
+}
+
+func (s *liveSoakRun) walPath(i int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("replica-%d.wal", i))
+}
+
+// startReplica builds and starts incarnation i (an optional storage
+// fault plan poisons its WAL; amnesia notes the recovery-from-nothing to
+// the oracle and resets its floor counter, since it re-delivers the
+// whole order from scratch).
+func (s *liveSoakRun) startReplica(i int, plan *storage.FaultPlan, amnesia bool) error {
+	opts := s.opts
+	opts.WALPath = s.walPath(i)
+	opts.WALFaults = plan
+	opts.LinkFaults = s.link[i]
+	id := types.NodeID(i)
+	r, err := autobahn.NewReplica(id, s.addrs, opts, s.cfg.Logger)
+	if err != nil {
+		s.setErr(err)
+		return err
+	}
+	if amnesia {
+		s.perReplica[i].Store(0)
+	}
+	r.SetCommitObserver(func(c autobahn.Committed) {
+		s.ci.Record(id, c.Lane, c.Position, c.Batch.Digest())
+		if s.eligibleLane[c.Lane] {
+			s.perReplica[i].Add(uint64(c.Batch.Count))
+		}
+	})
+	if err := r.Start(); err != nil {
+		s.setErr(err)
+		return err
+	}
+	s.mu.Lock()
+	s.replicas[i] = r
+	s.alive[i] = true
+	s.mu.Unlock()
+	s.watchWg.Add(1)
+	go s.watchFatal(i, r)
+	return nil
+}
+
+// retireIncarnation stops one incarnation (idempotent per incarnation)
+// and absorbs its transport/journal counters into the run totals.
+func (s *liveSoakRun) retireIncarnation(i int, r *autobahn.Replica) {
+	if r == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.replicas[i] != r {
+		s.mu.Unlock()
+		return
+	}
+	s.replicas[i] = nil
+	s.alive[i] = false
+	s.mu.Unlock()
+	r.Stop()
+	st := r.LoopStats()
+	s.dials.Add(st.PeerDials)
+	s.redials.Add(st.PeerRedials)
+	s.stalls.Add(st.PeerStalls)
+	s.fatals.Add(st.JournalFatal)
+}
+
+// watchFatal retires an incarnation the moment its journal goes fatal
+// (the replica has already halted itself; this keeps the load loop from
+// feeding a dead process until the operator restart).
+func (s *liveSoakRun) watchFatal(i int, r *autobahn.Replica) {
+	defer s.watchWg.Done()
+	select {
+	case <-s.done:
+	case <-r.Fatal():
+		s.retireIncarnation(i, r)
+	}
+}
+
+func (s *liveSoakRun) current(i int) *autobahn.Replica {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.replicas[i]
+}
+
+func (s *liveSoakRun) setErr(err error) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.mu.Unlock()
+}
+
+// pickTarget round-robins over replicas currently accepting client load.
+func (s *liveSoakRun) pickTarget(cursor *int) (int, *autobahn.Replica) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(s.replicas)
+	for k := 0; k < n; k++ {
+		i := (*cursor + k) % n
+		if s.alive[i] && !s.retired[i] {
+			*cursor = i + 1
+			return i, s.replicas[i]
+		}
+	}
+	return -1, nil
+}
+
+func (s *liveSoakRun) eligibleSubmission(i int, at time.Duration) bool {
+	if !s.eligibleLane[i] {
+		return false
+	}
+	for _, h := range s.hazardOf[i] {
+		if at >= h[0] && at < h[1] {
+			return false
+		}
+	}
+	return true
+}
+
+// timeline applies the chaos schedule operationally, on wall time.
+func (s *liveSoakRun) timeline() {
+	defer s.wg.Done()
+	for _, ev := range s.sched.Events {
+		s.sleepUntil(ev.From)
+		i := int(ev.Node)
+		switch ev.Kind {
+		case chaos.KindRestart:
+			s.retireIncarnation(i, s.current(i))
+			if ev.Amnesia {
+				os.Remove(s.walPath(i))
+				s.mu.Lock()
+				s.retired[i] = true // clients time out and resubmit elsewhere
+				s.mu.Unlock()
+			}
+		case chaos.KindStall:
+			// Receives-but-sends-nothing: egress silenced at the link
+			// layer, ingress untouched — peers' stall detectors must fire.
+			s.link[i].SetAll(transport.LinkRule{DropP: 1})
+		case chaos.KindStorage:
+			// Poison the WAL: the next journal barrier fails, the replica
+			// halts fatally, and watchFatal retires the incarnation.
+			s.retireIncarnation(i, s.current(i))
+			s.startReplica(i, &storage.FaultPlan{Seed: s.cfg.Seed + uint64(i), FailWriteAfter: 1}, false)
+		}
+		s.sleepUntil(ev.To)
+		switch ev.Kind {
+		case chaos.KindRestart, chaos.KindStorage:
+			s.retireIncarnation(i, s.current(i)) // storage: usually already fatal-retired
+			if s.startReplica(i, nil, ev.Amnesia) == nil {
+				s.restarts.Add(1)
+				s.ci.NoteRecovery(ev.Node)
+			}
+		case chaos.KindStall:
+			s.link[i].SetAll(s.cfg.Rule)
+		}
+	}
+}
+
+func (s *liveSoakRun) sleepUntil(d time.Duration) {
+	for {
+		rem := d - time.Since(s.start) //lint:allow noclock fault windows are scheduled on wall time
+		if rem <= 0 {
+			return
+		}
+		if rem > 50*time.Millisecond {
+			rem = 50 * time.Millisecond
+		}
+		time.Sleep(rem) //lint:allow noclock fault windows are scheduled on wall time
+	}
+}
+
+// openFDs counts this process's open file descriptors (-1 where /proc is
+// unavailable; the caller skips the watermark).
+func openFDs() int {
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		return -1
+	}
+	return len(ents)
+}
+
+// PrintLiveSoak renders one live soak.
+func PrintLiveSoak(w io.Writer, r LiveSoakResult) {
+	if r.Err != nil {
+		fmt.Fprintf(w, "live soak: SKIP (%v)\n", r.Err)
+		return
+	}
+	safety := "safe"
+	if r.Violation != "" {
+		safety = "VIOLATION: " + r.Violation
+	}
+	fmt.Fprintf(w, "live soak n=%d: %d windows, submitted=%d eligible=%d floor=%d min-committed=%d restarts=%d fatals=%d stalls=%d redials=%d goroutine-growth=%d fd-growth=%d %s\n",
+		len(r.PerReplica), len(r.Schedule.Events), r.Submitted, r.Eligible, r.Floor,
+		r.MinCommitted, r.OperatorRestarts, r.JournalFatals, r.Stalls, r.Redials,
+		r.GoroutineGrowth, r.FDGrowth, safety)
+}

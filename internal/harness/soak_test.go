@@ -1,0 +1,179 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/types"
+)
+
+// TestSimSoakChurn runs the quick CI soak cell on the deterministic
+// simulator: a full default chaos mix (rolling restarts with amnesia,
+// stall windows, a storage fault, an equivocator) under load, asserting
+// the safety oracle and per-window seamless recovery.
+func TestSimSoakChurn(t *testing.T) {
+	res, err := RunSimSoak(SoakConfig{
+		Seed:     7,
+		Load:     15e3,
+		Duration: 30 * time.Second,
+		Chaos:    chaos.Params{Start: 5 * time.Second, End: 25 * time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != "" {
+		t.Fatalf("safety violation under churn: %s", res.Violation)
+	}
+	if len(res.Windows) != 6 {
+		t.Fatalf("expected 6 fault windows, got %d", len(res.Windows))
+	}
+	if !res.Recovered {
+		t.Fatalf("latency did not recover inside every gap: max hangover %v (windows %+v)",
+			res.MaxHangover, res.Windows)
+	}
+	if res.Total == 0 {
+		t.Fatal("nothing committed under churn")
+	}
+	t.Logf("total=%d baseline=%v max-hangover=%v", res.Total, res.Baseline, res.MaxHangover)
+}
+
+// TestSimSoakDeterministic pins the soak's replayability: the same seed
+// must produce the identical run (schedule, commits, verdicts) — a
+// failing soak replays from its seed.
+func TestSimSoakDeterministic(t *testing.T) {
+	cfg := SoakConfig{
+		Seed:     3,
+		Load:     10e3,
+		Duration: 18 * time.Second,
+		Chaos: chaos.Params{
+			Start: 4 * time.Second, End: 14 * time.Second,
+			Restarts: 1, DownFor: time.Second, AmnesiaMix: 1.0,
+			StorageFaults: 1,
+		},
+	}
+	a, err := RunSimSoak(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSimSoak(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Total != b.Total || a.Baseline != b.Baseline || a.MaxHangover != b.MaxHangover {
+		t.Fatalf("same seed diverged: total %d/%d baseline %v/%v hangover %v/%v",
+			a.Total, b.Total, a.Baseline, b.Baseline, a.MaxHangover, b.MaxHangover)
+	}
+	if a.Violation != "" {
+		t.Fatalf("safety violation: %s", a.Violation)
+	}
+	// The amnesia path ran: AmnesiaMix 1.0 forces the restart to discard
+	// its journal, exercising the oracle's recovery-replay tolerance.
+	amnesia := false
+	for _, ev := range a.Schedule.Events {
+		amnesia = amnesia || ev.Amnesia
+	}
+	if !amnesia {
+		t.Fatal("schedule has no amnesia restart despite AmnesiaMix=1")
+	}
+}
+
+// TestCommitInterceptorLaneGap pins the oracle's gap check: a lane that
+// commits position 3 after position 1 is a hole in a committed prefix.
+func TestCommitInterceptorLaneGap(t *testing.T) {
+	ci := NewCommitInterceptor()
+	d := types.Digest{1}
+	ci.Record(0, 1, 1, d)
+	ci.Record(0, 1, 3, types.Digest{3})
+	if v := ci.Violation(); v == "" {
+		t.Fatal("lane gap not detected")
+	}
+}
+
+// TestCommitInterceptorRecoveryReplay pins NoteRecovery semantics: after
+// a restart, replaying an already-recorded commit with the same batch is
+// legal; replaying it with a different batch is a violation.
+func TestCommitInterceptorRecoveryReplay(t *testing.T) {
+	ci := NewCommitInterceptor()
+	d := types.Digest{1}
+	ci.Record(2, 1, 1, d)
+	ci.NoteRecovery(2)
+	ci.Record(2, 1, 1, d) // amnesiac replay of the same commit
+	if v := ci.Violation(); v != "" {
+		t.Fatalf("legal recovery replay flagged: %s", v)
+	}
+	ci.Record(2, 1, 1, types.Digest{9}) // replay with a different batch
+	if v := ci.Violation(); v == "" {
+		t.Fatal("divergent replay not detected")
+	}
+
+	// Without NoteRecovery the same re-delivery is a double commit.
+	ci2 := NewCommitInterceptor()
+	ci2.Record(0, 0, 1, d)
+	ci2.Record(0, 0, 1, d)
+	if v := ci2.Violation(); v == "" {
+		t.Fatal("duplicate commit not detected")
+	}
+}
+
+// TestLiveSoakChurn drives the quick live cell end to end: real TCP
+// replicas with WALs, one scheduled restart, one link-level stall window
+// (the transport stall detector must fire and redial through it), and
+// one poisoned WAL (the journal barrier failure must halt the replica
+// fatally before anything externalizes), then checks the safety oracle,
+// the eligible-load commit floor, and the leak watermarks.
+func TestLiveSoakChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live soak needs ~20s of wall time")
+	}
+	cfg := LiveSoakConfig{
+		Seed:     7,
+		Rate:     300,
+		Duration: 12 * time.Second,
+		Chaos:    chaos.Params{Start: 3 * time.Second, End: 9 * time.Second},
+		Dir:      t.TempDir(),
+	}
+	if raceDetector {
+		// The race detector slows verification and the event loops ~10x
+		// (and CI runs whole-repo race sweeps with packages competing
+		// for cores): keep the full operational churn, but scale the
+		// timing assumptions with it. A 400ms stall threshold under race
+		// declares genuine slowness a stall, churning connections
+		// cluster-wide; and the mempool-loss hazard slack must cover a
+		// slowed submit->journal pipeline, or transactions that died
+		// in a victim's memory are counted eligible and the floor
+		// becomes unreachable.
+		cfg.Rate = 150
+		cfg.StallTimeout = 800 * time.Millisecond
+		cfg.HazardSlack = 3 * time.Second
+	}
+	res := RunLiveSoak(cfg)
+	if res.Err != nil {
+		t.Fatalf("soak setup: %v", res.Err)
+	}
+	if res.Violation != "" {
+		t.Fatalf("safety violation under operational churn: %s", res.Violation)
+	}
+	if res.MinCommitted < res.Floor {
+		t.Fatalf("liveness: per-replica committed %v < floor %d (submitted %d, eligible %d)",
+			res.PerReplica, res.Floor, res.Submitted, res.Eligible)
+	}
+	if res.JournalFatals < 1 {
+		t.Fatalf("poisoned WAL did not halt its replica (fatals=%d)", res.JournalFatals)
+	}
+	if res.Stalls < 1 || res.Redials < 1 {
+		t.Fatalf("stall window not detected/redialed (stalls=%d redials=%d)", res.Stalls, res.Redials)
+	}
+	if res.OperatorRestarts != 2 {
+		t.Fatalf("expected 2 operator restarts (restart + storage), got %d", res.OperatorRestarts)
+	}
+	if res.GoroutineGrowth > 20 {
+		t.Fatalf("goroutine leak: growth %d across the churn", res.GoroutineGrowth)
+	}
+	if res.FDGrowth > 16 {
+		t.Fatalf("fd leak: growth %d across the churn", res.FDGrowth)
+	}
+	t.Logf("submitted=%d eligible=%d floor=%d min=%d stalls=%d redials=%d fatals=%d goroutines=%+d fds=%+d",
+		res.Submitted, res.Eligible, res.Floor, res.MinCommitted,
+		res.Stalls, res.Redials, res.JournalFatals, res.GoroutineGrowth, res.FDGrowth)
+}

@@ -543,16 +543,36 @@ func (s *State) BufferedGap(l types.NodeID) (from, to types.Pos, tip types.TipRe
 // (pos, digest): the voting frontier adopts the committed chain (so FIFO
 // voting continues from it even across forks healed by sync), buffered
 // and fork state below it is garbage collected (§A.4).
-func (s *State) OnCommitted(lane types.NodeID, pos types.Pos, digest types.Digest) {
+//
+// For the own lane, a commit can overtake local PoA assembly: a restarted
+// replica's pre-crash cars commit from PoAs its peers already held, while
+// the peers have GC'd their vote bookkeeping below the committed frontier
+// and will never re-vote for a retransmission (OnProposal's duplicate
+// branch finds no recorded digest). Waiting for those PoAs would wedge
+// the outstanding window — and with it car production — forever. A commit
+// subsumes certification, so committed cars retire from the pipeline
+// here, and any cars that unblocks are returned for broadcast (nil in
+// the steady state, where certification always runs ahead of commit).
+func (s *State) OnCommitted(lane types.NodeID, pos types.Pos, digest types.Digest) []*types.Proposal {
 	if pos == 0 {
-		return
+		return nil
 	}
 	if lane == s.cfg.Self {
-		return // own proposals retained for sync serving (see below)
+		// Proposals themselves are retained for sync serving (see below);
+		// only the outstanding window and its vote shares are reclaimed.
+		var props []*types.Proposal
+		for len(s.outstanding) > 0 && s.outstanding[0].Position <= pos {
+			delete(s.votes, s.outstanding[0].Position)
+			s.outstanding = s.outstanding[1:]
+			if next := s.tryPropose(); next != nil {
+				props = append(props, next)
+			}
+		}
+		return props
 	}
 	pv := s.peers[lane]
 	if pos <= pv.committed {
-		return
+		return nil
 	}
 	pv.committed = pos
 	if pv.votedPos < pos {
@@ -582,6 +602,7 @@ func (s *State) OnCommitted(lane types.NodeID, pos types.Pos, digest types.Diges
 	// fetch history well below the live frontier (see internal/storage
 	// for the disk-backed equivalent). Only vote bookkeeping and fork
 	// siblings below the frontier are reclaimed (§A.4).
+	return nil
 }
 
 // Restore rebuilds the lane state of a restarted replica from its

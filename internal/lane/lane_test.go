@@ -223,6 +223,54 @@ func TestOnCommittedAdoptsFrontier(t *testing.T) {
 	}
 }
 
+// TestOwnCommitRetiresOutstanding pins the commit-overtakes-certification
+// recovery path (found by the live churn soak): a restarted proposer whose
+// pre-crash cars commit from PoAs its peers already held — while the peers
+// have GC'd their vote bookkeeping below the committed frontier and so
+// never re-vote for a retransmission — must retire those cars from the
+// outstanding window and resume production, or its lane wedges forever.
+func TestOwnCommitRetiresOutstanding(t *testing.T) {
+	committee := types.NewCommittee(4)
+	suite := crypto.NewNopSuite(4)
+	s := NewState(Config{
+		Committee: committee, Self: 0,
+		Signer: suite.Signer(0), Verifier: suite.Verifier(),
+		PipelineCars: 2,
+	})
+	// Two outstanding cars whose votes will never arrive, plus a queued
+	// batch blocked behind the full pipeline.
+	p1 := s.AddBatch(batch(0, 1))
+	p2 := s.AddBatch(batch(0, 2))
+	if p1 == nil || p2 == nil {
+		t.Fatal("pipeline must accept two cars")
+	}
+	if p := s.AddBatch(batch(0, 3)); p != nil {
+		t.Fatal("third car exceeds the pipeline bound")
+	}
+
+	// The lane commits through position 1 without a local PoA: car 1
+	// retires and the queued batch takes its pipeline slot immediately.
+	props := s.OnCommitted(0, 1, p1.Digest())
+	if len(props) != 1 || props[0].Position != 3 {
+		t.Fatalf("commit did not refill the pipeline: %+v", props)
+	}
+	if oo := s.OldestOutstanding(); oo == nil || oo.Position != 2 {
+		t.Fatalf("outstanding head = %+v, want position 2", oo)
+	}
+
+	// The surviving car still certifies normally (peer vote state at or
+	// above the committed frontier is retained, so retransmission works).
+	v := &types.Vote{Lane: 0, Position: 2, Digest: p2.Digest(), Voter: 1}
+	v.Sig = suite.Signer(1).Sign(v.SigningBytes())
+	_, poa, err := s.OnVote(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if poa == nil || poa.Position != 2 {
+		t.Fatalf("car 2 did not certify after the retirement: %+v", poa)
+	}
+}
+
 func TestAssembleCutModes(t *testing.T) {
 	states := newStates(t, 4, false)
 	driveCar(t, states, 1)

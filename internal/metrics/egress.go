@@ -31,6 +31,14 @@ type PeerTransport struct {
 	// RecvFrames / RecvBytes count inbound frames from this peer.
 	RecvFrames atomic.Uint64
 	RecvBytes  atomic.Uint64
+	// Link-health counters (TCP mesh only). Dials counts successful
+	// outbound connection establishments to this peer; Redials the subset
+	// that replaced a previously working connection (reconnections);
+	// Stalls counts stall-detector teardowns — connections the peer held
+	// open but made no receive progress on within the stall timeout.
+	Dials   atomic.Uint64
+	Redials atomic.Uint64
+	Stalls  atomic.Uint64
 }
 
 // PlaneSnapshot is a plain-value copy of PlaneCounters.
@@ -40,8 +48,9 @@ type PlaneSnapshot struct {
 
 // TransportSnapshot is a plain-value copy of PeerTransport.
 type TransportSnapshot struct {
-	Control, Data         PlaneSnapshot
-	RecvFrames, RecvBytes uint64
+	Control, Data          PlaneSnapshot
+	RecvFrames, RecvBytes  uint64
+	Dials, Redials, Stalls uint64
 }
 
 func (p *PlaneCounters) snapshot() PlaneSnapshot {
@@ -61,6 +70,9 @@ func (t *PeerTransport) Snapshot() TransportSnapshot {
 		Data:       t.Data.snapshot(),
 		RecvFrames: t.RecvFrames.Load(),
 		RecvBytes:  t.RecvBytes.Load(),
+		Dials:      t.Dials.Load(),
+		Redials:    t.Redials.Load(),
+		Stalls:     t.Stalls.Load(),
 	}
 }
 
@@ -70,6 +82,9 @@ func (s *TransportSnapshot) Add(o TransportSnapshot) {
 	s.Data.add(o.Data)
 	s.RecvFrames += o.RecvFrames
 	s.RecvBytes += o.RecvBytes
+	s.Dials += o.Dials
+	s.Redials += o.Redials
+	s.Stalls += o.Stalls
 }
 
 func (p *PlaneSnapshot) add(o PlaneSnapshot) {

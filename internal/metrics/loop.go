@@ -30,10 +30,19 @@ type LoopCounters struct {
 	GossipDupDrops atomic.Uint64
 }
 
-// LoopSnapshot is a plain-value copy of LoopCounters.
+// LoopSnapshot is a plain-value copy of LoopCounters, plus replica-level
+// health fields the loop itself does not own: Replica.LoopStats fills
+// them from the mesh's per-peer link-health counters and the journal's
+// fault state, so one snapshot carries the whole self-healing picture.
 type LoopSnapshot struct {
 	ControlEvents, ShardEvents, InboxDrops, ShardDrops uint64
 	GossipOrigin, GossipRelays, GossipDupDrops         uint64
+	// PeerStalls / PeerRedials / PeerDials aggregate the mesh's link
+	// health across peers (see PeerTransport).
+	PeerStalls, PeerRedials, PeerDials uint64
+	// JournalFatal is 1 when the replica halted on a journal write/sync
+	// failure (write-before-externalize could no longer be guaranteed).
+	JournalFatal uint64
 }
 
 // Snapshot copies the counters into plain values.

@@ -1,0 +1,193 @@
+// Storage fault injection: a File wrapper that turns scheduled
+// operations into the failures sick disks actually produce — write
+// errors, short writes, failed fsyncs, and the crash point every WAL
+// invariant ultimately hinges on ("die after append, before sync").
+// The schedule is seeded and deterministic, so a failing fault test
+// replays exactly.
+package storage
+
+import (
+	"errors"
+	"io"
+	"math/rand/v2"
+	"os"
+	"sync"
+)
+
+// ErrInjected marks a fault-plan-scheduled failure (write or sync).
+var ErrInjected = errors.New("storage: injected fault")
+
+// ErrCrashed marks operations attempted after the plan's crash point:
+// the process notionally died and this file handle is gone.
+var ErrCrashed = errors.New("storage: crashed (fault plan crash point reached)")
+
+// FaultPlan schedules faults for one file's operations. Counters are
+// 1-based and count operations on the wrapped file (post-bufio: one
+// Write per flushed buffer, not per record). The zero plan injects
+// nothing.
+type FaultPlan struct {
+	// Seed drives the probabilistic faults (ShortWriteP).
+	Seed uint64
+	// FailWriteAfter > 0 fails the Nth write and every later one with
+	// ErrInjected (a sick disk does not heal).
+	FailWriteAfter uint64
+	// ShortWriteP is the probability that a write persists only a
+	// prefix and returns io.ErrShortWrite.
+	ShortWriteP float64
+	// FailSyncAfter > 0 fails the Nth Sync and every later one with
+	// ErrInjected, without syncing.
+	FailSyncAfter uint64
+	// CrashAfterWrites > 0 simulates a crash immediately after the Nth
+	// write completes: the data reached the kernel but was never
+	// fsynced, and every subsequent operation returns ErrCrashed.
+	CrashAfterWrites uint64
+}
+
+// FaultFile wraps a File with a FaultPlan. Safe for the store's
+// single-writer-under-lock discipline plus concurrent Stats-style
+// reads; it serializes all operations on its own mutex.
+type FaultFile struct {
+	mu      sync.Mutex
+	f       File
+	plan    FaultPlan
+	rng     *rand.Rand
+	writes  uint64
+	syncs   uint64
+	crashed bool
+}
+
+// NewFaultFile wraps f with the plan's fault schedule.
+func NewFaultFile(f File, plan *FaultPlan) *FaultFile {
+	return &FaultFile{
+		f:    f,
+		plan: *plan,
+		rng:  rand.New(rand.NewPCG(plan.Seed, plan.Seed^0xda3e39cb94b95bdb)),
+	}
+}
+
+// Crashed reports whether the crash point has been reached.
+func (ff *FaultFile) Crashed() bool {
+	ff.mu.Lock()
+	defer ff.mu.Unlock()
+	return ff.crashed
+}
+
+func (ff *FaultFile) Write(p []byte) (int, error) {
+	ff.mu.Lock()
+	defer ff.mu.Unlock()
+	if ff.crashed {
+		return 0, ErrCrashed
+	}
+	ff.writes++
+	if ff.plan.FailWriteAfter > 0 && ff.writes >= ff.plan.FailWriteAfter {
+		return 0, ErrInjected
+	}
+	if ff.plan.ShortWriteP > 0 && ff.rng.Float64() < ff.plan.ShortWriteP && len(p) > 0 {
+		// Persist a strict prefix: the torn-record case a power cut
+		// leaves behind, surfaced to the caller as a short write.
+		n, err := ff.f.Write(p[:(len(p)+1)/2])
+		if err != nil {
+			return n, err
+		}
+		return n, io.ErrShortWrite
+	}
+	n, err := ff.f.Write(p)
+	if err == nil && ff.plan.CrashAfterWrites > 0 && ff.writes >= ff.plan.CrashAfterWrites {
+		ff.crashed = true // wrote, never synced: die before the barrier
+	}
+	return n, err
+}
+
+func (ff *FaultFile) Sync() error {
+	ff.mu.Lock()
+	defer ff.mu.Unlock()
+	if ff.crashed {
+		return ErrCrashed
+	}
+	ff.syncs++
+	if ff.plan.FailSyncAfter > 0 && ff.syncs >= ff.plan.FailSyncAfter {
+		return ErrInjected
+	}
+	return ff.f.Sync()
+}
+
+func (ff *FaultFile) Read(p []byte) (int, error) {
+	ff.mu.Lock()
+	defer ff.mu.Unlock()
+	if ff.crashed {
+		return 0, ErrCrashed
+	}
+	return ff.f.Read(p)
+}
+
+func (ff *FaultFile) Seek(offset int64, whence int) (int64, error) {
+	ff.mu.Lock()
+	defer ff.mu.Unlock()
+	if ff.crashed {
+		return 0, ErrCrashed
+	}
+	return ff.f.Seek(offset, whence)
+}
+
+func (ff *FaultFile) Truncate(size int64) error {
+	ff.mu.Lock()
+	defer ff.mu.Unlock()
+	if ff.crashed {
+		return ErrCrashed
+	}
+	return ff.f.Truncate(size)
+}
+
+// Close always reaches the real file: even a "crashed" handle must not
+// leak its descriptor when the harness tears the replica down.
+func (ff *FaultFile) Close() error {
+	ff.mu.Lock()
+	defer ff.mu.Unlock()
+	return ff.f.Close()
+}
+
+// CorruptFlip flips one byte of the file at path — offset from the
+// start when off >= 0, from the end when negative (-1 = last byte).
+// Post-crash bit rot for recovery tests.
+func CorruptFlip(path string, off int64) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return err
+	}
+	if off < 0 {
+		off += size
+	}
+	if off < 0 || off >= size {
+		return errors.New("storage: corrupt offset out of range")
+	}
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		return err
+	}
+	b[0] ^= 0xff
+	_, err = f.WriteAt(b[:], off)
+	return err
+}
+
+// CorruptTruncate cuts n bytes off the end of the file at path: the
+// torn tail an interrupted append leaves behind.
+func CorruptTruncate(path string, n int64) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return err
+	}
+	if n > size {
+		n = size
+	}
+	return f.Truncate(size - n)
+}

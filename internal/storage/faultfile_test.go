@@ -1,0 +1,181 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"path/filepath"
+	"testing"
+)
+
+func openFaulty(t *testing.T, plan *FaultPlan) (*Store, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "fault.wal")
+	s, err := OpenWithFaults(path, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, path
+}
+
+// A scheduled write failure must surface at the flush barrier, not
+// vanish into the buffered writer.
+func TestFaultWriteFailureSurfaces(t *testing.T) {
+	s, _ := openFaulty(t, &FaultPlan{FailWriteAfter: 1})
+	defer s.Close()
+	if err := s.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatalf("buffered put should not fail yet: %v", err)
+	}
+	if err := s.Flush(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("flush error = %v, want ErrInjected", err)
+	}
+}
+
+// A short write must surface as io.ErrShortWrite and leave a torn tail
+// the next incarnation truncates away — losing only the damaged suffix.
+func TestFaultShortWriteLeavesRecoverableTail(t *testing.T) {
+	s, path := openFaulty(t, &FaultPlan{Seed: 7, ShortWriteP: 1})
+	if err := s.Put([]byte("k"), bytes.Repeat([]byte("x"), 64)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("flush error = %v, want io.ErrShortWrite", err)
+	}
+	s.f.Close() // abandon the sick handle; bufio state is poisoned
+
+	re, err := Open(path)
+	if err != nil {
+		t.Fatalf("recovery after torn write: %v", err)
+	}
+	defer re.Close()
+	if re.Len() != 0 {
+		t.Fatalf("recovered %d records from a torn log, want 0", re.Len())
+	}
+	// And the store still works: append a record, reopen, see it.
+	if err := re.Put([]byte("k2"), []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re2.Close()
+	if v, ok := re2.Get([]byte("k2")); !ok || !bytes.Equal(v, []byte("v2")) {
+		t.Fatalf("post-recovery record lost: %q %v", v, ok)
+	}
+}
+
+// A scheduled sync failure must fail the synchronous fsync path (and
+// keep failing — sick disks do not heal).
+func TestFaultSyncFailure(t *testing.T) {
+	s, _ := openFaulty(t, &FaultPlan{FailSyncAfter: 1})
+	defer s.Close()
+	s.SyncEvery = 1 // every append flushes and fsyncs inline
+	if err := s.Put([]byte("k"), []byte("v")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("put error = %v, want ErrInjected", err)
+	}
+	if err := s.Put([]byte("k2"), []byte("v2")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second put error = %v, want sticky ErrInjected", err)
+	}
+}
+
+// The crash point: the write lands (kernel has it), the sync never
+// happens, and every later operation reports the handle dead.
+func TestFaultCrashAfterAppendBeforeSync(t *testing.T) {
+	s, path := openFaulty(t, &FaultPlan{CrashAfterWrites: 1})
+	if err := s.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatalf("the crashing write itself completes: %v", err)
+	}
+	ff, ok := s.f.(*FaultFile)
+	if !ok || !ff.Crashed() {
+		t.Fatalf("crash point not reached (file %T)", s.f)
+	}
+	if err := s.Put([]byte("k2"), []byte("v2")); err == nil {
+		if err = s.Flush(); !errors.Is(err, ErrCrashed) {
+			t.Fatalf("post-crash flush = %v, want ErrCrashed", err)
+		}
+	} else if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash put = %v, want ErrCrashed", err)
+	}
+	s.f.Close()
+
+	// The next incarnation recovers exactly the crash-surviving prefix.
+	re, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if v, ok := re.Get([]byte("k")); !ok || !bytes.Equal(v, []byte("v")) {
+		t.Fatalf("pre-crash record lost: %q %v", v, ok)
+	}
+	if re.Len() != 1 {
+		t.Fatalf("recovered %d records, want 1", re.Len())
+	}
+}
+
+// corruptionMatrix writes n records, applies a corruption, and returns
+// the recovered store for assertions.
+func writeRecords(t *testing.T, path string, n int) {
+	t.Helper()
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := s.Put(fmt.Appendf(nil, "key-%02d", i), bytes.Repeat([]byte{byte(i)}, 32)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Byte-flip and truncation over the log tail: recovery must drop the
+// damaged record and everything after it (replay stops at the first
+// bad checksum) while keeping every intact record before it.
+func TestCorruptionMatrixDropsOnlyDamagedTail(t *testing.T) {
+	const records = 8
+	const recSize = 12 + 6 + 32 // header + "key-NN" + value
+	cases := []struct {
+		name    string
+		corrupt func(path string) error
+		keep    int
+	}{
+		{"flip-last-record-value", func(p string) error { return CorruptFlip(p, -1) }, records - 1},
+		{"flip-mid-log", func(p string) error { return CorruptFlip(p, recSize*4+20) }, 4},
+		{"flip-first-header", func(p string) error { return CorruptFlip(p, 0) }, 0},
+		{"truncate-torn-tail", func(p string) error { return CorruptTruncate(p, 10) }, records - 1},
+		{"truncate-two-records", func(p string) error { return CorruptTruncate(p, recSize+10) }, records - 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "corrupt.wal")
+			writeRecords(t, path, records)
+			if err := tc.corrupt(path); err != nil {
+				t.Fatal(err)
+			}
+			s, err := Open(path)
+			if err != nil {
+				t.Fatalf("recovery from corruption must succeed: %v", err)
+			}
+			defer s.Close()
+			if s.Len() != tc.keep {
+				t.Fatalf("recovered %d records, want %d", s.Len(), tc.keep)
+			}
+			for i := 0; i < tc.keep; i++ {
+				key := fmt.Appendf(nil, "key-%02d", i)
+				if v, ok := s.Get(key); !ok || !bytes.Equal(v, bytes.Repeat([]byte{byte(i)}, 32)) {
+					t.Fatalf("intact record %d lost or damaged", i)
+				}
+			}
+		})
+	}
+}

@@ -17,12 +17,25 @@ import (
 	"sync"
 )
 
+// File is the slice of *os.File the store writes through. The
+// indirection exists for fault injection: FaultFile wraps a real file
+// and turns scheduled operations into errors, short writes, or a
+// simulated crash (see faultfile.go).
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	Sync() error
+	Truncate(size int64) error
+	Close() error
+}
+
 // Store is a WAL-backed key/value store. Keys and values are opaque
 // bytes; writes append to the log and update the index atomically under
 // one lock. Reopening replays the log.
 type Store struct {
 	mu    sync.Mutex
-	f     *os.File
+	f     File
 	w     *bufio.Writer
 	index map[string][]byte
 	path  string
@@ -57,9 +70,21 @@ func (s *Store) Stats() StoreStats {
 
 // Open opens (creating if absent) a store at path and replays its log.
 func Open(path string) (*Store, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	return OpenWithFaults(path, nil)
+}
+
+// OpenWithFaults opens a store whose file operations run through a
+// fault plan (nil behaves exactly like Open). Replay runs on the real
+// file — the plan schedules faults for the incarnation's own writes,
+// not for reading the inherited log.
+func OpenWithFaults(path string, plan *FaultPlan) (*Store, error) {
+	raw, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("storage: open %s: %w", path, err)
+	}
+	var f File = raw
+	if plan != nil {
+		f = NewFaultFile(raw, plan)
 	}
 	s := &Store{
 		f:     f,

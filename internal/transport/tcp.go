@@ -36,11 +36,19 @@ type TCPMesh struct {
 	mu    sync.Mutex
 	conns map[types.NodeID]*peerConn
 	stats map[types.NodeID]*metrics.PeerTransport
-	// inbound tracks accepted connections so Stop can sever them: a
+	// inbound tracks accepted connections (keyed to the peer that
+	// handshook on them; unknownPeer before the handshake) so Stop can
+	// sever them all and the stall detector can sever one peer's: a
 	// stopped mesh that keeps reading would silently swallow peers'
 	// frames, hiding the death from their reconnection logic (and from a
 	// restarted process listening on the same address).
-	inbound map[net.Conn]struct{}
+	inbound map[net.Conn]types.NodeID
+
+	// health tracks per-peer liveness progress (last frame received /
+	// sent) for the stall detector; see stall.go.
+	health map[types.NodeID]*peerHealth
+	// stallTimeout > 0 arms the stall detector (SetStallTimeout).
+	stallTimeout time.Duration
 
 	listener net.Listener
 	stopped  chan struct{}
@@ -128,6 +136,21 @@ type stream struct {
 	out   chan *frame
 	plane int
 	ctr   *metrics.PlaneCounters
+	// health is the owning peer's liveness block (shared by both planes).
+	health *peerHealth
+
+	// connMu guards the active outbound connection, registered by
+	// writeLoop for the lifetime of one streamFrames call so the stall
+	// detector (and Stop) can sever it from outside — the only way to
+	// unblock a writer wedged inside net.Buffers.WriteTo on a peer that
+	// stopped reading.
+	connMu    sync.Mutex
+	conn      net.Conn
+	connSince time.Time
+	// writeStart is the wall-clock nanosecond a flush entered WriteTo (0
+	// = no write in flight): a write blocked longer than the stall
+	// timeout is the wedged-peer signature even when nothing else moves.
+	writeStart atomic.Int64
 }
 
 type peerConn struct {
@@ -149,7 +172,8 @@ func NewTCPMesh(self types.NodeID, addrs map[types.NodeID]string, proto runtime.
 		addrs:   addrs,
 		conns:   make(map[types.NodeID]*peerConn),
 		stats:   make(map[types.NodeID]*metrics.PeerTransport),
-		inbound: make(map[net.Conn]struct{}),
+		inbound: make(map[net.Conn]types.NodeID),
+		health:  make(map[types.NodeID]*peerHealth),
 		stopped: make(chan struct{}),
 		logger:  logger,
 	}
@@ -169,10 +193,16 @@ func (m *TCPMesh) Start() error {
 	m.listener = ln
 	go m.acceptLoop()
 	go m.loop.Run()
+	if m.stallTimeout > 0 {
+		go m.stallMonitor()
+	}
 	return nil
 }
 
-// Stop closes the listener, connections (inbound included) and the loop.
+// Stop closes the listener, connections (inbound and outbound) and the
+// loop. Severing the registered outbound connections unblocks writers
+// wedged inside a blocking WriteTo to a dead peer, which the stopped
+// channel alone cannot reach.
 func (m *TCPMesh) Stop() {
 	m.once.Do(func() {
 		close(m.stopped)
@@ -183,7 +213,16 @@ func (m *TCPMesh) Stop() {
 		for conn := range m.inbound {
 			conn.Close()
 		}
+		conns := make([]*peerConn, 0, len(m.conns))
+		for _, pc := range m.conns {
+			conns = append(conns, pc)
+		}
 		m.mu.Unlock()
+		for _, pc := range conns {
+			for _, st := range pc.streams {
+				st.closeConn()
+			}
+		}
 		m.loop.Stop()
 	})
 }
@@ -252,7 +291,7 @@ func (m *TCPMesh) readLoop(conn net.Conn) {
 		return
 	default:
 	}
-	m.inbound[conn] = struct{}{}
+	m.inbound[conn] = unknownPeer
 	m.mu.Unlock()
 	defer func() {
 		m.mu.Lock()
@@ -276,7 +315,11 @@ func (m *TCPMesh) readLoop(conn net.Conn) {
 		m.logger.Printf("transport: rejecting connection from %s with plane %d", from, hello[2])
 		return
 	}
+	m.mu.Lock()
+	m.inbound[conn] = from // stall teardown severs this peer's conns
+	m.mu.Unlock()
 	stats := m.statsFor(from)
+	health := m.healthFor(from)
 	var lenBuf [4]byte
 	// Delta-cut receive state: the last cut this CONNECTION carried, in
 	// stream order. TCP ordering keeps it in lockstep with the sender's
@@ -306,6 +349,7 @@ func (m *TCPMesh) readLoop(conn net.Conn) {
 		}
 		stats.RecvFrames.Add(1)
 		stats.RecvBytes.Add(uint64(n) + 4)
+		health.lastRecv.Store(time.Now().UnixNano())
 		var msg types.Message
 		var err error
 		if wire.IsDeltaFrame(fr.Data()) {
@@ -522,9 +566,10 @@ func (m *TCPMesh) peer(to types.NodeID) *peerConn {
 	}
 	pc := &peerConn{}
 	stats := m.statsForLocked(to)
+	health := m.healthForLocked(to)
 	ctrs := [planeCount]*metrics.PlaneCounters{&stats.Control, &stats.Data}
 	for p := 0; p < planeCount; p++ {
-		st := &stream{out: make(chan *frame, planeQueueDepth[p]), plane: p, ctr: ctrs[p]}
+		st := &stream{out: make(chan *frame, planeQueueDepth[p]), plane: p, ctr: ctrs[p], health: health}
 		pc.streams[p] = st
 		go m.writeLoop(to, st)
 	}
@@ -532,10 +577,20 @@ func (m *TCPMesh) peer(to types.NodeID) *peerConn {
 	return pc
 }
 
-// writeLoop dials (with backoff) and streams one plane's frames to a
-// peer.
+// writeLoop dials (with jittered backoff) and streams one plane's
+// frames to a peer. Every failure path sleeps through the backoff —
+// dial errors, handshake errors, and stream errors alike — so a peer
+// that accepts connections but instantly kills them cannot drive a hot
+// redial loop. The backoff is seeded per (self, peer, plane), so a
+// full-cluster restart produces desynchronized redial schedules instead
+// of a thundering herd, and it resets to the base delay only after a
+// connection SURVIVES for a while (backoffResetAfter), not merely on a
+// successful dial: a peer that dies right after accepting keeps the
+// delay growing.
 func (m *TCPMesh) writeLoop(to types.NodeID, st *stream) {
-	backoff := 100 * time.Millisecond
+	bo := newDialBackoff(backoffSeed(m.self, to, st.plane))
+	stats := m.statsFor(to)
+	dialed := false
 	for {
 		select {
 		case <-m.stopped:
@@ -544,31 +599,39 @@ func (m *TCPMesh) writeLoop(to types.NodeID, st *stream) {
 		}
 		conn, err := net.DialTimeout("tcp", m.addrs[to], 3*time.Second)
 		if err != nil {
-			select {
-			case <-m.stopped:
+			if !m.sleepBackoff(bo) {
 				return
-			case <-time.After(backoff):
-			}
-			if backoff < 5*time.Second {
-				backoff *= 2
 			}
 			continue
 		}
-		backoff = 100 * time.Millisecond
 		// Handshake: announce our ID and this connection's plane.
 		var hello [3]byte
 		binary.LittleEndian.PutUint16(hello[:2], uint16(m.self))
 		hello[2] = byte(st.plane)
 		if _, err := conn.Write(hello[:]); err != nil {
 			conn.Close()
+			if !m.sleepBackoff(bo) {
+				return
+			}
 			continue
 		}
-		if err := m.streamFrames(conn, st); err != nil {
-			conn.Close()
-			continue
+		stats.Dials.Add(1)
+		if dialed {
+			stats.Redials.Add(1)
 		}
+		dialed = true
+		st.setConn(conn)
+		start := time.Now()
+		err = m.streamFrames(conn, st)
+		st.clearConn()
 		conn.Close()
-		return
+		if err == nil {
+			return // mesh stopped
+		}
+		bo.noteSuccess(time.Since(start))
+		if !m.sleepBackoff(bo) {
+			return
+		}
 	}
 }
 
@@ -639,7 +702,14 @@ func (m *TCPMesh) streamFrames(conn net.Conn, st *stream) error {
 				wrote += len(b)
 			}
 			bufs := net.Buffers(scratch)
-			if _, err := bufs.WriteTo(conn); err != nil {
+			// Mark the write in flight: if WriteTo blocks past the stall
+			// timeout (peer stopped reading but keeps the session open),
+			// the stall monitor severs conn from outside, failing the
+			// write and bouncing this loop back to a redial.
+			st.writeStart.Store(time.Now().UnixNano())
+			_, err := bufs.WriteTo(conn)
+			st.writeStart.Store(0)
+			if err != nil {
 				// Re-queue best effort (references kept, full encodings —
 				// the new connection re-derives its own delta state), then
 				// redial.
@@ -659,6 +729,7 @@ func (m *TCPMesh) streamFrames(conn net.Conn, st *stream) error {
 			st.ctr.Frames.Add(uint64(len(batch)))
 			st.ctr.Flushes.Add(1)
 			st.ctr.Bytes.Add(uint64(wrote))
+			st.health.lastSend.Store(time.Now().UnixNano())
 			for _, db := range deltas {
 				db.Release()
 			}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"log"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/adversary"
@@ -32,6 +33,12 @@ type Replica struct {
 	done     chan struct{} // closed by Stop; terminates flushLoop
 	started  bool          // Start launched the event loop (Stop may Join it)
 	stopOnce sync.Once
+
+	// Journal-fatal state: a failed group-commit barrier halts the node
+	// (core.Config.OnFatal), shuts this replica down, and reports the
+	// cause on the fatal channel exactly once.
+	fatal        chan error
+	journalFatal atomic.Bool
 
 	// Commits delivers this replica's totally ordered, execution-ready
 	// batches.
@@ -74,10 +81,14 @@ func NewReplica(self types.NodeID, addrs map[types.NodeID]string, o Options, log
 		self:    self,
 		epoch:   time.Now(), // deployments tolerate skewed epochs: only latency *reports* depend on it
 		done:    make(chan struct{}),
+		fatal:   make(chan error, 1),
 		Commits: make(chan Committed, 4096),
 	}
+	if o.WALFaults != nil && o.WALPath == "" {
+		return nil, fmt.Errorf("autobahn: WALFaults requires WALPath")
+	}
 	if o.WALPath != "" {
-		st, err := storage.Open(o.WALPath)
+		st, err := storage.OpenWithFaults(o.WALPath, o.WALFaults)
 		if err != nil {
 			return nil, fmt.Errorf("autobahn: replica journal: %w", err)
 		}
@@ -112,6 +123,17 @@ func NewReplica(self types.NodeID, addrs map[types.NodeID]string, o Options, log
 	// sends released only after it returns (the transport loop drives
 	// the Flush hook). Without a WAL there is nothing to amortize.
 	cfg.GroupCommit = r.journal != nil
+	// A journal barrier failure is replica-fatal: un-journaled state must
+	// never externalize, so the replica halts loudly — it stops itself
+	// and reports on Fatal — rather than run on without durability.
+	cfg.OnFatal = func(err error) {
+		r.journalFatal.Store(true)
+		select {
+		case r.fatal <- err:
+		default:
+		}
+		r.Stop()
+	}
 	r.node = core.NewNode(cfg)
 	// A Byzantine replica joins the mesh behind its adversary wrapper,
 	// which intercepts every outbound message (fault-matrix testing over
@@ -125,6 +147,9 @@ func NewReplica(self types.NodeID, addrs map[types.NodeID]string, o Options, log
 		proto = w
 	}
 	r.mesh = transport.NewTCPMesh(self, addrs, proto, r.epoch, logger)
+	if o.StallTimeout > 0 {
+		r.mesh.SetStallTimeout(o.StallTimeout)
+	}
 	if o.LinkFaults != nil {
 		r.mesh.SetLinkFaults(o.LinkFaults)
 	}
@@ -226,7 +251,24 @@ func (r *Replica) TransportStats() map[types.NodeID]metrics.TransportSnapshot {
 
 // LoopStats snapshots the event-loop ingress counters (events accepted
 // on the control loop and data-plane shards, and inbox/shard drops —
-// the overload signal).
+// the overload signal), plus the replica's link-health aggregates
+// (dials, redials, stall-detector teardowns across peers) and whether
+// the journal went fatal.
 func (r *Replica) LoopStats() metrics.LoopSnapshot {
-	return r.mesh.Loop().Counters()
+	s := r.mesh.Loop().Counters()
+	total := r.mesh.TotalStats()
+	s.PeerDials = total.Dials
+	s.PeerRedials = total.Redials
+	s.PeerStalls = total.Stalls
+	if r.journalFatal.Load() {
+		s.JournalFatal = 1
+	}
+	return s
 }
+
+// Fatal reports an unrecoverable replica failure (a journal write or
+// sync error: write-before-externalize could not be guaranteed). The
+// replica has already halted and stopped itself when a value arrives;
+// operators typically restart the process — recovery replays whatever
+// the WAL durably holds.
+func (r *Replica) Fatal() <-chan error { return r.fatal }
