@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/crypto"
+	"repro/internal/gateway"
 	"repro/internal/runtime"
 	"repro/internal/storage"
 	"repro/internal/transport"
@@ -148,6 +149,19 @@ type Options struct {
 	// jittered backoff, instead of wedging silently behind an open but
 	// dead TCP session. Replica (TCP) runtimes only; 0 disables.
 	StallTimeout time.Duration
+
+	// GatewayAddr, when set, attaches the client gateway tier to a
+	// Replica on this listen address: per-client submission windows with
+	// sliding dedup, depth-based admission control with typed rejections
+	// and priority shedding, and streamed commit acknowledgments (see
+	// internal/gateway). Clients speak the gateway protocol
+	// (gateway.Client, autobahn-client -gateway) instead of the bare
+	// newline port. Replica (TCP) runtimes only.
+	GatewayAddr string
+	// Gateway tunes the gateway tier (window sizes, admission depth
+	// bounds, frame cap); the zero value gets defaults. Only meaningful
+	// with GatewayAddr.
+	Gateway gateway.Options
 }
 
 func (o Options) committee() types.Committee { return types.NewCommittee(o.N) }

@@ -50,6 +50,7 @@ func main() {
 	gossip := flag.Int("gossip", 0, "car gossip fanout k (0 = full-mesh broadcast); try log2(committee)+1 for large committees")
 	deltaCuts := flag.Bool("delta-cuts", false, "delta-compress cut-bearing consensus frames against each connection's previous cut")
 	stallTimeout := flag.Duration("stall-timeout", 10*time.Second, "tear down and redial peer connections that accept but make no progress for this long (0 disables the stall detector)")
+	gatewayAddr := flag.String("gateway", "", "client gateway listen address: per-client windows, dedup, admission control, commit acks (optional; see autobahn-client -gateway)")
 	flag.Parse()
 
 	addrList := strings.Split(*peers, ",")
@@ -73,6 +74,7 @@ func main() {
 		GossipFanout: *gossip,
 		DeltaCuts:    *deltaCuts,
 		StallTimeout: *stallTimeout,
+		GatewayAddr:  *gatewayAddr,
 	}, logger)
 	if err != nil {
 		log.Fatal(err)
@@ -139,7 +141,13 @@ func main() {
 				egress.Add(s)
 			}
 			loop := replica.LoopStats()
-			logger.Printf("committed %d txs in %d batches (slot %d); egress ctl %d frames/%d flushes (%d delta), data %d frames/%d flushes, %d drops; ingress %d ctl/%d shard events, %d drops; gossip %d origin/%d relayed/%d dup-dropped; links %d dials/%d redials/%d stalls",
+			var gw string
+			if g := replica.Gateway(); g != nil {
+				s := g.Stats()
+				gw = fmt.Sprintf("; gateway %d admitted/%d rejected/%d deduped, %d acked (mean %s), %d ack-drops",
+					s.Admitted, s.Rejected(), s.Deduped, s.Acked, s.AckLatencyMean.Round(time.Microsecond), s.AckDrops)
+			}
+			logger.Printf("committed %d txs in %d batches (slot %d); egress ctl %d frames/%d flushes (%d delta), data %d frames/%d flushes, %d drops; ingress %d ctl/%d shard events, %d drops; gossip %d origin/%d relayed/%d dup-dropped; links %d dials/%d redials/%d stalls%s",
 				committedTx, committedBatches, c.Slot,
 				egress.Control.Frames, egress.Control.Flushes, egress.Control.DeltaFrames,
 				egress.Data.Frames, egress.Data.Flushes,
@@ -147,7 +155,7 @@ func main() {
 				loop.ControlEvents, loop.ShardEvents,
 				loop.InboxDrops+loop.ShardDrops,
 				loop.GossipOrigin, loop.GossipRelays, loop.GossipDupDrops,
-				loop.PeerDials, loop.PeerRedials, loop.PeerStalls)
+				loop.PeerDials, loop.PeerRedials, loop.PeerStalls, gw)
 		}
 	}
 }

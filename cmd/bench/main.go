@@ -66,7 +66,7 @@ func record(metric string, value float64) {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiments: table1, fig1, fig5, fig6, fig7, fig8, ablation, restart, byzantine, ingress, scaling, committee, faultmatrix, soak, all (= the simulator set)")
+	exp := flag.String("exp", "all", "comma-separated experiments: table1, fig1, fig5, fig6, fig7, fig8, ablation, restart, byzantine, ingress, scaling, committee, faultmatrix, soak, gateway, all (= the simulator set)")
 	quick := flag.Bool("quick", false, "reduced sweeps for a fast smoke run")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	jsonPath := flag.String("json", "", "write machine-readable per-experiment metrics to this file")
@@ -82,7 +82,7 @@ func main() {
 	// wall-clock-bound real-runtime probes run only when named, and so
 	// does `byzantine` (deterministic, but owned by the CI fault-matrix
 	// job — including it in `all` would run the whole suite twice per PR).
-	notInAll := map[string]bool{"ingress": true, "scaling": true, "faultmatrix": true, "byzantine": true, "committee": true, "soak": true}
+	notInAll := map[string]bool{"ingress": true, "scaling": true, "faultmatrix": true, "byzantine": true, "committee": true, "soak": true, "gateway": true}
 	run := func(name string, fn func()) {
 		if !want[name] && !(want["all"] && !notInAll[name]) {
 			return
@@ -244,6 +244,7 @@ func main() {
 	run("committee", func() { runCommittee(*quick, *seed) })
 	run("faultmatrix", func() { runFaultMatrix(*quick, *seed) })
 	run("soak", func() { runSoak(*quick, *seed) })
+	run("gateway", func() { runGateway(*quick, *seed) })
 
 	if *jsonPath != "" {
 		data, err := json.MarshalIndent(&rep, "", "  ")

@@ -71,12 +71,16 @@ func runSoak(quick bool, seed uint64) {
 		lcfg.Duration = 12 * time.Second
 		lcfg.Chaos.Start = 3 * time.Second
 		lcfg.Chaos.End = 9 * time.Second
+		lcfg.GatewayClients = 200
+		lcfg.GatewayRate = 200
 	} else {
 		lcfg.N = 7
 		lcfg.Rate = 1000
 		lcfg.Duration = 60 * time.Second
 		lcfg.Rule = lossy
 		lcfg.DrainTimeout = 60 * time.Second
+		lcfg.GatewayClients = 500
+		lcfg.GatewayRate = 500
 		lcfg.Chaos = chaos.Params{
 			Start: 5 * time.Second, End: 50 * time.Second,
 			Restarts: 3, DownFor: 2 * time.Second, AmnesiaMix: 0.4,
@@ -123,4 +127,20 @@ func runSoak(quick bool, seed uint64) {
 		"soak(live): no goroutine leak across the churn (watermark)")
 	check(lres.FDGrowth <= 16,
 		"soak(live): no fd leak across the churn (watermark)")
+	// Gateway traffic through the same churn: the exactly-once claim.
+	record("live_gw_submitted", float64(lres.GatewaySubmitted))
+	record("live_gw_committed", float64(lres.GatewayCommitted))
+	record("live_gw_rejected", float64(lres.GatewayRejected))
+	record("live_gw_deduped", float64(lres.GatewayDeduped))
+	record("live_gw_readmitted", float64(lres.GatewayReadmitted))
+	record("live_gw_reconnects", float64(lres.GatewayReconnects))
+	record("live_gw_resubmits", float64(lres.GatewayResubmits))
+	check(lres.GatewayChainDups == 0,
+		"soak(live): zero duplicate commits through the gateway dedup window")
+	check(lres.GatewayDrained,
+		"soak(live): every gateway submission reached a terminal outcome")
+	check(lres.GatewaySubmitted > 0 && lres.GatewayCommitted >= lres.GatewaySubmitted*9/10,
+		"soak(live): >= 90% of gateway submissions committed despite fault windows")
+	check(lres.GatewayReconnects >= 1,
+		"soak(live): fault teardowns forced gateway clients to reconnect")
 }

@@ -1,0 +1,80 @@
+package autobahn
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/gateway"
+	"repro/internal/types"
+)
+
+// TestReplicaGatewayEndToEnd runs the full client path over real sockets:
+// a 4-replica TCP deployment with the gateway tier on replica 0, a
+// gateway.Client submitting through it, and commit acknowledgments
+// streaming back for every transaction.
+func TestReplicaGatewayEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP e2e")
+	}
+	addrs := freeAddrs(t, 4)
+	replicas := make([]*Replica, 4)
+	for i := range replicas {
+		o := Options{N: 4, MaxBatchDelay: 10 * time.Millisecond}
+		if i == 0 {
+			o.GatewayAddr = "127.0.0.1:0"
+		}
+		r, err := NewReplica(types.NodeID(i), addrs, o, log.New(os.Stderr, fmt.Sprintf("r%d ", i), 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Start(); err != nil {
+			t.Fatal(err)
+		}
+		replicas[i] = r
+	}
+	defer func() {
+		for _, r := range replicas {
+			r.Stop()
+		}
+	}()
+
+	cl, err := gateway.Dial(replicas[0].Gateway().Addr(), gateway.ClientOptions{ID: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// Fill the client window, then wait for every commit ack.
+	const n = 50
+	pending := make([]*gateway.Pending, 0, n)
+	for i := 0; i < n; i++ {
+		p, err := cl.Submit([]byte(fmt.Sprintf("gw-e2e-%04d", i)))
+		for err == gateway.ErrWindowFull {
+			time.Sleep(5 * time.Millisecond)
+			p, err = cl.Submit([]byte(fmt.Sprintf("gw-e2e-%04d", i)))
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		pending = append(pending, p)
+	}
+	for _, p := range pending {
+		if out := p.Wait(); !out.Committed {
+			t.Fatalf("seq %d not committed: %+v", p.Seq(), out)
+		}
+	}
+	st := replicas[0].Gateway().Stats()
+	if st.Acked < n {
+		t.Fatalf("acked %d < %d submissions", st.Acked, n)
+	}
+	if st.ChainDups != 0 {
+		t.Fatalf("%d duplicate commits reached the chain", st.ChainDups)
+	}
+	// The tier's admission gauges read live replica state.
+	if d := replicas[0].MempoolDepth(); d < 0 {
+		t.Fatalf("mempool depth %d", d)
+	}
+}

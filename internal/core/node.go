@@ -406,6 +406,12 @@ func (n *Node) CertCacheStats() (hits, misses uint64) {
 // Lanes exposes lane state (tests and examples).
 func (n *Node) Lanes() *lane.State { return n.lanes }
 
+// LaneDepth returns the own lane's end-to-end backlog (batches waiting
+// for a car plus cars proposed but not yet committed). A single atomic
+// load, safe from any goroutine — admission control reads it per
+// submission.
+func (n *Node) LaneDepth() int { return n.lanes.Depth() }
+
 // Orderer exposes ordering state (tests and examples).
 func (n *Node) Orderer() *order.Orderer { return n.orderer }
 

@@ -1,0 +1,121 @@
+package gateway
+
+import "time"
+
+// window is one client's submission window and sliding dedup set. It is
+// the piece that makes at-least-once client retries exactly-once at the
+// chain: every (client, seq) pair is admitted to the mempool at most
+// once per backend incarnation, and replays are answered from here.
+//
+// Three seq populations, by client protocol (seqs are assigned
+// monotonically by the client):
+//
+//   - pending: admitted, commit ack not yet pushed. Bounded by the
+//     window cap — the client's in-flight budget.
+//   - completed: committed and acked, retained in a sliding set of the
+//     last dedupCap completions so replays are re-acked as Committed.
+//   - below floor: completions old enough to have slid out of the set.
+//     Treated as committed — a client replaying a seq that far back has
+//     long received its ack (or abandoned it), and answering Committed
+//     is the idempotent-success answer either way.
+//
+// Not thread-safe; the owning clientState serializes access.
+type window struct {
+	cap      int
+	dedupCap int
+
+	pending map[uint64]*pendingTx
+
+	// completed holds acked seqs >= floor; evict tracks completion order
+	// so overflow slides the floor forward rather than forgetting
+	// arbitrary entries. Entries stranded below a jumped floor are
+	// answered by the floor check first, so they only cost memory until
+	// their eviction turn.
+	completed map[uint64]struct{}
+	evict     []uint64
+	floor     uint64 // seqs below this are assumed committed
+}
+
+// pendingTx is one admitted, un-acked submission.
+type pendingTx struct {
+	prio uint8
+	// tx is the enveloped payload, retained so a resubmission after a
+	// backend turnover (replica restart) can be re-admitted without
+	// trusting the client to resend identical bytes.
+	tx []byte
+	// submitted is the wall-clock admission time (ack latency basis).
+	submitted time.Time
+	// gen is the backend generation that admitted it. If the backend
+	// turns over while this is pending, the admitted copy may have died
+	// with the old process — a resubmission then re-admits tx under the
+	// new generation.
+	gen uint64
+}
+
+func newWindow(capacity, dedupCap int) *window {
+	return &window{
+		cap:       capacity,
+		dedupCap:  dedupCap,
+		pending:   make(map[uint64]*pendingTx),
+		completed: make(map[uint64]struct{}),
+	}
+}
+
+// verdict classifies a submission against the window.
+type verdict int
+
+const (
+	verdictNew          verdict = iota // not seen: run admission control
+	verdictDupPending                  // in flight: ack Duplicate, commit ack follows
+	verdictDupCommitted                // already committed: ack Committed from the window
+	verdictWindowFull                  // in-flight budget exhausted
+)
+
+// classify maps a submitted seq to its verdict without mutating state.
+// Pending wins over the floor: a long-pending seq must keep answering
+// Duplicate even after younger completions slide the floor past it.
+func (w *window) classify(seq uint64) verdict {
+	if _, ok := w.pending[seq]; ok {
+		return verdictDupPending
+	}
+	if _, ok := w.completed[seq]; ok {
+		return verdictDupCommitted
+	}
+	if seq < w.floor {
+		return verdictDupCommitted
+	}
+	if len(w.pending) >= w.cap {
+		return verdictWindowFull
+	}
+	return verdictNew
+}
+
+// admit records a newly admitted submission (after a verdictNew).
+func (w *window) admit(seq uint64, p *pendingTx) { w.pending[seq] = p }
+
+// complete moves seq from pending to the dedup set, returning its entry.
+// ok is false when seq was not pending: either it already completed
+// (chain-level duplicate — the caller counts it) or it was never
+// admitted here (a commit from another client's gateway, skipped).
+func (w *window) complete(seq uint64) (p *pendingTx, ok bool, wasCompleted bool) {
+	p, ok = w.pending[seq]
+	if !ok {
+		if seq < w.floor {
+			return nil, false, true
+		}
+		_, dup := w.completed[seq]
+		return nil, false, dup
+	}
+	delete(w.pending, seq)
+	w.completed[seq] = struct{}{}
+	w.evict = append(w.evict, seq)
+	for len(w.evict) > w.dedupCap {
+		old := w.evict[0]
+		w.evict = w.evict[1:]
+		delete(w.completed, old)
+		if old+1 > w.floor {
+			w.floor = old + 1
+		}
+	}
+	return p, true, false
+}

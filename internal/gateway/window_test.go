@@ -1,0 +1,90 @@
+package gateway
+
+import (
+	"testing"
+	"time"
+)
+
+func pend() *pendingTx { return &pendingTx{submitted: time.Now()} }
+
+func TestWindowLifecycle(t *testing.T) {
+	w := newWindow(2, 4)
+	if v := w.classify(1); v != verdictNew {
+		t.Fatalf("fresh seq = %v", v)
+	}
+	w.admit(1, pend())
+	if v := w.classify(1); v != verdictDupPending {
+		t.Fatalf("pending seq = %v", v)
+	}
+	w.admit(2, pend())
+	if v := w.classify(3); v != verdictWindowFull {
+		t.Fatalf("over-window seq = %v", v)
+	}
+	if _, ok, _ := w.complete(1); !ok {
+		t.Fatal("complete(1) failed")
+	}
+	if v := w.classify(1); v != verdictDupCommitted {
+		t.Fatalf("completed seq = %v", v)
+	}
+	if v := w.classify(3); v != verdictNew {
+		t.Fatalf("freed window seq = %v", v)
+	}
+	// Completing an already-completed seq is the chain-dup signal.
+	if _, ok, wasDone := w.complete(1); ok || !wasDone {
+		t.Fatalf("re-complete(1) = ok %v wasDone %v", ok, wasDone)
+	}
+	// Completing a never-admitted seq is neither.
+	if _, ok, wasDone := w.complete(99); ok || wasDone {
+		t.Fatalf("complete(99) = ok %v wasDone %v", ok, wasDone)
+	}
+}
+
+// TestWindowSlides pins the sliding dedup set: old completions evict in
+// completion order, and seqs below the floor stay classified as
+// committed duplicates (idempotent success) forever.
+func TestWindowSlides(t *testing.T) {
+	w := newWindow(1, 3)
+	for seq := uint64(1); seq <= 10; seq++ {
+		if v := w.classify(seq); v != verdictNew {
+			t.Fatalf("seq %d = %v", seq, v)
+		}
+		w.admit(seq, pend())
+		if _, ok, _ := w.complete(seq); !ok {
+			t.Fatalf("complete(%d) failed", seq)
+		}
+	}
+	if len(w.completed) != 3 {
+		t.Fatalf("dedup set holds %d, want 3", len(w.completed))
+	}
+	// Everything ever completed — in the set or below the floor — must
+	// answer as a committed duplicate.
+	for seq := uint64(1); seq <= 10; seq++ {
+		if v := w.classify(seq); v != verdictDupCommitted {
+			t.Fatalf("replayed seq %d = %v", seq, v)
+		}
+	}
+	if v := w.classify(11); v != verdictNew {
+		t.Fatalf("next fresh seq = %v", v)
+	}
+}
+
+// TestWindowFloorDoesNotSwallowPending: a pending seq must keep
+// answering Duplicate even when younger completions slide the floor
+// past its number — the floor is a statement about completions only.
+func TestWindowFloorDoesNotSwallowPending(t *testing.T) {
+	w := newWindow(8, 2)
+	w.admit(5, pend())
+	for seq := uint64(6); seq <= 12; seq++ {
+		w.admit(seq, pend())
+		w.complete(seq)
+	}
+	if w.floor <= 5 {
+		t.Fatalf("floor = %d, test needs it past 5", w.floor)
+	}
+	if v := w.classify(5); v != verdictDupPending {
+		t.Fatalf("stranded pending seq = %v, want dupPending", v)
+	}
+	if p, ok, _ := w.complete(5); !ok || p == nil {
+		t.Fatal("stranded pending seq must still complete")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net"
 	"os"
 	"path/filepath"
 	gort "runtime"
@@ -13,6 +14,7 @@ import (
 
 	autobahn "repro"
 	"repro/internal/chaos"
+	"repro/internal/gateway"
 	"repro/internal/storage"
 	"repro/internal/transport"
 	"repro/internal/types"
@@ -232,7 +234,20 @@ type LiveSoakConfig struct {
 	// DrainTimeout bounds the post-load wait for the commit floor
 	// (default 30s).
 	DrainTimeout time.Duration
-	Logger       *log.Logger
+	// GatewayClients, when positive, additionally drives the chaos
+	// schedule through the client gateway tier: every eligible replica
+	// (honest, never amnesiac) is fronted by a gateway.Server, and a
+	// fleet of gateway.Clients submits at GatewayRate aggregate tx/s.
+	// Fault teardowns drop the gateway's client connections (clients
+	// must reconnect and resubmit) and restarts swap the backend
+	// generation (lost admissions are re-admitted on resubmission) —
+	// the end-to-end claim is exactly-once: every submission resolves,
+	// and the chain-duplicate counter stays zero through the churn.
+	GatewayClients int
+	// GatewayRate is the gateway fleet's aggregate submission rate
+	// (default 100 tx/s when GatewayClients > 0).
+	GatewayRate float64
+	Logger      *log.Logger
 }
 
 func (c *LiveSoakConfig) fill() {
@@ -256,6 +271,9 @@ func (c *LiveSoakConfig) fill() {
 	}
 	if c.HazardSlack == 0 {
 		c.HazardSlack = time.Second
+	}
+	if c.GatewayClients > 0 && c.GatewayRate == 0 {
+		c.GatewayRate = 100
 	}
 	ch := &c.Chaos
 	if ch.N == 0 {
@@ -315,6 +333,23 @@ type LiveSoakResult struct {
 	FDGrowth        int
 	Elapsed         time.Duration
 	Err             error
+
+	// Gateway tier outcomes (all zero unless GatewayClients > 0).
+	// GatewayDrained reports that every gateway submission resolved
+	// before the drain deadline; GatewayChainDups is the servers'
+	// duplicate-commit counter (the exactly-once claim: must be zero);
+	// Deduped/Readmitted/Reconnects/Resubmits show the recovery
+	// machinery actually firing through the churn.
+	GatewaySubmitted  uint64
+	GatewayCommitted  uint64
+	GatewayRejected   uint64 // Submit refused locally (window/suppression)
+	GatewayDrained    bool
+	GatewayChainDups  uint64
+	GatewayDeduped    uint64
+	GatewayReadmitted uint64
+	GatewayAckDrops   uint64
+	GatewayReconnects uint64
+	GatewayResubmits  uint64
 }
 
 // liveSoakRun is the mutable state one live soak threads through its
@@ -345,9 +380,48 @@ type liveSoakRun struct {
 	eligibleLane []bool
 	hazardOf     [][][2]time.Duration // per-node teardown hazard windows [From-HazardSlack, To)
 
+	// Gateway tier (nil / empty unless cfg.GatewayClients > 0).
+	gws         []*gateway.Server // per-slot, nil for ineligible lanes
+	gwClients   []*gateway.Client
+	gwSubmitted atomic.Uint64
+	gwCommitted atomic.Uint64
+	gwRejected  atomic.Uint64
+
 	done    chan struct{}
 	wg      sync.WaitGroup // the fault timeline
+	gwWg    sync.WaitGroup // the gateway load loop
 	watchWg sync.WaitGroup // per-incarnation fatal watchers (exit on done)
+}
+
+// soakBackend adapts one soak slot to gateway.Backend across replica
+// incarnations: it always reads the slot's current incarnation, and
+// while the slot is down (mid-restart, journal-fatal) it reports an
+// effectively infinite backlog so admission answers Busy instead of
+// silently dropping — the client's backoff-and-retry carries the
+// submission across the outage.
+type soakBackend struct {
+	s *liveSoakRun
+	i int
+}
+
+func (b soakBackend) Submit(tx []byte) {
+	if r := b.s.current(b.i); r != nil {
+		r.Submit(tx)
+	}
+}
+
+func (b soakBackend) MempoolDepth() int {
+	if r := b.s.current(b.i); r != nil {
+		return r.MempoolDepth()
+	}
+	return 1 << 30
+}
+
+func (b soakBackend) LaneDepth() int {
+	if r := b.s.current(b.i); r != nil {
+		return r.LaneDepth()
+	}
+	return 1 << 30
 }
 
 // RunLiveSoak executes one live TCP churn soak; see LiveSoakConfig.
@@ -428,6 +502,27 @@ func RunLiveSoak(cfg LiveSoakConfig) LiveSoakResult {
 		s.hazardOf[ev.Node] = append(s.hazardOf[ev.Node], [2]time.Duration{from, ev.To})
 	}
 
+	// Gateway tier: one server per eligible slot, outliving that slot's
+	// incarnations (the tier is a separate process in a real deployment).
+	if cfg.GatewayClients > 0 {
+		s.gws = make([]*gateway.Server, cfg.N)
+		for i := 0; i < cfg.N; i++ {
+			if s.eligibleLane[i] {
+				s.gws[i] = gateway.NewServer(soakBackend{s: s, i: i}, gateway.Options{Logger: cfg.Logger})
+			}
+		}
+		defer func() {
+			for _, cl := range s.gwClients {
+				cl.Close()
+			}
+			for _, gw := range s.gws {
+				if gw != nil {
+					gw.Stop()
+				}
+			}
+		}()
+	}
+
 	defer func() {
 		s.mu.Lock()
 		rs := append([]*autobahn.Replica(nil), s.replicas...)
@@ -445,9 +540,57 @@ func RunLiveSoak(cfg LiveSoakConfig) LiveSoakResult {
 		}
 	}
 
+	// Gateway fleet: globally unique client IDs (commits are total, every
+	// server routes by envelope ID — a collision would cross-complete
+	// another client's window), spread round-robin over eligible slots.
+	if cfg.GatewayClients > 0 {
+		slots := make([]int, 0, cfg.N)
+		for i, gw := range s.gws {
+			if gw != nil {
+				slots = append(slots, i)
+			}
+		}
+		if len(slots) == 0 {
+			res.Err = fmt.Errorf("harness: gateway load with no eligible lanes")
+			return res
+		}
+		for k := 0; k < cfg.GatewayClients; k++ {
+			gw := s.gws[slots[k%len(slots)]]
+			cl, err := gateway.NewClient(gateway.ClientOptions{
+				ID:       uint64(k + 1),
+				Seed:     cfg.Seed + uint64(k)*7919,
+				Priority: gateway.PriorityNormal,
+				Dial: func() (net.Conn, error) {
+					a, b := net.Pipe()
+					go gw.ServeConn(b)
+					return a, nil
+				},
+				// The timeout must outlast a fault window plus recovery-to
+				// -commit: a journaled pre-crash admission then commits and
+				// acks before the resubmission that would re-admit it under
+				// the new generation could fire (exactly-once depends on it).
+				AckTimeout: 8 * time.Second,
+				OnOutcome: func(out gateway.Outcome) {
+					if out.Committed {
+						s.gwCommitted.Add(1)
+					}
+				},
+			})
+			if err != nil {
+				res.Err = err
+				return res
+			}
+			s.gwClients = append(s.gwClients, cl)
+		}
+	}
+
 	s.start = time.Now() //lint:allow noclock the live soak schedules real faults on wall time
 	s.wg.Add(1)
 	go s.timeline()
+	if cfg.GatewayClients > 0 {
+		s.gwWg.Add(1)
+		go s.gatewayLoad()
+	}
 
 	// Open-loop load, round-robin over currently-submittable replicas.
 	tx := make([]byte, 128)
@@ -467,7 +610,8 @@ func RunLiveSoak(cfg LiveSoakConfig) LiveSoakResult {
 		}
 		time.Sleep(interval) //lint:allow noclock open-loop pacing needs real time
 	}
-	s.wg.Wait() // all fault windows closed (schedule ends before the load)
+	s.wg.Wait()   // all fault windows closed (schedule ends before the load)
+	s.gwWg.Wait() // gateway load stops on the same duration clock
 
 	// Drain until every replica reaches the floor or the deadline.
 	res.Floor = uint64(float64(res.Eligible) * 0.9)
@@ -485,6 +629,26 @@ func RunLiveSoak(cfg LiveSoakConfig) LiveSoakResult {
 		}
 		time.Sleep(50 * time.Millisecond) //lint:allow noclock drain polling is wall-clock
 	}
+	// Gateway drain: every submission must resolve — committed, or a
+	// terminal rejection — under the same deadline. This is the
+	// exactly-once liveness half; the safety half is ChainDups == 0.
+	if cfg.GatewayClients > 0 {
+		res.GatewayDrained = true
+		for {
+			inflight := 0
+			for _, cl := range s.gwClients {
+				inflight += cl.InFlight()
+			}
+			if inflight == 0 {
+				break
+			}
+			if !time.Now().Before(deadline) { //lint:allow noclock drain deadline is wall-clock
+				res.GatewayDrained = false
+				break
+			}
+			time.Sleep(50 * time.Millisecond) //lint:allow noclock drain polling is wall-clock
+		}
+	}
 	res.Elapsed = time.Since(s.start) //lint:allow noclock elapsed wall time is the measurement
 
 	// Full teardown before the leak watermarks.
@@ -494,6 +658,16 @@ func RunLiveSoak(cfg LiveSoakConfig) LiveSoakResult {
 	for i, r := range rs {
 		if r != nil {
 			s.retireIncarnation(i, r)
+		}
+	}
+	// The gateway tier comes down with the run, before the leak
+	// watermarks (the deferred cleanup is an idempotent safety net).
+	for _, cl := range s.gwClients {
+		cl.Close()
+	}
+	for _, gw := range s.gws {
+		if gw != nil {
+			gw.Stop()
 		}
 	}
 	close(s.done)
@@ -513,6 +687,26 @@ func RunLiveSoak(cfg LiveSoakConfig) LiveSoakResult {
 	res.Stalls = s.stalls.Load()
 	res.JournalFatals = s.fatals.Load()
 	res.OperatorRestarts = int(s.restarts.Load())
+	if cfg.GatewayClients > 0 {
+		res.GatewaySubmitted = s.gwSubmitted.Load()
+		res.GatewayCommitted = s.gwCommitted.Load()
+		res.GatewayRejected = s.gwRejected.Load()
+		for _, gw := range s.gws {
+			if gw == nil {
+				continue
+			}
+			st := gw.Stats()
+			res.GatewayChainDups += st.ChainDups
+			res.GatewayDeduped += st.Deduped
+			res.GatewayReadmitted += st.Readmitted
+			res.GatewayAckDrops += st.AckDrops
+		}
+		for _, cl := range s.gwClients {
+			c := cl.Counters()
+			res.GatewayReconnects += c.Reconnects
+			res.GatewayResubmits += c.Resubmits
+		}
+	}
 	res.GoroutineGrowth = gort.NumGoroutine() - goroutines0
 	if fd1 := openFDs(); fd0 >= 0 && fd1 >= 0 {
 		res.FDGrowth = fd1 - fd0
@@ -550,6 +744,9 @@ func (s *liveSoakRun) startReplica(i int, plan *storage.FaultPlan, amnesia bool)
 		if s.eligibleLane[c.Lane] {
 			s.perReplica[i].Add(uint64(c.Batch.Count))
 		}
+		if s.gws != nil && s.gws[i] != nil {
+			s.gws[i].OnCommit(c.Batch)
+		}
 	})
 	if err := r.Start(); err != nil {
 		s.setErr(err)
@@ -559,6 +756,12 @@ func (s *liveSoakRun) startReplica(i int, plan *storage.FaultPlan, amnesia bool)
 	s.replicas[i] = r
 	s.alive[i] = true
 	s.mu.Unlock()
+	if s.gws != nil && s.gws[i] != nil {
+		// New incarnation, new admission generation: submissions admitted
+		// to the previous one may have died with its mempool, so client
+		// resubmissions are re-admitted (byte-identical) from here on.
+		s.gws[i].SwapBackend(soakBackend{s: s, i: i})
+	}
 	s.watchWg.Add(1)
 	go s.watchFatal(i, r)
 	return nil
@@ -578,6 +781,11 @@ func (s *liveSoakRun) retireIncarnation(i int, r *autobahn.Replica) {
 	s.replicas[i] = nil
 	s.alive[i] = false
 	s.mu.Unlock()
+	if s.gws != nil && s.gws[i] != nil {
+		// The front door fails over with the incarnation: clients must
+		// reconnect and resubmit, and the dedup window absorbs the rest.
+		s.gws[i].DropConns()
+	}
 	r.Stop()
 	st := r.LoopStats()
 	s.dials.Add(st.PeerDials)
@@ -637,6 +845,32 @@ func (s *liveSoakRun) eligibleSubmission(i int, at time.Duration) bool {
 		}
 	}
 	return true
+}
+
+// gatewayLoad drives the client fleet open-loop at cfg.GatewayRate
+// aggregate tx/s, round-robin. Local refusals (window budget, Busy
+// suppression) count as rejected and are not retried by this source —
+// everything that made it to a Pending is carried to a terminal
+// outcome by the per-client retry machinery instead.
+func (s *liveSoakRun) gatewayLoad() {
+	defer s.gwWg.Done()
+	payload := make([]byte, 128)
+	interval := time.Duration(float64(time.Second) / s.cfg.GatewayRate)
+	k := 0
+	for {
+		now := time.Since(s.start) //lint:allow noclock open-loop pacing needs real time
+		if now >= s.cfg.Duration {
+			return
+		}
+		cl := s.gwClients[k%len(s.gwClients)]
+		k++
+		if _, err := cl.Submit(payload); err != nil {
+			s.gwRejected.Add(1)
+		} else {
+			s.gwSubmitted.Add(1)
+		}
+		time.Sleep(interval) //lint:allow noclock open-loop pacing needs real time
+	}
 }
 
 // timeline applies the chaos schedule operationally, on wall time.
@@ -715,4 +949,14 @@ func PrintLiveSoak(w io.Writer, r LiveSoakResult) {
 		len(r.PerReplica), len(r.Schedule.Events), r.Submitted, r.Eligible, r.Floor,
 		r.MinCommitted, r.OperatorRestarts, r.JournalFatals, r.Stalls, r.Redials,
 		r.GoroutineGrowth, r.FDGrowth, safety)
+	if r.GatewaySubmitted > 0 || r.GatewayRejected > 0 {
+		drained := "drained"
+		if !r.GatewayDrained {
+			drained = "NOT DRAINED"
+		}
+		fmt.Fprintf(w, "  gateway: submitted=%d committed=%d rejected=%d chain-dups=%d deduped=%d readmitted=%d ack-drops=%d reconnects=%d resubmits=%d %s\n",
+			r.GatewaySubmitted, r.GatewayCommitted, r.GatewayRejected,
+			r.GatewayChainDups, r.GatewayDeduped, r.GatewayReadmitted,
+			r.GatewayAckDrops, r.GatewayReconnects, r.GatewayResubmits, drained)
+	}
 }

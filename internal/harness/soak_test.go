@@ -132,6 +132,11 @@ func TestLiveSoakChurn(t *testing.T) {
 		Duration: 12 * time.Second,
 		Chaos:    chaos.Params{Start: 3 * time.Second, End: 9 * time.Second},
 		Dir:      t.TempDir(),
+		// Gateway traffic rides through the same churn: reconnecting
+		// clients must resubmit through teardowns, the dedup window must
+		// absorb the retries, and nothing may commit twice.
+		GatewayClients: 40,
+		GatewayRate:    60,
 	}
 	if raceDetector {
 		// The race detector slows verification and the event loops ~10x
@@ -173,7 +178,29 @@ func TestLiveSoakChurn(t *testing.T) {
 	if res.FDGrowth > 16 {
 		t.Fatalf("fd leak: growth %d across the churn", res.FDGrowth)
 	}
+	// Gateway exactly-once through the churn: every submission resolved
+	// (drained), none committed twice (chain-dups), and the vast majority
+	// committed despite the fault windows — the retry machinery, not luck.
+	if res.GatewayChainDups != 0 {
+		t.Fatalf("gateway duplicate commits under churn: %d", res.GatewayChainDups)
+	}
+	if !res.GatewayDrained {
+		t.Fatalf("gateway submissions unresolved at drain deadline (submitted=%d committed=%d)",
+			res.GatewaySubmitted, res.GatewayCommitted)
+	}
+	if res.GatewaySubmitted == 0 {
+		t.Fatal("gateway fleet submitted nothing")
+	}
+	if res.GatewayCommitted < res.GatewaySubmitted*9/10 {
+		t.Fatalf("gateway commit ratio collapsed: committed %d of %d (rejected %d, deduped %d, readmitted %d)",
+			res.GatewayCommitted, res.GatewaySubmitted, res.GatewayRejected,
+			res.GatewayDeduped, res.GatewayReadmitted)
+	}
 	t.Logf("submitted=%d eligible=%d floor=%d min=%d stalls=%d redials=%d fatals=%d goroutines=%+d fds=%+d",
 		res.Submitted, res.Eligible, res.Floor, res.MinCommitted,
 		res.Stalls, res.Redials, res.JournalFatals, res.GoroutineGrowth, res.FDGrowth)
+	t.Logf("gateway: submitted=%d committed=%d rejected=%d deduped=%d readmitted=%d reconnects=%d resubmits=%d ack-drops=%d",
+		res.GatewaySubmitted, res.GatewayCommitted, res.GatewayRejected,
+		res.GatewayDeduped, res.GatewayReadmitted, res.GatewayReconnects,
+		res.GatewayResubmits, res.GatewayAckDrops)
 }

@@ -14,6 +14,7 @@ package lane
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/crypto"
 	"repro/internal/types"
@@ -94,9 +95,34 @@ type State struct {
 	ownTip      types.TipRef // latest own proposal (possibly uncertified)
 	ownCert     types.TipRef // latest certified own tip (PoA complete)
 	pending     []*types.Batch
+	// ownCommitted is the own lane's committed frontier — the depth
+	// gauge's lower bound (certification alone does not retire a car's
+	// client-visible backlog; only the commit does).
+	ownCommitted types.Pos
+
+	// depth mirrors the own lane's end-to-end backlog atomically: batches
+	// waiting for a car plus cars proposed but not yet committed
+	// (certified cars awaiting a cut included — under overload that is
+	// where the queue lives). Admission control (internal/gateway) reads
+	// it from client-facing goroutines while the state machine runs on
+	// its event loop, so it cannot read the production state directly.
+	depth atomic.Int64
 
 	// Peer lane views (indexed by lane owner; own entry tracks commit GC).
 	peers []*peerView
+}
+
+// Depth returns the own lane's end-to-end backlog: batches waiting for
+// a car plus cars proposed but not yet committed. A single atomic load,
+// safe from any goroutine — the gateway's overload signal for this lane.
+func (s *State) Depth() int { return int(s.depth.Load()) }
+
+func (s *State) updateDepth() {
+	uncommitted := int64(s.nextPos-1) - int64(s.ownCommitted)
+	if uncommitted < 0 {
+		uncommitted = 0
+	}
+	s.depth.Store(int64(len(s.pending)) + uncommitted)
 }
 
 type peerView struct {
@@ -140,7 +166,9 @@ func (s *State) Store() *Store { return s.store }
 // returns the proposal to broadcast (nil otherwise).
 func (s *State) AddBatch(b *types.Batch) *types.Proposal {
 	s.pending = append(s.pending, b)
-	return s.tryPropose()
+	p := s.tryPropose()
+	s.updateDepth()
+	return p
 }
 
 // PendingBatches returns the number of batches waiting for a car.
@@ -271,6 +299,7 @@ func (s *State) OnVote(v *types.Vote) ([]*types.Proposal, *types.PoA, error) {
 			lastPoA = nil // the PoA travels inside next's ParentPoA
 		}
 	}
+	s.updateDepth()
 	return props, lastPoA, nil
 }
 
@@ -558,6 +587,9 @@ func (s *State) OnCommitted(lane types.NodeID, pos types.Pos, digest types.Diges
 		return nil
 	}
 	if lane == s.cfg.Self {
+		if pos > s.ownCommitted {
+			s.ownCommitted = pos
+		}
 		// Proposals themselves are retained for sync serving (see below);
 		// only the outstanding window and its vote shares are reclaimed.
 		var props []*types.Proposal
@@ -568,6 +600,7 @@ func (s *State) OnCommitted(lane types.NodeID, pos types.Pos, digest types.Diges
 				props = append(props, next)
 			}
 		}
+		s.updateDepth()
 		return props
 	}
 	pv := s.peers[lane]
@@ -635,6 +668,10 @@ func (s *State) Restore(own []*types.Proposal, ownCommitted types.Pos, votes map
 		s.votes[p.Position] = map[types.NodeID]types.SigShare{s.cfg.Self: share}
 		s.outstanding = append(s.outstanding, p)
 	}
+	if ownCommitted > s.ownCommitted {
+		s.ownCommitted = ownCommitted
+	}
+	s.updateDepth()
 	lanes := make([]types.NodeID, 0, len(votes))
 	for l := range votes {
 		lanes = append(lanes, l)

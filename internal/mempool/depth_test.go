@@ -1,0 +1,108 @@
+package mempool
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestDepthTracksBacklog pins the gauge to the ground truth through the
+// seal triggers: depth is the unsealed remainder after every operation.
+func TestDepthTracksBacklog(t *testing.T) {
+	p := NewPool(Config{Self: 0, MaxBatchTxs: 10})
+	if p.Depth() != 0 {
+		t.Fatalf("fresh pool depth = %d", p.Depth())
+	}
+	for i := 0; i < 9; i++ {
+		p.AddTx([]byte("t"), 0)
+	}
+	if p.Depth() != 9 || p.HighWatermark() != 9 {
+		t.Fatalf("depth = %d hwm = %d, want 9/9", p.Depth(), p.HighWatermark())
+	}
+	if b := p.AddTx([]byte("t"), 0); len(b) != 1 {
+		t.Fatal("10th tx should seal")
+	}
+	if p.Depth() != 0 {
+		t.Fatalf("depth after seal = %d, want 0", p.Depth())
+	}
+	if p.HighWatermark() != 9 {
+		t.Fatalf("hwm = %d, want 9", p.HighWatermark())
+	}
+	p.AddSynthetic(7, 7*100, 0, 0)
+	if p.Depth() != 7 {
+		t.Fatalf("synthetic depth = %d, want 7", p.Depth())
+	}
+	p.Flush(time.Second)
+	if p.Depth() != 0 {
+		t.Fatalf("depth after flush = %d, want 0", p.Depth())
+	}
+}
+
+// TestDepthAccurateUnderConcurrentAddDrain drives the pool the way the
+// gateway sees it: submitters add under an external lock while readers
+// poll Depth lock-free. After every locked mutation the gauge must equal
+// the exact unsealed remainder, and the final drain must return it to
+// zero — no lost or phantom updates under -race.
+func TestDepthAccurateUnderConcurrentAddDrain(t *testing.T) {
+	p := NewPool(Config{Self: 0, MaxBatchTxs: 64})
+	var mu sync.Mutex
+	stop := make(chan struct{})
+
+	// Lock-free readers: the gauge must always be a value the pool
+	// actually passed through (0..MaxBatchTxs-1 after a mutation, and
+	// never negative or above the seal trigger by a full batch).
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				d := p.Depth()
+				if d < 0 || d >= 2*64 {
+					t.Errorf("implausible depth %d", d)
+					return
+				}
+			}
+		}()
+	}
+
+	var writers sync.WaitGroup
+	const perWriter = 2000
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for i := 0; i < perWriter; i++ {
+				mu.Lock()
+				if i%5 == 4 {
+					p.Flush(time.Duration(i)) // drain interleaved with adds
+				} else {
+					p.AddTx([]byte("tx"), time.Duration(i))
+				}
+				if got, want := p.Depth(), len(p.txs)+int(p.synCount); got != want {
+					t.Errorf("depth %d != ground truth %d", got, want)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	for p.Flush(time.Hour) != nil {
+	}
+	if p.Depth() != 0 {
+		t.Fatalf("drained pool depth = %d", p.Depth())
+	}
+	if p.HighWatermark() == 0 {
+		t.Fatal("high-watermark never advanced")
+	}
+}

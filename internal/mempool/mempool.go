@@ -7,6 +7,7 @@
 package mempool
 
 import (
+	"sync/atomic"
 	"time"
 
 	"repro/internal/types"
@@ -57,6 +58,35 @@ type Pool struct {
 
 	oldest  time.Duration // arrival of the oldest pending item
 	hasWork bool
+
+	// depth mirrors the unsealed transaction count (real + synthetic)
+	// atomically so admission control (internal/gateway) can read the
+	// pool's backlog without taking the caller's pool lock; hwm is its
+	// high-watermark. Both are maintained by the mutating methods, which
+	// the caller already serializes.
+	depth atomic.Int64
+	hwm   atomic.Int64
+}
+
+// Depth returns the number of unsealed transactions currently pending
+// (real + synthetic aggregate counts). Safe to call concurrently with
+// the externally-locked mutating methods: it is a single atomic load,
+// cheap enough for a per-submission admission check.
+func (p *Pool) Depth() int { return int(p.depth.Load()) }
+
+// HighWatermark returns the largest Depth observed since the pool was
+// created — how deep the backlog ever got, for overload postmortems.
+func (p *Pool) HighWatermark() int { return int(p.hwm.Load()) }
+
+// updateDepth republishes the gauge after a mutation. Runs under the
+// caller's external lock, so the read-modify-write on hwm cannot race
+// with another writer — only with concurrent readers, which is safe.
+func (p *Pool) updateDepth() {
+	d := int64(len(p.txs)) + int64(p.synCount)
+	p.depth.Store(d)
+	if d > p.hwm.Load() {
+		p.hwm.Store(d)
+	}
 }
 
 // NewPool builds a pool.
@@ -85,6 +115,7 @@ func (p *Pool) AddTx(tx types.Transaction, now time.Duration) []*types.Batch {
 	for len(p.txs) >= p.cfg.MaxBatchTxs || p.txsBytes >= p.cfg.MaxBatchBytes {
 		out = append(out, p.sealReal(now))
 	}
+	p.updateDepth()
 	return out
 }
 
@@ -105,11 +136,13 @@ func (p *Pool) AddSynthetic(count uint64, size uint64, meanArrival, now time.Dur
 	for p.synCount >= uint64(p.cfg.MaxBatchTxs) || p.synBytes >= p.cfg.MaxBatchBytes {
 		out = append(out, p.sealSynthetic(now))
 	}
+	p.updateDepth()
 	return out
 }
 
 // Flush seals whatever is pending (delay trigger); nil when empty.
 func (p *Pool) Flush(now time.Duration) *types.Batch {
+	defer p.updateDepth()
 	switch {
 	case len(p.txs) > 0:
 		return p.sealReal(now)

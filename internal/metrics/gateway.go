@@ -1,0 +1,96 @@
+// Gateway-tier counters: what the client-facing front door admitted,
+// rejected (and why), deduplicated, and acknowledged. The rejection
+// split matters operationally — Busy means the replica is the
+// bottleneck (back off), WindowFull means one client is (widen or slow
+// that client), and a rising Deduped count under churn means the
+// at-least-once retry machinery is doing real work.
+package metrics
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// GatewayCounters instruments one gateway server. All fields are
+// atomics: the hot paths (per-submission admission, per-commit ack
+// routing) bump them from client-connection and dispatcher goroutines.
+type GatewayCounters struct {
+	// Conns counts accepted client connections; Hellos the subset that
+	// completed the handshake (the difference is hostile or broken peers).
+	Conns  atomic.Uint64
+	Hellos atomic.Uint64
+	// Admitted counts submissions handed to the replica's mempool.
+	Admitted atomic.Uint64
+	// RejectedBusy / RejectedWindowFull count typed rejections: replica
+	// overload (mempool or own-lane depth past the priority's threshold)
+	// vs a single client exceeding its in-flight window.
+	RejectedBusy       atomic.Uint64
+	RejectedWindowFull atomic.Uint64
+	// Deduped counts duplicate/replayed submissions absorbed by the
+	// per-client dedup window — acked from gateway state, never
+	// re-admitted to the mempool.
+	Deduped atomic.Uint64
+	// Readmitted counts resubmissions re-fed to the mempool because the
+	// backend turned over (replica restart) since their first admission —
+	// the crash-recovery leg of end-to-end idempotent delivery.
+	Readmitted atomic.Uint64
+	// Acked counts commit acknowledgments pushed to clients; AckDrops
+	// counts acks discarded because the client's connection was gone or
+	// its write queue full (the client's resubmission recovers these).
+	Acked    atomic.Uint64
+	AckDrops atomic.Uint64
+	// ChainDups counts committed transactions whose (client, seq) was
+	// already acked — a duplicate reaching the chain despite the dedup
+	// window. The soak asserts this stays zero.
+	ChainDups atomic.Uint64
+	// HostileDrops counts connections dropped by protocol policing
+	// (oversized frames, garbage bytes, submissions before the
+	// handshake).
+	HostileDrops atomic.Uint64
+	// AckLatencyNs accumulates submit→commit-ack latency over all acks
+	// (mean = AckLatencyNs / Acked); benches keep full histograms.
+	AckLatencyNs atomic.Uint64
+}
+
+// AckObserved records one commit acknowledgment and its latency.
+func (c *GatewayCounters) AckObserved(lat time.Duration) {
+	c.Acked.Add(1)
+	if lat > 0 {
+		c.AckLatencyNs.Add(uint64(lat))
+	}
+}
+
+// GatewaySnapshot is a plain-value copy of GatewayCounters.
+type GatewaySnapshot struct {
+	Conns, Hellos                    uint64
+	Admitted                         uint64
+	RejectedBusy, RejectedWindowFull uint64
+	Deduped, Readmitted              uint64
+	Acked, AckDrops                  uint64
+	ChainDups, HostileDrops          uint64
+	AckLatencyMean                   time.Duration
+}
+
+// Snapshot copies the counters into plain values.
+func (c *GatewayCounters) Snapshot() GatewaySnapshot {
+	s := GatewaySnapshot{
+		Conns:              c.Conns.Load(),
+		Hellos:             c.Hellos.Load(),
+		Admitted:           c.Admitted.Load(),
+		RejectedBusy:       c.RejectedBusy.Load(),
+		RejectedWindowFull: c.RejectedWindowFull.Load(),
+		Deduped:            c.Deduped.Load(),
+		Readmitted:         c.Readmitted.Load(),
+		Acked:              c.Acked.Load(),
+		AckDrops:           c.AckDrops.Load(),
+		ChainDups:          c.ChainDups.Load(),
+		HostileDrops:       c.HostileDrops.Load(),
+	}
+	if s.Acked > 0 {
+		s.AckLatencyMean = time.Duration(c.AckLatencyNs.Load() / s.Acked)
+	}
+	return s
+}
+
+// Rejected returns total typed rejections.
+func (s GatewaySnapshot) Rejected() uint64 { return s.RejectedBusy + s.RejectedWindowFull }

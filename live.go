@@ -225,3 +225,20 @@ func (c *LiveCluster) flushLoop() {
 
 // Node returns a replica for inspection.
 func (c *LiveCluster) Node(id types.NodeID) *core.Node { return c.nodes[id] }
+
+// GatewayBackend adapts one replica of the cluster to gateway.Backend, so
+// a gateway.Server (or the bench/soak harnesses) can front an in-process
+// deployment: submissions land in that replica's mempool and the depth
+// gauges read its live backlog.
+func (c *LiveCluster) GatewayBackend(id types.NodeID) liveBackend {
+	return liveBackend{c: c, id: id}
+}
+
+type liveBackend struct {
+	c  *LiveCluster
+	id types.NodeID
+}
+
+func (b liveBackend) Submit(tx []byte)  { b.c.Submit(b.id, tx) }
+func (b liveBackend) MempoolDepth() int { return b.c.pools[b.id].Depth() }
+func (b liveBackend) LaneDepth() int    { return b.c.nodes[b.id].LaneDepth() }

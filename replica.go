@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/adversary"
 	"repro/internal/core"
+	"repro/internal/gateway"
 	"repro/internal/mempool"
 	"repro/internal/metrics"
 	"repro/internal/runtime"
@@ -33,6 +34,10 @@ type Replica struct {
 	done     chan struct{} // closed by Stop; terminates flushLoop
 	started  bool          // Start launched the event loop (Stop may Join it)
 	stopOnce sync.Once
+
+	// gateway is the client-facing ingress tier (Options.GatewayAddr);
+	// nil when disabled. It feeds Submit and consumes the commit sink.
+	gateway *gateway.Server
 
 	// Journal-fatal state: a failed group-commit barrier halts the node
 	// (core.Config.OnFatal), shuts this replica down, and reports the
@@ -103,6 +108,9 @@ func NewReplica(self types.NodeID, addrs map[types.NodeID]string, o Options, log
 		if obs := r.observer; obs != nil {
 			obs(c)
 		}
+		if gw := r.gateway; gw != nil {
+			gw.OnCommit(cm.Batch) // spill-queue append: never blocks the loop
+		}
 		select {
 		case r.Commits <- c:
 		default:
@@ -170,6 +178,13 @@ func NewReplica(self types.NodeID, addrs map[types.NodeID]string, o Options, log
 		MaxBatchBytes: o.MaxBatchBytes,
 		MaxBatchDelay: o.MaxBatchDelay,
 	})
+	if o.GatewayAddr != "" {
+		gwOpts := o.Gateway
+		if gwOpts.Logger == nil {
+			gwOpts.Logger = logger
+		}
+		r.gateway = gateway.NewServer(r, gwOpts)
+	}
 	return r, nil
 }
 
@@ -178,6 +193,12 @@ func NewReplica(self types.NodeID, addrs map[types.NodeID]string, o Options, log
 func (r *Replica) Start() error {
 	if err := r.mesh.Start(); err != nil {
 		return err
+	}
+	if r.gateway != nil {
+		if err := r.gateway.Start(r.opts.GatewayAddr); err != nil {
+			r.mesh.Stop()
+			return err
+		}
 	}
 	r.started = true
 	go r.flushLoop()
@@ -189,6 +210,9 @@ func (r *Replica) Start() error {
 func (r *Replica) Stop() {
 	r.stopOnce.Do(func() {
 		close(r.done)
+		if r.gateway != nil {
+			r.gateway.Stop()
+		}
 		r.mesh.Stop()
 		if r.started {
 			// Wait for the event loop's in-flight handler: journal writes
@@ -242,6 +266,19 @@ func (r *Replica) flushLoop() {
 
 // Node exposes the protocol state (stats, orderer) for monitoring.
 func (r *Replica) Node() *core.Node { return r.node }
+
+// MempoolDepth reports the live mempool backlog (gateway.Backend); an
+// atomic gauge, safe without the pool lock.
+func (r *Replica) MempoolDepth() int { return r.pool.Depth() }
+
+// LaneDepth reports this replica's own-lane end-to-end backlog —
+// batches awaiting a car plus proposed-but-uncommitted cars
+// (gateway.Backend).
+func (r *Replica) LaneDepth() int { return r.node.LaneDepth() }
+
+// Gateway returns the client gateway tier, nil unless Options.GatewayAddr
+// was set.
+func (r *Replica) Gateway() *gateway.Server { return r.gateway }
 
 // TransportStats snapshots the per-peer egress/ingress counters (frames,
 // coalesced flushes, bytes, queue drops per control/data plane).
