@@ -127,6 +127,20 @@ type Options struct {
 	// every certificate arrival. Requires VerifySignatures.
 	SequentialCerts bool
 
+	// Execution enables the deterministic execution layer: committed
+	// entries run through an account state machine (internal/exec) and
+	// every delivered Committed carries the machine's running AppHash,
+	// the cross-replica execution oracle.
+	Execution bool
+	// SnapshotEvery checkpoints the execution state every this many
+	// slots, truncating the journal and lane stores beneath the
+	// checkpoint and enabling snapshot-based state sync (a replica far
+	// behind fetches state in O(state) instead of replaying O(history)).
+	// 0 disables. Requires Execution; snapshots persist beside the WAL
+	// for a Replica (WALPath + ".snap") and in cluster-retained memory
+	// stores for simulated deployments.
+	SnapshotEvery types.Slot
+
 	// WALPath, when set, makes a Replica journal its safety-critical
 	// protocol state to this write-ahead log before externalizing it and
 	// recover from it on restart (the paper's RocksDB persistence,
@@ -228,6 +242,8 @@ func (o Options) nodeConfig(self types.NodeID, suite crypto.Suite, sink runtime.
 		ViewTimeout:      o.ViewTimeout,
 		MaxParallel:      o.MaxParallelSlots,
 		Coverage:         o.Coverage,
+		Execution:        o.Execution,
+		SnapshotEvery:    o.SnapshotEvery,
 		Sink:             sink,
 	}
 }
@@ -244,6 +260,9 @@ type Committed struct {
 	Slot types.Slot
 	// Batch holds the transactions.
 	Batch *types.Batch
+	// AppHash is the execution layer's chain hash after this batch (zero
+	// when execution is disabled).
+	AppHash types.Digest
 	// At is the replica-local commit time (since deployment epoch).
 	At time.Duration
 }

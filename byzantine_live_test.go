@@ -55,7 +55,7 @@ func TestLiveClusterByzantine(t *testing.T) {
 			ci := harness.NewCommitInterceptor()
 			var committed [n]atomic.Uint64
 			lc.SetCommitObserver(func(c autobahn.Committed) {
-				ci.Record(c.Replica, c.Lane, c.Position, c.Batch.Digest())
+				ci.Record(c.Replica, c.Lane, c.Position, c.Batch.Digest(), c.AppHash)
 				// Honest lanes only, to match the honest-submitted floor
 				// (see harness.RunLiveTCPCell).
 				if c.Lane == 2 {

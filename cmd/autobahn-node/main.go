@@ -21,6 +21,7 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"flag"
 	"fmt"
@@ -29,6 +30,7 @@ import (
 	"net/http"
 	_ "net/http/pprof" // -pprof exposes the default mux's profiles
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -51,7 +53,12 @@ func main() {
 	deltaCuts := flag.Bool("delta-cuts", false, "delta-compress cut-bearing consensus frames against each connection's previous cut")
 	stallTimeout := flag.Duration("stall-timeout", 10*time.Second, "tear down and redial peer connections that accept but make no progress for this long (0 disables the stall detector)")
 	gatewayAddr := flag.String("gateway", "", "client gateway listen address: per-client windows, dedup, admission control, commit acks (optional; see autobahn-client -gateway)")
+	execOn := flag.Bool("exec", false, "run the deterministic execution layer over the committed stream (commits carry a cross-checkable AppHash)")
+	snapEvery := flag.Uint64("snapshot-every", 0, "checkpoint execution state every N slots, truncate the WAL and batch log beneath it, and serve snapshot-based state sync to amnesiac peers (implies -exec; snapshot persists at <wal>.snap)")
 	flag.Parse()
+	if *snapEvery > 0 {
+		*execOn = true
+	}
 
 	addrList := strings.Split(*peers, ",")
 	if len(addrList) < 4 || (len(addrList)-1)%3 != 0 {
@@ -67,14 +74,16 @@ func main() {
 
 	logger := log.New(os.Stderr, fmt.Sprintf("r%d ", *id), log.Ltime|log.Lmicroseconds)
 	replica, err := autobahn.NewReplica(types.NodeID(*id), addrs, autobahn.Options{
-		N:            len(addrList),
-		ViewTimeout:  *timeout,
-		WALPath:      *walPath,
-		DataShards:   *shards,
-		GossipFanout: *gossip,
-		DeltaCuts:    *deltaCuts,
-		StallTimeout: *stallTimeout,
-		GatewayAddr:  *gatewayAddr,
+		N:             len(addrList),
+		ViewTimeout:   *timeout,
+		WALPath:       *walPath,
+		DataShards:    *shards,
+		GossipFanout:  *gossip,
+		DeltaCuts:     *deltaCuts,
+		StallTimeout:  *stallTimeout,
+		GatewayAddr:   *gatewayAddr,
+		Execution:     *execOn,
+		SnapshotEvery: types.Slot(*snapEvery),
 	}, logger)
 	if err != nil {
 		log.Fatal(err)
@@ -116,6 +125,7 @@ func main() {
 	}
 
 	var committedTx, committedBatches uint64
+	var prunedBelow types.Slot
 	lastReport := time.Now()
 	for c := range replica.Commits {
 		committedBatches++
@@ -132,6 +142,14 @@ func main() {
 			}
 			if err := wal.Put(key, val); err != nil {
 				logger.Printf("wal: %v", err)
+			}
+			// The snapshot subsumes batches beneath its frontier: prune the
+			// batch log in step with the replica's own truncation so the
+			// whole on-disk footprint — not just the protocol WAL — stays
+			// bounded. The frontier gauge is atomic, safe to poll here.
+			if frontier := types.Slot(replica.Node().Stats().SnapshotFrontier); frontier > prunedBelow {
+				pruneCommits(wal, frontier, logger)
+				prunedBelow = frontier
 			}
 		}
 		if !*quiet && time.Since(lastReport) >= time.Second {
@@ -158,6 +176,35 @@ func main() {
 				loop.PeerDials, loop.PeerRedials, loop.PeerStalls, gw)
 		}
 	}
+}
+
+// pruneCommits deletes batch-log records for slots beneath the snapshot
+// frontier and compacts the store so the file actually shrinks. Keys are
+// collected under Range and sorted before deletion: deterministic delete
+// order, and no mutation while iterating.
+func pruneCommits(wal *storage.Store, below types.Slot, logger *log.Logger) {
+	var doomed [][]byte
+	wal.Range(func(key, _ []byte) bool {
+		if len(key) == 18 && types.Slot(binary.LittleEndian.Uint64(key)) < below {
+			doomed = append(doomed, append([]byte(nil), key...))
+		}
+		return true
+	})
+	if len(doomed) == 0 {
+		return
+	}
+	sort.Slice(doomed, func(i, j int) bool { return bytes.Compare(doomed[i], doomed[j]) < 0 })
+	for _, key := range doomed {
+		if err := wal.Delete(key); err != nil {
+			logger.Printf("batch-log prune: %v", err)
+			return
+		}
+	}
+	if err := wal.Compact(); err != nil {
+		logger.Printf("batch-log compact: %v", err)
+		return
+	}
+	logger.Printf("batch log pruned below slot %d (%d records)", below, len(doomed))
 }
 
 // serveClients accepts newline-delimited transactions and feeds them into

@@ -66,11 +66,20 @@ func record(metric string, value float64) {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiments: table1, fig1, fig5, fig6, fig7, fig8, ablation, restart, byzantine, ingress, scaling, committee, faultmatrix, soak, gateway, all (= the simulator set)")
+	exp := flag.String("exp", "all", "comma-separated experiments: table1, fig1, fig5, fig6, fig7, fig8, ablation, restart, byzantine, ingress, scaling, committee, faultmatrix, soak, gateway, snapshot, all (= the simulator set)")
 	quick := flag.Bool("quick", false, "reduced sweeps for a fast smoke run")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	jsonPath := flag.String("json", "", "write machine-readable per-experiment metrics to this file")
+	validate := flag.String("validate", "", "validate a bench JSON report against the report schema and exit (CI gates on it)")
 	flag.Parse()
+	if *validate != "" {
+		if err := validateReport(*validate); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %s: %v\n", *validate, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: valid bench report\n", *validate)
+		return
+	}
 	rep.Seed = *seed
 	rep.Quick = *quick
 
@@ -82,7 +91,7 @@ func main() {
 	// wall-clock-bound real-runtime probes run only when named, and so
 	// does `byzantine` (deterministic, but owned by the CI fault-matrix
 	// job — including it in `all` would run the whole suite twice per PR).
-	notInAll := map[string]bool{"ingress": true, "scaling": true, "faultmatrix": true, "byzantine": true, "committee": true, "soak": true, "gateway": true}
+	notInAll := map[string]bool{"ingress": true, "scaling": true, "faultmatrix": true, "byzantine": true, "committee": true, "soak": true, "gateway": true, "snapshot": true}
 	run := func(name string, fn func()) {
 		if !want[name] && !(want["all"] && !notInAll[name]) {
 			return
@@ -245,6 +254,7 @@ func main() {
 	run("faultmatrix", func() { runFaultMatrix(*quick, *seed) })
 	run("soak", func() { runSoak(*quick, *seed) })
 	run("gateway", func() { runGateway(*quick, *seed) })
+	run("snapshot", func() { runSnapshot(*quick, *seed) })
 
 	if *jsonPath != "" {
 		data, err := json.MarshalIndent(&rep, "", "  ")
@@ -263,6 +273,37 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// validateReport is the -validate mode: strict-decode a bench JSON
+// report (unknown fields are schema drift, not extra data) and require
+// the structure a downstream perf-trajectory consumer depends on.
+func validateReport(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var r report
+	if err := dec.Decode(&r); err != nil {
+		return fmt.Errorf("schema violation: %w", err)
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing data after the report object")
+	}
+	if len(r.Experiments) == 0 {
+		return fmt.Errorf("no experiments recorded")
+	}
+	for name, metrics := range r.Experiments {
+		if name == "" {
+			return fmt.Errorf("empty experiment name")
+		}
+		if len(metrics) == 0 {
+			return fmt.Errorf("experiment %q has no metrics", name)
+		}
+	}
+	return nil
 }
 
 func check(ok bool, claim string) {

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// runSnapshot measures the cold-join cost of an amnesiac replica as the
+// committed history deepens, with and without snapshot-based state sync
+// (ISSUE 10 acceptance): with snapshots the rejoin fetches O(state) —
+// join time stays flat as history grows — while genesis replay fetches
+// and re-executes O(history), so its join time grows with depth. The
+// amnesiac crashes at each depth, loses everything, and "joined" means
+// its execution frontier reaches the frontier the cluster had decided
+// when it went down.
+func runSnapshot(quick bool, seed uint64) {
+	depths := []time.Duration{6 * time.Second, 12 * time.Second, 24 * time.Second}
+	if quick {
+		depths = []time.Duration{5 * time.Second, 15 * time.Second}
+	}
+	fmt.Printf("%-10s %-14s %-14s\n", "history", "snapshot-join", "replay-join")
+	joinOn := make([]time.Duration, len(depths))
+	joinOff := make([]time.Duration, len(depths))
+	for i, depth := range depths {
+		joinOn[i] = measureJoin(seed, depth, true)
+		joinOff[i] = measureJoin(seed, depth, false)
+		fmt.Printf("%-10s %-14s %-14s\n", depth, joinTime(joinOn[i]), joinTime(joinOff[i]))
+		ds := int(depth.Seconds())
+		record(fmt.Sprintf("join_s_snapshot_depth%ds", ds), joinOn[i].Seconds())
+		record(fmt.Sprintf("join_s_replay_depth%ds", ds), joinOff[i].Seconds())
+	}
+	first, last := 0, len(depths)-1
+	ok := func(d time.Duration) bool { return d >= 0 }
+	if !ok(joinOn[first]) || !ok(joinOn[last]) || !ok(joinOff[first]) || !ok(joinOff[last]) {
+		check(false, "every cold join completes inside the horizon")
+		return
+	}
+	check(true, "every cold join completes inside the horizon")
+	check(joinOn[last] <= joinOn[first]+2*time.Second,
+		"snapshot cold join is O(state): flat as history grows")
+	check(joinOff[last] > joinOff[first],
+		"genesis replay is O(history): join time grows with depth")
+	check(joinOn[last] < joinOff[last],
+		"snapshot join beats replay at the deepest history")
+}
+
+func joinTime(d time.Duration) string {
+	if d < 0 {
+		return "DNF"
+	}
+	return d.Round(10 * time.Millisecond).String()
+}
+
+// measureJoin runs one deterministic cold-join scenario: a 4-replica
+// snapshotting (or not) cluster under 20k tx/s, replica 2 down with
+// amnesia at `depth`, back one second later. Returns the virtual time
+// from restart until replica 2's execution frontier reaches the frontier
+// decided at its crash (-1 if it never does inside the horizon).
+func measureJoin(seed uint64, depth time.Duration, snapshots bool) time.Duration {
+	const down = time.Second
+	restart := depth + down
+	fs := (&sim.FaultSchedule{}).AddDown(2, depth, restart).Restart(2, restart, true)
+	cfg := harness.ClusterConfig{
+		System:    harness.Autobahn,
+		N:         4,
+		Seed:      seed,
+		Execution: true,
+		Faults:    fs,
+		Horizon:   restart + 3*time.Minute,
+	}
+	if snapshots {
+		cfg.SnapshotEvery = 25
+	}
+	c := harness.Build(cfg)
+	horizon := restart + 2*time.Minute
+	workload.Install(c.Engine, c.IDs, workload.Config{TotalRate: 20e3, Start: 0, End: horizon})
+	c.Engine.Run(restart)
+	target := c.Nodes[0].(*core.Node).Orderer().NextExec()
+	for at := restart; at < horizon; at += 100 * time.Millisecond {
+		c.Engine.Run(at)
+		if nd, okNode := c.Nodes[2].(*core.Node); okNode && nd.Orderer().NextExec() >= target {
+			return at - restart
+		}
+	}
+	return -1
+}

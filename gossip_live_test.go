@@ -30,7 +30,7 @@ func TestLiveClusterGossipAgreementN16(t *testing.T) {
 	ci := harness.NewCommitInterceptor()
 	var committed [n]atomic.Uint64
 	lc.SetCommitObserver(func(c autobahn.Committed) {
-		ci.Record(c.Replica, c.Lane, c.Position, c.Batch.Digest())
+		ci.Record(c.Replica, c.Lane, c.Position, c.Batch.Digest(), c.AppHash)
 		committed[c.Replica].Add(uint64(c.Batch.Count))
 	})
 	lc.Start()

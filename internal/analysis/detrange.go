@@ -18,6 +18,7 @@ var simDeterministic = map[string]bool{
 	"repro/internal/fetch":     true,
 	"repro/internal/lane":      true,
 	"repro/internal/core":      true,
+	"repro/internal/exec":      true,
 	"repro/internal/sim":       true,
 	"repro/internal/harness":   true,
 	"repro/internal/metrics":   true,

@@ -52,8 +52,18 @@ type Journal interface {
 	Commit(n *types.CommitNotice)
 	// Executed records the execution frontier after slots execute: the
 	// next slot awaiting execution plus per-lane committed positions and
-	// digests.
-	Executed(next types.Slot, frontier []types.Pos, digests []types.Digest)
+	// digests, and — when the execution layer is enabled — the AppHash
+	// chain oracle at that frontier (the chain hash and its length), so
+	// a recovered replica resumes the exact cross-replica oracle value.
+	Executed(next types.Slot, frontier []types.Pos, digests []types.Digest, appHash types.Digest, chainCount uint64)
+	// Truncate drops records the snapshot frontier has made redundant:
+	// own proposals at or below the own-lane frontier, lane votes at or
+	// below their lane's frontier, and per-slot consensus records below
+	// the snapshot slot. Durable implementations compact the backing log
+	// afterwards, bounding on-disk growth. Safe because the snapshot
+	// (written first) subsumes everything dropped: recovery restores at
+	// the newer of the snapshot and journal frontiers.
+	Truncate(self types.NodeID, frontier []types.Pos, below types.Slot)
 	// Sync is the group-commit barrier: it makes every record appended
 	// since the previous Sync durable (one WAL flush covering the whole
 	// group) and is a no-op when nothing was appended. The replica calls
@@ -81,6 +91,10 @@ type Recovered struct {
 	NextExec        types.Slot
 	Frontier        []types.Pos
 	FrontierDigests []types.Digest
+	// AppHash/ChainCount restore the execution chain oracle at NextExec
+	// (zero when the execution layer never ran).
+	AppHash    types.Digest
+	ChainCount uint64
 }
 
 // Empty reports whether the snapshot carries no recorded state.
@@ -94,21 +108,24 @@ func (r *Recovered) Empty() bool {
 // with amnesia.
 type NopJournal struct{}
 
-func (NopJournal) OwnProposal(*types.Proposal)                      {}
-func (NopJournal) LaneVote(*types.Vote)                             {}
-func (NopJournal) PrepVote(*types.PrepVote)                         {}
-func (NopJournal) ConfirmAck(*types.ConfirmAck)                     {}
-func (NopJournal) Timeout(*types.Timeout)                           {}
-func (NopJournal) Commit(*types.CommitNotice)                       {}
-func (NopJournal) Executed(types.Slot, []types.Pos, []types.Digest) {}
-func (NopJournal) Sync() error                                      { return nil }
-func (NopJournal) Recover() *Recovered                              { return &Recovered{} }
-func (NopJournal) Close() error                                     { return nil }
+func (NopJournal) OwnProposal(*types.Proposal)  {}
+func (NopJournal) LaneVote(*types.Vote)         {}
+func (NopJournal) PrepVote(*types.PrepVote)     {}
+func (NopJournal) ConfirmAck(*types.ConfirmAck) {}
+func (NopJournal) Timeout(*types.Timeout)       {}
+func (NopJournal) Commit(*types.CommitNotice)   {}
+func (NopJournal) Executed(types.Slot, []types.Pos, []types.Digest, types.Digest, uint64) {
+}
+func (NopJournal) Truncate(types.NodeID, []types.Pos, types.Slot) {}
+func (NopJournal) Sync() error                                    { return nil }
+func (NopJournal) Recover() *Recovered                            { return &Recovered{} }
+func (NopJournal) Close() error                                   { return nil }
 
 // journalStore is the key/value substrate a journal writes through,
 // satisfied by storage.Store (durable) and memStore (simulated).
 type journalStore interface {
 	Put(key, val []byte) error
+	Delete(key []byte) error
 	Range(fn func(key, val []byte) bool)
 	Flush() error
 	Close() error
@@ -143,6 +160,11 @@ func (s *memStore) Range(fn func(key, val []byte) bool) {
 	}
 }
 
+func (s *memStore) Delete(key []byte) error {
+	delete(s.m, string(key))
+	return nil
+}
+
 func (s *memStore) Flush() error { return nil }
 func (s *memStore) Close() error { return nil }
 
@@ -155,7 +177,7 @@ const (
 	keyConfirmAck  = 'a' // + slot(8) + view(8)     -> wire(ConfirmAck)
 	keyTimeout     = 't' // + slot(8) + view(8)     -> wire(Timeout)
 	keyCommit      = 'q' // + slot(8)               -> wire(CommitNotice)
-	keyExec        = 'x' //                         -> next(8) + count(4) + count*(pos(8) + digest(32))
+	keyExec        = 'x' //                         -> next(8) + count(4) + count*(pos(8) + digest(32)) [+ appHash(32) + chainCount(8)]
 )
 
 // walJournal implements Journal over a journalStore, encoding records
@@ -278,19 +300,82 @@ func (j *walJournal) Commit(n *types.CommitNotice) {
 	j.putMsg(key, n)
 }
 
-func (j *walJournal) Executed(next types.Slot, frontier []types.Pos, digests []types.Digest) {
+func (j *walJournal) Executed(next types.Slot, frontier []types.Pos, digests []types.Digest, appHash types.Digest, chainCount uint64) {
 	if len(digests) != len(frontier) {
 		j.fail(fmt.Errorf("journal: frontier/digest length mismatch"))
 		return
 	}
-	val := make([]byte, 0, 12+len(frontier)*(8+types.DigestSize))
+	val := make([]byte, 0, 12+len(frontier)*(8+types.DigestSize)+types.DigestSize+8)
 	val = binary.LittleEndian.AppendUint64(val, uint64(next))
 	val = binary.LittleEndian.AppendUint32(val, uint32(len(frontier)))
 	for i, pos := range frontier {
 		val = binary.LittleEndian.AppendUint64(val, uint64(pos))
 		val = append(val, digests[i][:]...)
 	}
+	// Chain-oracle trailer, only when the execution layer has run: legacy
+	// records (and execution-off deployments) omit it and recover with a
+	// zero oracle.
+	if chainCount > 0 || appHash != types.ZeroDigest {
+		val = append(val, appHash[:]...)
+		val = binary.LittleEndian.AppendUint64(val, chainCount)
+	}
 	j.put([]byte{keyExec}, val)
+}
+
+// Truncate deletes journal records subsumed by a snapshot at the given
+// frontier, then compacts the backing log when it supports it. Keys are
+// collected under Range and sorted before deletion so the tombstone
+// order (and thus the compacted log) is deterministic (detrange).
+func (j *walJournal) Truncate(self types.NodeID, frontier []types.Pos, below types.Slot) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var doomed []string
+	j.st.Range(func(key, val []byte) bool {
+		if len(key) == 0 {
+			return true
+		}
+		switch key[0] {
+		case keyOwnProposal:
+			if len(key) == 9 && int(self) < len(frontier) {
+				pos := types.Pos(binary.LittleEndian.Uint64(key[1:]))
+				if pos <= frontier[self] {
+					doomed = append(doomed, string(key))
+				}
+			}
+		case keyLaneVote:
+			if len(key) == 11 {
+				lane := int(binary.LittleEndian.Uint16(key[1:]))
+				pos := types.Pos(binary.LittleEndian.Uint64(key[3:]))
+				if lane < len(frontier) && pos <= frontier[lane] {
+					doomed = append(doomed, string(key))
+				}
+			}
+		case keyPrepVote, keyConfirmAck, keyTimeout:
+			if len(key) == 17 && types.Slot(binary.LittleEndian.Uint64(key[1:])) < below {
+				doomed = append(doomed, string(key))
+			}
+		case keyCommit:
+			if len(key) == 9 && types.Slot(binary.LittleEndian.Uint64(key[1:])) < below {
+				doomed = append(doomed, string(key))
+			}
+		}
+		return true
+	})
+	sort.Strings(doomed)
+	for _, k := range doomed {
+		if err := j.st.Delete([]byte(k)); err != nil {
+			j.fail(err)
+			return
+		}
+		j.dirty = true
+	}
+	if c, ok := j.st.(interface{ Compact() error }); ok {
+		if err := c.Compact(); err != nil {
+			j.fail(fmt.Errorf("journal: compact: %w", err))
+			return
+		}
+		j.dirty = false
+	}
 }
 
 // Recover decodes every record in the store into a deterministic
@@ -354,7 +439,10 @@ func (j *walJournal) Recover() *Recovered {
 			}
 			next := types.Slot(binary.LittleEndian.Uint64(val))
 			count := int(binary.LittleEndian.Uint32(val[8:]))
-			if count < 0 || len(val) != 12+count*(8+types.DigestSize) {
+			base := 12 + count*(8+types.DigestSize)
+			// Two valid shapes: the base record, or base + the chain-oracle
+			// trailer (appHash + chainCount) written when execution is on.
+			if count < 0 || (len(val) != base && len(val) != base+types.DigestSize+8) {
 				return true
 			}
 			rec.NextExec = next
@@ -365,6 +453,10 @@ func (j *walJournal) Recover() *Recovered {
 				rec.Frontier[i] = types.Pos(binary.LittleEndian.Uint64(val[off:]))
 				copy(rec.FrontierDigests[i][:], val[off+8:])
 				off += 8 + types.DigestSize
+			}
+			if len(val) == base+types.DigestSize+8 {
+				copy(rec.AppHash[:], val[base:])
+				rec.ChainCount = binary.LittleEndian.Uint64(val[base+types.DigestSize:])
 			}
 		}
 		return true

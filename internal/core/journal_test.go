@@ -264,7 +264,7 @@ func TestWALJournalRecoversAcrossReopen(t *testing.T) {
 		Proposal: types.ConsensusProposal{Slot: 2, View: 0, Cut: types.NewEmptyCut(4)},
 	}
 	j.Commit(notice)
-	j.Executed(3, []types.Pos{1, 2, 0, 4}, make([]types.Digest, 4))
+	j.Executed(3, []types.Pos{1, 2, 0, 4}, make([]types.Digest, 4), types.Digest{0xaa}, 17)
 	if err := j.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -294,6 +294,9 @@ func TestWALJournalRecoversAcrossReopen(t *testing.T) {
 	}
 	if rec.NextExec != 3 || len(rec.Frontier) != 4 || rec.Frontier[3] != 4 {
 		t.Fatalf("exec frontier: next=%d %v", rec.NextExec, rec.Frontier)
+	}
+	if rec.AppHash != (types.Digest{0xaa}) || rec.ChainCount != 17 {
+		t.Fatalf("chain oracle: hash=%x count=%d", rec.AppHash[:4], rec.ChainCount)
 	}
 	if rec.Empty() {
 		t.Fatal("snapshot reported empty")

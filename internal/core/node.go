@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/consensus"
 	"repro/internal/crypto"
+	"repro/internal/exec"
 	"repro/internal/fetch"
 	"repro/internal/lane"
 	"repro/internal/order"
@@ -128,6 +129,22 @@ type Config struct {
 	// the hosting replica. Nil falls back to halting silently (the sticky
 	// journal error still reports via Journal state).
 	OnFatal func(error)
+	// Execution enables the deterministic execution layer (internal/exec):
+	// committed entries run through an account state machine whose running
+	// AppHash rides on every emitted runtime.Committed for cross-replica
+	// divergence checking. Default off — execution-off deployments behave
+	// byte-identically to before the layer existed.
+	Execution bool
+	// SnapshotEvery checkpoints the execution state each time the
+	// execution frontier crosses this many slots, truncating the journal
+	// and lane stores beneath the checkpoint, and arms snapshot-based
+	// state sync (a replica two intervals behind fetches state instead of
+	// history). 0 disables. Requires Execution and Snapshots.
+	SnapshotEvery types.Slot
+	// Snapshots persists the latest snapshot (see SnapshotStore). Nil
+	// disables snapshotting even with SnapshotEvery set — truncation
+	// without a durable checkpoint would lose data.
+	Snapshots SnapshotStore
 	// Sink receives the totally ordered, execution-ready batches.
 	Sink runtime.CommitSink
 	// ConsensusTrace, when non-nil, receives verbose consensus engine
@@ -195,6 +212,23 @@ type Node struct {
 	// Prepare floods a congested replica with duplicate bulk data.
 	tipFetchQueue []deferredTipFetch
 
+	// Execution layer (cfg.Execution): the deterministic machine, the
+	// latest snapshot (manifest + encoded form + state, served to peers)
+	// and the slot of the last checkpoint.
+	machine   *exec.Machine
+	tamper    bool // test hook: corrupt digests fed to the machine
+	lastSnap  types.Slot
+	snapMan   *exec.Manifest
+	snapEnc   []byte
+	snapState []byte
+
+	// State-sync client (one sync in flight at most): pacing/rotation in
+	// the tracker, manifest and chunk assembly here.
+	snapSync   fetch.SnapTracker
+	syncMan    *exec.Manifest
+	syncChunks [][]byte
+	syncGot    int
+
 	// recovery holds the journal snapshot between NewNode (pure state
 	// restoration) and Init (commit replay, which needs a Context);
 	// replaying suppresses re-journaling the recovered notices.
@@ -237,41 +271,50 @@ type deferredTipFetch struct {
 
 // Stats is a point-in-time snapshot of node-level protocol counters.
 type Stats struct {
-	BatchesProposed   uint64
-	ProposalsReceived uint64
-	VotesSent         uint64
-	SlotsDecided      uint64
-	EntriesOrdered    uint64
-	TxOrdered         uint64
-	SyncRequestsSent  uint64
-	SyncRepliesServed uint64
-	TimeoutsSent      uint64
+	BatchesProposed    uint64
+	ProposalsReceived  uint64
+	VotesSent          uint64
+	SlotsDecided       uint64
+	EntriesOrdered     uint64
+	TxOrdered          uint64
+	SyncRequestsSent   uint64
+	SyncRepliesServed  uint64
+	TimeoutsSent       uint64
+	SnapshotsInstalled uint64
+	// SnapshotFrontier is the slot of the latest local snapshot (0 when
+	// none) — a gauge, not a counter, safe to poll from outside the
+	// node's event loop.
+	SnapshotFrontier uint64
 }
 
 // nodeStats is the live (atomic) counter block behind Stats.
 type nodeStats struct {
-	BatchesProposed   atomic.Uint64
-	ProposalsReceived atomic.Uint64
-	VotesSent         atomic.Uint64
-	SlotsDecided      atomic.Uint64
-	EntriesOrdered    atomic.Uint64
-	TxOrdered         atomic.Uint64
-	SyncRequestsSent  atomic.Uint64
-	SyncRepliesServed atomic.Uint64
-	TimeoutsSent      atomic.Uint64
+	BatchesProposed    atomic.Uint64
+	ProposalsReceived  atomic.Uint64
+	VotesSent          atomic.Uint64
+	SlotsDecided       atomic.Uint64
+	EntriesOrdered     atomic.Uint64
+	TxOrdered          atomic.Uint64
+	SyncRequestsSent   atomic.Uint64
+	SyncRepliesServed  atomic.Uint64
+	TimeoutsSent       atomic.Uint64
+	SnapshotsInstalled atomic.Uint64
+	SnapshotFrontier   atomic.Uint64
 }
 
 func (s *nodeStats) snapshot() Stats {
 	return Stats{
-		BatchesProposed:   s.BatchesProposed.Load(),
-		ProposalsReceived: s.ProposalsReceived.Load(),
-		VotesSent:         s.VotesSent.Load(),
-		SlotsDecided:      s.SlotsDecided.Load(),
-		EntriesOrdered:    s.EntriesOrdered.Load(),
-		TxOrdered:         s.TxOrdered.Load(),
-		SyncRequestsSent:  s.SyncRequestsSent.Load(),
-		SyncRepliesServed: s.SyncRepliesServed.Load(),
-		TimeoutsSent:      s.TimeoutsSent.Load(),
+		BatchesProposed:    s.BatchesProposed.Load(),
+		ProposalsReceived:  s.ProposalsReceived.Load(),
+		VotesSent:          s.VotesSent.Load(),
+		SlotsDecided:       s.SlotsDecided.Load(),
+		EntriesOrdered:     s.EntriesOrdered.Load(),
+		TxOrdered:          s.TxOrdered.Load(),
+		SyncRequestsSent:   s.SyncRequestsSent.Load(),
+		SyncRepliesServed:  s.SyncRepliesServed.Load(),
+		TimeoutsSent:       s.TimeoutsSent.Load(),
+		SnapshotsInstalled: s.SnapshotsInstalled.Load(),
+		SnapshotFrontier:   s.SnapshotFrontier.Load(),
 	}
 }
 
@@ -302,6 +345,9 @@ func NewNode(cfg Config) *Node {
 		Committee:      cfg.Committee,
 		Verifier:       n.verifier,
 		OptimisticTips: cfg.OptimisticTips,
+	}
+	if cfg.Execution {
+		n.machine = exec.New()
 	}
 	n.reputation = make([]int, cfg.Committee.Size())
 	n.repCommits = make([]int, cfg.Committee.Size())
@@ -364,8 +410,45 @@ func NewNode(cfg Config) *Node {
 // own-lane production in NewNode (pure state, no effects), and the
 // decided-slot replay deferred to Init (it emits fetches and may
 // propose, which need a runtime Context). A fresh journal is a no-op.
+//
+// With snapshots on there are two frontiers: the journal's and the
+// persisted snapshot's. Normally the journal is at or ahead of the
+// snapshot (the snapshot is saved, then the journal truncates — never
+// the reverse), but a crash that tears the journal's tail, or lands
+// between snapshot-commit and WAL-truncate on a log whose 'x' record was
+// in the torn region, can leave the snapshot newer. Recovery takes the
+// newer of the two and repairs the journal when the snapshot wins.
 func (n *Node) recover() {
 	rec := n.cfg.Journal.Recover()
+	man, state := n.loadSnapshot()
+	if man != nil && len(man.Frontier) == n.cfg.Committee.Size() {
+		if man.Next > rec.NextExec {
+			rec.NextExec = man.Next
+			rec.Frontier = man.Frontier
+			rec.FrontierDigests = man.Digests
+			rec.AppHash = man.AppHash
+			rec.ChainCount = man.Count
+			n.cfg.Journal.Executed(man.Next, man.Frontier, man.Digests, man.AppHash, man.Count)
+		}
+		// The persisted snapshot keeps serving peers across the restart.
+		n.snapMan, n.snapEnc, n.snapState = man, man.Encode(), state
+		n.lastSnap = man.Next
+		n.stats.SnapshotFrontier.Store(uint64(man.Next))
+	}
+	if n.machine != nil {
+		// Balances resume from the snapshot when one exists (exact below
+		// its frontier; the window up to the journal frontier is not
+		// locally replayable — the journal holds digests, not batches).
+		// The chain oracle then jumps to the journaled value, which is
+		// state-independent by construction, so the cross-replica AppHash
+		// check is exact regardless.
+		if state != nil {
+			if err := n.machine.Install(state); err != nil {
+				n.machine = exec.New()
+			}
+		}
+		n.machine.RestoreHash(rec.AppHash, rec.ChainCount)
+	}
 	if rec.Empty() {
 		return
 	}
@@ -514,6 +597,14 @@ func (n *Node) OnMessage(ctx runtime.Context, from types.NodeID, m types.Message
 		for i := range msg.Notices {
 			n.handleCommitNotice(ctx, from, &msg.Notices[i])
 		}
+	case *types.SnapshotRequest:
+		n.serveSnapshotRequest(ctx, msg)
+	case *types.SnapshotManifest:
+		n.handleSnapshotManifest(ctx, from, msg)
+	case *types.ChunkRequest:
+		n.serveChunkRequest(ctx, msg)
+	case *types.ChunkReply:
+		n.handleChunkReply(ctx, from, msg)
 	case *laneNotice:
 		n.onLaneNotice(ctx, msg)
 	case *ownTipNotice:
@@ -547,6 +638,7 @@ func (n *Node) OnTimer(ctx runtime.Context, tag runtime.TimerTag) {
 			n.drainExecution(ctx)
 		}
 		n.retryMissingDecision(ctx)
+		n.tickStateSync(ctx)
 		ctx.SetTimer(n.cfg.FetchTick, runtime.TimerTag{Kind: tagFetchTick})
 	case tagCarRetx:
 		// An own car that survived a whole tick without certifying has
@@ -838,6 +930,7 @@ func (n *Node) handleCommitNotice(ctx runtime.Context, from types.NodeID, m *typ
 			}
 		}
 	}
+	n.maybeStateSync(ctx, from, m.QC.Slot)
 }
 
 func (n *Node) serveCommitRequest(ctx runtime.Context, req *types.CommitRequest) {
@@ -925,8 +1018,16 @@ func (n *Node) drainExecution(ctx runtime.Context) {
 	for _, e := range entries {
 		n.stats.EntriesOrdered.Add(1)
 		n.stats.TxOrdered.Add(uint64(e.Batch.Count))
+		var appHash types.Digest
+		if n.machine != nil {
+			digest := e.Digest
+			if n.tamper {
+				digest[0] ^= 0x01 // test hook: a Byzantine executor
+			}
+			appHash = n.machine.Apply(e.Slot, e.Lane, e.Position, digest, e.Batch)
+		}
 		n.cfg.Sink.OnCommit(n.cfg.Self, ctx.Now(), runtime.Committed{
-			Lane: e.Lane, Position: e.Position, Slot: e.Slot, Batch: e.Batch,
+			Lane: e.Lane, Position: e.Position, Slot: e.Slot, Batch: e.Batch, AppHash: appHash,
 		})
 	}
 	if len(executed) > 0 {
@@ -965,7 +1066,13 @@ func (n *Node) drainExecution(ctx runtime.Context) {
 		}
 		// Persist the execution frontier: a restarted replica resumes here
 		// instead of re-emitting the whole log.
-		n.cfg.Journal.Executed(n.orderer.NextExec(), n.orderer.Frontier(), n.orderer.FrontierDigests())
+		var appHash types.Digest
+		var chainCount uint64
+		if n.machine != nil {
+			appHash, chainCount = n.machine.AppHash(), n.machine.Count()
+		}
+		n.cfg.Journal.Executed(n.orderer.NextExec(), n.orderer.Frontier(), n.orderer.FrontierDigests(), appHash, chainCount)
+		n.maybeSnapshot()
 		n.engine.OnTipsAdvanced()
 	}
 	for _, m := range missing {
@@ -1154,3 +1261,15 @@ func (c *cutProvider) NextExec() types.Slot { return c.node().orderer.NextExec()
 
 // Fetcher exposes the sync manager (tests).
 func (n *Node) Fetcher() *fetch.Manager { return n.fetcher }
+
+// Machine exposes the execution machine (tests; nil without Execution).
+func (n *Node) Machine() *exec.Machine { return n.machine }
+
+// SnapshotFrontier returns the slot of the latest local snapshot (0 when
+// none has been taken or installed).
+func (n *Node) SnapshotFrontier() types.Slot { return n.lastSnap }
+
+// TamperExecution makes every subsequently executed entry fold a
+// corrupted digest into the AppHash chain — a Byzantine (or buggy)
+// executor. Test hook for the divergence oracle; call before Init.
+func (n *Node) TamperExecution() { n.tamper = true }

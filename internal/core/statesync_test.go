@@ -1,0 +1,212 @@
+package core_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/crypto"
+	"repro/internal/exec"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// buildSnapshotState runs a small execution history and returns the
+// machine plus a manifest checkpointing it at `next`.
+func buildSnapshotState(next types.Slot, entries int) (*exec.Machine, *exec.Manifest) {
+	m := exec.New()
+	frontier := make([]types.Pos, 4)
+	digests := make([]types.Digest, 4)
+	for i := 0; i < entries; i++ {
+		lane := types.NodeID(i % 4)
+		frontier[lane]++
+		var d types.Digest
+		d[0], d[1] = byte(i), byte(i>>8)
+		digests[lane] = m.Apply(types.Slot(i/4+1), lane, frontier[lane], d, nil)
+	}
+	man := exec.BuildManifest(next, frontier, digests, m.AppHash(), m.Count(), m.Serialize())
+	return m, man
+}
+
+// newSnapNode builds a 4-committee replica with execution on over the
+// given journal and snapshot store (recovery runs inside NewNode).
+func newSnapNode(j core.Journal, snaps core.SnapshotStore) *core.Node {
+	return core.NewNode(core.Config{
+		Committee:      types.NewCommittee(4),
+		Self:           0,
+		Suite:          crypto.NewNopSuite(4),
+		FastPath:       true,
+		OptimisticTips: true,
+		Execution:      true,
+		SnapshotEvery:  10,
+		Snapshots:      snaps,
+		Journal:        j,
+	})
+}
+
+// TestRecoverPrefersNewerSnapshot is the satellite crash-window
+// regression: the snapshot is durably saved BEFORE the journal
+// truncates, so a crash between the two leaves a snapshot ahead of the
+// journal's execution frontier. Recovery must take the snapshot — and
+// repair the journal's frontier record to match — not replay from the
+// stale journal frontier.
+func TestRecoverPrefersNewerSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal")
+	st, err := storage.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := core.NewWALJournal(st)
+	// Journal thinks execution stopped at slot 50 …
+	j.Executed(50, []types.Pos{5, 5, 5, 5}, make([]types.Digest, 4), types.Digest{0x50}, 20)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// … but a snapshot at slot 80 was committed just before the crash.
+	m, man := buildSnapshotState(80, 32)
+	snaps := storage.FileSnapshots{Path: path + ".snap"}
+	if err := snaps.Save(man.Encode(), m.Serialize()); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := storage.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2 := core.NewWALJournal(st2)
+	nd := newSnapNode(j2, snaps)
+	if got := nd.Orderer().NextExec(); got != 80 {
+		t.Fatalf("recovered at slot %d, want snapshot frontier 80", got)
+	}
+	if nd.Machine().AppHash() != man.AppHash || nd.Machine().Count() != man.Count {
+		t.Fatal("machine not restored to the snapshot's chain oracle")
+	}
+	// The journal was repaired in place: a third incarnation recovering
+	// from it alone (snapshot gone) starts at the snapshot frontier.
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st3, err := storage.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j3 := core.NewWALJournal(st3)
+	defer j3.Close()
+	if rec := j3.Recover(); rec.NextExec != 80 || rec.ChainCount != man.Count {
+		t.Fatalf("journal not repaired: NextExec=%d ChainCount=%d", rec.NextExec, rec.ChainCount)
+	}
+}
+
+// TestRecoverPrefersNewerJournal is the mirror image: execution ran past
+// the last checkpoint before the crash, so the journal frontier wins and
+// the chain oracle restores from the journal trailer (balances still
+// come from the older snapshot — the oracle is state-independent by
+// construction).
+func TestRecoverPrefersNewerJournal(t *testing.T) {
+	m, man := buildSnapshotState(30, 16)
+	snaps := &core.MemSnapshots{}
+	if err := snaps.Save(man.Encode(), m.Serialize()); err != nil {
+		t.Fatal(err)
+	}
+	j := core.NewMemJournal()
+	want := types.Digest{0xee}
+	j.Executed(50, []types.Pos{9, 9, 9, 9}, make([]types.Digest, 4), want, 44)
+	nd := newSnapNode(j, snaps)
+	if got := nd.Orderer().NextExec(); got != 50 {
+		t.Fatalf("recovered at slot %d, want journal frontier 50", got)
+	}
+	if nd.Machine().AppHash() != want || nd.Machine().Count() != 44 {
+		t.Fatal("chain oracle not restored from the journal trailer")
+	}
+}
+
+// TestTornSnapshotFallsBackToJournal corrupts the snapshot file: load
+// must degrade to "no snapshot" and recovery proceed from the journal
+// frontier alone.
+func TestTornSnapshotFallsBackToJournal(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.snap")
+	m, man := buildSnapshotState(80, 32)
+	snaps := storage.FileSnapshots{Path: path}
+	if err := snaps.Save(man.Encode(), m.Serialize()); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the file mid-state (past the manifest section).
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b[:len(b)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j := core.NewMemJournal()
+	j.Executed(50, []types.Pos{5, 5, 5, 5}, make([]types.Digest, 4), types.Digest{0x50}, 20)
+	nd := newSnapNode(j, snaps)
+	if got := nd.Orderer().NextExec(); got != 50 {
+		t.Fatalf("recovered at slot %d, want journal frontier 50 (torn snapshot must not win)", got)
+	}
+}
+
+// TestTruncateCrashRecovers drives the truncation path into an injected
+// crash (satellite faultfile regression): tombstones partially persist,
+// the compact never happens, and a reopened journal plus the already-
+// durable snapshot must still recover at the snapshot frontier.
+func TestTruncateCrashRecovers(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal")
+	st, err := storage.OpenWithFaults(path, &storage.FaultPlan{CrashAfterWrites: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := core.NewWALJournal(st)
+	j.Executed(50, []types.Pos{5, 5, 5, 5}, make([]types.Digest, 4), types.Digest{0x50}, 20)
+	for s := types.Slot(1); s <= 4; s++ {
+		j.PrepVote(&types.PrepVote{Slot: s, Voter: 0})
+	}
+	m, man := buildSnapshotState(80, 32)
+	snaps := storage.FileSnapshots{Path: path + ".snap"}
+	if err := snaps.Save(man.Encode(), m.Serialize()); err != nil {
+		t.Fatal(err)
+	}
+	// Truncation crashes partway through its deletes (write 7+ hits the
+	// crash point). The journal reports the failure; what's on disk is a
+	// prefix of the tombstones.
+	j.Truncate(0, man.Frontier, man.Next)
+	j.Close()
+
+	st2, err := storage.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2 := core.NewWALJournal(st2)
+	nd := newSnapNode(j2, snaps)
+	defer j2.Close()
+	if got := nd.Orderer().NextExec(); got != 80 {
+		t.Fatalf("recovered at slot %d after truncate crash, want 80", got)
+	}
+	if nd.Machine().AppHash() != man.AppHash {
+		t.Fatal("chain oracle lost across truncate crash")
+	}
+}
+
+// TestSnapshotRoundTripMemStore pins the MemSnapshots copy semantics:
+// mutating the caller's buffers after Save must not corrupt the stored
+// snapshot.
+func TestSnapshotRoundTripMemStore(t *testing.T) {
+	s := &core.MemSnapshots{}
+	manifest := []byte{1, 2, 3}
+	state := []byte{4, 5, 6}
+	if err := s.Save(manifest, state); err != nil {
+		t.Fatal(err)
+	}
+	manifest[0], state[0] = 9, 9
+	gm, gs, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gm[0] != 1 || gs[0] != 4 {
+		t.Fatal("MemSnapshots aliased the caller's buffers")
+	}
+}

@@ -1,0 +1,178 @@
+// Package exec implements the deterministic execution layer behind the
+// orderer: an account state machine that consumes the committed stream
+// (slot-ordered, zip-ordered within a slot) and maintains two artifacts:
+//
+//   - AppHash — a running chain hash over the executed entries. It is a
+//     pure function of the execution *sequence* (slot, lane, position,
+//     batch digest, chain length), deliberately independent of the
+//     account state, so a journal-recovered replica restores the exact
+//     oracle value from its WAL and replicas cross-check execution at
+//     every commit boundary (a divergence is a loud safety violation
+//     surfaced through harness.CommitInterceptor).
+//
+//   - Account state — a fixed array of bucketed balances mutated by a
+//     deterministic fold over each batch (per-transaction FNV folds for
+//     real payloads, a digest-derived fold for the simulator's synthetic
+//     batches). The state exists to give snapshots real content: it is
+//     what a cold replica fetches in O(state) instead of replaying
+//     O(history), and what periodic snapshots checkpoint so the WAL and
+//     lane stores can truncate below the snapshot frontier.
+//
+// Everything here is a pure state machine — no clocks, no randomness,
+// no goroutines — so the same code runs under the discrete-event
+// simulator and the live TCP runtime.
+package exec
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/types"
+)
+
+// Buckets is the number of account buckets. 1<<16 buckets of 8 bytes is
+// 512 KiB of state — small enough to snapshot cheaply every few dozen
+// slots, large enough that snapshot transfer is measurably "state", not
+// a header.
+const Buckets = 1 << 16
+
+// InitialBalance funds every bucket at genesis so transfers never
+// bottom out immediately.
+const InitialBalance = 1 << 40
+
+// Machine is one replica's deterministic execution state. Methods are
+// not safe for concurrent use; the owning event loop serializes them.
+type Machine struct {
+	appHash  types.Digest
+	count    uint64 // chain length: entries executed since genesis
+	balances []uint64
+}
+
+// New returns a genesis machine: zero AppHash, every bucket funded.
+func New() *Machine {
+	m := &Machine{balances: make([]uint64, Buckets)}
+	for i := range m.balances {
+		m.balances[i] = InitialBalance
+	}
+	return m
+}
+
+// AppHash returns the current chain hash.
+func (m *Machine) AppHash() types.Digest { return m.appHash }
+
+// Count returns the chain length (entries executed since genesis).
+func (m *Machine) Count() uint64 { return m.count }
+
+// Balance returns one bucket's balance (tests and inspection).
+func (m *Machine) Balance(bucket int) uint64 { return m.balances[bucket] }
+
+// Apply executes one committed entry: the chain hash absorbs the
+// entry's coordinates and batch digest, then the batch's deterministic
+// fold mutates the account state. The digest is passed explicitly (it
+// is already memoized on the batch; the tamper test hook substitutes a
+// mutated one). Returns the new AppHash.
+func (m *Machine) Apply(slot types.Slot, lane types.NodeID, pos types.Pos, digest types.Digest, b *types.Batch) types.Digest {
+	var hdr [8 + 2 + 8 + 8]byte
+	binary.LittleEndian.PutUint64(hdr[0:], uint64(slot))
+	binary.LittleEndian.PutUint16(hdr[8:], uint16(lane))
+	binary.LittleEndian.PutUint64(hdr[10:], uint64(pos))
+	binary.LittleEndian.PutUint64(hdr[18:], m.count)
+	h := sha256.New()
+	h.Write(m.appHash[:])
+	h.Write(hdr[:])
+	h.Write(digest[:])
+	h.Sum(m.appHash[:0])
+	m.count++
+
+	if b != nil && b.Txs != nil {
+		for _, tx := range b.Txs {
+			f := fnv.New64a()
+			f.Write(tx)
+			m.transfer(f.Sum64())
+		}
+	} else {
+		// Synthetic batch (simulator): fold digest-derived entropy once
+		// per entry so state still evolves deterministically.
+		m.transfer(binary.LittleEndian.Uint64(digest[0:8]))
+		m.transfer(binary.LittleEndian.Uint64(digest[8:16]))
+	}
+	return m.appHash
+}
+
+// transfer moves a pseudo-amount between two buckets derived from the
+// fold value. Purely deterministic; saturates at zero rather than
+// underflowing.
+func (m *Machine) transfer(h uint64) {
+	from := h % Buckets
+	to := (h >> 20) % Buckets
+	amt := (h >> 40) & 0xffff
+	if m.balances[from] >= amt {
+		m.balances[from] -= amt
+	} else {
+		m.balances[from] = 0
+	}
+	m.balances[to] += amt
+}
+
+// RestoreHash restores the chain oracle alone — the journal-recovery
+// path. The WAL records (appHash, count) with the execution frontier,
+// so a restarted replica resumes the exact chain value even when the
+// account state below the frontier is not locally reconstructible (it
+// re-funds from the latest snapshot, or stays at genesis when none
+// exists; the chain hash is state-independent by construction, so the
+// cross-replica oracle is unaffected).
+func (m *Machine) RestoreHash(appHash types.Digest, count uint64) {
+	m.appHash = appHash
+	m.count = count
+}
+
+// --- state serialization (snapshot payload) ---
+
+var stateMagic = [8]byte{'a', 'b', 's', 't', 'a', 't', 'e', '1'}
+
+// stateHeaderLen is magic + count + appHash + bucket count.
+const stateHeaderLen = 8 + 8 + types.DigestSize + 4
+
+// Serialize encodes the full machine state (chain oracle + balances)
+// as a snapshot payload.
+func (m *Machine) Serialize() []byte {
+	out := make([]byte, stateHeaderLen+8*Buckets)
+	copy(out[0:8], stateMagic[:])
+	binary.LittleEndian.PutUint64(out[8:], m.count)
+	copy(out[16:], m.appHash[:])
+	binary.LittleEndian.PutUint32(out[16+types.DigestSize:], Buckets)
+	off := stateHeaderLen
+	for _, b := range m.balances {
+		binary.LittleEndian.PutUint64(out[off:], b)
+		off += 8
+	}
+	return out
+}
+
+// Install replaces the machine state with a serialized snapshot
+// payload (validated against the format before any mutation).
+func (m *Machine) Install(state []byte) error {
+	if len(state) < stateHeaderLen {
+		return fmt.Errorf("exec: state payload %d bytes, want >= %d", len(state), stateHeaderLen)
+	}
+	if [8]byte(state[0:8]) != stateMagic {
+		return fmt.Errorf("exec: bad state magic")
+	}
+	buckets := binary.LittleEndian.Uint32(state[16+types.DigestSize:])
+	if buckets != Buckets {
+		return fmt.Errorf("exec: snapshot has %d buckets, machine has %d", buckets, Buckets)
+	}
+	if want := stateHeaderLen + 8*Buckets; len(state) != want {
+		return fmt.Errorf("exec: state payload %d bytes, want %d", len(state), want)
+	}
+	m.count = binary.LittleEndian.Uint64(state[8:])
+	copy(m.appHash[:], state[16:])
+	off := stateHeaderLen
+	for i := range m.balances {
+		m.balances[i] = binary.LittleEndian.Uint64(state[off:])
+		off += 8
+	}
+	return nil
+}

@@ -1,0 +1,208 @@
+package exec
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/types"
+)
+
+func entryBatch(lane types.NodeID, seq uint64) *types.Batch {
+	return types.NewBatch(lane, seq, []types.Transaction{
+		bytes.Repeat([]byte{byte(seq)}, 64),
+		bytes.Repeat([]byte{byte(seq + 1)}, 64),
+	}, time.Duration(seq)*time.Millisecond)
+}
+
+// applyN executes n deterministic entries and returns the machine.
+func applyN(t *testing.T, n int) *Machine {
+	t.Helper()
+	m := New()
+	for i := 0; i < n; i++ {
+		b := entryBatch(types.NodeID(i%4), uint64(i))
+		m.Apply(types.Slot(i/4+1), b.Origin, types.Pos(i/4+1), b.Digest(), b)
+	}
+	return m
+}
+
+func TestApplyDeterministic(t *testing.T) {
+	a, b := applyN(t, 40), applyN(t, 40)
+	if a.AppHash() != b.AppHash() {
+		t.Fatalf("same entries, different AppHash: %v vs %v", a.AppHash(), b.AppHash())
+	}
+	if a.Count() != 40 || b.Count() != 40 {
+		t.Fatalf("chain length %d/%d, want 40", a.Count(), b.Count())
+	}
+	for i := 0; i < Buckets; i += 997 {
+		if a.Balance(i) != b.Balance(i) {
+			t.Fatalf("bucket %d diverged: %d vs %d", i, a.Balance(i), b.Balance(i))
+		}
+	}
+}
+
+func TestApplyDivergesOnMutation(t *testing.T) {
+	a, b := New(), New()
+	batch := entryBatch(1, 7)
+	d := batch.Digest()
+	a.Apply(1, 1, 1, d, batch)
+	mutated := d
+	mutated[0] ^= 0x01
+	b.Apply(1, 1, 1, mutated, batch)
+	if a.AppHash() == b.AppHash() {
+		t.Fatal("mutated batch digest produced the same AppHash")
+	}
+}
+
+func TestApplyOrderSensitive(t *testing.T) {
+	a, b := New(), New()
+	x, y := entryBatch(0, 1), entryBatch(1, 1)
+	a.Apply(1, 0, 1, x.Digest(), x)
+	a.Apply(1, 1, 1, y.Digest(), y)
+	b.Apply(1, 1, 1, y.Digest(), y)
+	b.Apply(1, 0, 1, x.Digest(), x)
+	if a.AppHash() == b.AppHash() {
+		t.Fatal("different execution orders produced the same AppHash")
+	}
+}
+
+func TestRestoreHashContinuesChain(t *testing.T) {
+	// A journal-recovered machine (hash restored, state not) must
+	// produce the same chain values as one that executed all along —
+	// the AppHash is state-independent by construction.
+	full := applyN(t, 20)
+	rec := New()
+	rec.RestoreHash(full.AppHash(), full.Count())
+	next := entryBatch(2, 99)
+	h1 := full.Apply(6, 2, 6, next.Digest(), next)
+	h2 := rec.Apply(6, 2, 6, next.Digest(), next)
+	if h1 != h2 {
+		t.Fatalf("restored chain diverged: %v vs %v", h1, h2)
+	}
+}
+
+func TestSyntheticBatchFold(t *testing.T) {
+	m := New()
+	b := types.NewSyntheticBatch(1, 1, 100, 51200, 0, 0)
+	before := m.AppHash()
+	m.Apply(1, 1, 1, b.Digest(), b)
+	if m.AppHash() == before {
+		t.Fatal("synthetic batch did not advance the chain")
+	}
+}
+
+func TestSerializeInstallRoundTrip(t *testing.T) {
+	m := applyN(t, 32)
+	state := m.Serialize()
+	fresh := New()
+	if err := fresh.Install(state); err != nil {
+		t.Fatalf("install: %v", err)
+	}
+	if fresh.AppHash() != m.AppHash() || fresh.Count() != m.Count() {
+		t.Fatalf("chain oracle not restored: (%v,%d) vs (%v,%d)",
+			fresh.AppHash(), fresh.Count(), m.AppHash(), m.Count())
+	}
+	for i := 0; i < Buckets; i += 991 {
+		if fresh.Balance(i) != m.Balance(i) {
+			t.Fatalf("bucket %d not restored: %d vs %d", i, fresh.Balance(i), m.Balance(i))
+		}
+	}
+	// The two machines must now evolve identically.
+	b := entryBatch(3, 1000)
+	if m.Apply(9, 3, 9, b.Digest(), b) != fresh.Apply(9, 3, 9, b.Digest(), b) {
+		t.Fatal("installed machine diverged on the next entry")
+	}
+}
+
+func TestInstallRejectsCorruptState(t *testing.T) {
+	m := applyN(t, 8)
+	state := m.Serialize()
+	for _, tc := range []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"truncated", func(s []byte) []byte { return s[:len(s)-5] }},
+		{"bad magic", func(s []byte) []byte { s[0] ^= 0xff; return s }},
+		{"extended", func(s []byte) []byte { return append(s, 0) }},
+	} {
+		bad := tc.mutate(append([]byte(nil), state...))
+		if err := New().Install(bad); err == nil {
+			t.Fatalf("%s state installed without error", tc.name)
+		}
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := applyN(t, 16)
+	state := m.Serialize()
+	frontier := []types.Pos{4, 4, 4, 4}
+	digests := make([]types.Digest, 4)
+	for i := range digests {
+		digests[i][0] = byte(i + 1)
+	}
+	man := BuildManifest(5, frontier, digests, m.AppHash(), m.Count(), state)
+	dec, err := DecodeManifest(man.Encode())
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if dec.Next != man.Next || dec.Count != man.Count ||
+		dec.AppHash != man.AppHash || dec.StateHash != man.StateHash ||
+		dec.StateLen != man.StateLen || dec.ChunkSize != man.ChunkSize ||
+		len(dec.Frontier) != len(man.Frontier) || len(dec.Chunks) != len(man.Chunks) {
+		t.Fatalf("manifest did not round-trip: %+v vs %+v", dec, man)
+	}
+	for i := range man.Frontier {
+		if dec.Frontier[i] != man.Frontier[i] || dec.Digests[i] != man.Digests[i] {
+			t.Fatalf("lane %d frontier did not round-trip", i)
+		}
+	}
+	// Chunk/assemble cycle verifies end to end.
+	assembled := make([]byte, 0, len(state))
+	for i := range dec.Chunks {
+		c := man.Chunk(state, i)
+		if err := dec.VerifyChunk(i, c); err != nil {
+			t.Fatalf("chunk %d: %v", i, err)
+		}
+		assembled = append(assembled, c...)
+	}
+	if err := dec.VerifyState(assembled); err != nil {
+		t.Fatalf("assembled state: %v", err)
+	}
+}
+
+func TestTornManifestFailsCleanly(t *testing.T) {
+	m := applyN(t, 8)
+	state := m.Serialize()
+	man := BuildManifest(3, []types.Pos{2, 2, 2, 2}, make([]types.Digest, 4),
+		m.AppHash(), m.Count(), state)
+	enc := man.Encode()
+	// Every strict prefix must be rejected, never partially installed.
+	for cut := 0; cut < len(enc); cut += 7 {
+		if _, err := DecodeManifest(enc[:cut]); err == nil {
+			t.Fatalf("torn manifest (cut at %d) decoded without error", cut)
+		}
+	}
+	if _, err := DecodeManifest(append(append([]byte(nil), enc...), 0xee)); err == nil {
+		t.Fatal("manifest with trailing bytes decoded without error")
+	}
+}
+
+func TestManifestRejectsHostileShapes(t *testing.T) {
+	m := applyN(t, 8)
+	state := m.Serialize()
+	man := BuildManifest(3, []types.Pos{2, 2, 2, 2}, make([]types.Digest, 4),
+		m.AppHash(), m.Count(), state)
+	// Chunk-count/state-length mismatch must be rejected: a hostile
+	// manifest may not understate the chunk list to skip verification.
+	bad := *man
+	bad.Chunks = bad.Chunks[:len(bad.Chunks)-1]
+	if _, err := DecodeManifest(bad.Encode()); err == nil {
+		t.Fatal("chunk-count mismatch decoded without error")
+	}
+	if err := man.VerifyChunk(0, []byte("wrong")); err == nil {
+		t.Fatal("bad chunk verified")
+	}
+	if err := man.VerifyState(state[:len(state)-1]); err == nil {
+		t.Fatal("short state verified")
+	}
+}

@@ -1,0 +1,243 @@
+package exec
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// Manifest describes one execution snapshot: the consensus coordinates
+// it was taken at (resume replay from Next; the per-lane committed
+// frontier with its digests), the chain oracle at that point, and the
+// chunked state payload's integrity hashes. A cold replica fetches the
+// manifest first, then each chunk, verifying every chunk against its
+// pinned hash and the assembled state against StateHash before
+// installing anything.
+type Manifest struct {
+	// Next is the first slot to replay after installing the snapshot.
+	Next types.Slot
+	// Frontier/Digests are the per-lane committed positions and chain
+	// digests at Next (the orderer's frontier, one entry per lane).
+	Frontier []types.Pos
+	Digests  []types.Digest
+	// AppHash/Count are the execution chain oracle at Next.
+	AppHash types.Digest
+	Count   uint64
+	// StateHash is the SHA-256 of the full serialized state; it also
+	// identifies the snapshot in chunk requests.
+	StateHash types.Digest
+	// StateLen/ChunkSize shape the chunked transfer; Chunks pins each
+	// chunk's SHA-256.
+	StateLen  uint64
+	ChunkSize uint32
+	Chunks    []types.Digest
+}
+
+// DefaultChunkSize is the snapshot transfer chunk size.
+const DefaultChunkSize = 64 << 10
+
+// maxManifestLanes/maxManifestChunks bound decoded manifests (hostile
+// input reaches DecodeManifest straight off the wire).
+const (
+	maxManifestLanes  = 1 << 12
+	maxManifestChunks = 1 << 16
+)
+
+var manifestMagic = [8]byte{'s', 'n', 'a', 'p', 'm', 'a', 'n', '1'}
+
+// BuildManifest chunks a serialized state and assembles its manifest.
+func BuildManifest(next types.Slot, frontier []types.Pos, digests []types.Digest, appHash types.Digest, count uint64, state []byte) *Manifest {
+	m := &Manifest{
+		Next:      next,
+		Frontier:  append([]types.Pos(nil), frontier...),
+		Digests:   append([]types.Digest(nil), digests...),
+		AppHash:   appHash,
+		Count:     count,
+		StateHash: sha256.Sum256(state),
+		StateLen:  uint64(len(state)),
+		ChunkSize: DefaultChunkSize,
+	}
+	for off := 0; off < len(state); off += DefaultChunkSize {
+		end := min(off+DefaultChunkSize, len(state))
+		m.Chunks = append(m.Chunks, sha256.Sum256(state[off:end]))
+	}
+	return m
+}
+
+// Chunk returns the i-th chunk of a serialized state under this
+// manifest's chunking (nil when out of range).
+func (m *Manifest) Chunk(state []byte, i int) []byte {
+	if i < 0 || i >= len(m.Chunks) || uint64(len(state)) != m.StateLen {
+		return nil
+	}
+	off := i * int(m.ChunkSize)
+	end := min(off+int(m.ChunkSize), len(state))
+	return state[off:end]
+}
+
+// VerifyChunk checks one received chunk against its pinned hash and
+// expected length.
+func (m *Manifest) VerifyChunk(i int, data []byte) error {
+	if i < 0 || i >= len(m.Chunks) {
+		return fmt.Errorf("exec: chunk %d out of range (%d chunks)", i, len(m.Chunks))
+	}
+	wantLen := int(m.ChunkSize)
+	if i == len(m.Chunks)-1 {
+		wantLen = int(m.StateLen) - i*int(m.ChunkSize)
+	}
+	if len(data) != wantLen {
+		return fmt.Errorf("exec: chunk %d is %d bytes, want %d", i, len(data), wantLen)
+	}
+	if sha256.Sum256(data) != m.Chunks[i] {
+		return fmt.Errorf("exec: chunk %d hash mismatch", i)
+	}
+	return nil
+}
+
+// VerifyState checks an assembled state payload against the manifest.
+func (m *Manifest) VerifyState(state []byte) error {
+	if uint64(len(state)) != m.StateLen {
+		return fmt.Errorf("exec: state is %d bytes, want %d", len(state), m.StateLen)
+	}
+	if sha256.Sum256(state) != m.StateHash {
+		return fmt.Errorf("exec: state hash mismatch")
+	}
+	return nil
+}
+
+// Encode renders the manifest in its canonical binary form.
+func (m *Manifest) Encode() []byte {
+	n := 8 + 8 + 2 + len(m.Frontier)*8 + len(m.Digests)*types.DigestSize +
+		types.DigestSize + 8 + types.DigestSize + 8 + 4 + 2 + len(m.Chunks)*types.DigestSize
+	out := make([]byte, 0, n)
+	out = append(out, manifestMagic[:]...)
+	out = binary.LittleEndian.AppendUint64(out, uint64(m.Next))
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(m.Frontier)))
+	for _, p := range m.Frontier {
+		out = binary.LittleEndian.AppendUint64(out, uint64(p))
+	}
+	for _, d := range m.Digests {
+		out = append(out, d[:]...)
+	}
+	out = append(out, m.AppHash[:]...)
+	out = binary.LittleEndian.AppendUint64(out, m.Count)
+	out = append(out, m.StateHash[:]...)
+	out = binary.LittleEndian.AppendUint64(out, m.StateLen)
+	out = binary.LittleEndian.AppendUint32(out, m.ChunkSize)
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(m.Chunks)))
+	for _, d := range m.Chunks {
+		out = append(out, d[:]...)
+	}
+	return out
+}
+
+// DecodeManifest parses and structurally validates a canonical
+// manifest encoding. Every length is checked before use: manifests
+// arrive over the network from untrusted peers (and from disk, where a
+// torn write must fail cleanly, never install partially).
+func DecodeManifest(buf []byte) (*Manifest, error) {
+	r := manifestReader{buf: buf}
+	var magic [8]byte
+	r.read(magic[:])
+	if magic != manifestMagic {
+		return nil, fmt.Errorf("exec: bad manifest magic")
+	}
+	m := &Manifest{Next: types.Slot(r.u64())}
+	lanes := int(r.u16())
+	if lanes == 0 || lanes > maxManifestLanes {
+		return nil, fmt.Errorf("exec: manifest with %d lanes", lanes)
+	}
+	if r.err == nil {
+		m.Frontier = make([]types.Pos, lanes)
+		for i := range m.Frontier {
+			m.Frontier[i] = types.Pos(r.u64())
+		}
+		m.Digests = make([]types.Digest, lanes)
+		for i := range m.Digests {
+			r.read(m.Digests[i][:])
+		}
+	}
+	r.read(m.AppHash[:])
+	m.Count = r.u64()
+	r.read(m.StateHash[:])
+	m.StateLen = r.u64()
+	m.ChunkSize = r.u32()
+	chunks := int(r.u16())
+	if r.err == nil {
+		if chunks > maxManifestChunks {
+			return nil, fmt.Errorf("exec: manifest with %d chunks", chunks)
+		}
+		m.Chunks = make([]types.Digest, chunks)
+		for i := range m.Chunks {
+			r.read(m.Chunks[i][:])
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if len(r.buf) != 0 {
+		return nil, fmt.Errorf("exec: %d trailing manifest bytes", len(r.buf))
+	}
+	if m.Next == 0 {
+		return nil, fmt.Errorf("exec: manifest at slot 0")
+	}
+	if m.ChunkSize == 0 || m.ChunkSize > 16<<20 {
+		return nil, fmt.Errorf("exec: chunk size %d", m.ChunkSize)
+	}
+	if m.StateLen > 1<<30 {
+		return nil, fmt.Errorf("exec: state length %d", m.StateLen)
+	}
+	want := int((m.StateLen + uint64(m.ChunkSize) - 1) / uint64(m.ChunkSize))
+	if len(m.Chunks) != want {
+		return nil, fmt.Errorf("exec: %d chunks for %d bytes at chunk size %d (want %d)",
+			len(m.Chunks), m.StateLen, m.ChunkSize, want)
+	}
+	return m, nil
+}
+
+type manifestReader struct {
+	buf []byte
+	err error
+}
+
+func (r *manifestReader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if len(r.buf) < n {
+		r.err = fmt.Errorf("exec: truncated manifest")
+		return nil
+	}
+	b := r.buf[:n]
+	r.buf = r.buf[n:]
+	return b
+}
+
+func (r *manifestReader) read(dst []byte) {
+	if b := r.take(len(dst)); b != nil {
+		copy(dst, b)
+	}
+}
+
+func (r *manifestReader) u16() uint16 {
+	if b := r.take(2); b != nil {
+		return binary.LittleEndian.Uint16(b)
+	}
+	return 0
+}
+
+func (r *manifestReader) u32() uint32 {
+	if b := r.take(4); b != nil {
+		return binary.LittleEndian.Uint32(b)
+	}
+	return 0
+}
+
+func (r *manifestReader) u64() uint64 {
+	if b := r.take(8); b != nil {
+		return binary.LittleEndian.Uint64(b)
+	}
+	return 0
+}

@@ -337,6 +337,35 @@ func (m *Manager) Cancel(lane types.NodeID, pos types.Pos) {
 	}
 }
 
+// Rebase drops the lane's fetches wholly at or below pos and raises the
+// lower bound of fetches spanning it. After a snapshot install, history
+// at or below the frontier is moot (and, against truncating peers,
+// unservable), but a spanning request's upper remainder is still wanted
+// — typically the very positions that gate the first post-install
+// execution. Shrinking it releases outstanding-position budget for new
+// fetches and re-issues it immediately, rather than letting a request
+// sized for a genesis-deep span sit out a streaming deadline computed
+// for hundreds of positions. Keys are visited in canonical order so the
+// re-issued sends stay a deterministic function of the event history.
+func (m *Manager) Rebase(now time.Duration, lane types.NodeID, pos types.Pos) []*Emit {
+	var out []*Emit
+	for _, k := range m.sortedKeys() {
+		if k.lane != lane {
+			continue
+		}
+		if k.to <= pos {
+			delete(m.pending, k)
+			continue
+		}
+		if req := m.pending[k]; req.From <= pos {
+			req.From = pos + 1
+			req.lastSend = now
+			out = append(out, m.emit(req))
+		}
+	}
+	return out
+}
+
 // ServeChunkBytes bounds one reply message's payload; ServeWindowBytes
 // bounds the total served per request. Large histories are streamed as
 // chunked replies in FIFO (oldest-first) order (§A.3.2: history "can be

@@ -296,3 +296,36 @@ func TestCancel(t *testing.T) {
 		t.Fatal("higher range must survive cancel")
 	}
 }
+
+// TestRebaseShrinksSpanningFetch pins the snapshot-install contract:
+// fetches wholly at or below the frontier are dropped, a fetch spanning
+// it is narrowed to the upper remainder (freeing outstanding-position
+// budget) and re-emitted immediately with the narrowed range.
+func TestRebaseShrinksSpanningFetch(t *testing.T) {
+	m := NewManager(Config{Self: 0, MaxOutstandingPositions: 250})
+	_, propsA := chain(1, 200)
+	_, propsB := chain(2, 100)
+	tipA, tipB := propsA[199], propsB[99]
+	if m.Start(0, 1, 1, 200, tipA.Digest(), []types.NodeID{2}, PurposeGap, 0, 0) == nil {
+		t.Fatal("spanning fetch must start")
+	}
+	if m.Start(0, 2, 1, 100, tipB.Digest(), []types.NodeID{2}, PurposeGap, 0, 0) != nil {
+		t.Fatal("second bulk fetch must be over budget before rebase")
+	}
+	ems := m.Rebase(time.Second, 1, 150)
+	if len(ems) != 1 {
+		t.Fatalf("want 1 re-emit, got %d", len(ems))
+	}
+	if ems[0].Msg.From != 151 || ems[0].Msg.To != 200 {
+		t.Fatalf("rebased range = [%d,%d], want [151,200]", ems[0].Msg.From, ems[0].Msg.To)
+	}
+	// Budget released: the lane-2 bulk fetch fits now.
+	if m.Start(time.Second, 2, 1, 100, tipB.Digest(), []types.NodeID{2}, PurposeGap, 0, 0) == nil {
+		t.Fatal("rebase must release outstanding-position budget")
+	}
+	// A fetch wholly below the frontier is dropped outright.
+	m.Rebase(2*time.Second, 2, 100)
+	if m.Outstanding() != 1 {
+		t.Fatalf("want only the rebased lane-1 fetch outstanding, got %d", m.Outstanding())
+	}
+}

@@ -1,0 +1,98 @@
+package fetch
+
+import (
+	"time"
+
+	"repro/internal/types"
+)
+
+// SnapTracker paces one snapshot-based state sync (the cold-join path):
+// at most one sync is in flight per replica, retries rotate targets so a
+// single unresponsive (or hostile) peer cannot wedge the join, and a
+// bounded attempt budget turns a hopeless sync back over to ordinary
+// range fetching. It only tracks pacing — manifest and chunk assembly
+// state live with the caller, which owns verification.
+type SnapTracker struct {
+	// RetryAfter is the silence threshold before a stalled sync retries
+	// (default 500ms).
+	RetryAfter time.Duration
+	// MaxAttempts bounds target rotations before the sync aborts
+	// (default 8).
+	MaxAttempts int
+
+	active   bool
+	target   types.NodeID
+	last     time.Duration
+	attempts int
+}
+
+func (t *SnapTracker) fill() {
+	if t.RetryAfter == 0 {
+		t.RetryAfter = 500 * time.Millisecond
+	}
+	if t.MaxAttempts == 0 {
+		t.MaxAttempts = 8
+	}
+}
+
+// Active reports whether a state sync is in flight.
+func (t *SnapTracker) Active() bool { return t.active }
+
+// Target returns the peer currently serving the sync.
+func (t *SnapTracker) Target() types.NodeID { return t.target }
+
+// Begin starts tracking a sync against target. Returns false when one is
+// already in flight.
+func (t *SnapTracker) Begin(now time.Duration, target types.NodeID) bool {
+	t.fill()
+	if t.active {
+		return false
+	}
+	t.active = true
+	t.target = target
+	t.last = now
+	t.attempts = 1
+	return true
+}
+
+// Touch records progress (a manifest or chunk arrived), resetting the
+// stall clock.
+func (t *SnapTracker) Touch(now time.Duration) {
+	if t.active {
+		t.last = now
+	}
+}
+
+// Stalled reports whether the sync has been silent past RetryAfter.
+func (t *SnapTracker) Stalled(now time.Duration) bool {
+	return t.active && now-t.last >= t.RetryAfter
+}
+
+// Rotate moves the sync to the next peer (skipping self) and charges one
+// attempt. Returns the new target and false when the attempt budget is
+// exhausted — the caller should abort the sync.
+func (t *SnapTracker) Rotate(now time.Duration, committee int, self types.NodeID) (types.NodeID, bool) {
+	t.fill()
+	if !t.active {
+		return 0, false
+	}
+	t.attempts++
+	if t.attempts > t.MaxAttempts {
+		t.Reset()
+		return 0, false
+	}
+	next := types.NodeID((int(t.target) + 1) % committee)
+	if next == self {
+		next = types.NodeID((int(next) + 1) % committee)
+	}
+	t.target = next
+	t.last = now
+	return next, true
+}
+
+// Reset abandons the sync.
+func (t *SnapTracker) Reset() {
+	t.active = false
+	t.target = 0
+	t.attempts = 0
+}

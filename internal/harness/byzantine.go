@@ -33,9 +33,11 @@ type CommitInterceptor struct {
 	mu        sync.Mutex
 	logs      map[types.NodeID][]CommitRecord
 	byPos     map[[2]uint64]types.Digest // (lane, position) -> digest, across all replicas
+	byHash    map[[2]uint64]types.Digest // (lane, position) -> AppHash: the execution oracle
 	seen      map[[3]uint64]struct{}     // (replica, lane, position): per-replica duplicate check
 	next      map[[2]uint64]types.Pos    // (replica, lane) -> next expected position (gap check)
 	recovered map[types.NodeID]bool      // NoteRecovery: replay of recorded commits is legal
+	jumped    map[types.NodeID]bool      // replica joined via snapshot: its log is a suffix
 	broken    string                     // first violation, sticky
 }
 
@@ -44,6 +46,10 @@ type CommitRecord struct {
 	Lane     types.NodeID
 	Position types.Pos
 	Digest   types.Digest
+	// AppHash is the execution layer's chain hash after this batch (zero
+	// when execution is off). Two replicas reporting different non-zero
+	// AppHashes at one (lane, position) executed divergent histories.
+	AppHash types.Digest
 }
 
 // NewCommitInterceptor builds an empty oracle.
@@ -51,9 +57,11 @@ func NewCommitInterceptor() *CommitInterceptor {
 	return &CommitInterceptor{
 		logs:      make(map[types.NodeID][]CommitRecord),
 		byPos:     make(map[[2]uint64]types.Digest),
+		byHash:    make(map[[2]uint64]types.Digest),
 		seen:      make(map[[3]uint64]struct{}),
 		next:      make(map[[2]uint64]types.Pos),
 		recovered: make(map[types.NodeID]bool),
+		jumped:    make(map[types.NodeID]bool),
 	}
 }
 
@@ -75,13 +83,16 @@ func (ci *CommitInterceptor) NoteRecovery(replica types.NodeID) {
 // Wrap interposes the oracle on a commit sink (ClusterConfig.WrapSink).
 func (ci *CommitInterceptor) Wrap(inner runtime.CommitSink) runtime.CommitSink {
 	return runtime.CommitSinkFunc(func(node types.NodeID, now time.Duration, c runtime.Committed) {
-		ci.Record(node, c.Lane, c.Position, c.Batch.Digest())
+		ci.Record(node, c.Lane, c.Position, c.Batch.Digest(), c.AppHash)
 		inner.OnCommit(node, now, c)
 	})
 }
 
 // Record observes one commit (live harnesses feed their observers here).
-func (ci *CommitInterceptor) Record(replica, lane types.NodeID, pos types.Pos, digest types.Digest) {
+// appHash is the reporting replica's execution chain hash after the batch
+// (zero with execution off — zero hashes are exempt from the execution
+// oracle, never pinned).
+func (ci *CommitInterceptor) Record(replica, lane types.NodeID, pos types.Pos, digest, appHash types.Digest) {
 	ci.mu.Lock()
 	defer ci.mu.Unlock()
 	// Intra-replica: a position must commit at most once — except on a
@@ -103,8 +114,17 @@ func (ci *CommitInterceptor) Record(replica, lane types.NodeID, pos types.Pos, d
 	// Intra-replica: each lane must commit gap-free, positions 1, 2, 3, …
 	// in delivery order (a committed lane prefix admits no holes).
 	lk := [2]uint64{uint64(replica), uint64(lane)}
-	if want := ci.next[lk] + 1; pos != want && ci.broken == "" {
-		ci.broken = fmt.Sprintf("replica %s lane %s gap: committed position %d, expected %d", replica, lane, pos, want)
+	if want := ci.next[lk] + 1; pos != want {
+		if ci.recovered[replica] && pos > want {
+			// A snapshot-joined replica legitimately resumes a lane above
+			// its last locally-delivered position: positions beneath the
+			// snapshot frontier were adopted as state, not replayed. Its
+			// log is a suffix of the others', so it is excluded from the
+			// common-prefix check (positional pins still apply).
+			ci.jumped[replica] = true
+		} else if ci.broken == "" {
+			ci.broken = fmt.Sprintf("replica %s lane %s gap: committed position %d, expected %d", replica, lane, pos, want)
+		}
 	}
 	if pos > ci.next[lk] {
 		ci.next[lk] = pos
@@ -118,7 +138,21 @@ func (ci *CommitInterceptor) Record(replica, lane types.NodeID, pos types.Pos, d
 	} else {
 		ci.byPos[k] = digest
 	}
-	ci.logs[replica] = append(ci.logs[replica], CommitRecord{Lane: lane, Position: pos, Digest: digest})
+	// Cross-replica execution oracle: the chain hash after a (lane,
+	// position) is a pure function of the committed history up to it, so
+	// every executing replica must report the same one. A mismatch means
+	// some replica executed a different history — mutated batch, skipped
+	// entry, reordering — even if its commit stream looks plausible.
+	if appHash != (types.Digest{}) {
+		if h, ok := ci.byHash[k]; ok {
+			if h != appHash && ci.broken == "" {
+				ci.broken = fmt.Sprintf("execution divergence at lane %s position %d", lane, pos)
+			}
+		} else {
+			ci.byHash[k] = appHash
+		}
+	}
+	ci.logs[replica] = append(ci.logs[replica], CommitRecord{Lane: lane, Position: pos, Digest: digest, AppHash: appHash})
 }
 
 // Violation returns the first safety violation observed ("" if none),
@@ -138,6 +172,13 @@ func (ci *CommitInterceptor) Violation() string {
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for i := 0; i < len(ids); i++ {
 		for j := i + 1; j < len(ids); j++ {
+			if ci.jumped[ids[i]] || ci.jumped[ids[j]] {
+				// A snapshot-joined replica's log is a suffix of the full
+				// order, not a prefix: index-aligned comparison would
+				// report false divergence. The positional pins (byPos,
+				// byHash) still bind every entry it delivers.
+				continue
+			}
 			a, b := ci.logs[ids[i]], ci.logs[ids[j]]
 			n := len(a)
 			if len(b) < n {

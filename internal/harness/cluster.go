@@ -57,6 +57,16 @@ type ClusterConfig struct {
 	// Reputation enables the §B.1 lane-reputation defense (Autobahn only;
 	// requires optimistic tips, the default).
 	Reputation bool
+	// Execution enables the deterministic execution layer (Autobahn only):
+	// commits carry the running AppHash, the cross-replica execution
+	// oracle the CommitInterceptor checks.
+	Execution bool
+	// SnapshotEvery checkpoints execution state every this many slots and
+	// truncates the journal/lane stores beneath it; replicas far behind
+	// join via snapshot-based state sync. 0 disables. Requires Execution.
+	// Snapshot stores are retained across warm restarts (like journals)
+	// and replaced on amnesia.
+	SnapshotEvery types.Slot
 	// Faults to inject (nil = fault-free). Byzantine behavior windows in
 	// the schedule (FaultSchedule.AddBehavior) wrap the named replicas
 	// with internal/adversary before the run (Autobahn only).
@@ -88,6 +98,9 @@ type Cluster struct {
 	// Journals holds per-replica journals, populated only when the fault
 	// schedule contains Restart events (Autobahn only).
 	Journals []core.Journal
+	// Snapshots holds per-replica snapshot stores, populated only when
+	// SnapshotEvery > 0 (Autobahn only).
+	Snapshots []*core.MemSnapshots
 }
 
 // Build constructs the deployment.
@@ -137,6 +150,15 @@ func Build(cfg ClusterConfig) *Cluster {
 			c.Journals[i] = core.NewMemJournal()
 		}
 	}
+	if cfg.SnapshotEvery > 0 {
+		if cfg.System != Autobahn {
+			panic(fmt.Sprintf("harness: snapshots are only supported for Autobahn, not %s", cfg.System))
+		}
+		c.Snapshots = make([]*core.MemSnapshots, cfg.N)
+		for i := range c.Snapshots {
+			c.Snapshots[i] = &core.MemSnapshots{}
+		}
+	}
 	sink := runtime.CommitSink(rec.Sink())
 	if cfg.WrapSink != nil {
 		sink = cfg.WrapSink(sink)
@@ -144,7 +166,7 @@ func Build(cfg ClusterConfig) *Cluster {
 	for i := 0; i < cfg.N; i++ {
 		id := types.NodeID(i)
 		c.IDs = append(c.IDs, id)
-		nd := buildNode(cfg, committee, id, suite, sink, c.journal(id))
+		nd := buildNode(cfg, committee, id, suite, sink, c.journal(id), c.snapshots(id))
 		nd = wrapAdversary(cfg, committee, id, suite, nd)
 		c.Nodes = append(c.Nodes, nd)
 		eng.AddNode(nd)
@@ -156,8 +178,11 @@ func Build(cfg ClusterConfig) *Cluster {
 			}
 			if amnesia {
 				c.Journals[id] = core.NewMemJournal()
+				if c.Snapshots != nil {
+					c.Snapshots[id] = &core.MemSnapshots{}
+				}
 			}
-			nd := buildNode(cfg, committee, id, suite, sink, c.Journals[id])
+			nd := buildNode(cfg, committee, id, suite, sink, c.Journals[id], c.snapshots(id))
 			c.Nodes[id] = nd
 			return nd
 		})
@@ -199,7 +224,16 @@ func (c *Cluster) journal(id types.NodeID) core.Journal {
 	return c.Journals[id]
 }
 
-func buildNode(cfg ClusterConfig, committee types.Committee, id types.NodeID, suite crypto.Suite, sink runtime.CommitSink, journal core.Journal) runtime.Protocol {
+// snapshots returns the replica's snapshot store as the interface type —
+// nil (not a typed nil) when snapshots are off.
+func (c *Cluster) snapshots(id types.NodeID) core.SnapshotStore {
+	if c.Snapshots == nil {
+		return nil
+	}
+	return c.Snapshots[id]
+}
+
+func buildNode(cfg ClusterConfig, committee types.Committee, id types.NodeID, suite crypto.Suite, sink runtime.CommitSink, journal core.Journal, snaps core.SnapshotStore) runtime.Protocol {
 	switch cfg.System {
 	case Autobahn:
 		return core.NewNode(core.Config{
@@ -212,6 +246,9 @@ func buildNode(cfg ClusterConfig, committee types.Committee, id types.NodeID, su
 			WeakVotes:      cfg.WeakVotes,
 			Reputation:     cfg.Reputation,
 			ViewTimeout:    cfg.ViewTimeout,
+			Execution:      cfg.Execution,
+			SnapshotEvery:  cfg.SnapshotEvery,
+			Snapshots:      snaps,
 			Journal:        journal,
 			Sink:           sink,
 		})

@@ -122,7 +122,7 @@ func RunLiveTCPCell(cfg LiveCellConfig) LiveCellResult {
 		// gap would misalign the oracle's log comparison.
 		id := types.NodeID(i)
 		r.SetCommitObserver(func(c autobahn.Committed) {
-			ci.Record(id, c.Lane, c.Position, c.Batch.Digest())
+			ci.Record(id, c.Lane, c.Position, c.Batch.Digest(), c.AppHash)
 			// The liveness counter tracks honest-lane commits only, to
 			// match the honest-submitted floor: counting the Byzantine
 			// lane's commits (including equivocation-fork batches) would

@@ -36,6 +36,15 @@ type SoakConfig struct {
 	// counts select the default mix; N/Seed/Start/End default from the
 	// fields above.
 	Chaos chaos.Params
+	// Execution runs the deterministic execution layer under the churn:
+	// every commit carries an AppHash and the oracle additionally checks
+	// cross-replica execution agreement.
+	Execution bool
+	// SnapshotEvery, when > 0, checkpoints and truncates every this many
+	// slots during the soak — restarts then recover from the newer of
+	// snapshot and journal, and far-behind replicas join via state sync.
+	// Requires Execution.
+	SnapshotEvery types.Slot
 }
 
 func (c *SoakConfig) fill() {
@@ -122,13 +131,15 @@ func RunSimSoak(cfg SoakConfig) (SoakResult, error) {
 	}
 	ci := NewCommitInterceptor()
 	c := Build(ClusterConfig{
-		System:     Autobahn,
-		N:          cfg.N,
-		Seed:       cfg.Seed,
-		Reputation: true,
-		Faults:     fs,
-		WrapSink:   ci.Wrap,
-		OnRebuild:  func(id types.NodeID, _ bool) { ci.NoteRecovery(id) },
+		System:        Autobahn,
+		N:             cfg.N,
+		Seed:          cfg.Seed,
+		Reputation:    true,
+		Execution:     cfg.Execution,
+		SnapshotEvery: cfg.SnapshotEvery,
+		Faults:        fs,
+		WrapSink:      ci.Wrap,
+		OnRebuild:     func(id types.NodeID, _ bool) { ci.NoteRecovery(id) },
 	})
 	c.RunLoad(cfg.Load, 0, cfg.Duration, cfg.Duration+15*time.Second)
 
@@ -247,7 +258,15 @@ type LiveSoakConfig struct {
 	// GatewayRate is the gateway fleet's aggregate submission rate
 	// (default 100 tx/s when GatewayClients > 0).
 	GatewayRate float64
-	Logger      *log.Logger
+	// Execution runs the deterministic execution layer through the churn
+	// (AppHash on every commit, checked by the oracle).
+	Execution bool
+	// SnapshotEvery, when > 0, checkpoints and truncates the WAL every
+	// this many slots: restarts recover from the newer of snapshot and
+	// journal, and MaxWALBytes lets tests assert bounded on-disk growth.
+	// Requires Execution.
+	SnapshotEvery types.Slot
+	Logger        *log.Logger
 }
 
 func (c *LiveSoakConfig) fill() {
@@ -326,6 +345,10 @@ type LiveSoakResult struct {
 	JournalFatals uint64
 	// OperatorRestarts counts scheduled replica rebuilds.
 	OperatorRestarts int
+	// MaxWALBytes is the largest per-replica WAL file at teardown — with
+	// SnapshotEvery set, tests assert it stays bounded (truncation plus
+	// compaction keeps the log from growing with history).
+	MaxWALBytes int64
 	// GoroutineGrowth / FDGrowth are end-minus-start watermarks after
 	// full teardown (leak detection; FDGrowth is 0 where /proc is
 	// unavailable).
@@ -468,7 +491,9 @@ func RunLiveSoak(cfg LiveSoakConfig) LiveSoakResult {
 	}
 	s.opts = autobahn.Options{
 		N: cfg.N, Seed: cfg.Seed, MaxBatchDelay: 10 * time.Millisecond,
-		StallTimeout: cfg.StallTimeout,
+		StallTimeout:  cfg.StallTimeout,
+		Execution:     cfg.Execution,
+		SnapshotEvery: cfg.SnapshotEvery,
 	}
 	adversary := make(map[types.NodeID]string)
 	for _, b := range sched.Behaviors {
@@ -674,6 +699,11 @@ func RunLiveSoak(cfg LiveSoakConfig) LiveSoakResult {
 	s.watchWg.Wait()
 	time.Sleep(300 * time.Millisecond) //lint:allow noclock settle before the goroutine watermark
 
+	for i := 0; i < cfg.N; i++ {
+		if st, err := os.Stat(s.walPath(i)); err == nil && st.Size() > res.MaxWALBytes {
+			res.MaxWALBytes = st.Size()
+		}
+	}
 	res.MinCommitted = s.perReplica[0].Load()
 	for i := 0; i < cfg.N; i++ {
 		res.PerReplica[i] = s.perReplica[i].Load()
@@ -740,7 +770,7 @@ func (s *liveSoakRun) startReplica(i int, plan *storage.FaultPlan, amnesia bool)
 		s.perReplica[i].Store(0)
 	}
 	r.SetCommitObserver(func(c autobahn.Committed) {
-		s.ci.Record(id, c.Lane, c.Position, c.Batch.Digest())
+		s.ci.Record(id, c.Lane, c.Position, c.Batch.Digest(), c.AppHash)
 		if s.eligibleLane[c.Lane] {
 			s.perReplica[i].Add(uint64(c.Batch.Count))
 		}
@@ -884,6 +914,7 @@ func (s *liveSoakRun) timeline() {
 			s.retireIncarnation(i, s.current(i))
 			if ev.Amnesia {
 				os.Remove(s.walPath(i))
+				os.Remove(s.walPath(i) + ".snap") // amnesia forgets the checkpoint too
 				s.mu.Lock()
 				s.retired[i] = true // clients time out and resubmit elsewhere
 				s.mu.Unlock()

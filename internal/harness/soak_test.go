@@ -83,8 +83,8 @@ func TestSimSoakDeterministic(t *testing.T) {
 func TestCommitInterceptorLaneGap(t *testing.T) {
 	ci := NewCommitInterceptor()
 	d := types.Digest{1}
-	ci.Record(0, 1, 1, d)
-	ci.Record(0, 1, 3, types.Digest{3})
+	ci.Record(0, 1, 1, d, types.Digest{})
+	ci.Record(0, 1, 3, types.Digest{3}, types.Digest{})
 	if v := ci.Violation(); v == "" {
 		t.Fatal("lane gap not detected")
 	}
@@ -96,21 +96,21 @@ func TestCommitInterceptorLaneGap(t *testing.T) {
 func TestCommitInterceptorRecoveryReplay(t *testing.T) {
 	ci := NewCommitInterceptor()
 	d := types.Digest{1}
-	ci.Record(2, 1, 1, d)
+	ci.Record(2, 1, 1, d, types.Digest{})
 	ci.NoteRecovery(2)
-	ci.Record(2, 1, 1, d) // amnesiac replay of the same commit
+	ci.Record(2, 1, 1, d, types.Digest{}) // amnesiac replay of the same commit
 	if v := ci.Violation(); v != "" {
 		t.Fatalf("legal recovery replay flagged: %s", v)
 	}
-	ci.Record(2, 1, 1, types.Digest{9}) // replay with a different batch
+	ci.Record(2, 1, 1, types.Digest{9}, types.Digest{}) // replay with a different batch
 	if v := ci.Violation(); v == "" {
 		t.Fatal("divergent replay not detected")
 	}
 
 	// Without NoteRecovery the same re-delivery is a double commit.
 	ci2 := NewCommitInterceptor()
-	ci2.Record(0, 0, 1, d)
-	ci2.Record(0, 0, 1, d)
+	ci2.Record(0, 0, 1, d, types.Digest{})
+	ci2.Record(0, 0, 1, d, types.Digest{})
 	if v := ci2.Violation(); v == "" {
 		t.Fatal("duplicate commit not detected")
 	}

@@ -1,0 +1,134 @@
+package harness
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/runtime"
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// TestExecutionAppHashAgreement runs a fault-free cluster with the
+// execution layer on: every commit must carry a non-zero AppHash, all
+// replicas must agree at every (lane, position), and the safety oracle
+// must stay quiet.
+func TestExecutionAppHashAgreement(t *testing.T) {
+	ci := NewCommitInterceptor()
+	var mu sync.Mutex
+	nonZero := 0
+	c := Build(ClusterConfig{
+		System:    Autobahn,
+		N:         4,
+		Execution: true,
+		WrapSink: func(inner runtime.CommitSink) runtime.CommitSink {
+			inner = ci.Wrap(inner)
+			return runtime.CommitSinkFunc(func(node types.NodeID, now time.Duration, cm runtime.Committed) {
+				if cm.AppHash != (types.Digest{}) {
+					mu.Lock()
+					nonZero++
+					mu.Unlock()
+				}
+				inner.OnCommit(node, now, cm)
+			})
+		},
+	})
+	c.RunLoad(10e3, 0, 5*time.Second, 8*time.Second)
+	if v := ci.Violation(); v != "" {
+		t.Fatalf("unexpected violation: %s", v)
+	}
+	if c.Recorder.Total() == 0 {
+		t.Fatal("no commits")
+	}
+	if nonZero == 0 {
+		t.Fatal("execution on but no commit carried an AppHash")
+	}
+}
+
+// TestExecutionDivergenceOracle is the execution-safety drill: one
+// replica's machine executes a mutated batch (a byzantine executor whose
+// commit stream still looks plausible), and the interceptor must flag
+// the AppHash divergence — the whole point of cross-checking the chain
+// hash rather than just the committed digests.
+func TestExecutionDivergenceOracle(t *testing.T) {
+	ci := NewCommitInterceptor()
+	c := Build(ClusterConfig{
+		System:    Autobahn,
+		N:         4,
+		Execution: true,
+		WrapSink:  ci.Wrap,
+	})
+	c.Nodes[1].(*core.Node).TamperExecution()
+	c.RunLoad(10e3, 0, 3*time.Second, 5*time.Second)
+	v := ci.Violation()
+	if v == "" {
+		t.Fatal("tampered execution not detected")
+	}
+	if !strings.Contains(v, "execution divergence") {
+		t.Fatalf("wrong violation kind: %s", v)
+	}
+	t.Logf("oracle verdict: %s", v)
+}
+
+// TestSnapshotColdJoin is the O(state) join path on the simulator: a
+// snapshotting cluster runs long enough to truncate history, one replica
+// restarts with amnesia, and it must rejoin through snapshot-based state
+// sync (manifest, verified chunks, install) — counted by the node's
+// SnapshotsInstalled stat — then keep committing with the others, all
+// under the safety oracle.
+func TestSnapshotColdJoin(t *testing.T) {
+	ci := NewCommitInterceptor()
+	faults := (&sim.FaultSchedule{}).
+		AddDown(2, 10*time.Second, 11500*time.Millisecond).
+		Restart(2, 11500*time.Millisecond, true)
+	c := Build(ClusterConfig{
+		System:        Autobahn,
+		N:             4,
+		Execution:     true,
+		SnapshotEvery: 25,
+		Faults:        faults,
+		WrapSink:      ci.Wrap,
+		OnRebuild:     func(id types.NodeID, _ bool) { ci.NoteRecovery(id) },
+	})
+	c.RunLoad(10e3, 0, 20*time.Second, 25*time.Second)
+	if v := ci.Violation(); v != "" {
+		t.Fatalf("violation during cold join: %s", v)
+	}
+	nd := c.Nodes[2].(*core.Node)
+	if got := nd.Stats().SnapshotsInstalled; got == 0 {
+		t.Fatalf("amnesiac replica never installed a snapshot (frontier %d, next exec %d)",
+			nd.SnapshotFrontier(), nd.Orderer().NextExec())
+	}
+	if ci.Commits(2) == 0 {
+		t.Fatal("amnesiac replica committed nothing after rejoin")
+	}
+	t.Logf("replica 2 rejoined via %d snapshot install(s), resumed at slot %d, %d commits",
+		nd.Stats().SnapshotsInstalled, nd.Orderer().NextExec(), ci.Commits(2))
+}
+
+// TestSimSoakSnapshotChurn is the PR 8 churn soak with execution,
+// snapshots and truncation on: rolling restarts (with the amnesia mix),
+// stalls and a Byzantine lane, while every replica checkpoints and
+// truncates — zero safety violations and full recovery required.
+func TestSimSoakSnapshotChurn(t *testing.T) {
+	res, err := RunSimSoak(SoakConfig{
+		N:             7,
+		Execution:     true,
+		SnapshotEvery: 25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != "" {
+		t.Fatalf("violation: %s", res.Violation)
+	}
+	if !res.Recovered {
+		t.Fatalf("cluster did not recover inside every gap (max hangover %s)", res.MaxHangover)
+	}
+	if res.Total == 0 {
+		t.Fatal("no commits")
+	}
+}

@@ -286,3 +286,34 @@ func (o *Orderer) Restore(nextExec types.Slot, frontier []types.Pos, digests []t
 		copy(o.lastDigest, digests)
 	}
 }
+
+// InstallSnapshot jumps the execution frontier forward to a verified
+// snapshot's frontier (state sync): slots below next will never execute
+// locally — their effect is already in the installed state — so pending
+// decisions beneath the frontier are discarded. Unlike Restore it may be
+// called mid-run, after decisions have been added. A frontier at or
+// below the current one is a no-op (the local replay already passed it).
+func (o *Orderer) InstallSnapshot(next types.Slot, frontier []types.Pos, digests []types.Digest) {
+	if next <= o.nextExec {
+		return
+	}
+	o.nextExec = next
+	if len(frontier) == len(o.lastCommit) {
+		copy(o.lastCommit, frontier)
+	}
+	if len(digests) == len(o.lastDigest) {
+		copy(o.lastDigest, digests)
+	}
+	// Purge pending decisions below the frontier in sorted order (the
+	// deletion order must not depend on map layout — detrange).
+	stale := make([]types.Slot, 0, len(o.pendingSlots))
+	for s := range o.pendingSlots {
+		if s < next {
+			stale = append(stale, s)
+		}
+	}
+	sort.Slice(stale, func(i, j int) bool { return stale[i] < stale[j] })
+	for _, s := range stale {
+		delete(o.pendingSlots, s)
+	}
+}

@@ -160,6 +160,10 @@ type Committed struct {
 	// protocol has no slot notion).
 	Slot  types.Slot
 	Batch *types.Batch
+	// AppHash is the execution layer's chain hash after applying this
+	// batch (zero when execution is disabled). Replicas must agree on it
+	// at every (lane, position); the harness cross-checks.
+	AppHash types.Digest
 }
 
 // CommitSink receives execution-ready batches in total order. The runtime

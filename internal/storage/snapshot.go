@@ -1,0 +1,141 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// Snapshot files persist one execution snapshot — a manifest blob plus
+// the serialized state it describes — with whole-file atomicity: the
+// payload is written to a sidecar, fsynced, then renamed over the live
+// path, so readers only ever see the previous complete snapshot or the
+// new complete snapshot, never a torn one. Both sections carry CRCs;
+// any framing or checksum failure reads as "no usable snapshot" and
+// the caller falls back (to the journal frontier, or to genesis).
+//
+// Layout: magic(8) | mlen(4) | manifest | crc32(manifest) |
+//         slen(4) | state | crc32(state).
+
+var snapMagic = [8]byte{'A', 'B', 'S', 'N', 'A', 'P', '1', 0}
+
+const (
+	snapTmpSuffix   = ".tmp"
+	maxSnapSection  = 1 << 30
+	snapSectionHdrs = 8 + 4 + 4 + 4 + 4
+)
+
+// WriteSnapshot atomically persists a snapshot at path. The previous
+// snapshot (if any) remains readable until the final rename commits the
+// new one.
+func WriteSnapshot(path string, manifest, state []byte) error {
+	tmp := path + snapTmpSuffix
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: snapshot open: %w", err)
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	w.Write(snapMagic[:])
+	writeSnapSection(w, manifest)
+	writeSnapSection(w, state)
+	if err := w.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("storage: snapshot flush: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("storage: snapshot sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("storage: snapshot close: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("storage: snapshot commit: %w", err)
+	}
+	return nil
+}
+
+func writeSnapSection(w *bufio.Writer, b []byte) {
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(b)))
+	w.Write(n[:])
+	w.Write(b)
+	binary.LittleEndian.PutUint32(n[:], crc32.ChecksumIEEE(b))
+	w.Write(n[:])
+}
+
+// ReadSnapshot loads the snapshot at path. A missing file returns
+// (nil, nil, nil) — no snapshot is a normal state, not an error. A
+// present-but-unreadable file (torn write, corruption, bad magic)
+// returns an error; callers treat it as "no usable snapshot" but may
+// log it loudly.
+func ReadSnapshot(path string) (manifest, state []byte, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil, nil
+		}
+		return nil, nil, fmt.Errorf("storage: snapshot open: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<20)
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, nil, fmt.Errorf("storage: snapshot magic: %w", err)
+	}
+	if magic != snapMagic {
+		return nil, nil, fmt.Errorf("storage: bad snapshot magic")
+	}
+	if manifest, err = readSnapSection(r); err != nil {
+		return nil, nil, fmt.Errorf("storage: snapshot manifest: %w", err)
+	}
+	if state, err = readSnapSection(r); err != nil {
+		return nil, nil, fmt.Errorf("storage: snapshot state: %w", err)
+	}
+	if _, err := r.ReadByte(); err != io.EOF {
+		return nil, nil, fmt.Errorf("storage: trailing snapshot bytes")
+	}
+	return manifest, state, nil
+}
+
+// FileSnapshots is a file-backed snapshot store (core.SnapshotStore): a
+// single snapshot file, atomically replaced on each Save. Load treats
+// any unreadable file as "no snapshot" per ReadSnapshot.
+type FileSnapshots struct{ Path string }
+
+func (s FileSnapshots) Save(manifest, state []byte) error {
+	return WriteSnapshot(s.Path, manifest, state)
+}
+
+func (s FileSnapshots) Load() ([]byte, []byte, error) {
+	return ReadSnapshot(s.Path)
+}
+
+func readSnapSection(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("torn length: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxSnapSection {
+		return nil, fmt.Errorf("implausible section length %d", n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return nil, fmt.Errorf("torn payload: %w", err)
+	}
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("torn checksum: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[:]) != crc32.ChecksumIEEE(b) {
+		return nil, fmt.Errorf("checksum mismatch")
+	}
+	return b, nil
+}

@@ -1,0 +1,186 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "r.snap")
+	man := []byte("manifest-bytes")
+	state := bytes.Repeat([]byte{0xab}, 300<<10)
+	if err := WriteSnapshot(path, man, state); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	gm, gs, err := ReadSnapshot(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !bytes.Equal(gm, man) || !bytes.Equal(gs, state) {
+		t.Fatal("snapshot did not round-trip")
+	}
+	// Overwrite with a second snapshot: the new one wins atomically.
+	if err := WriteSnapshot(path, []byte("v2"), []byte("state2")); err != nil {
+		t.Fatalf("rewrite: %v", err)
+	}
+	gm, gs, err = ReadSnapshot(path)
+	if err != nil {
+		t.Fatalf("reread: %v", err)
+	}
+	if string(gm) != "v2" || string(gs) != "state2" {
+		t.Fatal("second snapshot not visible")
+	}
+}
+
+func TestSnapshotMissingIsNotAnError(t *testing.T) {
+	m, s, err := ReadSnapshot(filepath.Join(t.TempDir(), "absent.snap"))
+	if err != nil || m != nil || s != nil {
+		t.Fatalf("missing snapshot: (%v, %v, %v), want all nil", m, s, err)
+	}
+}
+
+// TestSnapshotTornWriteFailsCleanly truncates a committed snapshot at
+// every interesting boundary: each torn variant must fail to read (the
+// caller falls back to journal/genesis), never return partial data.
+func TestSnapshotTornWriteFailsCleanly(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.snap")
+	man := bytes.Repeat([]byte{0x5a}, 200)
+	state := bytes.Repeat([]byte{0xc3}, 4096)
+	if err := WriteSnapshot(path, man, state); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{0, 4, 8, 10, 8 + 4 + len(man), 8 + 4 + len(man) + 2, len(full) - 1} {
+		torn := filepath.Join(dir, fmt.Sprintf("torn-%d.snap", cut))
+		if err := os.WriteFile(torn, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := ReadSnapshot(torn); err == nil {
+			t.Fatalf("torn snapshot (cut %d) read without error", cut)
+		}
+	}
+	// Bit flip inside the state payload: checksum must catch it.
+	flipped := append([]byte(nil), full...)
+	flipped[len(flipped)-10] ^= 0x40
+	fp := filepath.Join(dir, "flip.snap")
+	if err := os.WriteFile(fp, flipped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadSnapshot(fp); err == nil {
+		t.Fatal("corrupted snapshot read without error")
+	}
+}
+
+// TestSnapshotWriteLeavesPreviousIntact: the sidecar+rename protocol
+// means a failed write never destroys the previous snapshot.
+func TestSnapshotWriteLeavesPreviousIntact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "p.snap")
+	if err := WriteSnapshot(path, []byte("m1"), []byte("s1")); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate an interrupted second write: a leftover tmp sidecar.
+	if err := os.WriteFile(path+snapTmpSuffix, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, s, err := ReadSnapshot(path)
+	if err != nil || string(m) != "m1" || string(s) != "s1" {
+		t.Fatalf("previous snapshot lost: (%q, %q, %v)", m, s, err)
+	}
+}
+
+func TestCompactReclaimsAndPreservesIndex(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.wal")
+	st, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Churn: many overwrites and deletes, then compact.
+	for i := 0; i < 200; i++ {
+		k := fmt.Appendf(nil, "key-%03d", i%20)
+		v := bytes.Repeat([]byte{byte(i)}, 512)
+		if err := st.Put(k, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if err := st.Delete(fmt.Appendf(nil, "key-%03d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := os.Stat(path)
+	if err := st.Compact(); err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+	after, _ := os.Stat(path)
+	if after.Size() >= before.Size() {
+		t.Fatalf("compaction did not shrink the log: %d -> %d", before.Size(), after.Size())
+	}
+	if st.Len() != 10 {
+		t.Fatalf("index has %d keys after compact, want 10", st.Len())
+	}
+	// Writes continue on the compacted log; reopen replays everything.
+	if err := st.Put([]byte("post"), []byte("compact")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer re.Close()
+	if re.Len() != 11 {
+		t.Fatalf("reopened index has %d keys, want 11", re.Len())
+	}
+	if v, ok := re.Get([]byte("post")); !ok || string(v) != "compact" {
+		t.Fatal("post-compact write lost across reopen")
+	}
+	for i := 0; i < 10; i++ {
+		if _, ok := re.Get(fmt.Appendf(nil, "key-%03d", i)); ok {
+			t.Fatalf("deleted key-%03d resurrected by compaction", i)
+		}
+	}
+}
+
+// TestCompactCrashLeavesOldLogAuthoritative: a sidecar left behind by a
+// crash mid-compaction (before the rename) must be ignored and removed
+// by the next Open; the original log replays unchanged.
+func TestCompactCrashLeavesOldLogAuthoritative(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cc.wal")
+	st, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put([]byte("a"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A torn sidecar from a crashed compaction.
+	if err := os.WriteFile(path+compactSuffix, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(path)
+	if err != nil {
+		t.Fatalf("reopen with dead sidecar: %v", err)
+	}
+	defer re.Close()
+	if v, ok := re.Get([]byte("a")); !ok || string(v) != "1" {
+		t.Fatal("live log not authoritative after crashed compaction")
+	}
+	if _, err := os.Stat(path + compactSuffix); !os.IsNotExist(err) {
+		t.Fatal("dead compaction sidecar not cleaned up")
+	}
+}

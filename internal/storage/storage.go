@@ -14,6 +14,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"sort"
 	"sync"
 )
 
@@ -39,6 +40,7 @@ type Store struct {
 	w     *bufio.Writer
 	index map[string][]byte
 	path  string
+	plan  *FaultPlan
 	dirty int
 	// SyncEvery fsyncs after this many appends (0 = never, relying on OS
 	// flush; crash durability is a non-goal for the reproduction).
@@ -78,6 +80,9 @@ func Open(path string) (*Store, error) {
 // file — the plan schedules faults for the incarnation's own writes,
 // not for reading the inherited log.
 func OpenWithFaults(path string, plan *FaultPlan) (*Store, error) {
+	// A leftover sidecar from a compaction interrupted before its atomic
+	// rename is dead weight: the live log at path is still authoritative.
+	os.Remove(path + compactSuffix)
 	raw, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("storage: open %s: %w", path, err)
@@ -90,6 +95,7 @@ func OpenWithFaults(path string, plan *FaultPlan) (*Store, error) {
 		f:     f,
 		index: make(map[string][]byte),
 		path:  path,
+		plan:  plan,
 	}
 	if err := s.replay(); err != nil {
 		f.Close()
@@ -181,20 +187,8 @@ func recordCRC(key, val []byte, vlen uint32) uint32 {
 }
 
 func (s *Store) append(key, val []byte, vlen uint32) error {
-	var hdr [12]byte
-	binary.LittleEndian.PutUint32(hdr[0:], recordCRC(key, val, vlen))
-	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(key)))
-	binary.LittleEndian.PutUint32(hdr[8:], vlen)
-	if _, err := s.w.Write(hdr[:]); err != nil {
+	if err := writeRecord(s.w, key, val, vlen); err != nil {
 		return err
-	}
-	if _, err := s.w.Write(key); err != nil {
-		return err
-	}
-	if val != nil {
-		if _, err := s.w.Write(val); err != nil {
-			return err
-		}
 	}
 	s.appends++
 	s.dirty++
@@ -279,4 +273,104 @@ func (s *Store) Close() error {
 		return err
 	}
 	return s.f.Close()
+}
+
+const compactSuffix = ".compact"
+
+// Compact rewrites the log to exactly the live index, reclaiming the
+// space held by overwritten values, tombstones, and deleted keys — the
+// truncation path under the execution layer's snapshot frontier. The
+// rewrite is crash-safe on both sides of its atomic rename: the new log
+// is written to a sidecar file and fsynced before it replaces the live
+// path, so a crash mid-rewrite leaves the old log authoritative (Open
+// removes the dead sidecar), and a crash after the rename finds the
+// compacted log complete. Records are written in sorted key order so a
+// compacted log replays deterministically.
+//
+// In-memory stores (no path) and fault-injected stores mid-crash return
+// the underlying error; a fault-plan store re-arms its plan against the
+// reopened file (write counters restart — compaction is an incarnation
+// boundary for the plan).
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.w.Flush(); err != nil {
+		return fmt.Errorf("storage: compact flush: %w", err)
+	}
+	tmp := s.path + compactSuffix
+	raw, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: compact open: %w", err)
+	}
+	bw := bufio.NewWriterSize(raw, 1<<20)
+	keys := make([]string, 0, len(s.index))
+	for k := range s.index {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if err := writeRecord(bw, []byte(k), s.index[k], uint32(len(s.index[k]))); err != nil {
+			raw.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("storage: compact write: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		raw.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("storage: compact flush sidecar: %w", err)
+	}
+	if err := raw.Sync(); err != nil {
+		raw.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("storage: compact sync: %w", err)
+	}
+	if err := raw.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("storage: compact close: %w", err)
+	}
+	// Swap: close the old handle, atomically replace the path, reopen.
+	if err := s.f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("storage: compact close old log: %w", err)
+	}
+	if err := os.Rename(tmp, s.path); err != nil {
+		return fmt.Errorf("storage: compact rename: %w", err)
+	}
+	nf, err := os.OpenFile(s.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: compact reopen: %w", err)
+	}
+	if _, err := nf.Seek(0, io.SeekEnd); err != nil {
+		nf.Close()
+		return fmt.Errorf("storage: compact seek: %w", err)
+	}
+	s.f = nf
+	if s.plan != nil {
+		s.f = NewFaultFile(nf, s.plan)
+	}
+	s.w = bufio.NewWriterSize(s.f, 1<<20)
+	s.dirty = 0
+	return nil
+}
+
+// writeRecord emits one framed record (shared by the live append path
+// and compaction's sidecar rewrite).
+func writeRecord(w io.Writer, key, val []byte, vlen uint32) error {
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:], recordCRC(key, val, vlen))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(key)))
+	binary.LittleEndian.PutUint32(hdr[8:], vlen)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(key); err != nil {
+		return err
+	}
+	if val != nil {
+		if _, err := w.Write(val); err != nil {
+			return err
+		}
+	}
+	return nil
 }

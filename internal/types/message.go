@@ -21,6 +21,12 @@ const (
 	MsgSyncReply     MsgType = 65
 	MsgCommitRequest MsgType = 66
 	MsgCommitReply   MsgType = 67
+
+	// Snapshot-based state sync (the execution layer's cold-join path).
+	MsgSnapshotRequest  MsgType = 68
+	MsgSnapshotManifest MsgType = 69
+	MsgChunkRequest     MsgType = 70
+	MsgChunkReply       MsgType = 71
 )
 
 // Baseline message-type ranges (values defined in their packages).
@@ -229,3 +235,48 @@ func (m *CommitReply) WireSize() int {
 	}
 	return n
 }
+
+// --- snapshot-based state sync ---
+
+// SnapshotRequest asks a peer for its latest execution snapshot's
+// manifest. Sent by a replica whose execution frontier has fallen far
+// enough behind the decided frontier that ordered replay may no longer
+// be served (peers truncate below their snapshot frontiers).
+type SnapshotRequest struct {
+	Requester NodeID
+}
+
+func (m *SnapshotRequest) Type() MsgType { return MsgSnapshotRequest }
+func (m *SnapshotRequest) WireSize() int { return 1 + 2 }
+
+// SnapshotManifest returns a snapshot manifest in its canonical
+// encoding (internal/exec owns the format; the wire layer carries it
+// opaquely — chunk hashes inside it pin every subsequent ChunkReply).
+type SnapshotManifest struct {
+	Manifest []byte
+}
+
+func (m *SnapshotManifest) Type() MsgType { return MsgSnapshotManifest }
+func (m *SnapshotManifest) WireSize() int { return 1 + 4 + len(m.Manifest) }
+
+// ChunkRequest asks for one chunk of the snapshot state identified by
+// StateHash (the manifest's state hash, so a rotated responder serving
+// a different snapshot answers nothing rather than mixing states).
+type ChunkRequest struct {
+	StateHash Digest
+	Index     uint32
+	Requester NodeID
+}
+
+func (m *ChunkRequest) Type() MsgType { return MsgChunkRequest }
+func (m *ChunkRequest) WireSize() int { return 1 + DigestSize + 4 + 2 }
+
+// ChunkReply carries one verified-against-manifest snapshot chunk.
+type ChunkReply struct {
+	StateHash Digest
+	Index     uint32
+	Data      []byte
+}
+
+func (m *ChunkReply) Type() MsgType { return MsgChunkReply }
+func (m *ChunkReply) WireSize() int { return 1 + DigestSize + 4 + 4 + len(m.Data) }

@@ -550,6 +550,18 @@ func EncodeTo(buf []byte, m types.Message) ([]byte, error) {
 			putCommitQC(w, &v.Notices[i].QC)
 			putConsensusProposal(w, &v.Notices[i].Proposal)
 		}
+	case *types.SnapshotRequest:
+		w.node(v.Requester)
+	case *types.SnapshotManifest:
+		w.bytes(v.Manifest)
+	case *types.ChunkRequest:
+		w.digest(v.StateHash)
+		w.u32(v.Index)
+		w.node(v.Requester)
+	case *types.ChunkReply:
+		w.digest(v.StateHash)
+		w.u32(v.Index)
+		w.bytes(v.Data)
 	default:
 		// Return the (unmodified past the type byte) buffer so pooled
 		// callers can still Release it — EncodeTo's contract is append.
@@ -690,6 +702,23 @@ func decode(data []byte, alias bool) (types.Message, error) {
 			}
 			cn.Proposal = getConsensusProposal(r)
 			rep.Notices = append(rep.Notices, cn)
+		}
+		m = rep
+	case types.MsgSnapshotRequest:
+		m = &types.SnapshotRequest{Requester: r.node()}
+	case types.MsgSnapshotManifest:
+		m = &types.SnapshotManifest{Manifest: r.bytes()}
+	case types.MsgChunkRequest:
+		m = &types.ChunkRequest{
+			StateHash: r.digest(),
+			Index:     r.u32(),
+			Requester: r.node(),
+		}
+	case types.MsgChunkReply:
+		rep := &types.ChunkReply{
+			StateHash: r.digest(),
+			Index:     r.u32(),
+			Data:      r.bytes(),
 		}
 		m = rep
 	default:

@@ -99,6 +99,10 @@ func allMessages() []types.Message {
 			QC:       types.CommitQC{Slot: 2, View: 0, Digest: types.Digest{9}},
 			Proposal: types.ConsensusProposal{Slot: 2, View: 0, Cut: types.NewEmptyCut(4)},
 		}}},
+		&types.SnapshotRequest{Requester: 2},
+		&types.SnapshotManifest{Manifest: []byte{0xab, 0xcd, 0xef, 0x01}},
+		&types.ChunkRequest{StateHash: types.Digest{0x11}, Index: 3, Requester: 1},
+		&types.ChunkReply{StateHash: types.Digest{0x11}, Index: 3, Data: []byte{1, 2, 3, 4, 5}},
 	}
 }
 

@@ -65,7 +65,7 @@ func NewLiveCluster(o Options) (*LiveCluster, error) {
 	sink := runtime.CommitSinkFunc(func(node types.NodeID, now time.Duration, cm runtime.Committed) {
 		c := Committed{
 			Replica: node, Lane: cm.Lane, Position: cm.Position,
-			Slot: cm.Slot, Batch: cm.Batch, At: now,
+			Slot: cm.Slot, Batch: cm.Batch, AppHash: cm.AppHash, At: now,
 		}
 		if obs := lc.observer; obs != nil {
 			obs(c)
@@ -81,6 +81,11 @@ func NewLiveCluster(o Options) (*LiveCluster, error) {
 	for i := 0; i < o.N; i++ {
 		id := types.NodeID(i)
 		cfg := o.nodeConfig(id, suite, sink)
+		if o.SnapshotEvery > 0 {
+			// In-process replicas have no WAL; snapshots live in memory so
+			// peers can still serve state sync within the process.
+			cfg.Snapshots = &core.MemSnapshots{}
+		}
 		// Parallel data plane (auto-sized to the hardware): lane traffic
 		// runs on per-shard workers, consensus stays serialized.
 		cfg.Shards = o.dataShards()

@@ -103,7 +103,7 @@ func NewReplica(self types.NodeID, addrs map[types.NodeID]string, o Options, log
 	sink := runtime.CommitSinkFunc(func(node types.NodeID, now time.Duration, cm runtime.Committed) {
 		c := Committed{
 			Replica: node, Lane: cm.Lane, Position: cm.Position,
-			Slot: cm.Slot, Batch: cm.Batch, At: now,
+			Slot: cm.Slot, Batch: cm.Batch, AppHash: cm.AppHash, At: now,
 		}
 		if obs := r.observer; obs != nil {
 			obs(c)
@@ -119,6 +119,16 @@ func NewReplica(self types.NodeID, addrs map[types.NodeID]string, o Options, log
 	suite := o.suite()
 	cfg := o.nodeConfig(self, suite, sink)
 	cfg.Journal = r.journal
+	if o.SnapshotEvery > 0 {
+		if o.WALPath != "" {
+			// Snapshots persist beside the WAL, atomically replaced; a
+			// restarted process recovers from the newer of snapshot and
+			// journal frontier.
+			cfg.Snapshots = storage.FileSnapshots{Path: o.WALPath + ".snap"}
+		} else {
+			cfg.Snapshots = &core.MemSnapshots{}
+		}
+	}
 	// Parallel data plane (auto-sized to the hardware): lane traffic runs
 	// on per-shard workers, consensus stays serialized.
 	cfg.Shards = o.dataShards()

@@ -24,6 +24,7 @@ type SimCluster struct {
 	nodes    []*core.Node
 	ids      []types.NodeID
 	journals []core.Journal
+	snaps    []*core.MemSnapshots
 	opts     Options
 }
 
@@ -71,7 +72,7 @@ func NewSimCluster(o SimOptions) *SimCluster {
 			inner.OnCommit(node, now, cm)
 			cb(Committed{
 				Replica: node, Lane: cm.Lane, Position: cm.Position,
-				Slot: cm.Slot, Batch: cm.Batch, At: now,
+				Slot: cm.Slot, Batch: cm.Batch, AppHash: cm.AppHash, At: now,
 			})
 		})
 	}
@@ -86,10 +87,21 @@ func NewSimCluster(o SimOptions) *SimCluster {
 			c.journals[i] = core.NewMemJournal()
 		}
 	}
+	// Snapshot stores follow the journal lifecycle: retained across warm
+	// restarts, replaced on amnesia.
+	if o.SnapshotEvery > 0 {
+		c.snaps = make([]*core.MemSnapshots, o.N)
+		for i := range c.snaps {
+			c.snaps[i] = &core.MemSnapshots{}
+		}
+	}
 	build := func(id types.NodeID) *core.Node {
 		cfg := o.nodeConfig(id, suite, sink)
 		if withJournals {
 			cfg.Journal = c.journals[id]
+		}
+		if c.snaps != nil {
+			cfg.Snapshots = c.snaps[id]
 		}
 		return core.NewNode(cfg)
 	}
@@ -124,6 +136,9 @@ func NewSimCluster(o SimOptions) *SimCluster {
 		eng.SetRebuild(func(id types.NodeID, amnesia bool) runtime.Protocol {
 			if amnesia {
 				c.journals[id] = core.NewMemJournal()
+				if c.snaps != nil {
+					c.snaps[id] = &core.MemSnapshots{}
+				}
 			}
 			nd := build(id)
 			c.nodes[id] = nd
